@@ -1,0 +1,52 @@
+//! Ablation A1 — tree-plane fan-out: fence latency under binary, 4-ary,
+//! and 16-ary trees (the paper: "Although a binary RPC/reduction tree is
+//! pictured, the tree shape is configurable").
+//!
+//! Higher arity shortens the tree (fewer reduction hops) but concentrates
+//! more children per interior broker; the crossover is what this ablation
+//! maps.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{bench_params, virtual_phase, Phase};
+use std::time::Duration;
+
+fn ablate_arity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_arity");
+    g.sample_size(10);
+    let nodes = 32;
+    for arity in [2u32, 4, 16] {
+        let mut p = bench_params(nodes);
+        p.arity = arity;
+        p.value_size = 2048;
+        let id = BenchmarkId::new("fence", format!("arity-{arity}"));
+        g.bench_function(id, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += virtual_phase(&p, Phase::Sync);
+                }
+                total
+            });
+        });
+        let id = BenchmarkId::new("consumer", format!("arity-{arity}"));
+        g.bench_function(id, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += virtual_phase(&p, Phase::Consumer);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = ablate_arity
+);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! Ablation A3 — module placement depth (paper §IV-A: "A comms module
+//! may thus be loaded at a configurable tree depth to tune its level of
+//! distribution or to conserve node resources for application workloads
+//! toward the leaves").
+//!
+//! The KVS module is loaded only on brokers at depth ≤ d; requests from
+//! deeper brokers route upstream to the first instance. Shallow
+//! placement saves leaf memory but concentrates load and lengthens every
+//! access path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_broker::CommsModule;
+use flux_kap::layout::key_for;
+use flux_kap::layout::DirLayout;
+use flux_modules::BarrierModule;
+use flux_rt::script::{Op, ScriptClient};
+use flux_rt::sim::SimSession;
+use flux_sim::NetParams;
+use flux_topo::Tree;
+use flux_value::Value;
+use flux_wire::Rank;
+use std::time::Duration;
+
+const NODES: u32 = 32;
+const PPN: u32 = 4;
+
+/// Virtual makespan of a put+fence+get run with the KVS loaded only at
+/// depth ≤ `max_depth`.
+fn run_with_depth(max_depth: u32) -> Duration {
+    let tree = Tree::binary(NODES);
+    let mut session = SimSession::new(NODES, 2, NetParams::default(), |rank| {
+        let mut mods: Vec<Box<dyn CommsModule>> = vec![Box::new(BarrierModule::new())];
+        if tree.depth(rank) <= max_depth {
+            mods.push(Box::new(flux_kvs::KvsModule::new()));
+        }
+        mods
+    });
+    let procs = u64::from(NODES * PPN);
+    let outcomes: Vec<_> = (0..procs)
+        .map(|gid| {
+            let node = Rank((gid % u64::from(NODES)) as u32);
+            ScriptClient::spawn(
+                &mut session,
+                node,
+                vec![
+                    Op::Put {
+                        key: key_for(DirLayout::Split128, gid),
+                        val: Value::from(format!("{gid:08x}")),
+                    },
+                    Op::Fence { name: "d".into(), nprocs: procs },
+                    Op::Get { key: key_for(DirLayout::Split128, (gid + 1) % procs) },
+                ],
+            )
+        })
+        .collect();
+    let end = session.run_until_quiet();
+    for (g, o) in outcomes.iter().enumerate() {
+        let o = o.borrow();
+        assert!(o.finished && o.op_err.iter().all(|&e| e == 0), "proc {g}: {:?}", o.op_err);
+    }
+    Duration::from_nanos(end.as_nanos())
+}
+
+fn ablate_depth(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_depth");
+    g.sample_size(10);
+    let height = Tree::binary(NODES).height();
+    for depth in [0u32, 1, 2, height] {
+        let label = if depth == height { "leaves(all)".to_owned() } else { format!("depth<={depth}") };
+        g.bench_function(BenchmarkId::new("kvs-placement", label), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += run_with_depth(depth);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = ablate_depth
+);
+criterion_main!(benches);

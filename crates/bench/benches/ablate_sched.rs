@@ -1,0 +1,66 @@
+//! Ablation A2 — scheduler parallelism (paper §II/§III): one centralized
+//! scheduler over the whole machine vs a hierarchy of instances each
+//! scheduling a lease.
+//!
+//! Measured in *wall-clock* time (this is real scheduling computation,
+//! not simulated message latency): draining the same 2000-job UQ
+//! ensemble through one 256-node FCFS instance vs through 8 children of
+//! 32 nodes each. The hierarchical split keeps each queue short — the
+//! divide-and-conquer scaling argument of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use flux_core::{Fcfs, Instance, InstanceConfig, Workload};
+use std::hint::black_box;
+
+const TOTAL_NODES: u32 = 256;
+const CHILDREN: u32 = 8;
+const JOBS: usize = 2000;
+
+fn centralized() -> u64 {
+    let mut root = Instance::root(
+        InstanceConfig::new("central", TOTAL_NODES).with_power(u64::MAX / 2),
+        Box::new(Fcfs),
+    );
+    for spec in Workload::seeded(11).uq_ensemble(JOBS, 10_000) {
+        root.submit(spec);
+    }
+    root.drain()
+}
+
+fn hierarchical() -> u64 {
+    let mut root = Instance::root(
+        InstanceConfig::new("root", TOTAL_NODES).with_power(u64::MAX / 2),
+        Box::new(Fcfs),
+    );
+    let kids: Vec<_> = (0..CHILDREN)
+        .map(|i| {
+            root.spawn_child(
+                InstanceConfig::new(format!("part{i}"), TOTAL_NODES / CHILDREN),
+                Box::new(Fcfs),
+            )
+            .expect("lease fits")
+        })
+        .collect();
+    for (i, spec) in Workload::seeded(11).uq_ensemble(JOBS, 10_000).into_iter().enumerate() {
+        let kid = kids[i % kids.len()];
+        root.child_mut(kid).unwrap().submit(spec);
+    }
+    root.drain()
+}
+
+fn ablate_sched(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_sched");
+    g.sample_size(10);
+    g.bench_function("centralized-fcfs-2000-jobs", |b| b.iter(|| black_box(centralized())));
+    g.bench_function("hierarchical-8x-fcfs-2000-jobs", |b| b.iter(|| black_box(hierarchical())));
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = ablate_sched
+);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Fig. 1 — comms-session wire-up: virtual time for a freshly created
+//! session to become collectively operational (all brokers up, a full
+//! cross-session barrier completed on each of the three planes'
+//! machinery).
+//!
+//! The paper shows the wire-up diagram rather than a measurement; this
+//! bench quantifies the bring-up cost of that wire-up as sessions grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_broker::CommsModule;
+use flux_kvs::KvsModule;
+use flux_modules::BarrierModule;
+use flux_rt::script::{Op, ScriptClient};
+use flux_rt::sim::SimSession;
+use flux_sim::NetParams;
+use flux_wire::Rank;
+use std::time::Duration;
+
+fn wireup_time(size: u32, arity: u32) -> Duration {
+    let mut session = SimSession::new(size, arity, NetParams::default(), |_| {
+        vec![
+            Box::new(KvsModule::new()) as Box<dyn CommsModule>,
+            Box::new(BarrierModule::new()),
+        ]
+    });
+    // One client per broker joins a session-wide barrier: completion
+    // requires every broker reachable over the tree and the event plane
+    // delivering the exit everywhere.
+    let outcomes: Vec<_> = (0..size)
+        .map(|r| {
+            ScriptClient::spawn(
+                &mut session,
+                Rank(r),
+                vec![Op::Barrier { name: "wireup".into(), nprocs: u64::from(size) }],
+            )
+        })
+        .collect();
+    let end = session.run_until_quiet();
+    for o in &outcomes {
+        assert!(o.borrow().finished);
+    }
+    Duration::from_nanos(end.as_nanos())
+}
+
+fn fig1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_wireup");
+    g.sample_size(10);
+    for size in [16u32, 64, 256] {
+        for arity in [2u32, 16] {
+            let id = BenchmarkId::new(format!("arity-{arity}"), size);
+            g.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = Duration::ZERO;
+                    for _ in 0..iters {
+                        total += wireup_time(size, arity);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = fig1
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fig. 2 — producer-phase (`kvs_put`) maximum latency.
+//!
+//! Reported durations are *virtual* phase latencies from the simulator
+//! (via `iter_custom`); the series should stay nearly flat as the
+//! producer count scales, with value size shifting the curves upward.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{bench_params, virtual_phase, Phase, BENCH_SCALES};
+
+fn fig2(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig2_put");
+    g.sample_size(10);
+    for &nodes in &BENCH_SCALES {
+        for vsize in [8usize, 512, 8192] {
+            let mut p = bench_params(nodes);
+            p.value_size = vsize;
+            let id = BenchmarkId::new(format!("vsize-{vsize}"), p.total_procs());
+            g.bench_function(id, |b| {
+                b.iter_custom(|iters| {
+                    let mut total = std::time::Duration::ZERO;
+                    for _ in 0..iters {
+                        total += virtual_phase(&p, Phase::Producer);
+                    }
+                    total
+                });
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = fig2
+);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Fig. 3 — synchronization-phase (`kvs_fence`) maximum latency,
+//! unique vs redundant values.
+//!
+//! Expected shape: unique values grow ~linearly with the producer count
+//! (value payloads concatenate up the tree); redundant values are much
+//! cheaper (they deduplicate at every hop) but still grow faster than
+//! logarithmically, because the `(key, SHA1)` tuples still concatenate.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{bench_params, virtual_phase, Phase, BENCH_SCALES};
+
+fn fig3(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig3_fence");
+    g.sample_size(10);
+    for &nodes in &BENCH_SCALES {
+        for vsize in [512usize, 8192] {
+            for redundant in [false, true] {
+                let mut p = bench_params(nodes);
+                p.value_size = vsize;
+                p.redundant = redundant;
+                let series =
+                    if redundant { format!("red-vsize-{vsize}") } else { format!("vsize-{vsize}") };
+                let id = BenchmarkId::new(series, p.total_procs());
+                g.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            total += virtual_phase(&p, Phase::Sync);
+                        }
+                        total
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = fig3
+);
+criterion_main!(benches);

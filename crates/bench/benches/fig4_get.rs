@@ -1,0 +1,48 @@
+//! Fig. 4 — consumer-phase (`kvs_get`) maximum latency: single directory
+//! (4a) vs directories of ≤128 objects (4b).
+//!
+//! Expected shape: the single-directory layout pays to fault the whole
+//! (ever-growing) directory object through the slave-cache chain and
+//! grows ~linearly with the consumer count; the split layout caps
+//! directory size and scales visibly better.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{bench_params, virtual_phase, Phase, BENCH_SCALES};
+use flux_kap::layout::DirLayout;
+
+fn fig4(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_get");
+    g.sample_size(10);
+    for &nodes in &BENCH_SCALES {
+        for (layout, label) in [(DirLayout::Single, "single-dir"), (DirLayout::Split128, "split-128")]
+        {
+            for naccess in [1u64, 4] {
+                let mut p = bench_params(nodes);
+                p.layout = layout;
+                p.naccess = naccess;
+                p.stride = naccess;
+                let id =
+                    BenchmarkId::new(format!("{label}/access-{naccess}"), p.total_procs());
+                g.bench_function(id, |b| {
+                    b.iter_custom(|iters| {
+                        let mut total = std::time::Duration::ZERO;
+                        for _ in 0..iters {
+                            total += virtual_phase(&p, Phase::Consumer);
+                        }
+                        total
+                    });
+                });
+            }
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = fig4
+);
+criterion_main!(benches);

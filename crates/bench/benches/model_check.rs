@@ -1,0 +1,45 @@
+//! §V-B model check — measured single-directory consumer latency vs the
+//! paper's `log2(C) × T(G)` prediction.
+//!
+//! Two series per scale: `measured` is the simulated phase latency,
+//! `model` the analytic prediction with the same cost constants. Close
+//! tracking (same order of magnitude, same growth) validates both the
+//! simulator and the paper's critical-path analysis.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{bench_params, virtual_phase, Phase, BENCH_SCALES};
+use flux_kap::model;
+use std::time::Duration;
+
+fn model_check(c: &mut Criterion) {
+    let mut g = c.benchmark_group("model_check");
+    g.sample_size(10);
+    for &nodes in &BENCH_SCALES {
+        let p = bench_params(nodes);
+        let consumers = p.total_procs();
+        g.bench_function(BenchmarkId::new("measured", consumers), |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += virtual_phase(&p, Phase::Consumer);
+                }
+                total
+            });
+        });
+        let t_g = model::transfer_time_ns(p.total_objects(), p.value_size as u64, 1_300, 305);
+        let predicted = model::consumer_latency_model_ns(consumers, t_g);
+        g.bench_function(BenchmarkId::new("model", consumers), |b| {
+            b.iter_custom(|iters| Duration::from_nanos(predicted) * iters as u32);
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    // Deterministic virtual-time measurements have zero variance, which
+    // criterion's HTML plotter cannot render; plain reports only.
+    config = Criterion::default().without_plots();
+    targets = model_check
+);
+criterion_main!(benches);

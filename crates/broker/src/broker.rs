@@ -1,0 +1,548 @@
+//! The broker core: routing, event sequencing, module dispatch.
+
+use crate::builtin;
+use crate::config::BrokerConfig;
+use crate::io::{ClientId, Input, Output};
+use crate::module::{CommsModule, ModuleCtx};
+use flux_topo::{LiveSet, Ring, Tree};
+use flux_value::Value;
+use flux_wire::{errnum, Message, MsgId, MsgType, Plane, Rank, Topic};
+use std::collections::{HashMap, VecDeque};
+
+/// Timer-token namespace: the top 16 bits identify the owner (0 = broker
+/// core, `i + 1` = module index `i`); the low 48 bits are owner-private.
+const TOKEN_OWNER_SHIFT: u32 = 48;
+
+/// Shared broker state reachable from module contexts.
+pub(crate) struct Core {
+    config: BrokerConfig,
+    tree: Tree,
+    ring: Ring,
+    /// Session liveness view, updated from `live.down` / `live.up` events.
+    pub(crate) live: LiveSet,
+    /// Per-broker RPC sequence counter.
+    seq: u64,
+    /// Current time, refreshed on every [`Broker::handle`] call.
+    pub(crate) now_ns: u64,
+    /// Outputs accumulated during the current handle() call.
+    outputs: Vec<Output>,
+    /// Module-originated RPCs awaiting responses: id → module index.
+    pending: HashMap<MsgId, usize>,
+    /// Ids whose modules expect further responses (streaming replies).
+    sticky_pending: HashMap<MsgId, usize>,
+    /// Locally raised messages to process after the current dispatch.
+    raised: VecDeque<Message>,
+    /// Event-plane sequencing (root only).
+    event_seq: u64,
+    /// Last event sequence seen (all brokers; delivery-order check).
+    last_event_seq: u64,
+    /// Per-client event subscriptions: topic prefixes.
+    client_subs: HashMap<ClientId, Vec<String>>,
+    /// Module indices matching responses queued in `raised`, FIFO.
+    raised_response_module: VecDeque<usize>,
+    /// Stamped events awaiting local delivery; `true` = also fan to
+    /// children after local delivery (liveness updates carried by the
+    /// event must apply before the child set is computed).
+    deliver_queue: VecDeque<(Message, bool)>,
+}
+
+impl Core {
+    pub(crate) fn rank(&self) -> Rank {
+        self.config.rank
+    }
+
+    pub(crate) fn size(&self) -> u32 {
+        self.config.size
+    }
+
+    pub(crate) fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    pub(crate) fn depth(&self) -> u32 {
+        self.tree.depth(self.config.rank)
+    }
+
+    pub(crate) fn tree_height(&self) -> u32 {
+        self.tree.height()
+    }
+
+    pub(crate) fn effective_parent(&self) -> Option<Rank> {
+        self.live.effective_parent(&self.tree, self.config.rank)
+    }
+
+    pub(crate) fn effective_children(&self) -> Vec<Rank> {
+        self.live.effective_children(&self.tree, self.config.rank)
+    }
+
+    pub(crate) fn next_msg_id(&mut self) -> MsgId {
+        self.seq += 1;
+        MsgId { origin: self.config.rank, seq: self.seq }
+    }
+
+    pub(crate) fn register_pending(&mut self, id: MsgId, module_idx: usize) {
+        self.pending.insert(id, module_idx);
+    }
+
+    pub(crate) fn raise(&mut self, msg: Message) {
+        self.raised.push_back(msg);
+    }
+
+    pub(crate) fn send_tree(&mut self, to: Rank, msg: Message) {
+        self.outputs.push(Output::ToBroker { plane: Plane::Tree, to, msg });
+    }
+
+    /// Routes a response one step along its recorded hops (or completes a
+    /// module-originated RPC if the hop stack is empty).
+    pub(crate) fn route_response(&mut self, mut msg: Message) {
+        match msg.header.hops.pop() {
+            Some(hop) => match hop.as_client_hop() {
+                Some(client) => self.outputs.push(Output::ToClient { client, msg }),
+                None => {
+                    let plane =
+                        if msg.header.dst.is_some() { Plane::Ring } else { Plane::Tree };
+                    self.outputs.push(Output::ToBroker { plane, to: hop, msg });
+                }
+            },
+            None => {
+                // This broker originated the RPC from a module.
+                if let Some(&idx) = self.pending.get(&msg.header.id) {
+                    if self.sticky_pending.contains_key(&msg.header.id) {
+                        // keep for streaming replies
+                    } else {
+                        self.pending.remove(&msg.header.id);
+                    }
+                    self.raised.push_back(msg);
+                    self.raised_response_module.push_back(idx);
+                }
+                // else: stale response for a forgotten request; drop.
+            }
+        }
+    }
+
+    /// Forwards a rank-addressed request one hop toward its destination
+    /// on the configured overlay (ring or tree), skipping dead ranks. A
+    /// request addressed to a dead rank fails with EHOSTDOWN.
+    pub(crate) fn route_ring(&mut self, msg: Message) {
+        let dst = msg.header.dst.expect("rank-addressed message has a destination");
+        if !self.live.is_up(dst) {
+            if msg.header.msg_type == MsgType::Request {
+                let resp = Message::error_response_to(&msg, errnum::EHOSTDOWN);
+                self.route_response(resp);
+            }
+            return;
+        }
+        let next = match self.config.rank_overlay {
+            crate::RankOverlay::Ring => {
+                let mut next = self.ring.next(self.config.rank);
+                let mut guard = 0;
+                while !self.live.is_up(next) && next != self.config.rank {
+                    next = self.ring.next(next);
+                    guard += 1;
+                    assert!(guard <= self.config.size, "no live ranks on ring");
+                }
+                next
+            }
+            crate::RankOverlay::Tree => {
+                // Down into the (effective) child subtree holding dst, or
+                // up to the effective parent. Self-healing falls out of
+                // the effective relations.
+                if self.tree.is_ancestor(self.config.rank, dst) {
+                    self.effective_children()
+                        .into_iter()
+                        .find(|&c| self.tree.is_ancestor(c, dst))
+                        .unwrap_or(dst)
+                } else {
+                    self.effective_parent().expect("non-root when dst not below")
+                }
+            }
+        };
+        self.outputs.push(Output::ToBroker { plane: Plane::Ring, to: next, msg });
+    }
+
+    /// Publishes an event: root-sequenced, total-ordered session-wide.
+    pub(crate) fn publish(&mut self, topic: Topic, payload: Value) {
+        let id = self.next_msg_id();
+        let msg = Message::event(topic, id, self.config.rank, payload);
+        if self.config.rank.is_root() {
+            self.sequence_and_fan_out(msg);
+        } else {
+            let parent = self.effective_parent().expect("non-root has a parent");
+            self.outputs.push(Output::ToBroker { plane: Plane::Event, to: parent, msg });
+        }
+    }
+
+    /// Root only: stamp the session sequence number and queue for local
+    /// delivery followed by downward fan-out.
+    fn sequence_and_fan_out(&mut self, mut msg: Message) {
+        debug_assert!(self.config.rank.is_root());
+        self.event_seq += 1;
+        msg.header.id = MsgId { origin: Rank::ROOT, seq: self.event_seq };
+        self.deliver_queue.push_back((msg, true));
+    }
+
+    /// Queues a stamped (downward-travelling) event: local delivery first,
+    /// then fan-out to the (possibly updated) effective children.
+    fn fan_down(&mut self, msg: Message) {
+        self.deliver_queue.push_back((msg, true));
+    }
+
+    /// Emits the event to all effective children. Called after local
+    /// delivery so liveness changes carried by the event are in force.
+    pub(crate) fn fan_children(&mut self, msg: &Message) {
+        for child in self.effective_children() {
+            self.outputs.push(Output::ToBroker {
+                plane: Plane::Event,
+                to: child,
+                msg: msg.clone(),
+            });
+        }
+    }
+
+    pub(crate) fn set_module_timer(&mut self, module_idx: usize, delay_ns: u64, token: u64) {
+        assert!(token < (1 << TOKEN_OWNER_SHIFT), "module timer token too large");
+        let owner = (module_idx as u64 + 1) << TOKEN_OWNER_SHIFT;
+        self.outputs.push(Output::SetTimer { delay_ns, token: owner | token });
+    }
+
+    /// Mark an RPC id as expecting multiple responses (streaming).
+    pub(crate) fn expect_more(&mut self, id: MsgId) {
+        if let Some(&idx) = self.pending.get(&id) {
+            self.sticky_pending.insert(id, idx);
+        }
+    }
+
+    /// Forget a streaming RPC id.
+    pub(crate) fn forget_pending(&mut self, id: MsgId) {
+        self.pending.remove(&id);
+        self.sticky_pending.remove(&id);
+    }
+
+}
+
+/// A comms session broker. See the crate docs for the model.
+pub struct Broker {
+    core: Core,
+    /// Module slots; taken during dispatch to satisfy the borrow checker.
+    modules: Vec<Option<Box<dyn CommsModule>>>,
+    names: HashMap<&'static str, usize>,
+    subs: Vec<(usize, String)>,
+    started: bool,
+}
+
+impl Broker {
+    /// Creates a broker with the given modules loaded.
+    ///
+    /// # Panics
+    /// Panics on invalid config or duplicate module names.
+    pub fn new(config: BrokerConfig, modules: Vec<Box<dyn CommsModule>>) -> Broker {
+        config.validate();
+        let tree = Tree::new(config.size, config.arity);
+        let ring = Ring::new(config.size);
+        let live = LiveSet::new(config.size);
+        let mut names = HashMap::new();
+        let mut subs = Vec::new();
+        for (i, m) in modules.iter().enumerate() {
+            let prev = names.insert(m.name(), i);
+            assert!(prev.is_none(), "duplicate module {}", m.name());
+            for s in m.subscriptions() {
+                subs.push((i, s));
+            }
+        }
+        Broker {
+            core: Core {
+                config,
+                tree,
+                ring,
+                live,
+                seq: 0,
+                now_ns: 0,
+                outputs: Vec::new(),
+                pending: HashMap::new(),
+                sticky_pending: HashMap::new(),
+                raised: VecDeque::new(),
+                raised_response_module: VecDeque::new(),
+                deliver_queue: VecDeque::new(),
+                event_seq: 0,
+                last_event_seq: 0,
+                client_subs: HashMap::new(),
+            },
+            modules: modules.into_iter().map(Some).collect(),
+            names,
+            subs,
+            started: false,
+        }
+    }
+
+    /// This broker's rank.
+    pub fn rank(&self) -> Rank {
+        self.core.rank()
+    }
+
+    /// This broker's depth in the tree plane.
+    pub fn depth(&self) -> u32 {
+        self.core.depth()
+    }
+
+    /// Names of loaded modules, in load order.
+    pub fn module_names(&self) -> Vec<&'static str> {
+        let mut v: Vec<(usize, &'static str)> =
+            self.names.iter().map(|(&n, &i)| (i, n)).collect();
+        v.sort_unstable();
+        v.into_iter().map(|(_, n)| n).collect()
+    }
+
+    /// Runs module `on_start` hooks. Must be called once before `handle`.
+    pub fn start(&mut self, now_ns: u64) -> Vec<Output> {
+        assert!(!self.started, "broker started twice");
+        self.started = true;
+        self.core.now_ns = now_ns;
+        for i in 0..self.modules.len() {
+            self.with_module(i, |m, ctx| m.on_start(ctx));
+        }
+        self.drain_raised();
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    /// Publishes an event as if a local module had: runtimes and tests use
+    /// this to inject session events (e.g. administrative liveness
+    /// updates) without going through a module.
+    pub fn publish(&mut self, now_ns: u64, topic: Topic, payload: Value) -> Vec<Output> {
+        assert!(self.started, "broker not started");
+        self.core.now_ns = now_ns;
+        self.core.publish(topic, payload);
+        self.drain_raised();
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    /// Processes one input and returns the effects to perform.
+    pub fn handle(&mut self, now_ns: u64, input: Input) -> Vec<Output> {
+        assert!(self.started, "broker not started");
+        self.core.now_ns = now_ns;
+        match input {
+            Input::FromClient { client, msg } => {
+                let mut msg = msg;
+                match msg.header.msg_type {
+                    MsgType::Request => {
+                        msg.header.hops.push(Rank::client_hop(client));
+                        self.route_request(msg);
+                    }
+                    // Clients only send requests; anything else is a
+                    // protocol violation we surface loudly.
+                    other => panic!("client {client} sent non-request {other:?}"),
+                }
+            }
+            Input::FromBroker { plane, from, msg } => match msg.header.msg_type {
+                MsgType::Request => {
+                    let mut msg = msg;
+                    msg.header.hops.push(from);
+                    self.route_request(msg);
+                }
+                MsgType::Response => self.core.route_response(msg),
+                MsgType::Event => self.handle_event_arrival(plane, from, msg),
+            },
+            Input::Timer { token } => {
+                let owner = (token >> TOKEN_OWNER_SHIFT) as usize;
+                let private = token & ((1 << TOKEN_OWNER_SHIFT) - 1);
+                if owner == 0 {
+                    // Broker-core timers (currently none).
+                } else {
+                    let idx = owner - 1;
+                    if idx < self.modules.len() {
+                        self.with_module(idx, |m, ctx| m.on_timer(ctx, private));
+                    }
+                }
+            }
+        }
+        self.drain_raised();
+        std::mem::take(&mut self.core.outputs)
+    }
+
+    /// Routes a request: ring-addressed requests travel the ring; others
+    /// dispatch to the first matching local module or continue upstream.
+    fn route_request(&mut self, msg: Message) {
+        if let Some(dst) = msg.header.dst {
+            if dst == self.core.rank() {
+                self.dispatch_request(msg);
+            } else {
+                self.core.route_ring(msg);
+            }
+            return;
+        }
+        self.dispatch_request(msg);
+    }
+
+    /// Dispatches to a local module, the broker's builtin `cmb` service,
+    /// or forwards upstream; at the root an unmatched request fails with
+    /// ENOSYS.
+    fn dispatch_request(&mut self, msg: Message) {
+        let service = msg.header.topic.service().to_owned();
+        if service == "cmb" {
+            builtin::handle(self, msg);
+            return;
+        }
+        if let Some(&idx) = self.names.get(service.as_str()) {
+            self.with_module(idx, |m, ctx| m.handle_request(ctx, &msg));
+            return;
+        }
+        if msg.header.dst.is_some() {
+            // Rank-addressed request reached its target but nothing serves
+            // the topic here.
+            let resp = Message::error_response_to(&msg, errnum::ENOSYS);
+            self.core.route_response(resp);
+            return;
+        }
+        match self.core.effective_parent() {
+            Some(parent) => self.core.send_tree(parent, msg),
+            None => {
+                let resp = Message::error_response_to(&msg, errnum::ENOSYS);
+                self.core.route_response(resp);
+            }
+        }
+    }
+
+    /// Event-plane arrivals: upward-travelling publications head for the
+    /// root; stamped events fan down, get delivered to subscribed modules
+    /// and clients, and drive the heartbeat hook.
+    fn handle_event_arrival(&mut self, _plane: Plane, from: Rank, msg: Message) {
+        let from_upstream = self.core.tree.is_ancestor(from, self.core.rank());
+        if from_upstream && from != self.core.rank() {
+            // Stamped event travelling downward.
+            debug_assert!(msg.header.id.origin.is_root(), "downward event must be stamped");
+            self.core.fan_down(msg);
+            self.drain_raised();
+        } else if self.core.rank().is_root() {
+            // Raw publication arriving from our subtree.
+            self.core.sequence_and_fan_out(msg);
+            self.drain_raised();
+        } else {
+            // Raw publication still climbing; relay toward the root.
+            let parent = self.core.effective_parent().expect("non-root has a parent");
+            self.core.outputs.push(Output::ToBroker { plane: Plane::Event, to: parent, msg });
+        }
+    }
+
+    /// Delivers one stamped event locally: liveness bookkeeping, module
+    /// subscriptions, client subscriptions, heartbeat hook.
+    fn deliver_event_locally(&mut self, msg: Message) {
+        let seq = msg.header.id.seq;
+        assert!(
+            seq > self.core.last_event_seq,
+            "event sequence moved backwards: {} after {}",
+            seq,
+            self.core.last_event_seq
+        );
+        self.core.last_event_seq = seq;
+
+        let topic = msg.header.topic.clone();
+
+        // Liveness view: the broker core itself tracks live.down/live.up
+        // so routing self-heals no matter which modules are loaded.
+        if topic.as_str() == "live.down" {
+            if let Some(r) = msg.payload.get("rank").and_then(Value::as_uint) {
+                let r = Rank(r as u32);
+                if !r.is_root() {
+                    self.core.live.mark_down(r);
+                }
+            }
+        } else if topic.as_str() == "live.up" {
+            if let Some(r) = msg.payload.get("rank").and_then(Value::as_uint) {
+                self.core.live.mark_up(Rank(r as u32));
+            }
+        }
+
+        // Module subscriptions.
+        for i in 0..self.subs.len() {
+            let (idx, ref prefix) = self.subs[i];
+            if topic.matches_prefix(prefix) {
+                self.with_module(idx, |m, ctx| m.handle_event(ctx, &msg));
+            }
+        }
+
+        // Heartbeat hook.
+        if topic.as_str() == "hb" {
+            let epoch = msg.payload.get("epoch").and_then(Value::as_uint).unwrap_or(0);
+            for i in 0..self.modules.len() {
+                self.with_module(i, |m, ctx| m.on_heartbeat(ctx, epoch));
+            }
+        }
+
+        // Client subscriptions.
+        let mut to_clients: Vec<ClientId> = Vec::new();
+        for (&client, prefixes) in &self.core.client_subs {
+            if prefixes.iter().any(|p| topic.matches_prefix(p)) {
+                to_clients.push(client);
+            }
+        }
+        to_clients.sort_unstable();
+        for client in to_clients {
+            self.core.outputs.push(Output::ToClient { client, msg: msg.clone() });
+        }
+    }
+
+    /// Runs `f` against module `idx` with a fresh context.
+    fn with_module<F>(&mut self, idx: usize, f: F)
+    where
+        F: FnOnce(&mut dyn CommsModule, &mut ModuleCtx<'_>),
+    {
+        let mut m = self.modules[idx].take().expect("module re-entered");
+        {
+            let mut ctx = ModuleCtx { core: &mut self.core, module_idx: idx };
+            f(&mut *m, &mut ctx);
+        }
+        self.modules[idx] = Some(m);
+    }
+
+    /// Processes locally raised messages (module-originated local requests
+    /// and completed module RPC responses) and queued event deliveries
+    /// until quiescent.
+    fn drain_raised(&mut self) {
+        loop {
+            if let Some((msg, fan)) = self.core.deliver_queue.pop_front() {
+                self.deliver_event_locally(msg.clone());
+                if fan {
+                    self.core.fan_children(&msg);
+                }
+                continue;
+            }
+            let Some(msg) = self.core.raised.pop_front() else { break };
+            match msg.header.msg_type {
+                MsgType::Request => self.route_request(msg),
+                MsgType::Response => {
+                    let idx = self
+                        .core
+                        .raised_response_module
+                        .pop_front()
+                        .expect("response raised with module idx");
+                    self.with_module(idx, |m, ctx| m.handle_response(ctx, &msg));
+                }
+                MsgType::Event => unreachable!("events are not raised"),
+            }
+        }
+    }
+
+    /// Client subscription management, exposed for the builtin service.
+    pub(crate) fn core_mut(&mut self) -> &mut Core {
+        &mut self.core
+    }
+
+    /// Shared core view for the builtin service.
+    pub(crate) fn core(&self) -> &Core {
+        &self.core
+    }
+}
+
+impl Core {
+    pub(crate) fn subscribe_client(&mut self, client: ClientId, prefix: String) {
+        self.client_subs.entry(client).or_default().push(prefix);
+    }
+
+    pub(crate) fn unsubscribe_client(&mut self, client: ClientId, prefix: &str) {
+        if let Some(v) = self.client_subs.get_mut(&client) {
+            v.retain(|p| p != prefix);
+            if v.is_empty() {
+                self.client_subs.remove(&client);
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The broker's builtin `cmb` service.
+//!
+//! The prototype's `flux` utility exposes "about two dozen modular Flux
+//! sub-commands"; the broker itself answers the session-introspection and
+//! plumbing subset:
+//!
+//! * `cmb.ping` — echo, usable rank-addressed over the ring (the paper's
+//!   debugging use case) or locally;
+//! * `cmb.info` — rank, size, arity, tree depth, liveness count;
+//! * `cmb.sub` / `cmb.unsub` — client event-subscription management.
+
+use crate::broker::Broker;
+use flux_value::Value;
+use flux_wire::{errnum, Message};
+
+pub(crate) fn handle(broker: &mut Broker, msg: Message) {
+    match msg.header.topic.method() {
+        "ping" => {
+            let rank = broker.core().rank();
+            let mut payload = msg.payload.clone();
+            if payload.is_null() {
+                payload = Value::object();
+            }
+            if payload.as_object().is_some() {
+                payload.insert("pong", Value::from(rank.0));
+                payload.insert("now_ns", Value::from(broker.core().now_ns as i64));
+            }
+            let resp = Message::response_to(&msg, payload);
+            broker.core_mut().route_response(resp);
+        }
+        "info" => {
+            let core = broker.core();
+            let payload = Value::from_pairs([
+                ("rank", Value::from(core.rank().0)),
+                ("size", Value::from(core.size())),
+                ("depth", Value::from(core.depth() as i64)),
+                ("live", Value::from(core.live.live_count())),
+                ("modules", Value::from(
+                    broker
+                        .module_names()
+                        .into_iter()
+                        .map(Value::from)
+                        .collect::<Vec<_>>(),
+                )),
+            ]);
+            let resp = Message::response_to(&msg, payload);
+            broker.core_mut().route_response(resp);
+        }
+        "sub" | "unsub" => {
+            // Only valid directly from a local client: the hop stack must
+            // be exactly [client].
+            let client = match (msg.header.hops.len(), msg.header.hops.last()) {
+                (1, Some(h)) => h.as_client_hop(),
+                _ => None,
+            };
+            let Some(client) = client else {
+                let resp = Message::error_response_to(&msg, errnum::EINVAL);
+                broker.core_mut().route_response(resp);
+                return;
+            };
+            let Some(prefix) = msg.payload.get("prefix").and_then(Value::as_str) else {
+                let resp = Message::error_response_to(&msg, errnum::EINVAL);
+                broker.core_mut().route_response(resp);
+                return;
+            };
+            let prefix = prefix.to_owned();
+            if msg.header.topic.method() == "sub" {
+                broker.core_mut().subscribe_client(client, prefix);
+            } else {
+                broker.core_mut().unsubscribe_client(client, &prefix);
+            }
+            let resp = Message::response_to(&msg, Value::object());
+            broker.core_mut().route_response(resp);
+        }
+        _ => {
+            let resp = Message::error_response_to(&msg, errnum::ENOSYS);
+            broker.core_mut().route_response(resp);
+        }
+    }
+}

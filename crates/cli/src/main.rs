@@ -1,0 +1,326 @@
+//! The `flux` utility.
+//!
+//! Paper §IV-A: *"A flux utility wraps command line access to about two
+//! dozen modular Flux sub-commands."* This binary hosts an ephemeral
+//! threaded comms session (there are no long-running daemons in the
+//! reproduction) and runs one or more sub-commands against it:
+//!
+//! ```text
+//! flux [--size N] [--arity K] <command> [; <command>]...
+//!
+//! commands:
+//!   info                         broker/session facts (from a leaf)
+//!   ping <rank>                  rank-addressed ping over the ring
+//!   kvs put <key> <json>         write-back put
+//!   kvs get <key>                read a value
+//!   kvs dir <key>                list a directory
+//!   kvs unlink <key>             delete a key
+//!   kvs commit                   flush this client's puts
+//!   kvs version                  current root version
+//!   kvs stats                    local cache statistics
+//!   barrier <name> <nprocs>      enter a collective barrier
+//!   run <jobid> <cmd...>         wexec bulk-launch on all ranks
+//!   wait-job <jobid>             poll until a job's completion record lands
+//!   ps                           local wexec process table
+//!   log msg <level> <text...>    append to the session log
+//!   log query                    dump the root session log
+//!   log dump <rank>              a rank's circular debug buffer
+//!   mon add <name> <metric>      register a sampler
+//!   group join|info|leave <name> group membership
+//!   resvc status|alloc|free ...  resource service
+//!   up                           liveness view
+//! ```
+//!
+//! Multiple commands separated by `;` run against the *same* session, so
+//! `flux kvs put a.b 42 ; kvs commit ; kvs get a.b` round-trips.
+
+use flux_broker::client::{ClientCore, Delivery};
+use flux_modules::standard_modules;
+use flux_rt::threads::{ThreadClient, ThreadSession};
+use flux_value::Value;
+use flux_wire::{Message, Rank, Topic};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const TIMEOUT: Duration = Duration::from_secs(10);
+
+struct Cli {
+    conn: ThreadClient,
+    core: ClientCore,
+    tag: u64,
+}
+
+impl Cli {
+    fn rpc(&mut self, topic: &str, payload: Value) -> Result<Message, String> {
+        self.tag += 1;
+        let topic = Topic::new(topic).map_err(|e| e.to_string())?;
+        self.conn.send(self.core.request(topic, payload, self.tag));
+        self.wait_reply()
+    }
+
+    fn rpc_to(&mut self, rank: Rank, topic: &str, payload: Value) -> Result<Message, String> {
+        self.tag += 1;
+        let topic = Topic::new(topic).map_err(|e| e.to_string())?;
+        self.conn.send(self.core.request_to(rank, topic, payload, self.tag));
+        self.wait_reply()
+    }
+
+    fn wait_reply(&mut self) -> Result<Message, String> {
+        let deadline = std::time::Instant::now() + TIMEOUT;
+        loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                return Err("timed out waiting for a reply".into());
+            }
+            let Some(msg) = self.conn.recv_timeout(left) else { continue };
+            match self.core.deliver(msg) {
+                Delivery::Response { msg, .. } => {
+                    if msg.is_error() {
+                        return Err(format!(
+                            "{} ({})",
+                            flux_wire::errnum::strerror(msg.header.errnum),
+                            msg.header.errnum
+                        ));
+                    }
+                    return Ok(msg);
+                }
+                Delivery::Event(_) | Delivery::Unmatched(_) => continue,
+            }
+        }
+    }
+}
+
+fn parse_json_arg(s: &str) -> Value {
+    Value::parse(s).unwrap_or_else(|_| Value::from(s))
+}
+
+fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
+    let words: Vec<&str> = cmd.iter().map(String::as_str).collect();
+    match words.as_slice() {
+        ["info"] => {
+            let m = cli.rpc("cmb.info", Value::Null)?;
+            Ok(m.payload.to_json_pretty())
+        }
+        ["ping", rank] => {
+            let r: u32 = rank.parse().map_err(|_| "bad rank".to_string())?;
+            let t0 = std::time::Instant::now();
+            let m = cli.rpc_to(Rank(r), "cmb.ping", Value::object())?;
+            Ok(format!(
+                "pong from rank {} in {:?}",
+                m.payload.get("pong").cloned().unwrap_or(Value::Null),
+                t0.elapsed()
+            ))
+        }
+        ["kvs", "put", key, json] => {
+            let payload = Value::from_pairs([("k", Value::from(*key)), ("v", parse_json_arg(json))]);
+            cli.rpc("kvs.put", payload)?;
+            Ok(format!("{key} staged (commit to publish)"))
+        }
+        ["kvs", "get", key] => {
+            let m = cli.rpc("kvs.get", Value::from_pairs([("k", Value::from(*key))]))?;
+            Ok(m.payload.get("v").cloned().unwrap_or(Value::Null).to_json_pretty())
+        }
+        ["kvs", "dir", key] => {
+            let m = cli.rpc(
+                "kvs.get",
+                Value::from_pairs([("k", Value::from(*key)), ("dir", Value::Bool(true))]),
+            )?;
+            let listing = m.payload.get("dir").cloned().unwrap_or(Value::object());
+            let names: Vec<String> = listing
+                .as_object()
+                .map(|o| o.keys().cloned().collect())
+                .unwrap_or_default();
+            Ok(names.join("\n"))
+        }
+        ["kvs", "unlink", key] => {
+            cli.rpc("kvs.unlink", Value::from_pairs([("k", Value::from(*key))]))?;
+            Ok(format!("{key} unlink staged"))
+        }
+        ["kvs", "commit"] => {
+            let m = cli.rpc("kvs.commit", Value::object())?;
+            Ok(format!(
+                "committed: version {} root {}",
+                m.payload.get("version").cloned().unwrap_or(Value::Null),
+                m.payload.get("root").and_then(Value::as_str).unwrap_or("?")
+            ))
+        }
+        ["kvs", "version"] => {
+            let m = cli.rpc("kvs.get_version", Value::object())?;
+            Ok(m.payload.to_json())
+        }
+        ["kvs", "stats"] => {
+            let m = cli.rpc("kvs.stats", Value::object())?;
+            Ok(m.payload.to_json_pretty())
+        }
+        ["barrier", name, nprocs] => {
+            let n: i64 = nprocs.parse().map_err(|_| "bad nprocs".to_string())?;
+            let m = cli.rpc(
+                "barrier.enter",
+                Value::from_pairs([("name", Value::from(*name)), ("nprocs", Value::Int(n))]),
+            )?;
+            Ok(format!("barrier {} released", m.payload.get("name").unwrap_or(&Value::Null)))
+        }
+        ["run", jobid, rest @ ..] if !rest.is_empty() => {
+            let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
+            let m = cli.rpc(
+                "wexec.run",
+                Value::from_pairs([
+                    ("jobid", Value::Int(id)),
+                    ("cmd", Value::from(rest.join(" "))),
+                    ("targets", Value::from("all")),
+                ]),
+            )?;
+            Ok(format!(
+                "job {id}: {} tasks launched (stdout in lwj.{id}.<rank>.stdout)",
+                m.payload.get("ntasks").cloned().unwrap_or(Value::Null)
+            ))
+        }
+        ["wait-job", jobid] => {
+            let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
+            let key = format!("lwj.{id}.complete");
+            let deadline = std::time::Instant::now() + TIMEOUT;
+            loop {
+                match cli.rpc("kvs.get", Value::from_pairs([("k", Value::from(key.as_str()))])) {
+                    Ok(m) => {
+                        return Ok(format!(
+                            "job {id} complete: {}",
+                            m.payload.get("v").cloned().unwrap_or(Value::Null).to_json()
+                        ));
+                    }
+                    Err(_) if std::time::Instant::now() < deadline => {
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(e) => return Err(format!("job {id} did not complete: {e}")),
+                }
+            }
+        }
+        ["ps"] => {
+            let m = cli.rpc("wexec.ps", Value::object())?;
+            Ok(m.payload.to_json_pretty())
+        }
+        ["log", "msg", level, rest @ ..] if !rest.is_empty() => {
+            let lvl: i64 = level.parse().map_err(|_| "bad level".to_string())?;
+            cli.rpc(
+                "log.msg",
+                Value::from_pairs([
+                    ("level", Value::Int(lvl)),
+                    ("text", Value::from(rest.join(" "))),
+                ]),
+            )?;
+            Ok("logged".into())
+        }
+        ["log", "query"] => {
+            let m = cli.rpc("log.query", Value::object())?;
+            let entries = m.payload.get("entries").cloned().unwrap_or(Value::array());
+            let mut out = String::new();
+            for e in entries.as_array().unwrap_or(&[]) {
+                out.push_str(&format!(
+                    "[{}] r{}: {}\n",
+                    e.get("level").cloned().unwrap_or(Value::Null),
+                    e.get("rank").cloned().unwrap_or(Value::Null),
+                    e.get("text").and_then(Value::as_str).unwrap_or("")
+                ));
+            }
+            Ok(out.trim_end().to_owned())
+        }
+        ["log", "dump", rank] => {
+            let r: u32 = rank.parse().map_err(|_| "bad rank".to_string())?;
+            let m = cli.rpc_to(Rank(r), "log.dump", Value::object())?;
+            Ok(m.payload.to_json_pretty())
+        }
+        ["mon", "add", name, metric] => {
+            cli.rpc(
+                "mon.add",
+                Value::from_pairs([
+                    ("name", Value::from(*name)),
+                    ("metric", Value::from(*metric)),
+                    ("period", Value::Int(1)),
+                ]),
+            )?;
+            Ok(format!("sampler {name} registered (data under mon.data.{name}.*)"))
+        }
+        ["group", verb @ ("join" | "leave" | "info"), name] => {
+            let m = cli.rpc(
+                &format!("group.{verb}"),
+                Value::from_pairs([("name", Value::from(*name))]),
+            )?;
+            Ok(m.payload.to_json())
+        }
+        ["resvc", "status"] => {
+            let m = cli.rpc("resvc.status", Value::object())?;
+            Ok(m.payload.to_json())
+        }
+        ["resvc", "alloc", jobid, nnodes] => {
+            let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
+            let n: i64 = nnodes.parse().map_err(|_| "bad nnodes".to_string())?;
+            let m = cli.rpc(
+                "resvc.alloc",
+                Value::from_pairs([("jobid", Value::Int(id)), ("nnodes", Value::Int(n))]),
+            )?;
+            Ok(m.payload.to_json())
+        }
+        ["resvc", "free", jobid] => {
+            let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
+            let m = cli.rpc("resvc.free", Value::from_pairs([("jobid", Value::Int(id))]))?;
+            Ok(m.payload.to_json())
+        }
+        ["up"] => {
+            let m = cli.rpc("live.status", Value::object())?;
+            Ok(m.payload.to_json())
+        }
+        _ => Err(format!("unknown command: {}", words.join(" "))),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut size = 8u32;
+    let mut arity = 2u32;
+    while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
+        args.remove(0);
+        match flag.as_str() {
+            "--size" => size = args.remove(0).parse().unwrap_or(8),
+            "--arity" => arity = args.remove(0).parse().unwrap_or(2),
+            "--help" => {
+                eprintln!("see `flux` module docs; e.g. flux kvs put a.b 42 \\; kvs commit \\; kvs get a.b");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if args.is_empty() {
+        eprintln!("usage: flux [--size N] [--arity K] <command> [; <command>]...");
+        return ExitCode::from(2);
+    }
+
+    // Host an ephemeral session; attach at the last rank (a leaf).
+    let mut builder = ThreadSession::builder(size, arity, |_| standard_modules());
+    let leaf = Rank(size - 1);
+    let conn = builder.attach_client(leaf);
+    let session = builder.start();
+    let core = ClientCore::new(leaf, conn.client_id);
+    let mut cli = Cli { conn, core, tag: 0 };
+
+    let mut status = ExitCode::SUCCESS;
+    for cmd in args.split(|a| a == ";") {
+        if cmd.is_empty() {
+            continue;
+        }
+        match run_command(&mut cli, cmd) {
+            Ok(out) => {
+                if !out.is_empty() {
+                    println!("{out}");
+                }
+            }
+            Err(e) => {
+                eprintln!("flux: {}: {e}", cmd.join(" "));
+                status = ExitCode::FAILURE;
+            }
+        }
+    }
+    session.shutdown();
+    status
+}

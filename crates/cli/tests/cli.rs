@@ -1,0 +1,92 @@
+//! End-to-end tests of the `flux` utility binary.
+
+use std::process::Command;
+
+fn flux(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_flux"))
+        .args(args)
+        .output()
+        .expect("flux binary runs");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn kvs_roundtrip_via_cli() {
+    let (stdout, stderr, ok) = flux(&[
+        "--size", "6", "kvs", "put", "cli.x", "42", ";", "kvs", "commit", ";", "kvs", "get",
+        "cli.x",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("cli.x staged"), "{stdout}");
+    assert!(stdout.contains("committed: version 1"), "{stdout}");
+    assert!(stdout.trim_end().ends_with("42"), "{stdout}");
+}
+
+#[test]
+fn json_values_pass_through() {
+    let (stdout, _, ok) = flux(&[
+        "kvs", "put", "cli.obj", r#"{"a": [1, 2]}"#, ";", "kvs", "commit", ";", "kvs", "get",
+        "cli.obj",
+    ]);
+    assert!(ok);
+    assert!(stdout.contains("\"a\""), "{stdout}");
+}
+
+#[test]
+fn ping_and_info() {
+    let (stdout, _, ok) = flux(&["--size", "5", "ping", "2", ";", "info"]);
+    assert!(ok);
+    assert!(stdout.contains("pong from rank 2"), "{stdout}");
+    assert!(stdout.contains("\"size\": 5"), "{stdout}");
+    assert!(stdout.contains("\"modules\""), "{stdout}");
+}
+
+#[test]
+fn wexec_run_and_read_output() {
+    let (stdout, stderr, ok) = flux(&[
+        "--size", "4", "run", "5", "echo", "hi-$RANK", ";", "wait-job", "5", ";", "kvs",
+        "get", "lwj.5.2.stdout",
+    ]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("4 tasks launched"), "{stdout}");
+    assert!(stdout.contains("job 5 complete"), "{stdout}");
+    assert!(stdout.contains("hi-2"), "{stdout}");
+}
+
+#[test]
+fn resvc_alloc_and_free() {
+    let (stdout, _, ok) = flux(&[
+        "--size", "6", "resvc", "alloc", "9", "2", ";", "resvc", "status", ";", "resvc",
+        "free", "9", ";", "resvc", "status",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"ranks\":[0,1]"), "{stdout}");
+    assert!(stdout.contains("\"free\":4"), "{stdout}");
+    assert!(stdout.contains("\"free\":6"), "{stdout}");
+}
+
+#[test]
+fn errors_reported_with_nonzero_status() {
+    let (_, stderr, ok) = flux(&["kvs", "get", "does.not.exist"]);
+    assert!(!ok);
+    assert!(stderr.contains("no such key"), "{stderr}");
+
+    let (_, stderr, ok) = flux(&["bogus", "subcommand"]);
+    assert!(!ok);
+    assert!(stderr.contains("unknown command"), "{stderr}");
+}
+
+#[test]
+fn group_membership_via_cli() {
+    let (stdout, _, ok) = flux(&[
+        "group", "join", "ops", ";", "group", "info", "ops", ";", "group", "leave", "ops", ";",
+        "group", "info", "ops",
+    ]);
+    assert!(ok, "{stdout}");
+    assert!(stdout.contains("\"size\":1"), "{stdout}");
+    assert!(stdout.contains("\"size\":0"), "{stdout}");
+}

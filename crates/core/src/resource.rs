@@ -1,0 +1,336 @@
+//! The generalized resource model.
+//!
+//! Paper §III: *"Flux introduces a generalized resource model that is
+//! extensible and covers any kind of resource and its relationships."*
+//! Resources form a forest: containment edges (a rack contains nodes, a
+//! node contains sockets and memory) with a typed kind and a scalar
+//! capacity in kind-specific units (cores, GiB, watts, MB/s, seats).
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifies a resource within one [`ResourcePool`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ResourceId(pub u32);
+
+/// The kind of a resource vertex.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum ResourceKind {
+    /// A whole computing center.
+    Center,
+    /// One cluster.
+    Cluster,
+    /// One rack.
+    Rack,
+    /// One compute node.
+    Node,
+    /// A CPU socket.
+    Socket,
+    /// A CPU core.
+    Core,
+    /// Memory, capacity in GiB.
+    Memory,
+    /// Electrical power, capacity in watts.
+    Power,
+    /// A (shared) filesystem, capacity in MB/s of aggregate bandwidth.
+    Filesystem,
+    /// Network bandwidth, MB/s.
+    Bandwidth,
+    /// Software license seats.
+    License,
+    /// Anything else — the model is extensible by construction.
+    Custom(String),
+}
+
+impl fmt::Display for ResourceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResourceKind::Custom(s) => write!(f, "custom:{s}"),
+            other => write!(f, "{}", format!("{other:?}").to_lowercase()),
+        }
+    }
+}
+
+/// One resource vertex.
+#[derive(Clone, Debug)]
+pub struct Resource {
+    /// Identity within the pool.
+    pub id: ResourceId,
+    /// Typed kind.
+    pub kind: ResourceKind,
+    /// Human-readable name (`"cab42"`, `"rack3"`).
+    pub name: String,
+    /// Capacity in kind-specific units.
+    pub capacity: u64,
+    /// Containment parent.
+    pub parent: Option<ResourceId>,
+    children: Vec<ResourceId>,
+}
+
+/// A resource graph (forest, usually a single tree rooted at a center or
+/// cluster).
+#[derive(Clone, Debug, Default)]
+pub struct ResourcePool {
+    resources: Vec<Resource>,
+}
+
+impl ResourcePool {
+    /// An empty pool.
+    pub fn new() -> ResourcePool {
+        ResourcePool::default()
+    }
+
+    /// Adds a resource; `parent = None` makes it a root.
+    ///
+    /// # Panics
+    /// Panics if `parent` does not exist.
+    pub fn add(
+        &mut self,
+        kind: ResourceKind,
+        name: impl Into<String>,
+        capacity: u64,
+        parent: Option<ResourceId>,
+    ) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        if let Some(p) = parent {
+            self.resources
+                .get_mut(p.0 as usize)
+                .unwrap_or_else(|| panic!("unknown parent {p:?}"))
+                .children
+                .push(id);
+        }
+        self.resources.push(Resource {
+            id,
+            kind,
+            name: name.into(),
+            capacity,
+            parent,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Number of resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Borrow a resource.
+    ///
+    /// # Panics
+    /// Panics on an unknown id.
+    pub fn get(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.0 as usize]
+    }
+
+    /// Direct children of `id`.
+    pub fn children(&self, id: ResourceId) -> &[ResourceId] {
+        &self.get(id).children
+    }
+
+    /// All resources, in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Resource> {
+        self.resources.iter()
+    }
+
+    /// BFS over the subtree rooted at `id`, inclusive.
+    pub fn subtree(&self, id: ResourceId) -> Vec<ResourceId> {
+        let mut out = Vec::new();
+        let mut q = VecDeque::from([id]);
+        while let Some(cur) = q.pop_front() {
+            out.push(cur);
+            q.extend(self.children(cur).iter().copied());
+        }
+        out
+    }
+
+    /// All ids of a given kind under `root` (inclusive).
+    pub fn find_kind(&self, root: ResourceId, kind: &ResourceKind) -> Vec<ResourceId> {
+        self.subtree(root)
+            .into_iter()
+            .filter(|&r| &self.get(r).kind == kind)
+            .collect()
+    }
+
+    /// Total capacity of all `kind` resources under `root`.
+    pub fn total_capacity(&self, root: ResourceId, kind: &ResourceKind) -> u64 {
+        self.find_kind(root, kind).iter().map(|&r| self.get(r).capacity).sum()
+    }
+
+    /// True if `ancestor` is a (non-strict) containment ancestor of `id`.
+    pub fn is_ancestor(&self, ancestor: ResourceId, id: ResourceId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if c == ancestor {
+                return true;
+            }
+            cur = self.get(c).parent;
+        }
+        false
+    }
+
+    /// Builds a standard cluster shape matching the paper's testbed: each
+    /// node has 2 sockets × 8 cores and 32 GiB, and racks carry a power
+    /// envelope. Returns (cluster id, node ids).
+    pub fn build_cluster(
+        &mut self,
+        name: &str,
+        racks: u32,
+        nodes_per_rack: u32,
+        rack_power_w: u64,
+    ) -> (ResourceId, Vec<ResourceId>) {
+        let cluster = self.add(ResourceKind::Cluster, name, 0, None);
+        let mut nodes = Vec::new();
+        for r in 0..racks {
+            let rack = self.add(ResourceKind::Rack, format!("{name}-rack{r}"), 0, Some(cluster));
+            self.add(ResourceKind::Power, format!("{name}-rack{r}-pdu"), rack_power_w, Some(rack));
+            for n in 0..nodes_per_rack {
+                let node = self.add(
+                    ResourceKind::Node,
+                    format!("{name}{}", r * nodes_per_rack + n),
+                    1,
+                    Some(rack),
+                );
+                self.add(ResourceKind::Memory, "dram", 32, Some(node));
+                for s in 0..2 {
+                    let socket = self.add(ResourceKind::Socket, format!("s{s}"), 1, Some(node));
+                    for c in 0..8 {
+                        self.add(ResourceKind::Core, format!("c{c}"), 1, Some(socket));
+                    }
+                }
+                nodes.push(node);
+            }
+        }
+        (cluster, nodes)
+    }
+
+    /// Builds a whole center: several clusters plus center-wide shared
+    /// resources (a global filesystem and a site power budget). Returns
+    /// (center id, per-cluster (id, nodes)).
+    pub fn build_center(
+        &mut self,
+        clusters: &[(&str, u32, u32)],
+        site_power_w: u64,
+        fs_bandwidth_mbs: u64,
+    ) -> (ResourceId, Vec<(ResourceId, Vec<ResourceId>)>) {
+        let center = self.add(ResourceKind::Center, "center", 0, None);
+        self.add(ResourceKind::Power, "site-power", site_power_w, Some(center));
+        self.add(ResourceKind::Filesystem, "lustre", fs_bandwidth_mbs, Some(center));
+        let mut out = Vec::new();
+        for &(name, racks, nodes_per_rack) in clusters {
+            let (cluster, nodes) = {
+                // Clusters hang off the center.
+                let cluster = self.add(ResourceKind::Cluster, name, 0, Some(center));
+                let mut nodes = Vec::new();
+                for r in 0..racks {
+                    let rack =
+                        self.add(ResourceKind::Rack, format!("{name}-rack{r}"), 0, Some(cluster));
+                    self.add(
+                        ResourceKind::Power,
+                        format!("{name}-rack{r}-pdu"),
+                        20_000,
+                        Some(rack),
+                    );
+                    for n in 0..nodes_per_rack {
+                        let node = self.add(
+                            ResourceKind::Node,
+                            format!("{name}{}", r * nodes_per_rack + n),
+                            1,
+                            Some(rack),
+                        );
+                        self.add(ResourceKind::Memory, "dram", 32, Some(node));
+                        nodes.push(node);
+                    }
+                }
+                (cluster, nodes)
+            };
+            out.push((cluster, nodes));
+        }
+        (center, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_navigate() {
+        let mut p = ResourcePool::new();
+        let root = p.add(ResourceKind::Cluster, "zin", 0, None);
+        let node = p.add(ResourceKind::Node, "zin1", 1, Some(root));
+        let core = p.add(ResourceKind::Core, "c0", 1, Some(node));
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.children(root), &[node]);
+        assert_eq!(p.get(core).parent, Some(node));
+        assert!(p.is_ancestor(root, core));
+        assert!(!p.is_ancestor(core, root));
+        assert!(p.is_ancestor(node, node));
+    }
+
+    #[test]
+    fn build_cluster_shape_matches_testbed() {
+        let mut p = ResourcePool::new();
+        let (cluster, nodes) = p.build_cluster("cab", 2, 4, 10_000);
+        assert_eq!(nodes.len(), 8);
+        // 16 cores per node, paper testbed shape.
+        assert_eq!(p.find_kind(cluster, &ResourceKind::Core).len(), 8 * 16);
+        assert_eq!(p.total_capacity(cluster, &ResourceKind::Memory), 8 * 32);
+        assert_eq!(p.total_capacity(cluster, &ResourceKind::Power), 20_000);
+        // Every node is under the cluster.
+        for &n in &nodes {
+            assert!(p.is_ancestor(cluster, n));
+            assert_eq!(p.get(n).kind, ResourceKind::Node);
+        }
+    }
+
+    #[test]
+    fn build_center_with_shared_resources() {
+        let mut p = ResourcePool::new();
+        let (center, clusters) =
+            p.build_center(&[("zin", 2, 8), ("cab", 1, 8)], 2_000_000, 500_000);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(p.find_kind(center, &ResourceKind::Node).len(), 24);
+        assert_eq!(p.find_kind(center, &ResourceKind::Filesystem).len(), 1);
+        // Site power + rack PDUs are all Power resources under the center.
+        let power = p.total_capacity(center, &ResourceKind::Power);
+        assert_eq!(power, 2_000_000 + 3 * 20_000);
+    }
+
+    #[test]
+    fn custom_kinds_are_first_class() {
+        let mut p = ResourcePool::new();
+        let root = p.add(ResourceKind::Center, "c", 0, None);
+        let burst = ResourceKind::Custom("burst-buffer".into());
+        p.add(burst.clone(), "bb0", 800, Some(root));
+        p.add(burst.clone(), "bb1", 800, Some(root));
+        assert_eq!(p.total_capacity(root, &burst), 1600);
+        assert_eq!(burst.to_string(), "custom:burst-buffer");
+    }
+
+    #[test]
+    fn subtree_partitions() {
+        let mut p = ResourcePool::new();
+        let (cluster, _) = p.build_cluster("x", 2, 2, 1000);
+        let racks = p.find_kind(cluster, &ResourceKind::Rack);
+        assert_eq!(racks.len(), 2);
+        let sub0 = p.subtree(racks[0]);
+        let sub1 = p.subtree(racks[1]);
+        for id in &sub0 {
+            assert!(!sub1.contains(id));
+        }
+        assert_eq!(sub0.len() + sub1.len() + 1, p.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown parent")]
+    fn bad_parent_panics() {
+        let mut p = ResourcePool::new();
+        p.add(ResourceKind::Node, "n", 1, Some(ResourceId(9)));
+    }
+}

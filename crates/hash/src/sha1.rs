@@ -1,0 +1,206 @@
+//! SHA1 (FIPS 180-1) implemented from scratch.
+//!
+//! A straightforward, dependency-free implementation processing 64-byte
+//! blocks with the standard 80-round compression function. Throughput is
+//! more than adequate for KVS content addressing (the simulator charges
+//! virtual time for transfers, not hashing).
+
+/// A 20-byte SHA1 digest.
+pub type Digest = [u8; 20];
+
+const H0: [u32; 5] = [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0];
+
+/// Streaming SHA1 hasher.
+///
+/// ```
+/// use flux_hash::Sha1;
+/// assert_eq!(
+///     Sha1::digest(b"abc")[..4],
+///     [0xa9, 0x99, 0x3e, 0x36],
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    /// Total message length in bytes.
+    len: u64,
+    /// Partial block buffer.
+    buf: [u8; 64],
+    buf_len: usize,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 { state: H0, len: 0, buf: [0; 64], buf_len: 0 }
+    }
+
+    /// One-shot convenience: digest of `data`.
+    pub fn digest(data: &[u8]) -> Digest {
+        let mut h = Sha1::new();
+        h.update(data);
+        h.finalize()
+    }
+
+    /// Feeds `data` into the hasher.
+    pub fn update(&mut self, data: &[u8]) {
+        self.len = self.len.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.buf_len > 0 {
+            let need = 64 - self.buf_len;
+            let take = need.min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 64 {
+                let block = self.buf;
+                self.compress(&block);
+                self.buf_len = 0;
+            }
+        }
+        while rest.len() >= 64 {
+            let (block, tail) = rest.split_at(64);
+            self.compress(block.try_into().expect("64-byte block"));
+            rest = tail;
+        }
+        if !rest.is_empty() {
+            self.buf[..rest.len()].copy_from_slice(rest);
+            self.buf_len = rest.len();
+        }
+    }
+
+    /// Finishes the hash and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let bit_len = self.len.wrapping_mul(8);
+        // Padding: 0x80 then zeros until 8 bytes remain in the block,
+        // then the big-endian bit length.
+        self.update_padding(0x80);
+        while self.buf_len != 56 {
+            self.update_padding(0x00);
+        }
+        let len_bytes = bit_len.to_be_bytes();
+        for &b in &len_bytes {
+            self.update_padding(b);
+        }
+        debug_assert_eq!(self.buf_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[4 * i..4 * i + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// Pushes one padding byte without advancing the message length.
+    fn update_padding(&mut self, byte: u8) {
+        self.buf[self.buf_len] = byte;
+        self.buf_len += 1;
+        if self.buf_len == 64 {
+            let block = self.buf;
+            self.compress(&block);
+            self.buf_len = 0;
+        }
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes(chunk.try_into().expect("4-byte chunk"));
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | (!b & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let tmp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = tmp;
+        }
+
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(d: Digest) -> String {
+        d.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    /// FIPS 180-1 appendix + well-known vectors.
+    #[test]
+    fn standard_vectors() {
+        assert_eq!(hex(Sha1::digest(b"")), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+        assert_eq!(hex(Sha1::digest(b"abc")), "a9993e364706816aba3e25717850c26c9cd0d89d");
+        assert_eq!(
+            hex(Sha1::digest(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+        assert_eq!(
+            hex(Sha1::digest(b"The quick brown fox jumps over the lazy dog")),
+            "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let mut h = Sha1::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(hex(h.finalize()), "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+    }
+
+    #[test]
+    fn streaming_equals_oneshot_at_all_split_points() {
+        let data: Vec<u8> = (0..200u8).collect();
+        let want = Sha1::digest(&data);
+        for split in 0..=data.len() {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), want, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn lengths_around_block_boundary() {
+        // 55/56/57 and 63/64/65 byte messages exercise the padding paths.
+        for len in [0usize, 1, 54, 55, 56, 57, 63, 64, 65, 119, 127, 128, 129] {
+            let data = vec![0x5au8; len];
+            let d1 = Sha1::digest(&data);
+            let mut h = Sha1::new();
+            for b in &data {
+                h.update(std::slice::from_ref(b));
+            }
+            assert_eq!(h.finalize(), d1, "len {len}");
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Scale probe: isolates which KAP phase dominates wall-clock time.
+use flux_kap::layout::DirLayout;
+use flux_kap::KapParams;
+
+fn timed(label: &str, p: &KapParams) {
+    let t0 = std::time::Instant::now();
+    let r = flux_kap::run_kap(p);
+    println!("{label:28} events {:8} bytes {:11} wall {:?}", r.events, r.bytes, t0.elapsed());
+}
+
+fn main() {
+    let nodes = 256;
+    let mut full = KapParams::fully_populated(nodes);
+    timed("full (single dir)", &full);
+    full.layout = DirLayout::Split128;
+    timed("full (split128)", &full);
+    let mut fence_only = KapParams::fully_populated(nodes);
+    fence_only.consumers = 1;
+    timed("fence only (1 consumer)", &fence_only);
+    let mut big_vals = KapParams::fully_populated(nodes);
+    big_vals.consumers = 1;
+    big_vals.value_size = 32768;
+    timed("fence only vsize 32768", &big_vals);
+    let mut big_red = big_vals.clone();
+    big_red.redundant = true;
+    timed("fence only 32768 redundant", &big_red);
+}

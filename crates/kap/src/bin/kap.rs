@@ -1,0 +1,291 @@
+//! The KAP driver: regenerates every figure of the paper's evaluation.
+//!
+//! ```text
+//! kap [--quick] [fig2|fig3|fig4a|fig4b|model|table1|all]
+//! ```
+//!
+//! Full mode sweeps the paper's scales (64–512 nodes × 16 processes =
+//! 1024–8192 testers). `--quick` runs a reduced sweep for smoke testing.
+//! Output is markdown; EXPERIMENTS.md embeds it.
+
+use flux_kap::layout::DirLayout;
+use flux_kap::model;
+use flux_kap::report::{ms, Table};
+use flux_kap::{run_kap, KapParams};
+use flux_sim::NetParams;
+
+/// The value sizes of the paper's sweeps (bytes).
+const VSIZES: [usize; 7] = [8, 32, 128, 512, 2048, 8192, 32768];
+
+struct Cfg {
+    node_scales: Vec<u32>,
+    procs_per_node: u32,
+    vsizes: Vec<usize>,
+}
+
+impl Cfg {
+    fn new(quick: bool) -> Cfg {
+        if quick {
+            Cfg {
+                node_scales: vec![8, 16, 32],
+                procs_per_node: 4,
+                vsizes: vec![8, 512, 8192],
+            }
+        } else {
+            Cfg {
+                node_scales: vec![64, 128, 256, 512],
+                procs_per_node: 16,
+                vsizes: VSIZES.to_vec(),
+            }
+        }
+    }
+
+    fn params(&self, nodes: u32) -> KapParams {
+        let mut p = KapParams::fully_populated(nodes);
+        p.procs_per_node = self.procs_per_node;
+        p.producers = p.total_procs();
+        p.consumers = p.total_procs();
+        p
+    }
+}
+
+/// Fig. 2: maximum producer-phase latency (`kvs_put`) vs producer count,
+/// one series per value size.
+fn fig2(cfg: &Cfg) {
+    let mut header = vec!["producers".to_string()];
+    header.extend(cfg.vsizes.iter().map(|v| format!("vsize-{v} (ms)")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 2 — producer phase max latency (kvs_put), fully populated",
+        &header_refs,
+    );
+    for &nodes in &cfg.node_scales {
+        let mut row = vec![cfg.params(nodes).total_procs().to_string()];
+        for &vsize in &cfg.vsizes {
+            let mut p = cfg.params(nodes);
+            p.value_size = vsize;
+            let r = run_kap(&p);
+            row.push(ms(r.producer_ns));
+        }
+        t.row(row);
+        eprintln!("fig2: {nodes} nodes done");
+    }
+    println!("{}", t.render());
+}
+
+/// Fig. 3: maximum synchronization-phase latency (`kvs_fence`) vs
+/// producer count, unique vs redundant values.
+fn fig3(cfg: &Cfg) {
+    let mut header = vec!["producers".to_string()];
+    for &v in &cfg.vsizes {
+        header.push(format!("vsize-{v} (ms)"));
+        header.push(format!("red-vsize-{v} (ms)"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        "Fig. 3 — synchronization phase max latency (kvs_fence), unique vs redundant values",
+        &header_refs,
+    );
+    for &nodes in &cfg.node_scales {
+        let mut row = vec![cfg.params(nodes).total_procs().to_string()];
+        for &vsize in &cfg.vsizes {
+            for redundant in [false, true] {
+                let mut p = cfg.params(nodes);
+                p.value_size = vsize;
+                p.redundant = redundant;
+                let r = run_kap(&p);
+                row.push(ms(r.sync_ns));
+            }
+        }
+        t.row(row);
+        eprintln!("fig3: {nodes} nodes done");
+    }
+    println!("{}", t.render());
+}
+
+/// Fig. 4: maximum consumer-phase latency (`kvs_get`) vs consumer count,
+/// one series per per-consumer access count; 8-byte values.
+fn fig4(cfg: &Cfg, layout: DirLayout, label: &str) {
+    let accesses = [1u64, 4, 16];
+    let mut header = vec!["consumers".to_string()];
+    header.extend(accesses.iter().map(|a| format!("access-{a} (ms)")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    let mut t = Table::new(label, &header_refs);
+    for &nodes in &cfg.node_scales {
+        let mut row = vec![cfg.params(nodes).total_procs().to_string()];
+        for &naccess in &accesses {
+            let mut p = cfg.params(nodes);
+            p.naccess = naccess;
+            // Collective (overlapping) reads: every consumer reads the
+            // same `naccess` objects — the paper's "G objects are read
+            // collectively by C consumers". The directory object (G
+            // entries) dominates the transfer in the single-dir layout.
+            p.stride = 0;
+            p.layout = layout;
+            let r = run_kap(&p);
+            row.push(ms(r.consumer_ns));
+        }
+        t.row(row);
+        eprintln!("fig4 {layout:?}: {nodes} nodes done");
+    }
+    println!("{}", t.render());
+}
+
+/// §V-B model check: measured consumer latency vs `log2(C) × T(G)`, and
+/// the G ∝ C linear-growth case.
+fn model_check(cfg: &Cfg) {
+    let _net = NetParams::default();
+    let mut t = Table::new(
+        "Model — measured single-directory consumer latency vs log2(C)·T(G)",
+        &["consumers", "G", "measured (ms)", "model (ms)", "ratio"],
+    );
+    let mut points = Vec::new();
+    for &nodes in &cfg.node_scales {
+        let mut p = cfg.params(nodes);
+        p.naccess = 1;
+        p.stride = 0;
+        let r = run_kap(&p);
+        let c = p.total_procs();
+        let g = p.total_objects();
+        let t_g = model::transfer_time_ns(g, p.value_size as u64, 1_300, 305);
+        let predicted = model::consumer_latency_model_ns(c, t_g);
+        let ratio = r.consumer_ns as f64 / predicted as f64;
+        points.push((c as f64, r.consumer_ns as f64 / 1e6));
+        t.row(vec![
+            c.to_string(),
+            g.to_string(),
+            ms(r.consumer_ns),
+            ms(predicted),
+            format!("{ratio:.2}"),
+        ]);
+        eprintln!("model: {nodes} nodes done");
+    }
+    println!("{}", t.render());
+    // Shape verdict: G grows with C here, so the model predicts linear
+    // growth in C (the paper's geometric-series argument).
+    let r2_linear = model::r_squared(&points);
+    let log_points: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.log2(), y)).collect();
+    let r2_log = model::r_squared(&log_points);
+    println!(
+        "Shape check (G grows with C): R²(latency ~ C) = {r2_linear:.4}, \
+         R²(latency ~ log2 C) = {r2_log:.4} — linear fit should win.\n"
+    );
+}
+
+/// Table I: the module inventory, each exercised in-process.
+fn table1() {
+    use flux_broker::client::ClientCore;
+    use flux_broker::testing::TestNet;
+    use flux_modules::standard_modules;
+    use flux_value::Value;
+    use flux_wire::{Rank, Topic};
+
+    let mut t = Table::new(
+        "Table I — prototyped comms modules (each exercised on a 7-broker session)",
+        &["module", "exercise", "status"],
+    );
+    let mut net = TestNet::new(7, 2, |_| standard_modules());
+    let mut check = |name: &str, what: &str, topic: &str, payload: Value| {
+        let mut c = ClientCore::new(Rank(5), 42);
+        let req = c.request(Topic::new(topic).unwrap(), payload, 0);
+        net.client_send(Rank(5), 42, req);
+        let mut replies = net.take_client_msgs(Rank(5), 42);
+        for _ in 0..500 {
+            if !replies.is_empty() {
+                break;
+            }
+            if !net.fire_next_timer() {
+                break;
+            }
+            replies.extend(net.take_client_msgs(Rank(5), 42));
+        }
+        let status = match replies.first() {
+            Some(m) if !m.is_error() => "ok",
+            Some(_) => "error",
+            None => "no reply",
+        };
+        t.row(vec![name.into(), what.into(), status.into()]);
+    };
+    check("hb", "hb.epoch query", "hb.epoch", Value::object());
+    check(
+        "live",
+        "live.status query",
+        "live.status",
+        Value::object(),
+    );
+    check(
+        "log",
+        "log.msg append",
+        "log.msg",
+        Value::from_pairs([("level", Value::Int(6)), ("text", Value::from("smoke"))]),
+    );
+    check(
+        "mon",
+        "mon.add sampler",
+        "mon.add",
+        Value::from_pairs([("name", Value::from("smoke")), ("metric", Value::from("load"))]),
+    );
+    check(
+        "group",
+        "group.join",
+        "group.join",
+        Value::from_pairs([("name", Value::from("smoke"))]),
+    );
+    check(
+        "barrier",
+        "1-proc barrier",
+        "barrier.enter",
+        Value::from_pairs([("name", Value::from("smoke")), ("nprocs", Value::Int(1))]),
+    );
+    check(
+        "kvs",
+        "kvs.put",
+        "kvs.put",
+        Value::from_pairs([("k", Value::from("smoke.k")), ("v", Value::Int(1))]),
+    );
+    check(
+        "wexec",
+        "wexec.run echo",
+        "wexec.run",
+        Value::from_pairs([
+            ("jobid", Value::Int(9)),
+            ("cmd", Value::from("echo hi")),
+            ("targets", Value::from("all")),
+        ]),
+    );
+    check("resvc", "resvc.status", "resvc.status", Value::object());
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
+    let cfg = Cfg::new(quick);
+    eprintln!(
+        "KAP: scales {:?} nodes x {} procs/node ({} mode)",
+        cfg.node_scales,
+        cfg.procs_per_node,
+        if quick { "quick" } else { "full" }
+    );
+    match what {
+        "fig2" => fig2(&cfg),
+        "fig3" => fig3(&cfg),
+        "fig4a" => fig4(&cfg, DirLayout::Single, "Fig. 4a — consumer phase max latency (kvs_get), single directory"),
+        "fig4b" => fig4(&cfg, DirLayout::Split128, "Fig. 4b — consumer phase max latency (kvs_get), directories of ≤128 objects"),
+        "model" => model_check(&cfg),
+        "table1" => table1(),
+        "all" => {
+            table1();
+            fig2(&cfg);
+            fig3(&cfg);
+            fig4(&cfg, DirLayout::Single, "Fig. 4a — consumer phase max latency (kvs_get), single directory");
+            fig4(&cfg, DirLayout::Split128, "Fig. 4b — consumer phase max latency (kvs_get), directories of ≤128 objects");
+            model_check(&cfg);
+        }
+        other => {
+            eprintln!("unknown sub-command {other}; use fig2|fig3|fig4a|fig4b|model|table1|all");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Running KAP on a simulated comms session.
+
+use crate::layout::{key_for, value_for, DirLayout};
+use flux_broker::CommsModule;
+use flux_kvs::{KvsConfig, KvsModule};
+use flux_modules::BarrierModule;
+use flux_rt::script::{Op, OutcomeHandle, ScriptClient};
+use flux_rt::sim::SimSession;
+use flux_sim::NetParams;
+use flux_wire::Rank;
+
+/// The role a tester process plays.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Role {
+    /// Writes objects only.
+    Producer,
+    /// Reads objects only.
+    Consumer,
+    /// Both (the paper's fully-populated configuration).
+    Both,
+    /// Joins the setup barrier and the fence but moves no data.
+    Idle,
+}
+
+/// One KAP configuration (paper §V-A parameter space).
+#[derive(Clone, Debug)]
+pub struct KapParams {
+    /// Compute nodes in the session (paper: 64–512).
+    pub nodes: u32,
+    /// Tester processes per node (paper: 16, fully populating each node).
+    pub procs_per_node: u32,
+    /// Number of producers (first `producers` global process ids).
+    pub producers: u64,
+    /// Number of consumers (first `consumers` global process ids).
+    pub consumers: u64,
+    /// Bytes per value (paper: 8 … 32768).
+    pub value_size: usize,
+    /// `kvs_put`s per producer.
+    pub nputs: u64,
+    /// `kvs_get`s per consumer ("the key-value object access count of
+    /// each consumer", 1 … total process count).
+    pub naccess: u64,
+    /// Consumer start stride through the object space.
+    pub stride: u64,
+    /// All values identical across producers (Fig. 3's redundant case).
+    pub redundant: bool,
+    /// Key layout (Fig. 4a single directory vs Fig. 4b split).
+    pub layout: DirLayout,
+    /// Tree plane fan-out (paper evaluates a binary tree).
+    pub arity: u32,
+    /// Simulated network parameters.
+    pub net: NetParams,
+}
+
+impl KapParams {
+    /// The paper's fully-populated configuration at `nodes` nodes: 16
+    /// processes per node, every process both producer and consumer, one
+    /// put each, one get each, 8-byte values, single directory.
+    pub fn fully_populated(nodes: u32) -> KapParams {
+        let procs = u64::from(nodes) * 16;
+        KapParams {
+            nodes,
+            procs_per_node: 16,
+            producers: procs,
+            consumers: procs,
+            value_size: 8,
+            nputs: 1,
+            naccess: 1,
+            stride: 1,
+            redundant: false,
+            layout: DirLayout::Single,
+            arity: 2,
+            net: NetParams::default(),
+        }
+    }
+
+    /// Total tester processes.
+    pub fn total_procs(&self) -> u64 {
+        u64::from(self.nodes) * u64::from(self.procs_per_node)
+    }
+
+    /// Total objects written.
+    pub fn total_objects(&self) -> u64 {
+        self.producers * self.nputs
+    }
+
+    /// The role of global process `gid`.
+    pub fn role_of(&self, gid: u64) -> Role {
+        let p = gid < self.producers;
+        let c = gid < self.consumers;
+        match (p, c) {
+            (true, true) => Role::Both,
+            (true, false) => Role::Producer,
+            (false, true) => Role::Consumer,
+            (false, false) => Role::Idle,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    /// Panics on inconsistent parameters.
+    pub fn validate(&self) {
+        assert!(self.nodes > 0 && self.procs_per_node > 0, "empty session");
+        let procs = self.total_procs();
+        assert!(self.producers <= procs, "more producers than processes");
+        assert!(self.consumers <= procs, "more consumers than processes");
+        assert!(self.producers > 0, "need at least one producer");
+        assert!(self.value_size >= 8, "values are at least 8 bytes (gid prefix)");
+        assert!(self.nputs > 0, "producers must put");
+    }
+}
+
+/// Maximum per-phase latencies across all processes — the paper's metric.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KapResult {
+    /// Max producer-phase latency (barrier exit → last put ack), ns.
+    pub producer_ns: u64,
+    /// Max synchronization-phase latency (last put ack → fence done), ns.
+    pub sync_ns: u64,
+    /// Max consumer-phase latency (fence done → last get done), ns.
+    pub consumer_ns: u64,
+    /// Virtual time when the whole run finished.
+    pub makespan_ns: u64,
+    /// Engine events processed (cost/diagnostics).
+    pub events: u64,
+    /// Bytes moved over all links.
+    pub bytes: u64,
+}
+
+/// The ops for one tester process.
+fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
+    let procs = p.total_procs();
+    let mut ops = vec![Op::Barrier { name: "kap.setup".into(), nprocs: procs }];
+    let role = p.role_of(gid);
+    if matches!(role, Role::Producer | Role::Both) {
+        for i in 0..p.nputs {
+            let obj = gid * p.nputs + i;
+            ops.push(Op::Put {
+                key: key_for(p.layout, obj),
+                val: value_for(obj, p.value_size, p.redundant),
+            });
+        }
+    }
+    // Everyone participates in the consistency protocol (paper: "all of
+    // the producers and consumers enter the synchronization phase").
+    ops.push(Op::Fence { name: "kap.sync".into(), nprocs: procs });
+    if matches!(role, Role::Consumer | Role::Both) {
+        let total = p.total_objects();
+        let start = gid.wrapping_mul(p.stride) % total;
+        for i in 0..p.naccess.min(total) {
+            let obj = (start + i) % total;
+            ops.push(Op::Get { key: key_for(p.layout, obj) });
+        }
+    }
+    ops
+}
+
+/// Runs one KAP configuration to completion on the simulator.
+pub fn run_kap(params: &KapParams) -> KapResult {
+    params.validate();
+    let mut session = SimSession::new(params.nodes, params.arity, params.net, |_| {
+        vec![
+            Box::new(KvsModule::with_config(KvsConfig::default())) as Box<dyn CommsModule>,
+            Box::new(BarrierModule::new()),
+        ]
+    });
+
+    // Launch testers: consecutive global ranks on consecutive nodes
+    // ("consecutive rank processes are distributed to consecutive
+    // nodes"), i.e. round-robin placement.
+    let procs = params.total_procs();
+    let mut outcomes: Vec<(u64, OutcomeHandle)> = Vec::with_capacity(procs as usize);
+    for gid in 0..procs {
+        let node = Rank((gid % u64::from(params.nodes)) as u32);
+        let ops = script_for(params, gid);
+        let outcome = ScriptClient::spawn(&mut session, node, ops);
+        outcomes.push((gid, outcome));
+    }
+
+    let end = session.run_until_quiet();
+    let stats = session.engine().stats();
+
+    // Aggregate phase maxima.
+    let mut producer_ns = 0u64;
+    let mut sync_ns = 0u64;
+    let mut consumer_ns = 0u64;
+    for (gid, handle) in &outcomes {
+        let out = handle.borrow();
+        assert!(out.finished, "process {gid} did not finish its script");
+        assert!(
+            out.op_err.iter().all(|&e| e == 0),
+            "process {gid} had op errors: {:?}",
+            out.op_err
+        );
+        let role = params.role_of(*gid);
+        let n_puts = if matches!(role, Role::Producer | Role::Both) { params.nputs } else { 0 };
+        // Op order: [barrier, puts.., fence, gets..].
+        let barrier_done = out.op_done[0].as_nanos();
+        let put_end = out.op_done[n_puts as usize].as_nanos();
+        let fence_idx = 1 + n_puts as usize;
+        let fence_done = out.op_done[fence_idx].as_nanos();
+        if n_puts > 0 {
+            producer_ns = producer_ns.max(put_end - barrier_done);
+        }
+        sync_ns = sync_ns.max(fence_done - put_end);
+        if out.op_done.len() > fence_idx + 1 {
+            let last_get = out.op_done.last().expect("nonempty").as_nanos();
+            consumer_ns = consumer_ns.max(last_get - fence_done);
+        }
+    }
+
+    KapResult {
+        producer_ns,
+        sync_ns,
+        consumer_ns,
+        makespan_ns: end.as_nanos(),
+        events: stats.events,
+        bytes: stats.bytes_delivered,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(nodes: u32) -> KapParams {
+        let mut p = KapParams::fully_populated(nodes);
+        p.procs_per_node = 4;
+        p.producers = p.total_procs();
+        p.consumers = p.total_procs();
+        p
+    }
+
+    #[test]
+    fn roles_partition_processes() {
+        let mut p = KapParams::fully_populated(4);
+        p.producers = 16;
+        p.consumers = 64;
+        assert_eq!(p.role_of(0), Role::Both);
+        assert_eq!(p.role_of(15), Role::Both);
+        assert_eq!(p.role_of(16), Role::Consumer);
+        assert_eq!(p.role_of(63), Role::Consumer);
+        p.producers = 64;
+        p.consumers = 16;
+        assert_eq!(p.role_of(40), Role::Producer);
+    }
+
+    #[test]
+    fn script_shape_matches_phases() {
+        let p = quick(2);
+        let ops = script_for(&p, 0);
+        assert!(matches!(ops[0], Op::Barrier { .. }));
+        assert!(matches!(ops[1], Op::Put { .. }));
+        assert!(matches!(ops[2], Op::Fence { .. }));
+        assert!(matches!(ops[3], Op::Get { .. }));
+        assert_eq!(ops.len(), 4);
+    }
+
+    #[test]
+    fn small_run_completes_with_ordered_phases() {
+        let r = run_kap(&quick(4));
+        assert!(r.makespan_ns > 0);
+        assert!(r.sync_ns > 0, "fence costs time");
+        assert!(r.consumer_ns > 0, "gets cost time");
+        assert!(r.events > 0 && r.bytes > 0);
+    }
+
+    #[test]
+    fn consumer_only_and_producer_only_roles_work() {
+        let mut p = quick(2);
+        p.producers = 3;
+        p.consumers = p.total_procs();
+        let r = run_kap(&p);
+        assert!(r.consumer_ns > 0);
+        let mut p = quick(2);
+        p.consumers = 3;
+        p.producers = p.total_procs();
+        let r = run_kap(&p);
+        assert!(r.producer_ns > 0);
+    }
+
+    #[test]
+    fn redundant_values_speed_up_sync() {
+        let mut unique = quick(8);
+        unique.value_size = 4096;
+        let mut redundant = unique.clone();
+        redundant.redundant = true;
+        let u = run_kap(&unique);
+        let r = run_kap(&redundant);
+        assert!(
+            r.sync_ns < u.sync_ns,
+            "redundant {} >= unique {}",
+            r.sync_ns,
+            u.sync_ns
+        );
+        // And strictly less data on the wire.
+        assert!(r.bytes < u.bytes);
+    }
+
+    #[test]
+    fn split_layout_speeds_up_consumers() {
+        // The directory effect needs a well-populated directory: 32
+        // producers x 32 puts = 1024 objects (8 KiB of directory entries
+        // in the single layout vs 128-entry directories in the split).
+        let mut single = quick(8);
+        single.nputs = 32;
+        single.naccess = 4;
+        let mut split = single.clone();
+        split.layout = DirLayout::Split128;
+        let a = run_kap(&single);
+        let b = run_kap(&split);
+        assert!(
+            b.consumer_ns < a.consumer_ns,
+            "split {} >= single {}",
+            b.consumer_ns,
+            a.consumer_ns
+        );
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let p = quick(4);
+        assert_eq!(run_kap(&p), run_kap(&p));
+    }
+
+    #[test]
+    #[should_panic(expected = "more producers")]
+    fn validation_rejects_oversubscription() {
+        let mut p = quick(2);
+        p.producers = 1_000_000;
+        run_kap(&p);
+    }
+}

@@ -1,0 +1,274 @@
+//! Client-side KVS operations.
+//!
+//! [`KvsClient`] wraps a [`flux_broker::client::ClientCore`] with typed
+//! request builders and response decoding for every KVS operation the
+//! paper's API lists: `kvs_put`, `kvs_commit`, `kvs_fence`, `kvs_get`,
+//! `kvs_get_version`, `kvs_wait_version`, `kvs_watch` (plus `unlink`,
+//! `dir` and `stats`). It is sans-io like everything else: builders
+//! return [`Message`]s for the runtime to transmit; incoming messages are
+//! classified with [`KvsClient::deliver`].
+
+use flux_broker::client::{ClientCore, Delivery};
+use flux_broker::ClientId;
+use flux_value::Value;
+use flux_wire::{Message, MsgId, Rank, Topic};
+
+/// A decoded KVS reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvsReply {
+    /// `put`/`unlink`/`unwatch` acknowledgement.
+    Ack,
+    /// `commit`/`fence`/`get_version`/`wait_version`: the root version.
+    Version {
+        /// Monotonic store version.
+        version: u64,
+        /// Root reference (hex) at that version.
+        root: String,
+    },
+    /// `get`: the value bound at the key.
+    Value(Value),
+    /// `get` with `dir`: a name → SHA1-hex listing.
+    Dir(Value),
+    /// A `watch` update (also the initial snapshot): key and new value
+    /// (`Null` once the key disappears).
+    WatchUpdate {
+        /// Watched key.
+        key: String,
+        /// Current value.
+        value: Value,
+    },
+    /// `stats` payload, raw.
+    Stats(Value),
+    /// The operation failed with this error number.
+    Err(u32),
+}
+
+/// What a message delivered to the client means, KVS-typed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvsDelivery {
+    /// Reply to the request issued under `tag`.
+    Reply {
+        /// Caller-chosen correlation tag.
+        tag: u64,
+        /// The decoded reply.
+        reply: KvsReply,
+    },
+    /// A subscribed event (e.g. `kvs.setroot` if the client subscribed).
+    Event(Message),
+    /// Response matching nothing outstanding.
+    Unmatched(Message),
+}
+
+/// Typed client for the `kvs` service.
+pub struct KvsClient {
+    core: ClientCore,
+}
+
+impl KvsClient {
+    /// Creates a client attached to the broker at `broker_rank` with the
+    /// broker-local connection id `client_id`.
+    pub fn new(broker_rank: Rank, client_id: ClientId) -> KvsClient {
+        KvsClient { core: ClientCore::new(broker_rank, client_id) }
+    }
+
+    /// The underlying protocol core (for mixing in non-KVS requests).
+    pub fn core_mut(&mut self) -> &mut ClientCore {
+        &mut self.core
+    }
+
+    /// Number of outstanding requests.
+    pub fn outstanding_len(&self) -> usize {
+        self.core.outstanding_len()
+    }
+
+    /// `kvs_put(key, val)` — asynchronous write-back; the ack returns as
+    /// soon as the local broker has cached the object.
+    pub fn put(&mut self, key: &str, val: Value, tag: u64) -> Message {
+        let payload = Value::from_pairs([("k", Value::from(key)), ("v", val)]);
+        self.core.request(Topic::from_static("kvs.put"), payload, tag)
+    }
+
+    /// Queues an unlink of `key`.
+    pub fn unlink(&mut self, key: &str, tag: u64) -> Message {
+        let payload = Value::from_pairs([("k", Value::from(key))]);
+        self.core.request(Topic::from_static("kvs.unlink"), payload, tag)
+    }
+
+    /// `kvs_commit()` — synchronously flush this client's puts; the reply
+    /// carries the new root version.
+    pub fn commit(&mut self, tag: u64) -> Message {
+        self.core.request(Topic::from_static("kvs.commit"), Value::object(), tag)
+    }
+
+    /// `kvs_fence(name, nprocs)` — collective commit across `nprocs`
+    /// participants.
+    pub fn fence(&mut self, name: &str, nprocs: u64, tag: u64) -> Message {
+        let payload = Value::from_pairs([
+            ("name", Value::from(name)),
+            ("nprocs", Value::from(nprocs as i64)),
+        ]);
+        self.core.request(Topic::from_static("kvs.fence"), payload, tag)
+    }
+
+    /// `kvs_get(key)`.
+    pub fn get(&mut self, key: &str, tag: u64) -> Message {
+        let payload = Value::from_pairs([("k", Value::from(key))]);
+        self.core.request(Topic::from_static("kvs.get"), payload, tag)
+    }
+
+    /// Directory listing of `key`.
+    pub fn get_dir(&mut self, key: &str, tag: u64) -> Message {
+        let payload =
+            Value::from_pairs([("k", Value::from(key)), ("dir", Value::Bool(true))]);
+        self.core.request(Topic::from_static("kvs.get"), payload, tag)
+    }
+
+    /// `kvs_get_version()`.
+    pub fn get_version(&mut self, tag: u64) -> Message {
+        self.core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
+    }
+
+    /// `kvs_wait_version(v)` — replies once the store reaches version `v`.
+    pub fn wait_version(&mut self, version: u64, tag: u64) -> Message {
+        let payload = Value::from_pairs([("version", Value::from(version as i64))]);
+        self.core.request(Topic::from_static("kvs.wait_version"), payload, tag)
+    }
+
+    /// `kvs_watch(key, callback)` — the reply streams: an initial snapshot
+    /// then one update per change. Returns the message and its id (pass
+    /// the id to [`KvsClient::unwatch`] bookkeeping if needed).
+    pub fn watch(&mut self, key: &str, tag: u64) -> (Message, MsgId) {
+        let payload = Value::from_pairs([("k", Value::from(key))]);
+        let msg = self.core.request(Topic::from_static("kvs.watch"), payload, tag);
+        let id = msg.header.id;
+        self.core.expect_stream(id);
+        (msg, id)
+    }
+
+    /// Cancels this client's watch on `key` (also deregister the stream
+    /// locally by passing the watch id).
+    pub fn unwatch(&mut self, key: &str, watch_id: MsgId, tag: u64) -> Message {
+        self.core.cancel(watch_id);
+        let payload = Value::from_pairs([("k", Value::from(key))]);
+        self.core.request(Topic::from_static("kvs.unwatch"), payload, tag)
+    }
+
+    /// KVS cache statistics from the local broker.
+    pub fn stats(&mut self, tag: u64) -> Message {
+        self.core.request(Topic::from_static("kvs.stats"), Value::object(), tag)
+    }
+
+    /// Classifies and decodes an incoming message.
+    pub fn deliver(&mut self, msg: Message) -> KvsDelivery {
+        match self.core.deliver(msg) {
+            Delivery::Response { tag, msg } => {
+                KvsDelivery::Reply { tag, reply: decode_reply(&msg) }
+            }
+            Delivery::Event(m) => KvsDelivery::Event(m),
+            Delivery::Unmatched(m) => KvsDelivery::Unmatched(m),
+        }
+    }
+}
+
+/// Decodes a KVS response message into a [`KvsReply`] based on its topic.
+pub fn decode_reply(msg: &Message) -> KvsReply {
+    if msg.is_error() {
+        return KvsReply::Err(msg.header.errnum);
+    }
+    match msg.header.topic.method() {
+        "put" | "unlink" | "unwatch" => KvsReply::Ack,
+        "commit" | "fence" | "get_version" | "wait_version" | "push" => KvsReply::Version {
+            version: msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0),
+            root: msg
+                .payload
+                .get("root")
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_owned(),
+        },
+        "get" => {
+            if let Some(dir) = msg.payload.get("dir") {
+                KvsReply::Dir(dir.clone())
+            } else {
+                KvsReply::Value(msg.payload.get("v").cloned().unwrap_or(Value::Null))
+            }
+        }
+        "watch" => KvsReply::WatchUpdate {
+            key: msg.payload.get("k").and_then(Value::as_str).unwrap_or_default().to_owned(),
+            value: msg.payload.get("v").cloned().unwrap_or(Value::Null),
+        },
+        "stats" => KvsReply::Stats(msg.payload.clone()),
+        _ => KvsReply::Stats(msg.payload.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_emit_expected_topics() {
+        let mut c = KvsClient::new(Rank(3), 1);
+        assert_eq!(c.put("a.b", Value::Int(1), 0).header.topic.as_str(), "kvs.put");
+        assert_eq!(c.unlink("a.b", 0).header.topic.as_str(), "kvs.unlink");
+        assert_eq!(c.commit(0).header.topic.as_str(), "kvs.commit");
+        assert_eq!(c.fence("f", 4, 0).header.topic.as_str(), "kvs.fence");
+        assert_eq!(c.get("a.b", 0).header.topic.as_str(), "kvs.get");
+        assert_eq!(c.get_version(0).header.topic.as_str(), "kvs.get_version");
+        assert_eq!(c.wait_version(3, 0).header.topic.as_str(), "kvs.wait_version");
+        let (w, _) = c.watch("a.b", 0);
+        assert_eq!(w.header.topic.as_str(), "kvs.watch");
+    }
+
+    #[test]
+    fn decode_version_reply() {
+        let mut c = KvsClient::new(Rank(0), 0);
+        let req = c.commit(9);
+        let resp = Message::response_to(
+            &req,
+            Value::from_pairs([
+                ("version", Value::Int(4)),
+                ("root", Value::from("abcd")),
+            ]),
+        );
+        match c.deliver(resp) {
+            KvsDelivery::Reply { tag: 9, reply: KvsReply::Version { version, root } } => {
+                assert_eq!(version, 4);
+                assert_eq!(root, "abcd");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_error_reply() {
+        let mut c = KvsClient::new(Rank(0), 0);
+        let req = c.get("missing", 1);
+        let resp = Message::error_response_to(&req, flux_wire::errnum::ENOENT);
+        match c.deliver(resp) {
+            KvsDelivery::Reply { reply: KvsReply::Err(e), .. } => {
+                assert_eq!(e, flux_wire::errnum::ENOENT);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watch_stream_stays_registered() {
+        let mut c = KvsClient::new(Rank(0), 0);
+        let (req, id) = c.watch("k", 2);
+        let upd = Message::response_to(
+            &req,
+            Value::from_pairs([("k", Value::from("k")), ("v", Value::Int(1))]),
+        );
+        for _ in 0..3 {
+            assert!(matches!(
+                c.deliver(upd.clone()),
+                KvsDelivery::Reply { tag: 2, reply: KvsReply::WatchUpdate { .. } }
+            ));
+        }
+        let un = c.unwatch("k", id, 3);
+        assert_eq!(un.header.topic.as_str(), "kvs.unwatch");
+        assert!(matches!(c.deliver(upd), KvsDelivery::Unmatched(_)));
+    }
+}

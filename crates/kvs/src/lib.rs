@@ -1,0 +1,52 @@
+//! # flux-kvs
+//!
+//! The Flux distributed key-value store (paper §IV-B).
+//!
+//! JSON values live in a content-addressable object store, hashed by the
+//! SHA1 of their canonical encoding — the hash-tree design borrowed from
+//! ZFS and git. Hierarchical key names (`a.b.c`) resolve through
+//! directory objects; every update produces a new root reference, which
+//! the **master** (the KVS module instance on rank 0) publishes as a
+//! versioned `kvs.setroot` event. **Slave** instances on every other
+//! broker cache objects, switch roots in version order, and fault missing
+//! objects from their tree parent, recursively up to the master.
+//!
+//! The store provides exactly the paper's weak-consistency contract
+//! (Vogels' taxonomy):
+//!
+//! * **causal consistency** — `kvs.get_version` / `kvs.wait_version`
+//!   let process B wait for the store version process A told it about;
+//! * **read-your-writes** — a commit response carries the new root
+//!   reference, applied at the caller's broker before the caller is
+//!   answered;
+//! * **monotonic reads** — root references are versioned and never
+//!   applied out of order.
+//!
+//! ## API (client-side, see [`client::KvsClient`])
+//!
+//! `put` (asynchronous write-back), `commit` (synchronous flush +
+//! root switch), `fence` (collective commit: contributions are merged
+//! upstream through the tree — duplicate value objects deduplicate at
+//! every hop while `(key, SHA1)` tuples concatenate, reproducing the
+//! paper's Fig. 3 redundancy behaviour), `get` (recursive lookup with
+//! fault-in through the slave-cache chain — whole objects only, which is
+//! the Fig. 4 single-directory effect), `get_version`, `wait_version`,
+//! `watch`, `unlink`, and `dir`.
+
+
+#![warn(missing_docs)]
+pub mod client;
+mod master;
+mod module;
+mod object;
+mod path;
+mod store;
+
+pub use master::{apply_tuples, resolve};
+pub use module::{KvsConfig, KvsModule};
+pub use object::{KvsObject, ObjectError};
+pub use path::{key_components, validate_key, KeyError, MAX_KEY_LEN};
+pub use store::{CacheStats, ObjectCache};
+
+#[cfg(test)]
+mod proptests;

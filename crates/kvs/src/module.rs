@@ -1,0 +1,832 @@
+//! The `kvs` comms module: master on rank 0, caching slave elsewhere.
+//!
+//! Protocol topics (all under the `kvs` service):
+//!
+//! | topic              | payload                               | behaviour |
+//! |--------------------|---------------------------------------|-----------|
+//! | `kvs.put`          | `{k, v}`                              | write-back: store value object locally, queue `(key, SHA1)` tuple |
+//! | `kvs.unlink`       | `{k}`                                 | queue an unlink tuple |
+//! | `kvs.commit`       | `{}`                                  | flush the caller's tuples+objects to the master; response carries the new `(version, root)`, applied locally before the caller is answered (read-your-writes) |
+//! | `kvs.push`         | `{tuples, objects}`                   | internal: a commit batch travelling up the tree |
+//! | `kvs.fence`        | `{name, nprocs}`                      | collective commit: contributions merge upstream (objects dedup, tuples concatenate); completion is the `kvs.setroot` event naming the fence |
+//! | `kvs.fence.up`     | `{name, nprocs, count, tuples, objects}` | internal: merged fence contributions travelling up |
+//! | `kvs.get`          | `{k}` / `{k, dir:true}`               | recursive lookup with fault-in through the cache chain |
+//! | `kvs.load`         | `{id}`                                | internal: fault one object from the parent cache |
+//! | `kvs.get_version`  | `{}`                                  | current root version |
+//! | `kvs.wait_version` | `{version}`                           | respond once the root version reaches the target (causal consistency) |
+//! | `kvs.watch`        | `{k}`                                 | respond now and on every change of `k` (streaming) |
+//! | `kvs.unwatch`      | `{k}`                                 | cancel this requester's watch |
+//! | `kvs.stats`        | `{}`                                  | cache statistics (tooling) |
+
+use crate::master::{apply_tuples, Tuple};
+use crate::object::KvsObject;
+use crate::path::validate_key;
+use crate::store::ObjectCache;
+use flux_broker::{CommsModule, ModuleCtx};
+use flux_hash::ObjectId;
+use flux_value::{Map, Value};
+use flux_wire::{errnum, Message, MsgId, Topic};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// KVS tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct KvsConfig {
+    /// Slave-cache entries unused for this many heartbeat epochs expire.
+    pub expiry_epochs: u64,
+    /// Fence aggregation window: contributions arriving within this
+    /// window merge into one upstream message (the tree reduction).
+    pub window_ns: u64,
+}
+
+impl Default for KvsConfig {
+    fn default() -> Self {
+        KvsConfig { expiry_epochs: 16, window_ns: 20_000 }
+    }
+}
+
+/// A requester identity local to this broker: the bottom hop entry
+/// (client hop for local clients, absent for module-local requests).
+type Requester = Option<flux_wire::Rank>;
+
+fn requester_of(msg: &Message) -> Requester {
+    msg.header.hops.first().copied()
+}
+
+/// Per-requester write-back state (puts not yet committed/fenced).
+#[derive(Default)]
+struct PendingWrites {
+    tuples: Vec<Tuple>,
+    objects: BTreeMap<ObjectId, Arc<KvsObject>>,
+}
+
+/// One parked lookup walking the hash tree.
+struct Walk {
+    kind: WalkKind,
+    components: Vec<String>,
+    /// Next component index to consume.
+    idx: usize,
+    /// Object id to load next.
+    cur: ObjectId,
+    /// Directory listing requested instead of a value.
+    want_dir: bool,
+}
+
+enum WalkKind {
+    /// Answer this request with the final value.
+    Get(Message),
+    /// Re-check a watcher after a root switch.
+    WatchCheck(u64),
+}
+
+/// How a walk ended.
+enum WalkEnd {
+    Value(Value),
+    DirListing(Value),
+    Err(u32),
+}
+
+struct Watcher {
+    req: Message,
+    key: String,
+    requester: Requester,
+    last: Option<Value>,
+}
+
+/// Fence accumulation state at one broker.
+#[derive(Default)]
+struct FenceAcc {
+    nprocs: u64,
+    /// Total contributions seen here (at the master: session-wide total).
+    count: u64,
+    /// Contributions not yet flushed upstream (slaves only).
+    unflushed_count: u64,
+    tuples: Vec<Tuple>,
+    objects: BTreeMap<ObjectId, Arc<KvsObject>>,
+    /// Local client fence requests awaiting completion.
+    waiters: Vec<Message>,
+    /// A flush window timer is pending.
+    window_armed: bool,
+}
+
+/// The KVS comms module. Instantiate one per broker; the instance on
+/// rank 0 becomes the master automatically.
+pub struct KvsModule {
+    cfg: KvsConfig,
+    cache: ObjectCache,
+    master: bool,
+    version: u64,
+    root: ObjectId,
+    pending: HashMap<Requester, PendingWrites>,
+    walks: HashMap<u64, Walk>,
+    next_walk: u64,
+    /// Object id → (walks parked on it, child `kvs.load` requests for it).
+    load_waiters: HashMap<ObjectId, (Vec<u64>, Vec<Message>)>,
+    /// Outstanding upstream load RPCs: response id → object id.
+    inflight_loads: HashMap<MsgId, ObjectId>,
+    /// Outstanding relayed pushes: our upstream request id → the original
+    /// request to answer when the response unwinds.
+    push_relays: HashMap<MsgId, Message>,
+    fences: HashMap<String, FenceAcc>,
+    /// Fence window timer tokens.
+    fence_tokens: HashMap<u64, String>,
+    next_token: u64,
+    version_waiters: Vec<(u64, Message)>,
+    watchers: HashMap<u64, Watcher>,
+    next_watcher: u64,
+    /// Commits applied at the master (for stats/tests).
+    commits_applied: u64,
+}
+
+impl KvsModule {
+    /// Creates a module with default tuning.
+    pub fn new() -> KvsModule {
+        Self::with_config(KvsConfig::default())
+    }
+
+    /// Creates a module with explicit tuning.
+    pub fn with_config(cfg: KvsConfig) -> KvsModule {
+        let cache = ObjectCache::new();
+        let root = KvsObject::empty_dir().id();
+        KvsModule {
+            cfg,
+            cache,
+            master: false,
+            version: 0,
+            root,
+            pending: HashMap::new(),
+            walks: HashMap::new(),
+            next_walk: 0,
+            load_waiters: HashMap::new(),
+            inflight_loads: HashMap::new(),
+            push_relays: HashMap::new(),
+            fences: HashMap::new(),
+            fence_tokens: HashMap::new(),
+            next_token: 0,
+            version_waiters: Vec::new(),
+            watchers: HashMap::new(),
+            next_watcher: 0,
+            commits_applied: 0,
+        }
+    }
+
+    // ----- payload helpers -------------------------------------------------
+
+    fn tuples_to_value(tuples: &[Tuple]) -> Value {
+        Value::Array(
+            tuples
+                .iter()
+                .map(|(k, id)| {
+                    Value::from_pairs([
+                        ("k", Value::from(k.as_str())),
+                        ("s", id.map(|i| Value::from(i.to_hex())).unwrap_or(Value::Null)),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
+    fn tuples_from_value(v: Option<&Value>) -> Option<Vec<Tuple>> {
+        let arr = v?.as_array()?;
+        let mut out = Vec::with_capacity(arr.len());
+        for t in arr {
+            let k = t.get("k")?.as_str()?.to_owned();
+            let s = match t.get("s") {
+                Some(Value::Null) | None => None,
+                Some(sv) => Some(ObjectId::from_hex(sv.as_str()?).ok()?),
+            };
+            out.push((k, s));
+        }
+        Some(out)
+    }
+
+    fn objects_to_value(objects: &BTreeMap<ObjectId, Arc<KvsObject>>) -> Value {
+        let mut m = Map::new();
+        for (id, obj) in objects {
+            m.insert(id.to_hex(), obj.to_value());
+        }
+        Value::Object(m)
+    }
+
+    fn objects_from_value(v: Option<&Value>) -> Option<BTreeMap<ObjectId, Arc<KvsObject>>> {
+        let m = v?.as_object()?;
+        let mut out = BTreeMap::new();
+        for (hex, objv) in m {
+            let id = ObjectId::from_hex(hex).ok()?;
+            let obj = KvsObject::from_value(objv).ok()?;
+            if obj.id() != id {
+                return None;
+            }
+            out.insert(id, Arc::new(obj));
+        }
+        Some(out)
+    }
+
+    fn setroot_payload(&self, fences: Vec<String>) -> Value {
+        Value::from_pairs([
+            ("version", Value::from(self.version as i64)),
+            ("root", Value::from(self.root.to_hex())),
+            ("fences", Value::Array(fences.into_iter().map(Value::from).collect())),
+        ])
+    }
+
+    /// Applies a newer root reference; stale/duplicate versions are
+    /// ignored, which (with the total event order) gives monotonic reads.
+    fn apply_root(&mut self, ctx: &mut ModuleCtx<'_>, version: u64, root: ObjectId) {
+        if version <= self.version {
+            return;
+        }
+        self.version = version;
+        self.root = root;
+        // Causal consistency: wake wait_version callers.
+        let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.version_waiters)
+            .into_iter()
+            .partition(|(v, _)| *v <= version);
+        self.version_waiters = rest;
+        for (_, req) in ready {
+            self.respond_version(ctx, &req);
+        }
+        // Re-check watchers against the new tree.
+        let ids: Vec<u64> = self.watchers.keys().copied().collect();
+        for w in ids {
+            let key = match self.watchers.get(&w) {
+                Some(watcher) => watcher.key.clone(),
+                None => continue,
+            };
+            self.start_walk(ctx, WalkKind::WatchCheck(w), &key, false);
+        }
+    }
+
+    fn respond_version(&mut self, ctx: &mut ModuleCtx<'_>, req: &Message) {
+        let payload = Value::from_pairs([
+            ("version", Value::from(self.version as i64)),
+            ("root", Value::from(self.root.to_hex())),
+        ]);
+        ctx.respond(req, payload);
+    }
+
+    /// Master only: apply a batch and announce the new root.
+    fn master_apply(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        tuples: &[Tuple],
+        objects: BTreeMap<ObjectId, Arc<KvsObject>>,
+        fences: Vec<String>,
+    ) {
+        debug_assert!(self.master);
+        for (id, obj) in objects {
+            self.cache.insert_with_id(id, (*obj).clone());
+        }
+        let new_root = apply_tuples(&mut self.cache, self.root, tuples);
+        let new_version = self.version + 1;
+        self.commits_applied += 1;
+        // apply_root handles waiter/watcher wake-up uniformly.
+        self.apply_root(ctx, new_version, new_root);
+        ctx.publish(Topic::from_static("kvs.setroot"), self.setroot_payload(fences));
+    }
+
+    // ----- put / commit ----------------------------------------------------
+
+    fn handle_put(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, unlink: bool) {
+        let Some(key) = msg.payload.get("k").and_then(Value::as_str) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if validate_key(key).is_err() {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
+        let requester = requester_of(msg);
+        let pend = self.pending.entry(requester).or_default();
+        if unlink {
+            pend.tuples.push((key.to_owned(), None));
+        } else {
+            let val = msg.payload.get("v").cloned().unwrap_or(Value::Null);
+            let obj = KvsObject::Val(val);
+            let id = obj.id();
+            pend.objects.insert(id, Arc::new(obj));
+            pend.tuples.push((key.to_owned(), Some(id)));
+        }
+        ctx.respond(msg, Value::object());
+    }
+
+    fn handle_commit(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let requester = requester_of(msg);
+        let pend = self.pending.remove(&requester).unwrap_or_default();
+        if self.master {
+            self.master_apply(ctx, &pend.tuples, pend.objects, Vec::new());
+            self.respond_version(ctx, msg);
+            return;
+        }
+        let payload = Value::from_pairs([
+            ("tuples", Self::tuples_to_value(&pend.tuples)),
+            ("objects", Self::objects_to_value(&pend.objects)),
+        ]);
+        match ctx.request_upstream(Topic::from_static("kvs.push"), payload) {
+            Ok(id) => {
+                self.push_relays.insert(id, msg.clone());
+            }
+            Err(e) => ctx.respond_err(msg, e),
+        }
+    }
+
+    fn handle_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if self.master {
+            let (Some(tuples), Some(objects)) = (
+                Self::tuples_from_value(msg.payload.get("tuples")),
+                Self::objects_from_value(msg.payload.get("objects")),
+            ) else {
+                ctx.respond_err(msg, errnum::EINVAL);
+                return;
+            };
+            self.master_apply(ctx, &tuples, objects, Vec::new());
+            self.respond_version(ctx, msg);
+            return;
+        }
+        // Interior: relay upstream; the response's root is applied here
+        // before unwinding, so every broker on the path is at least as new
+        // as the committer.
+        match ctx.request_upstream(Topic::from_static("kvs.push"), msg.payload.clone()) {
+            Ok(id) => {
+                self.push_relays.insert(id, msg.clone());
+            }
+            Err(e) => ctx.respond_err(msg, e),
+        }
+    }
+
+    // ----- fence -----------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn fence_contribute(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        name: &str,
+        nprocs: u64,
+        count: u64,
+        tuples: Vec<Tuple>,
+        objects: BTreeMap<ObjectId, Arc<KvsObject>>,
+        waiter: Option<Message>,
+    ) {
+        let acc = self.fences.entry(name.to_owned()).or_default();
+        if acc.nprocs == 0 {
+            acc.nprocs = nprocs;
+        }
+        acc.count += count;
+        acc.unflushed_count += count;
+        acc.tuples.extend(tuples);
+        // Objects dedup here: identical (redundant) values merge to one
+        // entry at every hop of the tree — the paper's Fig. 3 effect.
+        acc.objects.extend(objects);
+        if let Some(w) = waiter {
+            acc.waiters.push(w);
+        }
+        if self.master {
+            self.check_fence_complete(ctx, name);
+        } else if !self.fences[name].window_armed {
+            self.next_token += 1;
+            self.fence_tokens.insert(self.next_token, name.to_owned());
+            ctx.set_timer(self.cfg.window_ns, self.next_token);
+            self.fences.get_mut(name).expect("just inserted").window_armed = true;
+        }
+    }
+
+    fn check_fence_complete(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
+        debug_assert!(self.master);
+        let Some(acc) = self.fences.get(name) else { return };
+        if acc.nprocs == 0 || acc.count < acc.nprocs {
+            return;
+        }
+        let acc = self.fences.remove(name).expect("checked above");
+        self.master_apply(ctx, &acc.tuples, acc.objects, vec![name.to_owned()]);
+        // Local waiters at the master complete immediately.
+        for req in acc.waiters {
+            self.respond_version(ctx, &req);
+        }
+    }
+
+    fn flush_fence(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
+        debug_assert!(!self.master);
+        let Some(acc) = self.fences.get_mut(name) else { return };
+        acc.window_armed = false;
+        if acc.unflushed_count == 0 {
+            return;
+        }
+        let count = std::mem::take(&mut acc.unflushed_count);
+        let tuples = std::mem::take(&mut acc.tuples);
+        let objects = std::mem::take(&mut acc.objects);
+        let payload = Value::from_pairs([
+            ("name", Value::from(name)),
+            ("nprocs", Value::from(acc.nprocs as i64)),
+            ("count", Value::from(count as i64)),
+            ("tuples", Self::tuples_to_value(&tuples)),
+            ("objects", Self::objects_to_value(&objects)),
+        ]);
+        let _ = ctx.notify_upstream(Topic::from_static("kvs.fence.up"), payload);
+    }
+
+    fn handle_fence(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let (Some(name), Some(nprocs)) = (
+            msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
+            msg.payload.get("nprocs").and_then(Value::as_uint),
+        ) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        let requester = requester_of(msg);
+        let pend = self.pending.remove(&requester).unwrap_or_default();
+        self.fence_contribute(ctx, &name, nprocs, 1, pend.tuples, pend.objects, Some(msg.clone()));
+    }
+
+    fn handle_fence_up(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let (Some(name), Some(nprocs), Some(count), Some(tuples), Some(objects)) = (
+            msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
+            msg.payload.get("nprocs").and_then(Value::as_uint),
+            msg.payload.get("count").and_then(Value::as_uint),
+            Self::tuples_from_value(msg.payload.get("tuples")),
+            Self::objects_from_value(msg.payload.get("objects")),
+        ) else {
+            // One-way message: nothing to answer; drop.
+            return;
+        };
+        self.fence_contribute(ctx, &name, nprocs, count, tuples, objects, None);
+    }
+
+    // ----- get / load ------------------------------------------------------
+
+    fn start_walk(&mut self, ctx: &mut ModuleCtx<'_>, kind: WalkKind, key: &str, want_dir: bool) {
+        let components = match crate::path::key_components(key) {
+            Ok(c) => c,
+            Err(_) => {
+                if let WalkKind::Get(req) = kind {
+                    ctx.respond_err(&req, errnum::EINVAL);
+                }
+                return;
+            }
+        };
+        self.next_walk += 1;
+        let id = self.next_walk;
+        self.walks.insert(id, Walk { kind, components, idx: 0, cur: self.root, want_dir });
+        self.step_walk(ctx, id);
+    }
+
+    /// Advances a walk until it finishes or parks on a missing object.
+    fn step_walk(&mut self, ctx: &mut ModuleCtx<'_>, walk_id: u64) {
+        loop {
+            let Some(walk) = self.walks.get(&walk_id) else { return };
+            let cur = walk.cur;
+            let Some(obj) = self.cache.get(cur) else {
+                self.park_walk(ctx, walk_id, cur);
+                return;
+            };
+            let walk = self.walks.get_mut(&walk_id).expect("walk still present");
+            if walk.idx == walk.components.len() {
+                // Watch checks accept either kind: a watched directory's
+                // listing changes whenever any key under it (at any path
+                // depth) changes, because child hashes cascade upward —
+                // the paper's directory-watch semantics for free.
+                let watching = matches!(walk.kind, WalkKind::WatchCheck(_));
+                let end = match (&*obj, walk.want_dir || watching) {
+                    (KvsObject::Val(v), _) if !walk.want_dir => WalkEnd::Value(v.clone()),
+                    (KvsObject::Val(_), _) => WalkEnd::Err(errnum::ENOTDIR),
+                    (KvsObject::Dir(_), false) => WalkEnd::Err(errnum::EISDIR),
+                    (KvsObject::Dir(entries), true) => {
+                        let mut listing = Map::new();
+                        for (name, child) in entries {
+                            listing.insert(name.clone(), Value::from(child.to_hex()));
+                        }
+                        WalkEnd::DirListing(Value::Object(listing))
+                    }
+                };
+                self.finish_walk(ctx, walk_id, end);
+                return;
+            }
+            match &*obj {
+                KvsObject::Dir(entries) => {
+                    let comp = &walk.components[walk.idx];
+                    match entries.get(comp) {
+                        Some(next) => {
+                            walk.cur = *next;
+                            walk.idx += 1;
+                        }
+                        None => {
+                            self.finish_walk(ctx, walk_id, WalkEnd::Err(errnum::ENOENT));
+                            return;
+                        }
+                    }
+                }
+                KvsObject::Val(_) => {
+                    self.finish_walk(ctx, walk_id, WalkEnd::Err(errnum::ENOTDIR));
+                    return;
+                }
+            }
+        }
+    }
+
+    fn park_walk(&mut self, ctx: &mut ModuleCtx<'_>, walk_id: u64, missing: ObjectId) {
+        if self.master {
+            // Authoritative store: a miss is a hard ENOENT.
+            self.finish_walk(ctx, walk_id, WalkEnd::Err(errnum::ENOENT));
+            return;
+        }
+        let entry = self.load_waiters.entry(missing).or_default();
+        entry.0.push(walk_id);
+        let need_request = entry.0.len() == 1 && entry.1.is_empty();
+        if need_request {
+            self.request_load(ctx, missing);
+        }
+    }
+
+    fn request_load(&mut self, ctx: &mut ModuleCtx<'_>, id: ObjectId) {
+        let payload = Value::from_pairs([("id", Value::from(id.to_hex()))]);
+        match ctx.request_upstream(Topic::from_static("kvs.load"), payload) {
+            Ok(req_id) => {
+                self.inflight_loads.insert(req_id, id);
+            }
+            Err(_) => {
+                self.complete_load(ctx, id, None);
+            }
+        }
+    }
+
+    /// Resolves a load: `obj = None` means the object does not exist.
+    fn complete_load(&mut self, ctx: &mut ModuleCtx<'_>, id: ObjectId, obj: Option<KvsObject>) {
+        if let Some(obj) = obj {
+            // Read-path caching at every level of the chain: this is what
+            // lets C consumers share log2(C) transfers (Fig. 4 model).
+            self.cache.insert_with_id(id, obj);
+        }
+        let Some((walks, requests)) = self.load_waiters.remove(&id) else { return };
+        let available = self.cache.contains(id);
+        for req in requests {
+            if available {
+                let obj = self.cache.get(id).expect("checked");
+                ctx.respond(
+                    &req,
+                    Value::from_pairs([
+                        ("id", Value::from(id.to_hex())),
+                        ("obj", obj.to_value()),
+                    ]),
+                );
+            } else {
+                ctx.respond_err(&req, errnum::ENOENT);
+            }
+        }
+        for walk_id in walks {
+            if available {
+                self.step_walk(ctx, walk_id);
+            } else {
+                self.finish_walk(ctx, walk_id, WalkEnd::Err(errnum::ENOENT));
+            }
+        }
+    }
+
+    fn finish_walk(&mut self, ctx: &mut ModuleCtx<'_>, walk_id: u64, end: WalkEnd) {
+        let Some(walk) = self.walks.remove(&walk_id) else { return };
+        match walk.kind {
+            WalkKind::Get(req) => match end {
+                WalkEnd::Value(v) => ctx.respond(&req, Value::from_pairs([("v", v)])),
+                WalkEnd::DirListing(l) => ctx.respond(&req, Value::from_pairs([("dir", l)])),
+                WalkEnd::Err(e) => ctx.respond_err(&req, e),
+            },
+            WalkKind::WatchCheck(watcher_id) => {
+                let new_val = match end {
+                    WalkEnd::Value(v) => Some(v),
+                    WalkEnd::DirListing(l) => Some(l),
+                    WalkEnd::Err(_) => None,
+                };
+                let Some(w) = self.watchers.get_mut(&watcher_id) else { return };
+                if w.last != new_val {
+                    w.last = new_val.clone();
+                    let payload = Value::from_pairs([
+                        ("k", Value::from(w.key.as_str())),
+                        ("v", new_val.unwrap_or(Value::Null)),
+                    ]);
+                    let req = w.req.clone();
+                    ctx.respond(&req, payload);
+                }
+            }
+        }
+    }
+
+    fn handle_get(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(key) = msg.payload.get("k").and_then(Value::as_str).map(str::to_owned) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        let want_dir = msg.payload.get("dir").and_then(Value::as_bool).unwrap_or(false);
+        self.start_walk(ctx, WalkKind::Get(msg.clone()), &key, want_dir);
+    }
+
+    fn handle_load(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let id = msg
+            .payload
+            .get("id")
+            .and_then(Value::as_str)
+            .and_then(|h| ObjectId::from_hex(h).ok());
+        let Some(id) = id else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if let Some(obj) = self.cache.get(id) {
+            ctx.respond(
+                msg,
+                Value::from_pairs([
+                    ("id", Value::from(id.to_hex())),
+                    ("obj", obj.to_value()),
+                ]),
+            );
+            return;
+        }
+        if self.master {
+            ctx.respond_err(msg, errnum::ENOENT);
+            return;
+        }
+        let entry = self.load_waiters.entry(id).or_default();
+        entry.1.push(msg.clone());
+        let need_request = entry.0.is_empty() && entry.1.len() == 1;
+        if need_request {
+            self.request_load(ctx, id);
+        }
+    }
+
+    // ----- watch -----------------------------------------------------------
+
+    fn handle_watch(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(key) = msg.payload.get("k").and_then(Value::as_str).map(str::to_owned) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        self.next_watcher += 1;
+        let id = self.next_watcher;
+        self.watchers.insert(
+            id,
+            Watcher {
+                req: msg.clone(),
+                key: key.clone(),
+                requester: requester_of(msg),
+                // Sentinel distinct from any real state so the initial
+                // check always responds (even for a missing key -> null).
+                last: Some(Value::from("\u{0}__kvs_unset__")),
+            },
+        );
+        self.start_walk(ctx, WalkKind::WatchCheck(id), &key, false);
+    }
+
+    fn handle_unwatch(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(key) = msg.payload.get("k").and_then(Value::as_str) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        let requester = requester_of(msg);
+        self.watchers.retain(|_, w| !(w.key == key && w.requester == requester));
+        ctx.respond(msg, Value::object());
+    }
+
+    // ----- introspection ---------------------------------------------------
+
+    /// Current root version (for tests and tools).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Cache statistics (for tests and tools).
+    pub fn cache_stats(&self) -> crate::store::CacheStats {
+        self.cache.stats()
+    }
+}
+
+impl Default for KvsModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommsModule for KvsModule {
+    fn name(&self) -> &'static str {
+        "kvs"
+    }
+
+    fn subscriptions(&self) -> Vec<String> {
+        vec!["kvs.setroot".to_owned()]
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.master = ctx.is_root();
+    }
+
+    fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match msg.header.topic.method() {
+            "put" => self.handle_put(ctx, msg, false),
+            "unlink" => self.handle_put(ctx, msg, true),
+            "commit" => self.handle_commit(ctx, msg),
+            "push" => self.handle_push(ctx, msg),
+            "fence" => self.handle_fence(ctx, msg),
+            "fence.up" => self.handle_fence_up(ctx, msg),
+            "get" => self.handle_get(ctx, msg),
+            "load" => self.handle_load(ctx, msg),
+            "get_version" => self.respond_version(ctx, msg),
+            "wait_version" => {
+                let Some(v) = msg.payload.get("version").and_then(Value::as_uint) else {
+                    ctx.respond_err(msg, errnum::EINVAL);
+                    return;
+                };
+                if self.version >= v {
+                    self.respond_version(ctx, msg);
+                } else {
+                    self.version_waiters.push((v, msg.clone()));
+                }
+            }
+            "watch" => self.handle_watch(ctx, msg),
+            "unwatch" => self.handle_unwatch(ctx, msg),
+            "stats" => {
+                let s = self.cache.stats();
+                ctx.respond(
+                    msg,
+                    Value::from_pairs([
+                        ("entries", Value::from(s.entries)),
+                        ("bytes", Value::from(s.bytes)),
+                        ("hits", Value::from(s.hits as i64)),
+                        ("misses", Value::from(s.misses as i64)),
+                        ("expired", Value::from(s.expired as i64)),
+                        ("version", Value::from(self.version as i64)),
+                        ("commits", Value::from(self.commits_applied as i64)),
+                    ]),
+                );
+            }
+            _ => ctx.respond_err(msg, errnum::ENOSYS),
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let id = msg.header.id;
+        if let Some(obj_id) = self.inflight_loads.remove(&id) {
+            let obj = if msg.is_error() {
+                None
+            } else {
+                msg.payload.get("obj").and_then(|v| KvsObject::from_value(v).ok())
+            };
+            // Verify the content address before trusting a loaded object.
+            let obj = obj.filter(|o| o.id() == obj_id);
+            self.complete_load(ctx, obj_id, obj);
+            return;
+        }
+        if let Some(original) = self.push_relays.remove(&id) {
+            if msg.is_error() {
+                ctx.respond_err(&original, msg.header.errnum);
+                return;
+            }
+            let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);
+            let root = msg
+                .payload
+                .get("root")
+                .and_then(Value::as_str)
+                .and_then(|h| ObjectId::from_hex(h).ok());
+            if let Some(root) = root {
+                // Read-your-writes: adopt the new root before answering.
+                self.apply_root(ctx, version, root);
+            }
+            ctx.respond(&original, msg.payload.clone());
+        }
+    }
+
+    fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if msg.header.topic.as_str() != "kvs.setroot" {
+            return;
+        }
+        let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);
+        let root = msg
+            .payload
+            .get("root")
+            .and_then(Value::as_str)
+            .and_then(|h| ObjectId::from_hex(h).ok());
+        if let Some(root) = root {
+            self.apply_root(ctx, version, root);
+        }
+        // Fence completion: answer local waiters.
+        if let Some(fences) = msg.payload.get("fences").and_then(Value::as_array) {
+            for f in fences.to_vec() {
+                let Some(name) = f.as_str() else { continue };
+                if let Some(acc) = self.fences.remove(name) {
+                    for req in acc.waiters {
+                        self.respond_version(ctx, &req);
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
+        self.cache.set_epoch(epoch);
+        if !self.master {
+            let pinned = [self.root];
+            let expiry = ctx.config().kvs_expiry_epochs.max(self.cfg.expiry_epochs);
+            self.cache.expire(expiry, &pinned);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        if let Some(name) = self.fence_tokens.remove(&token) {
+            self.flush_fence(ctx, &name);
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Hierarchical key names.
+//!
+//! Keys look like `a.b.c`: dot-separated non-empty components, resolved
+//! through directory objects exactly like the paper's worked example
+//! (`a.b.c = 42`).
+
+use std::fmt;
+
+/// Maximum key length in bytes.
+pub const MAX_KEY_LEN: usize = 1024;
+
+/// Why a key was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyError {
+    /// The key was empty.
+    Empty,
+    /// A component was empty (leading/trailing/double dots).
+    EmptyComponent,
+    /// Keys longer than [`MAX_KEY_LEN`] are rejected to bound directory
+    /// entry sizes.
+    TooLong(usize),
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::Empty => write!(f, "key is empty"),
+            KeyError::EmptyComponent => write!(f, "key has an empty component"),
+            KeyError::TooLong(n) => write!(f, "key length {n} exceeds {MAX_KEY_LEN}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyError {}
+
+/// Validates a key.
+pub fn validate_key(key: &str) -> Result<(), KeyError> {
+    if key.is_empty() {
+        return Err(KeyError::Empty);
+    }
+    if key.len() > MAX_KEY_LEN {
+        return Err(KeyError::TooLong(key.len()));
+    }
+    if key.split('.').any(str::is_empty) {
+        return Err(KeyError::EmptyComponent);
+    }
+    Ok(())
+}
+
+/// Splits a validated key into its path components.
+pub fn key_components(key: &str) -> Result<Vec<String>, KeyError> {
+    validate_key(key)?;
+    Ok(key.split('.').map(str::to_owned).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_keys() {
+        assert_eq!(key_components("a").unwrap(), ["a"]);
+        assert_eq!(key_components("a.b.c").unwrap(), ["a", "b", "c"]);
+        assert_eq!(key_components("resource.rank.0").unwrap(), ["resource", "rank", "0"]);
+    }
+
+    #[test]
+    fn invalid_keys() {
+        assert_eq!(validate_key(""), Err(KeyError::Empty));
+        assert_eq!(validate_key(".a"), Err(KeyError::EmptyComponent));
+        assert_eq!(validate_key("a."), Err(KeyError::EmptyComponent));
+        assert_eq!(validate_key("a..b"), Err(KeyError::EmptyComponent));
+        assert!(matches!(validate_key(&"x".repeat(2000)), Err(KeyError::TooLong(2000))));
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(KeyError::Empty.to_string().contains("empty"));
+        assert!(KeyError::TooLong(9).to_string().contains('9'));
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests over the hash-tree commit machinery.
+
+use crate::master::{apply_tuples, resolve, Tuple};
+use crate::object::KvsObject;
+use crate::store::ObjectCache;
+use flux_value::Value;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn arb_key() -> impl Strategy<Value = String> {
+    prop::collection::vec("[a-c]{1,2}", 1..4).prop_map(|v| v.join("."))
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<(String, Option<i64>)>> {
+    prop::collection::vec((arb_key(), prop::option::of(any::<i64>())), 0..24)
+}
+
+/// A straightforward model: a flat map from key to value, where writing a
+/// key shadows any keys strictly below or above it in the hierarchy
+/// (writing `a.b` destroys `a.b.c`; writing `a.b.c` turns `a.b` into a
+/// directory).
+fn model_apply(model: &mut HashMap<String, i64>, key: &str, val: Option<i64>) {
+    // Remove every key at, under, or on the path to `key`.
+    let prefix = format!("{key}.");
+    model.retain(|k, _| {
+        let under = k.starts_with(&prefix);
+        let above = key.starts_with(&format!("{k}.")); // k is an ancestor of key
+        !(under || above || k == key)
+    });
+    if let Some(v) = val {
+        model.insert(key.to_owned(), v);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// The hash tree agrees with a flat-map model across arbitrary
+    /// sequences of single-key commits (with hierarchy shadowing).
+    #[test]
+    fn tree_matches_model(ops in arb_ops()) {
+        let mut cache = ObjectCache::new();
+        let mut root = cache.insert(KvsObject::empty_dir());
+        let mut model: HashMap<String, i64> = HashMap::new();
+        for (key, val) in &ops {
+            let tuple: Tuple = match val {
+                Some(v) => {
+                    let id = cache.insert(KvsObject::Val(Value::Int(*v)));
+                    (key.clone(), Some(id))
+                }
+                None => (key.clone(), None),
+            };
+            root = apply_tuples(&mut cache, root, &[tuple]);
+            model_apply(&mut model, key, *val);
+        }
+        // Every model key resolves to the model value.
+        for (key, v) in &model {
+            let id = resolve(&mut cache, root, key);
+            prop_assert!(id.is_some(), "key {} missing", key);
+            let obj = cache.get(id.unwrap()).unwrap();
+            match &*obj {
+                KvsObject::Val(val) => prop_assert_eq!(val, &Value::Int(*v)),
+                KvsObject::Dir(_) => prop_assert!(false, "key {} became a dir", key),
+            }
+        }
+        // Model-absent keys must not resolve to values.
+        for (key, _) in &ops {
+            if !model.contains_key(key) {
+                if let Some(id) = resolve(&mut cache, root, key) {
+                    let obj = cache.get(id).unwrap();
+                    prop_assert!(obj.is_dir(), "deleted key {} still a value", key);
+                }
+            }
+        }
+    }
+
+    /// Batch commit equals the same tuples applied one at a time.
+    #[test]
+    fn batch_equals_sequential(ops in arb_ops()) {
+        let run = |batched: bool| {
+            let mut cache = ObjectCache::new();
+            let mut root = cache.insert(KvsObject::empty_dir());
+            let tuples: Vec<Tuple> = ops
+                .iter()
+                .map(|(k, v)| match v {
+                    Some(v) => {
+                        let id = cache.insert(KvsObject::Val(Value::Int(*v)));
+                        (k.clone(), Some(id))
+                    }
+                    None => (k.clone(), None),
+                })
+                .collect();
+            if batched {
+                root = apply_tuples(&mut cache, root, &tuples);
+            } else {
+                for t in tuples {
+                    root = apply_tuples(&mut cache, root, &[t]);
+                }
+            }
+            root
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+
+    /// Old roots remain readable after any sequence of updates (snapshot
+    /// isolation of the content-addressed tree).
+    #[test]
+    fn snapshots_stay_intact(ops in arb_ops()) {
+        prop_assume!(!ops.is_empty());
+        let mut cache = ObjectCache::new();
+        let root0 = cache.insert(KvsObject::empty_dir());
+        let marker = cache.insert(KvsObject::Val(Value::from("snapshot")));
+        let root1 = apply_tuples(&mut cache, root0, &[("snap.key".to_owned(), Some(marker))]);
+        let mut root = root1;
+        for (key, val) in &ops {
+            let tuple: Tuple = match val {
+                Some(v) => {
+                    let id = cache.insert(KvsObject::Val(Value::Int(*v)));
+                    (key.clone(), Some(id))
+                }
+                None => (key.clone(), None),
+            };
+            root = apply_tuples(&mut cache, root, &[tuple]);
+        }
+        // The old snapshot still resolves.
+        let id = resolve(&mut cache, root1, "snap.key").expect("snapshot intact");
+        prop_assert_eq!(&*cache.get(id).unwrap(), &KvsObject::Val(Value::from("snapshot")));
+    }
+}

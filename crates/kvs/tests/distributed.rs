@@ -1,0 +1,462 @@
+//! Distributed KVS semantics over a full multi-broker session.
+//!
+//! These tests exercise the master/slave protocol end to end: write-back
+//! puts, commit root-switching, collective fences (with the paper's
+//! redundancy deduplication), fault-in through the cache chain, watches,
+//! and the three §IV-B consistency properties.
+
+use flux_broker::testing::TestNet;
+use flux_broker::CommsModule;
+use flux_kvs::client::{KvsClient, KvsDelivery, KvsReply};
+use flux_kvs::{KvsConfig, KvsModule};
+use flux_value::Value;
+use flux_wire::{errnum, Message, Rank, Topic};
+
+fn net(size: u32) -> TestNet {
+    TestNet::new(size, 2, |_| vec![Box::new(KvsModule::new()) as Box<dyn CommsModule>])
+}
+
+/// Pumps timers until `rank`'s client `cid` has at least `want` messages
+/// or nothing is left to do.
+fn pump_for(net: &mut TestNet, rank: Rank, cid: u32, want: usize, sink: &mut Vec<Message>) {
+    loop {
+        sink.extend(net.take_client_msgs(rank, cid));
+        if sink.len() >= want {
+            return;
+        }
+        if !net.fire_next_timer() {
+            sink.extend(net.take_client_msgs(rank, cid));
+            return;
+        }
+    }
+}
+
+/// Sends one request (built by `f`) and decodes the single reply.
+fn rpc<F>(net: &mut TestNet, rank: Rank, cid: u32, c: &mut KvsClient, f: F) -> KvsReply
+where
+    F: FnOnce(&mut KvsClient) -> Message,
+{
+    let msg = f(c);
+    net.client_send(rank, cid, msg);
+    let mut msgs = Vec::new();
+    pump_for(net, rank, cid, 1, &mut msgs);
+    assert_eq!(msgs.len(), 1, "expected one reply, got {msgs:?}");
+    match c.deliver(msgs.into_iter().next().unwrap()) {
+        KvsDelivery::Reply { reply, .. } => reply,
+        other => panic!("unexpected delivery {other:?}"),
+    }
+}
+
+#[test]
+fn put_commit_get_across_brokers() {
+    let mut net = net(7);
+    let mut w = KvsClient::new(Rank(5), 0);
+    assert_eq!(rpc(&mut net, Rank(5), 0, &mut w, |w| w.put("a.b.c", Value::Int(42), 1)), KvsReply::Ack);
+    let commit = rpc(&mut net, Rank(5), 0, &mut w, |w| w.commit(2));
+    let KvsReply::Version { version, .. } = commit else { panic!("{commit:?}") };
+    assert_eq!(version, 1);
+
+    // Another rank reads it (fault-in through the chain).
+    let mut r = KvsClient::new(Rank(6), 0);
+    assert_eq!(
+        rpc(&mut net, Rank(6), 0, &mut r, |r| r.get("a.b.c", 3)),
+        KvsReply::Value(Value::Int(42))
+    );
+}
+
+#[test]
+fn get_missing_key_is_enoent() {
+    let mut net = net(3);
+    let mut c = KvsClient::new(Rank(1), 0);
+    assert_eq!(
+        rpc(&mut net, Rank(1), 0, &mut c, |c| c.get("no.such.key", 1)),
+        KvsReply::Err(errnum::ENOENT)
+    );
+}
+
+#[test]
+fn read_your_writes_at_committing_broker() {
+    // The commit response applies the root locally before the caller is
+    // answered: an immediate local get must see the write even though the
+    // setroot event may not have arrived yet.
+    let mut net = net(15);
+    let mut c = KvsClient::new(Rank(11), 0);
+    let _ = rpc(&mut net, Rank(11), 0, &mut c, |c| c.put("ryw.key", Value::from("mine"), 1));
+    let KvsReply::Version { version, .. } =
+        rpc(&mut net, Rank(11), 0, &mut c, |c| c.commit(2))
+    else {
+        panic!("commit failed")
+    };
+    assert_eq!(version, 1);
+    assert_eq!(
+        rpc(&mut net, Rank(11), 0, &mut c, |c| c.get("ryw.key", 3)),
+        KvsReply::Value(Value::from("mine"))
+    );
+}
+
+#[test]
+fn causal_consistency_via_wait_version() {
+    // A commits, tells B the version (out of band), B waits for it and
+    // then must see A's value.
+    let mut net = net(15);
+    let mut a = KvsClient::new(Rank(7), 0);
+    let _ = rpc(&mut net, Rank(7), 0, &mut a, |a| a.put("causal.x", Value::Int(9), 1));
+    let KvsReply::Version { version, .. } = rpc(&mut net, Rank(7), 0, &mut a, |a| a.commit(2))
+    else {
+        panic!("commit failed")
+    };
+
+    let mut b = KvsClient::new(Rank(14), 0);
+    let KvsReply::Version { version: seen, .. } =
+        rpc(&mut net, Rank(14), 0, &mut b, |b| b.wait_version(version, 3))
+    else {
+        panic!("wait failed")
+    };
+    assert!(seen >= version);
+    assert_eq!(
+        rpc(&mut net, Rank(14), 0, &mut b, |b| b.get("causal.x", 4)),
+        KvsReply::Value(Value::Int(9))
+    );
+}
+
+#[test]
+fn monotonic_versions_across_commits() {
+    let mut net = net(7);
+    let mut c = KvsClient::new(Rank(3), 0);
+    let mut last = 0;
+    for i in 0..5 {
+        let _ = rpc(&mut net, Rank(3), 0, &mut c, |c| c.put("mono.k", Value::Int(i), 1));
+        let KvsReply::Version { version, .. } = rpc(&mut net, Rank(3), 0, &mut c, |c| c.commit(2))
+        else {
+            panic!("commit failed")
+        };
+        assert!(version > last, "version must advance: {version} after {last}");
+        last = version;
+    }
+    // get_version at a third-party rank is <= master's but never regresses.
+    let mut o = KvsClient::new(Rank(6), 0);
+    let KvsReply::Version { version: v1, .. } =
+        rpc(&mut net, Rank(6), 0, &mut o, |o| o.get_version(9))
+    else {
+        panic!()
+    };
+    let KvsReply::Version { version: v2, .. } =
+        rpc(&mut net, Rank(6), 0, &mut o, |o| o.get_version(10))
+    else {
+        panic!()
+    };
+    assert!(v2 >= v1);
+}
+
+#[test]
+fn fence_collects_all_participants() {
+    // One producer client on every broker; each puts a unique key then
+    // fences. After the fence completes everyone sees everyone's key.
+    let size = 7u32;
+    let mut net = net(size);
+    let mut clients: Vec<KvsClient> =
+        (0..size).map(|r| KvsClient::new(Rank(r), 0)).collect();
+
+    for r in 0..size {
+        let put = clients[r as usize].put(&format!("fence.k{r}"), Value::Int(i64::from(r)), 1);
+        net.client_send(Rank(r), 0, put);
+    }
+    // Collect put acks.
+    for r in 0..size {
+        let msgs = net.take_client_msgs(Rank(r), 0);
+        assert_eq!(msgs.len(), 1);
+    }
+    // Everyone fences.
+    for r in 0..size {
+        let f = clients[r as usize].fence("boot", u64::from(size), 2);
+        net.client_send(Rank(r), 0, f);
+    }
+    // Pump timers until all fences complete.
+    let mut done = vec![Vec::new(); size as usize];
+    for _ in 0..1000 {
+        for r in 0..size {
+            done[r as usize].extend(net.take_client_msgs(Rank(r), 0));
+        }
+        if done.iter().all(|v| !v.is_empty()) {
+            break;
+        }
+        assert!(net.fire_next_timer(), "fence never completed: {done:?}");
+    }
+    for r in 0..size {
+        assert_eq!(done[r as usize].len(), 1, "rank {r}");
+        let reply = match clients[r as usize].deliver(done[r as usize].remove(0)) {
+            KvsDelivery::Reply { reply, .. } => reply,
+            other => panic!("{other:?}"),
+        };
+        assert!(matches!(reply, KvsReply::Version { version: 1, .. }), "{reply:?}");
+    }
+    // All keys visible everywhere.
+    for r in 0..size {
+        for k in 0..size {
+            let key = format!("fence.k{k}");
+            let reply =
+                rpc(&mut net, Rank(r), 0, &mut clients[r as usize], |c| c.get(&key, 7));
+            assert_eq!(reply, KvsReply::Value(Value::Int(i64::from(k))), "rank {r} key {k}");
+        }
+    }
+}
+
+#[test]
+fn fence_deduplicates_redundant_values() {
+    // Redundant values must collapse to ONE object at the master, while
+    // unique values store one object per producer (Fig. 3's mechanism).
+    let run = |redundant: bool| -> usize {
+        let size = 7u32;
+        let mut net = net(size);
+        let mut clients: Vec<KvsClient> =
+            (0..size).map(|r| KvsClient::new(Rank(r), 0)).collect();
+        for r in 0..size {
+            let v = if redundant {
+                Value::from("same-value-everywhere")
+            } else {
+                Value::from(format!("value-{r}"))
+            };
+            let put = clients[r as usize].put(&format!("red.k{r}"), v, 1);
+            net.client_send(Rank(r), 0, put);
+            let _ = net.take_client_msgs(Rank(r), 0);
+            let f = clients[r as usize].fence("f", u64::from(size), 2);
+            net.client_send(Rank(r), 0, f);
+        }
+        for _ in 0..1000 {
+            let done: Vec<Message> = net.take_client_msgs(Rank(0), 0);
+            if !done.is_empty() {
+                break;
+            }
+            assert!(net.fire_next_timer());
+        }
+        // Master cache statistics: count of resident objects.
+        let mut probe = KvsClient::new(Rank(0), 1);
+        let KvsReply::Stats(stats) = rpc(&mut net, Rank(0), 1, &mut probe, |probe| probe.stats(9))
+        else {
+            panic!("stats failed")
+        };
+        stats.get("entries").and_then(Value::as_int).unwrap() as usize
+    };
+    let unique_entries = run(false);
+    let redundant_entries = run(true);
+    // unique: 7 value objects; redundant: 1 value object (dirs identical).
+    assert_eq!(unique_entries - redundant_entries, 6);
+}
+
+#[test]
+fn watch_streams_changes_to_remote_rank() {
+    let mut net = net(7);
+    let mut watcher = KvsClient::new(Rank(6), 0);
+    let (wreq, _wid) = watcher.watch("w.key", 1);
+    net.client_send(Rank(6), 0, wreq);
+    // Initial snapshot: key missing -> null.
+    let mut msgs = net.take_client_msgs(Rank(6), 0);
+    assert_eq!(msgs.len(), 1);
+    match watcher.deliver(msgs.remove(0)) {
+        KvsDelivery::Reply { reply: KvsReply::WatchUpdate { key, value }, .. } => {
+            assert_eq!(key, "w.key");
+            assert_eq!(value, Value::Null);
+        }
+        other => panic!("{other:?}"),
+    }
+    // A writer elsewhere commits twice.
+    let mut writer = KvsClient::new(Rank(3), 0);
+    for (i, v) in [(1i64, "first"), (2, "second")] {
+        let _ = rpc(&mut net, Rank(3), 0, &mut writer, |writer| writer.put("w.key", Value::from(v), 1));
+        let KvsReply::Version { version, .. } =
+            rpc(&mut net, Rank(3), 0, &mut writer, |writer| writer.commit(2))
+        else {
+            panic!()
+        };
+        assert_eq!(version as i64, i);
+    }
+    // The watcher sees both updates, in order.
+    let mut updates = Vec::new();
+    pump_for(&mut net, Rank(6), 0, 2, &mut updates);
+    let texts: Vec<String> = updates
+        .into_iter()
+        .map(|m| match watcher.deliver(m) {
+            KvsDelivery::Reply { reply: KvsReply::WatchUpdate { value, .. }, .. } => {
+                value.as_str().unwrap_or("?").to_owned()
+            }
+            other => panic!("{other:?}"),
+        })
+        .collect();
+    assert_eq!(texts, ["first", "second"]);
+}
+
+#[test]
+fn directory_listing_and_eisdir() {
+    let mut net = net(3);
+    let mut c = KvsClient::new(Rank(2), 0);
+    for (k, v) in [("d.x", 1i64), ("d.y", 2), ("d.sub.z", 3)] {
+        let _ = rpc(&mut net, Rank(2), 0, &mut c, |c| c.put(k, Value::Int(v), 1));
+    }
+    let _ = rpc(&mut net, Rank(2), 0, &mut c, |c| c.commit(2));
+    // Plain get of a directory fails with EISDIR.
+    assert_eq!(rpc(&mut net, Rank(2), 0, &mut c, |c| c.get("d", 3)), KvsReply::Err(errnum::EISDIR));
+    // Directory listing names all entries.
+    let KvsReply::Dir(listing) = rpc(&mut net, Rank(2), 0, &mut c, |c| c.get_dir("d", 4)) else {
+        panic!("dir listing failed")
+    };
+    let names: Vec<&String> = listing.as_object().unwrap().keys().collect();
+    assert_eq!(names, ["sub", "x", "y"]);
+    // get_dir of a value fails with ENOTDIR.
+    assert_eq!(
+        rpc(&mut net, Rank(2), 0, &mut c, |c| c.get_dir("d.x", 5)),
+        KvsReply::Err(errnum::ENOTDIR)
+    );
+}
+
+#[test]
+fn unlink_removes_key_everywhere() {
+    let mut net = net(7);
+    let mut c = KvsClient::new(Rank(4), 0);
+    let _ = rpc(&mut net, Rank(4), 0, &mut c, |c| c.put("u.k", Value::Int(5), 1));
+    let _ = rpc(&mut net, Rank(4), 0, &mut c, |c| c.commit(2));
+    let _ = rpc(&mut net, Rank(4), 0, &mut c, |c| c.unlink("u.k", 3));
+    let _ = rpc(&mut net, Rank(4), 0, &mut c, |c| c.commit(4));
+    let mut r = KvsClient::new(Rank(5), 0);
+    assert_eq!(
+        rpc(&mut net, Rank(5), 0, &mut r, |r| r.get("u.k", 5)),
+        KvsReply::Err(errnum::ENOENT)
+    );
+}
+
+#[test]
+fn interior_caches_populate_on_read_path() {
+    // A leaf read faults objects through the interior broker on its path:
+    // afterwards, the interior cache holds them too (Fig. 4 mechanism).
+    let mut net = net(7);
+    let mut w = KvsClient::new(Rank(0), 0);
+    let _ = rpc(&mut net, Rank(0), 0, &mut w, |w| w.put("deep.key", Value::from("x"), 1));
+    let _ = rpc(&mut net, Rank(0), 0, &mut w, |w| w.commit(2));
+
+    // Rank 5's path to the root passes rank 2.
+    let mut probe = KvsClient::new(Rank(2), 1);
+    let KvsReply::Stats(before) = rpc(&mut net, Rank(2), 1, &mut probe, |probe| probe.stats(3)) else {
+        panic!()
+    };
+    let mut r = KvsClient::new(Rank(5), 0);
+    assert_eq!(
+        rpc(&mut net, Rank(5), 0, &mut r, |r| r.get("deep.key", 4)),
+        KvsReply::Value(Value::from("x"))
+    );
+    let KvsReply::Stats(after) = rpc(&mut net, Rank(2), 1, &mut probe, |probe| probe.stats(5)) else {
+        panic!()
+    };
+    let before_n = before.get("entries").and_then(Value::as_int).unwrap();
+    let after_n = after.get("entries").and_then(Value::as_int).unwrap();
+    assert!(after_n > before_n, "interior cache grew: {before_n} -> {after_n}");
+}
+
+#[test]
+fn slave_cache_expires_idle_entries_on_heartbeat() {
+    let mut net = TestNet::new(3, 2, |_| {
+        vec![Box::new(KvsModule::with_config(KvsConfig { expiry_epochs: 2, window_ns: 1000 }))
+            as Box<dyn CommsModule>]
+    });
+    let mut c = KvsClient::new(Rank(2), 0);
+    let _ = rpc(&mut net, Rank(2), 0, &mut c, |c| c.put("e.k", Value::from("data"), 1));
+    let _ = rpc(&mut net, Rank(2), 0, &mut c, |c| c.commit(2));
+    let _ = rpc(&mut net, Rank(2), 0, &mut c, |c| c.get("e.k", 3));
+    let KvsReply::Stats(before) = rpc(&mut net, Rank(2), 0, &mut c, |c| c.stats(4)) else {
+        panic!()
+    };
+    // Heartbeats (injected as root events) advance cache epochs.
+    // The broker-config expiry (16 epochs) dominates the module config,
+    // so push past it.
+    for epoch in 1..=40u64 {
+        net.publish_from_root(
+            Topic::from_static("hb"),
+            Value::from_pairs([("epoch", Value::from(epoch as i64))]),
+        );
+    }
+    let KvsReply::Stats(after) = rpc(&mut net, Rank(2), 0, &mut c, |c| c.stats(5)) else {
+        panic!()
+    };
+    let before_n = before.get("entries").and_then(Value::as_int).unwrap();
+    let after_n = after.get("entries").and_then(Value::as_int).unwrap();
+    assert!(after_n < before_n, "cache shrank: {before_n} -> {after_n}");
+    assert!(after.get("expired").and_then(Value::as_int).unwrap() > 0);
+    // Expired data faults back in on demand.
+    assert_eq!(
+        rpc(&mut net, Rank(2), 0, &mut c, |c| c.get("e.k", 6)),
+        KvsReply::Value(Value::from("data"))
+    );
+}
+
+#[test]
+fn concurrent_commits_from_many_ranks_all_land() {
+    let size = 15u32;
+    let mut net = net(size);
+    let mut clients: Vec<KvsClient> =
+        (0..size).map(|r| KvsClient::new(Rank(r), 0)).collect();
+    // Everyone puts and commits without waiting for each other.
+    for r in 0..size {
+        let put = clients[r as usize].put(&format!("cc.k{r}"), Value::Int(i64::from(r)), 1);
+        net.client_send(Rank(r), 0, put);
+        let commit = clients[r as usize].commit(2);
+        net.client_send(Rank(r), 0, commit);
+    }
+    let mut net = net; // run to quiescence happened in client_send
+    for r in 0..size {
+        let msgs = net.take_client_msgs(Rank(r), 0);
+        assert_eq!(msgs.len(), 2, "rank {r}: put ack + commit reply");
+    }
+    // All keys visible at an arbitrary rank.
+    let mut reader = KvsClient::new(Rank(9), 1);
+    for k in 0..size {
+        let key = format!("cc.k{k}");
+        assert_eq!(
+            rpc(&mut net, Rank(9), 1, &mut reader, |c| c.get(&key, 3)),
+            KvsReply::Value(Value::Int(i64::from(k)))
+        );
+    }
+}
+
+#[test]
+fn watch_on_directory_fires_for_nested_changes() {
+    // Paper §IV-B: "Due to our hash-tree organization, a watched directory
+    // changes if keys under it at any path depth change."
+    let mut net = net(7);
+    let mut watcher = KvsClient::new(Rank(4), 0);
+    let (wreq, _wid) = watcher.watch("app", 1);
+    net.client_send(Rank(4), 0, wreq);
+    let mut snap = net.take_client_msgs(Rank(4), 0);
+    assert_eq!(snap.len(), 1, "initial snapshot");
+    match watcher.deliver(snap.remove(0)) {
+        KvsDelivery::Reply { reply: KvsReply::WatchUpdate { value, .. }, .. } => {
+            assert_eq!(value, Value::Null, "directory does not exist yet");
+        }
+        other => panic!("{other:?}"),
+    }
+    // A writer creates a deeply nested key under the watched directory.
+    let mut writer = KvsClient::new(Rank(2), 0);
+    let _ = rpc(&mut net, Rank(2), 0, &mut writer, |w| {
+        w.put("app.cfg.deep.leaf", Value::Int(1), 1)
+    });
+    let _ = rpc(&mut net, Rank(2), 0, &mut writer, |w| w.commit(2));
+    let mut upd = Vec::new();
+    pump_for(&mut net, Rank(4), 0, 1, &mut upd);
+    assert_eq!(upd.len(), 1, "nested change fires the directory watch");
+    let first_listing = match watcher.deliver(upd.remove(0)) {
+        KvsDelivery::Reply { reply: KvsReply::WatchUpdate { value, .. }, .. } => value,
+        other => panic!("{other:?}"),
+    };
+    assert!(first_listing.get("cfg").is_some(), "{first_listing}");
+    // Changing the nested value changes the cascading hashes and fires
+    // again with a different listing.
+    let _ = rpc(&mut net, Rank(2), 0, &mut writer, |w| {
+        w.put("app.cfg.deep.leaf", Value::Int(2), 3)
+    });
+    let _ = rpc(&mut net, Rank(2), 0, &mut writer, |w| w.commit(4));
+    let mut upd = Vec::new();
+    pump_for(&mut net, Rank(4), 0, 1, &mut upd);
+    assert_eq!(upd.len(), 1);
+    let second_listing = match watcher.deliver(upd.remove(0)) {
+        KvsDelivery::Reply { reply: KvsReply::WatchUpdate { value, .. }, .. } => value,
+        other => panic!("{other:?}"),
+    };
+    assert_ne!(second_listing, first_listing, "hashes cascade upward");
+}

@@ -1,0 +1,154 @@
+//! The `group` module: named process groups.
+//!
+//! Membership is recorded in the KVS under `groups.<name>.<member>`, so
+//! group state is globally visible, versioned, and survives the usual
+//! consistency reasoning. Members are identified by their broker rank and
+//! local client id. Collective operations across a group use the group's
+//! size with the `barrier` module (`group.info` reports the size).
+
+use flux_broker::{CommsModule, ModuleCtx};
+use flux_value::Value;
+use flux_wire::{errnum, Message, MsgId, Topic};
+use std::collections::HashMap;
+
+/// What an outstanding internal KVS request was for.
+enum PendingKind {
+    /// Join/leave commit: answer the original request.
+    Commit(Message),
+    /// Listing fetch for `group.info`: answer with the member set.
+    Listing(Message),
+}
+
+/// The group module.
+pub struct GroupModule {
+    pending: HashMap<MsgId, PendingKind>,
+}
+
+impl GroupModule {
+    /// Creates the module.
+    pub fn new() -> GroupModule {
+        GroupModule { pending: HashMap::new() }
+    }
+
+    /// The KVS key for one member of a group.
+    fn member_key(name: &str, msg: &Message) -> String {
+        // The requester identity: its broker rank plus the local client
+        // hop (or "m" for module-originated joins).
+        let rank = msg.header.src;
+        let client = msg
+            .header
+            .hops
+            .first()
+            .and_then(|h| h.as_client_hop())
+            .map(|c| format!("c{c}"))
+            .unwrap_or_else(|| "m".to_owned());
+        format!("groups.{name}.r{}-{client}", rank.0)
+    }
+
+    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, topic: &'static str, payload: Value) -> MsgId {
+        ctx.local_request(Topic::from_static(topic), payload)
+    }
+}
+
+impl Default for GroupModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommsModule for GroupModule {
+    fn name(&self) -> &'static str {
+        "group"
+    }
+
+    fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(name) = msg.payload.get("name").and_then(Value::as_str).map(str::to_owned)
+        else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if name.is_empty() || name.contains('.') {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
+        match msg.header.topic.method() {
+            "join" => {
+                let key = Self::member_key(&name, msg);
+                let put = Value::from_pairs([
+                    ("k", Value::from(key)),
+                    (
+                        "v",
+                        Value::from_pairs([
+                            ("rank", Value::from(msg.header.src.0)),
+                            ("joined_ns", Value::from(ctx.now_ns() as i64)),
+                        ]),
+                    ),
+                ]);
+                let _ = self.kvs(ctx, "kvs.put", put);
+                let id = self.kvs(ctx, "kvs.commit", Value::object());
+                self.pending.insert(id, PendingKind::Commit(msg.clone()));
+            }
+            "leave" => {
+                let key = Self::member_key(&name, msg);
+                let unlink = Value::from_pairs([("k", Value::from(key))]);
+                let _ = self.kvs(ctx, "kvs.unlink", unlink);
+                let id = self.kvs(ctx, "kvs.commit", Value::object());
+                self.pending.insert(id, PendingKind::Commit(msg.clone()));
+            }
+            "info" => {
+                let get = Value::from_pairs([
+                    ("k", Value::from(format!("groups.{name}"))),
+                    ("dir", Value::Bool(true)),
+                ]);
+                let id = self.kvs(ctx, "kvs.get", get);
+                self.pending.insert(id, PendingKind::Listing(msg.clone()));
+            }
+            _ => ctx.respond_err(msg, errnum::ENOSYS),
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(kind) = self.pending.remove(&msg.header.id) else { return };
+        match kind {
+            PendingKind::Commit(original) => {
+                if msg.is_error() {
+                    ctx.respond_err(&original, msg.header.errnum);
+                } else {
+                    let version =
+                        msg.payload.get("version").cloned().unwrap_or(Value::Null);
+                    ctx.respond(&original, Value::from_pairs([("version", version)]));
+                }
+            }
+            PendingKind::Listing(original) => {
+                if msg.is_error() {
+                    if msg.header.errnum == errnum::ENOENT {
+                        // Unknown group = empty group.
+                        ctx.respond(
+                            &original,
+                            Value::from_pairs([
+                                ("size", Value::Int(0)),
+                                ("members", Value::array()),
+                            ]),
+                        );
+                    } else {
+                        ctx.respond_err(&original, msg.header.errnum);
+                    }
+                    return;
+                }
+                let members: Vec<Value> = msg
+                    .payload
+                    .get("dir")
+                    .and_then(Value::as_object)
+                    .map(|m| m.keys().map(|k| Value::from(k.as_str())).collect())
+                    .unwrap_or_default();
+                ctx.respond(
+                    &original,
+                    Value::from_pairs([
+                        ("size", Value::from(members.len())),
+                        ("members", Value::Array(members)),
+                    ]),
+                );
+            }
+        }
+    }
+}

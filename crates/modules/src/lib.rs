@@ -1,0 +1,55 @@
+//! # flux-modules
+//!
+//! The comms modules of Table I of the ICPP'14 Flux paper, minus `kvs`
+//! (which lives in its own crate, `flux-kvs`):
+//!
+//! | module | paper description |
+//! |--------|-------------------|
+//! | [`HbModule`] | "A periodic heartbeat event multicast across the comms session synchronizes background activity to reduce scheduling jitter." |
+//! | [`LiveModule`] | "Each tree node receives heartbeat-synchronized hello messages from its children. After a configurable number of missed messages, a liveliness event is issued for a dead child." |
+//! | [`LogModule`] | "Log messages are reduced and filtered before being placed in a log file at the session root. A circular debug buffer provides log context in response to a fault event." |
+//! | [`MonModule`] | "Scripts stored in the KVS activate heartbeat-synchronized sampling. Samples are reduced and stored in the KVS." |
+//! | [`GroupModule`] | "Flux groups define and manage collections of processes that can participate in collective operations." |
+//! | [`BarrierModule`] | "Collective barriers provide synchronization across Flux groups." |
+//! | [`WexecModule`] | "Remote processes can be launched in bulk, monitored, receive signals, and have standard I/O captured in the KVS." |
+//! | [`ResvcModule`] | "Resources are enumerated in the KVS and allocated when the scheduler runs an application." |
+//!
+//! [`standard_modules`] builds the full Table I set (including the KVS)
+//! for one broker — what a production session loads on every node.
+
+
+#![warn(missing_docs)]
+mod barrier;
+mod group;
+mod hb;
+mod live;
+mod log;
+mod mon;
+mod resvc;
+mod wexec;
+
+pub use barrier::BarrierModule;
+pub use group::GroupModule;
+pub use hb::HbModule;
+pub use live::LiveModule;
+pub use log::{level as log_level, LogEntry, LogModule};
+pub use mon::MonModule;
+pub use resvc::ResvcModule;
+pub use wexec::WexecModule;
+
+use flux_broker::CommsModule;
+
+/// The full Table I module set for one broker, in load order.
+pub fn standard_modules() -> Vec<Box<dyn CommsModule>> {
+    vec![
+        Box::new(HbModule::new()),
+        Box::new(LiveModule::new()),
+        Box::new(log::LogModule::new()),
+        Box::new(MonModule::new()),
+        Box::new(GroupModule::new()),
+        Box::new(BarrierModule::new()),
+        Box::new(flux_kvs::KvsModule::new()),
+        Box::new(WexecModule::new()),
+        Box::new(ResvcModule::new()),
+    ]
+}

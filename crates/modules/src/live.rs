@@ -1,0 +1,126 @@
+//! The `live` module: hierarchical liveness detection.
+//!
+//! On every heartbeat each non-root broker sends a `live.hello` to its
+//! effective tree parent. The parent tracks the epoch of each child's
+//! last hello; once a child has missed `BrokerConfig::live_miss_limit`
+//! consecutive heartbeats, a `live.down` event is published for it.
+//! The broker core consumes `live.down`/`live.up` events to update its
+//! liveness view, which re-parents the dead node's subtree — the planes'
+//! self-healing. A hello from a rank previously declared dead produces a
+//! `live.up` event (a replaced node re-joining).
+
+use flux_broker::{CommsModule, ModuleCtx};
+use flux_value::Value;
+use flux_wire::{errnum, Message, Rank, Topic};
+use std::collections::HashMap;
+
+/// Per-child tracking state at a parent.
+struct ChildState {
+    last_hello_epoch: u64,
+    reported_down: bool,
+}
+
+/// The liveness module.
+pub struct LiveModule {
+    /// The current heartbeat epoch as seen by this broker.
+    epoch: u64,
+    /// Children this broker has heard from: rank → state.
+    children: HashMap<Rank, ChildState>,
+    /// Downs this instance has reported (for tests/tools).
+    downs_reported: u64,
+}
+
+impl LiveModule {
+    /// Creates the module.
+    pub fn new() -> LiveModule {
+        LiveModule { epoch: 0, children: HashMap::new(), downs_reported: 0 }
+    }
+}
+
+impl Default for LiveModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommsModule for LiveModule {
+    fn name(&self) -> &'static str {
+        "live"
+    }
+
+    fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
+        self.epoch = self.epoch.max(epoch);
+        // Child side: hello to the (effective) parent.
+        if !ctx.is_root() {
+            let payload = Value::from_pairs([("rank", Value::from(ctx.rank().0))]);
+            let _ = ctx.notify_upstream(Topic::from_static("live.hello"), payload);
+        }
+        // Parent side: check for silent children.
+        let miss_limit = u64::from(ctx.config().live_miss_limit);
+        let mut to_report = Vec::new();
+        for child in ctx.children() {
+            let state = self.children.entry(child).or_insert(ChildState {
+                // Grace: an unseen child counts as heard-from now, so
+                // session startup (and adoption after a re-parent) does
+                // not trigger false positives.
+                last_hello_epoch: epoch,
+                reported_down: false,
+            });
+            if state.reported_down {
+                continue;
+            }
+            if epoch.saturating_sub(state.last_hello_epoch) > miss_limit {
+                state.reported_down = true;
+                to_report.push(child);
+            }
+        }
+        for child in to_report {
+            self.downs_reported += 1;
+            ctx.publish(
+                Topic::from_static("live.down"),
+                Value::from_pairs([("rank", Value::from(child.0))]),
+            );
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match msg.header.topic.method() {
+            "hello" => {
+                let Some(rank) = msg.payload.get("rank").and_then(Value::as_uint) else {
+                    return; // one-way; malformed hellos are dropped
+                };
+                let rank = Rank(rank as u32);
+                let epoch = self.epoch;
+                let state = self
+                    .children
+                    .entry(rank)
+                    .or_insert(ChildState { last_hello_epoch: epoch, reported_down: false });
+                state.last_hello_epoch = state.last_hello_epoch.max(epoch);
+                // A hello from a declared-dead child: it is back.
+                if state.reported_down {
+                    state.reported_down = false;
+                    ctx.publish(
+                        Topic::from_static("live.up"),
+                        Value::from_pairs([("rank", Value::from(rank.0))]),
+                    );
+                }
+            }
+            "status" => {
+                // Local liveness view for tools.
+                let size = ctx.size();
+                let up: Vec<Value> = (0..size)
+                    .filter(|&r| ctx.is_up(Rank(r)))
+                    .map(Value::from)
+                    .collect();
+                ctx.respond(
+                    msg,
+                    Value::from_pairs([
+                        ("up", Value::Array(up)),
+                        ("downs_reported", Value::from(self.downs_reported as i64)),
+                    ]),
+                );
+            }
+            _ => ctx.respond_err(msg, errnum::ENOSYS),
+        }
+    }
+}

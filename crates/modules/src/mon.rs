@@ -1,0 +1,345 @@
+//! The `mon` module: heartbeat-synchronized monitoring.
+//!
+//! Sampler specifications live in the KVS under `mon.samplers.<name>`
+//! (the paper stores the sampling scripts themselves in the KVS; we store
+//! a spec naming a built-in synthetic metric — see the substitution table
+//! in DESIGN.md). Every broker samples on matching heartbeat epochs,
+//! contributions reduce (sum/min/max/count) on their way up the tree, and
+//! the root stores the aggregate back into the KVS under
+//! `mon.data.<name>.e<epoch>`.
+
+use flux_broker::{CommsModule, ModuleCtx};
+use flux_value::Value;
+use flux_wire::{errnum, Message, MsgId, Topic};
+use std::collections::HashMap;
+
+/// A sampler specification.
+#[derive(Debug, Clone, PartialEq)]
+struct Spec {
+    metric: String,
+    period: u64,
+}
+
+/// A partial aggregate travelling up the tree.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Agg {
+    sum: f64,
+    min: f64,
+    max: f64,
+    count: u64,
+}
+
+impl Agg {
+    fn of(v: f64) -> Agg {
+        Agg { sum: v, min: v, max: v, count: 1 }
+    }
+
+    fn merge(&mut self, o: Agg) {
+        self.sum += o.sum;
+        self.min = self.min.min(o.min);
+        self.max = self.max.max(o.max);
+        self.count += o.count;
+    }
+}
+
+/// Deterministic synthetic metric: stands in for the paper's Linux
+/// sampling scripts (no real /proc in the simulator). Spread and
+/// per-epoch variation make reductions meaningful.
+pub fn synth_metric(metric: &str, rank: u32, epoch: u64) -> f64 {
+    let seed = metric.bytes().fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let x = seed
+        .wrapping_add(u64::from(rank).wrapping_mul(2_654_435_761))
+        .wrapping_add(epoch.wrapping_mul(40_503))
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    ((x >> 33) % 10_000) as f64 / 100.0
+}
+
+/// What an outstanding internal KVS request was for.
+enum PendingKind {
+    /// A `mon.add` waiting for its commit; answer the original request.
+    AddCommit(Message),
+    /// Spec-refresh directory listing.
+    DirListing,
+    /// Spec body fetch for this sampler name.
+    SpecFetch(String),
+    /// Fire-and-forget bookkeeping write.
+    Ignore,
+}
+
+/// The monitoring module.
+pub struct MonModule {
+    specs: HashMap<String, Spec>,
+    /// Directory listing fingerprint from the last refresh.
+    listing: HashMap<String, String>,
+    /// (name, epoch) → partial aggregate.
+    acc: HashMap<(String, u64), Agg>,
+    pending: HashMap<MsgId, PendingKind>,
+    epoch: u64,
+    /// Aggregates finalized at the root (for tests/tools).
+    finalized: u64,
+}
+
+impl MonModule {
+    /// Creates the module.
+    pub fn new() -> MonModule {
+        MonModule {
+            specs: HashMap::new(),
+            listing: HashMap::new(),
+            acc: HashMap::new(),
+            pending: HashMap::new(),
+            epoch: 0,
+            finalized: 0,
+        }
+    }
+
+    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, topic: &'static str, payload: Value, kind: PendingKind) {
+        let id = ctx.local_request(Topic::from_static(topic), payload);
+        self.pending.insert(id, kind);
+    }
+
+    fn refresh_specs(&mut self, ctx: &mut ModuleCtx<'_>) {
+        self.kvs(
+            ctx,
+            "kvs.get",
+            Value::from_pairs([("k", Value::from("mon.samplers")), ("dir", Value::Bool(true))]),
+            PendingKind::DirListing,
+        );
+    }
+
+    fn contribute(&mut self, ctx: &mut ModuleCtx<'_>, name: &str, epoch: u64, agg: Agg) {
+        self.acc
+            .entry((name.to_owned(), epoch))
+            .and_modify(|a| a.merge(agg))
+            .or_insert(agg);
+        let _ = ctx; // flushes happen on heartbeats
+    }
+
+    fn flush(&mut self, ctx: &mut ModuleCtx<'_>, current_epoch: u64) {
+        // At the root, hold an epoch open long enough for contributions
+        // from the deepest brokers to climb the tree (one flush level per
+        // heartbeat); interiors forward anything older than the current
+        // epoch immediately.
+        let lag = if ctx.is_root() { u64::from(ctx.tree_height()) + 1 } else { 0 };
+        let ready: Vec<((String, u64), Agg)> = {
+            let keys: Vec<(String, u64)> = self
+                .acc
+                .keys()
+                .filter(|(_, e)| e + lag < current_epoch)
+                .cloned()
+                .collect();
+            keys.into_iter()
+                .map(|k| {
+                    let agg = self.acc.remove(&k).expect("key present");
+                    (k, agg)
+                })
+                .collect()
+        };
+        if ready.is_empty() {
+            return;
+        }
+        if ctx.is_root() {
+            // Finalize: store aggregates into the KVS in one commit.
+            for ((name, epoch), agg) in ready {
+                self.finalized += 1;
+                let payload = Value::from_pairs([
+                    (
+                        "k",
+                        Value::from(format!("mon.data.{name}.e{epoch}")),
+                    ),
+                    (
+                        "v",
+                        Value::from_pairs([
+                            ("sum", Value::Float(agg.sum)),
+                            ("min", Value::Float(agg.min)),
+                            ("max", Value::Float(agg.max)),
+                            ("count", Value::from(agg.count as i64)),
+                            ("avg", Value::Float(agg.sum / agg.count as f64)),
+                        ]),
+                    ),
+                ]);
+                self.kvs(ctx, "kvs.put", payload, PendingKind::Ignore);
+            }
+            self.kvs(ctx, "kvs.commit", Value::object(), PendingKind::Ignore);
+        } else {
+            for ((name, epoch), agg) in ready {
+                let payload = Value::from_pairs([
+                    ("name", Value::from(name)),
+                    ("epoch", Value::from(epoch as i64)),
+                    ("sum", Value::Float(agg.sum)),
+                    ("min", Value::Float(agg.min)),
+                    ("max", Value::Float(agg.max)),
+                    ("count", Value::from(agg.count as i64)),
+                ]);
+                let _ = ctx.notify_upstream(Topic::from_static("mon.up"), payload);
+            }
+        }
+    }
+}
+
+impl Default for MonModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommsModule for MonModule {
+    fn name(&self) -> &'static str {
+        "mon"
+    }
+
+    fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match msg.header.topic.method() {
+            "add" => {
+                let (Some(name), Some(metric)) = (
+                    msg.payload.get("name").and_then(Value::as_str),
+                    msg.payload.get("metric").and_then(Value::as_str),
+                ) else {
+                    ctx.respond_err(msg, errnum::EINVAL);
+                    return;
+                };
+                let period = msg.payload.get("period").and_then(Value::as_uint).unwrap_or(1);
+                let spec_val = Value::from_pairs([
+                    ("metric", Value::from(metric)),
+                    ("period", Value::from(period as i64)),
+                ]);
+                let put = Value::from_pairs([
+                    ("k", Value::from(format!("mon.samplers.{name}"))),
+                    ("v", spec_val),
+                ]);
+                self.kvs(ctx, "kvs.put", put, PendingKind::Ignore);
+                self.kvs(ctx, "kvs.commit", Value::object(), PendingKind::AddCommit(msg.clone()));
+            }
+            "up" => {
+                let (Some(name), Some(epoch), Some(sum), Some(min), Some(max), Some(count)) = (
+                    msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
+                    msg.payload.get("epoch").and_then(Value::as_uint),
+                    msg.payload.get("sum").and_then(Value::as_float),
+                    msg.payload.get("min").and_then(Value::as_float),
+                    msg.payload.get("max").and_then(Value::as_float),
+                    msg.payload.get("count").and_then(Value::as_uint),
+                ) else {
+                    return; // one-way
+                };
+                self.contribute(ctx, &name, epoch, Agg { sum, min, max, count });
+            }
+            "list" => {
+                let mut specs = flux_value::Map::new();
+                for (name, spec) in &self.specs {
+                    specs.insert(
+                        name.clone(),
+                        Value::from_pairs([
+                            ("metric", Value::from(spec.metric.as_str())),
+                            ("period", Value::from(spec.period as i64)),
+                        ]),
+                    );
+                }
+                ctx.respond(msg, Value::from_pairs([("samplers", Value::Object(specs))]));
+            }
+            _ => ctx.respond_err(msg, errnum::ENOSYS),
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let Some(kind) = self.pending.remove(&msg.header.id) else { return };
+        match kind {
+            PendingKind::Ignore => {}
+            PendingKind::AddCommit(original) => {
+                if msg.is_error() {
+                    ctx.respond_err(&original, msg.header.errnum);
+                } else {
+                    ctx.respond(&original, Value::object());
+                }
+            }
+            PendingKind::DirListing => {
+                if msg.is_error() {
+                    // No samplers registered yet.
+                    return;
+                }
+                let Some(listing) = msg.payload.get("dir").and_then(Value::as_object) else {
+                    return;
+                };
+                for (name, idv) in listing {
+                    let hex = idv.as_str().unwrap_or_default().to_owned();
+                    if self.listing.get(name) != Some(&hex) {
+                        self.listing.insert(name.clone(), hex);
+                        let get = Value::from_pairs([(
+                            "k",
+                            Value::from(format!("mon.samplers.{name}")),
+                        )]);
+                        self.kvs(ctx, "kvs.get", get, PendingKind::SpecFetch(name.clone()));
+                    }
+                }
+            }
+            PendingKind::SpecFetch(name) => {
+                if msg.is_error() {
+                    return;
+                }
+                let v = msg.payload.get("v");
+                let metric = v
+                    .and_then(|v| v.get("metric"))
+                    .and_then(Value::as_str)
+                    .unwrap_or("load")
+                    .to_owned();
+                let period = v
+                    .and_then(|v| v.get("period"))
+                    .and_then(Value::as_uint)
+                    .unwrap_or(1)
+                    .max(1);
+                self.specs.insert(name, Spec { metric, period });
+            }
+        }
+    }
+
+    fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
+        self.epoch = epoch;
+        // Flush the previous epoch's partial aggregates upward (or, at the
+        // root, into the KVS).
+        self.flush(ctx, epoch);
+        // Sample local metrics for this epoch.
+        let rank = ctx.rank().0;
+        let samples: Vec<(String, Agg)> = self
+            .specs
+            .iter()
+            .filter(|(_, s)| epoch % s.period == 0)
+            .map(|(name, s)| (name.clone(), Agg::of(synth_metric(&s.metric, rank, epoch))))
+            .collect();
+        for (name, agg) in samples {
+            self.contribute(ctx, &name, epoch, agg);
+        }
+        // Keep the spec set fresh (cheap: local KVS walk, cached objects).
+        self.refresh_specs(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synth_metric_is_deterministic_and_bounded() {
+        for metric in ["load", "mem", "net"] {
+            for rank in [0u32, 1, 511] {
+                for epoch in [1u64, 2, 100] {
+                    let a = synth_metric(metric, rank, epoch);
+                    let b = synth_metric(metric, rank, epoch);
+                    assert_eq!(a, b);
+                    assert!((0.0..100.0).contains(&a), "{a}");
+                }
+            }
+        }
+        assert_ne!(synth_metric("load", 0, 1), synth_metric("load", 1, 1));
+        assert_ne!(synth_metric("load", 0, 1), synth_metric("mem", 0, 1));
+    }
+
+    #[test]
+    fn agg_merge_combines() {
+        let mut a = Agg::of(1.0);
+        a.merge(Agg::of(5.0));
+        a.merge(Agg::of(3.0));
+        assert_eq!(a.sum, 9.0);
+        assert_eq!(a.min, 1.0);
+        assert_eq!(a.max, 5.0);
+        assert_eq!(a.count, 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! The `resvc` module: resource enumeration and allocation.
+//!
+//! At session start every broker enumerates its node's resources into the
+//! KVS under `resource.r<rank>` (cores, memory) — "Resources are
+//! enumerated in the KVS and allocated when the scheduler runs an
+//! application." Allocation requests (`resvc.alloc {jobid, nnodes}`)
+//! route to the root instance, which maintains the free set, records the
+//! allocation under `lwj.<jobid>.ranks`, and answers with the granted
+//! ranks. `resvc.free {jobid}` returns them. The Flux framework layer
+//! (flux-core) drives this interface from its schedulers.
+
+use flux_broker::{CommsModule, ModuleCtx};
+use flux_value::Value;
+use flux_wire::{errnum, Message, Topic};
+use std::collections::BTreeSet;
+use std::collections::HashMap;
+
+/// Per-node synthetic inventory, standing in for hwloc discovery on the
+/// paper's testbed nodes (2× 8-core Xeon E5-2670, 32 GB).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct NodeInventory {
+    /// Cores per node.
+    pub cores: u32,
+    /// Memory per node in GiB.
+    pub mem_gb: u32,
+}
+
+impl Default for NodeInventory {
+    fn default() -> Self {
+        NodeInventory { cores: 16, mem_gb: 32 }
+    }
+}
+
+/// The resource service module.
+pub struct ResvcModule {
+    inventory: NodeInventory,
+    /// Root only: ranks not currently allocated.
+    free: BTreeSet<u32>,
+    /// Root only: jobid → allocated ranks.
+    allocations: HashMap<u64, Vec<u32>>,
+    /// Non-root: relayed alloc/free requests awaiting the root.
+    relays: HashMap<flux_wire::MsgId, Message>,
+}
+
+impl ResvcModule {
+    /// Creates the module with the default inventory.
+    pub fn new() -> ResvcModule {
+        Self::with_inventory(NodeInventory::default())
+    }
+
+    /// Creates the module with an explicit per-node inventory.
+    pub fn with_inventory(inventory: NodeInventory) -> ResvcModule {
+        ResvcModule {
+            inventory,
+            free: BTreeSet::new(),
+            allocations: HashMap::new(),
+            relays: HashMap::new(),
+        }
+    }
+
+    fn relay_to_root(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match ctx.request_upstream(msg.header.topic.clone(), msg.payload.clone()) {
+            Ok(id) => {
+                self.relays.insert(id, msg.clone());
+            }
+            Err(e) => ctx.respond_err(msg, e),
+        }
+    }
+
+    fn handle_alloc(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        debug_assert!(ctx.is_root());
+        let (Some(jobid), Some(nnodes)) = (
+            msg.payload.get("jobid").and_then(Value::as_uint),
+            msg.payload.get("nnodes").and_then(Value::as_uint),
+        ) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if nnodes == 0 || self.allocations.contains_key(&jobid) {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
+        if (self.free.len() as u64) < nnodes {
+            ctx.respond_err(msg, errnum::EAGAIN);
+            return;
+        }
+        let granted: Vec<u32> = self.free.iter().take(nnodes as usize).copied().collect();
+        for r in &granted {
+            self.free.remove(r);
+        }
+        self.allocations.insert(jobid, granted.clone());
+        // Record the allocation in the KVS for provenance.
+        let ranks_val =
+            Value::Array(granted.iter().map(|&r| Value::from(r)).collect());
+        let _ = ctx.local_request(
+            Topic::from_static("kvs.put"),
+            Value::from_pairs([
+                ("k", Value::from(format!("lwj.{jobid}.ranks"))),
+                ("v", ranks_val.clone()),
+            ]),
+        );
+        let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+        ctx.respond(
+            msg,
+            Value::from_pairs([
+                ("jobid", Value::from(jobid as i64)),
+                ("ranks", ranks_val),
+            ]),
+        );
+    }
+
+    fn handle_free(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        debug_assert!(ctx.is_root());
+        let Some(jobid) = msg.payload.get("jobid").and_then(Value::as_uint) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        let Some(ranks) = self.allocations.remove(&jobid) else {
+            ctx.respond_err(msg, errnum::ENOENT);
+            return;
+        };
+        self.free.extend(ranks);
+        let _ = ctx.local_request(
+            Topic::from_static("kvs.unlink"),
+            Value::from_pairs([("k", Value::from(format!("lwj.{jobid}.ranks")))]),
+        );
+        let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+        ctx.respond(msg, Value::object());
+    }
+}
+
+impl Default for ResvcModule {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CommsModule for ResvcModule {
+    fn name(&self) -> &'static str {
+        "resvc"
+    }
+
+    fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // Enumerate this node's resources into the KVS.
+        let key = format!("resource.r{}", ctx.rank().0);
+        let inv = Value::from_pairs([
+            ("cores", Value::from(self.inventory.cores)),
+            ("mem_gb", Value::from(self.inventory.mem_gb)),
+            ("rank", Value::from(ctx.rank().0)),
+        ]);
+        let _ = ctx.local_request(
+            Topic::from_static("kvs.put"),
+            Value::from_pairs([("k", Value::from(key)), ("v", inv)]),
+        );
+        // The enumeration lands with a collective fence across all
+        // brokers, so `resource.*` is complete once the fence resolves.
+        let _ = ctx.local_request(
+            Topic::from_static("kvs.fence"),
+            Value::from_pairs([
+                ("name", Value::from("resvc.enumerate")),
+                ("nprocs", Value::from(i64::from(ctx.size() as i32))),
+            ]),
+        );
+        if ctx.is_root() {
+            self.free = (0..ctx.size()).collect();
+        }
+    }
+
+    fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        match msg.header.topic.method() {
+            "alloc" => {
+                if ctx.is_root() {
+                    self.handle_alloc(ctx, msg);
+                } else {
+                    self.relay_to_root(ctx, msg);
+                }
+            }
+            "free" => {
+                if ctx.is_root() {
+                    self.handle_free(ctx, msg);
+                } else {
+                    self.relay_to_root(ctx, msg);
+                }
+            }
+            "status" => {
+                if ctx.is_root() {
+                    ctx.respond(
+                        msg,
+                        Value::from_pairs([
+                            ("free", Value::from(self.free.len())),
+                            ("total", Value::from(ctx.size())),
+                            ("allocated_jobs", Value::from(self.allocations.len())),
+                        ]),
+                    );
+                } else {
+                    self.relay_to_root(ctx, msg);
+                }
+            }
+            _ => ctx.respond_err(msg, errnum::ENOSYS),
+        }
+    }
+
+    fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if let Some(original) = self.relays.remove(&msg.header.id) {
+            if msg.is_error() {
+                ctx.respond_err(&original, msg.header.errnum);
+            } else {
+                ctx.respond(&original, msg.payload.clone());
+            }
+        }
+        // Responses to our own kvs put/commit/fence bookkeeping need no
+        // action.
+    }
+}

@@ -1,0 +1,225 @@
+//! # flux-pmi
+//!
+//! A PMI-style process-management interface over the Flux KVS.
+//!
+//! The paper (§IV-A): *"a custom PMI library allows MPI run-times to
+//! access the Flux KVS and collective barrier modules over this
+//! transport"* — and §V motivates the KAP benchmark with exactly this
+//! pattern: *"distributed HPC software would use KVS operations in a
+//! coordinated fashion to exchange connection information among processes
+//! during its bootstrapping phase as shown in LIBI and PMI."*
+//!
+//! [`Pmi`] exposes the classic PMI-1 surface (`put`, `commit`/`fence`,
+//! `barrier`, `get`) with keys namespaced per job under
+//! `pmi.<jobid>.<rank>.<key>`. Like the rest of flux-rs it is sans-io:
+//! builders return [`flux_wire::Message`]s for the runtime to transmit
+//! and [`Pmi::deliver`] decodes what comes back.
+//!
+//! [`bootstrap_ops`] emits the canonical MPI wire-up exchange as a script
+//! for simulator clients: put your business card, fence with all ranks,
+//! read your peers' cards.
+
+
+#![warn(missing_docs)]
+use flux_broker::ClientId;
+use flux_kvs::client::{KvsClient, KvsDelivery, KvsReply};
+use flux_value::Value;
+use flux_wire::{Message, Rank};
+
+/// A PMI connection for one application process.
+pub struct Pmi {
+    kvs: KvsClient,
+    jobid: String,
+    /// This process's global rank within the application.
+    pub grank: u64,
+    /// Application size in processes.
+    pub size: u64,
+}
+
+/// A decoded PMI reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmiReply {
+    /// `put` acknowledged.
+    PutOk,
+    /// `fence` (commit + barrier) complete; all puts are visible.
+    FenceOk,
+    /// `get` result.
+    Value(Value),
+    /// The operation failed.
+    Err(u32),
+}
+
+/// Classified delivery for a PMI client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PmiDelivery {
+    /// Reply to the request issued under this tag.
+    Reply {
+        /// Caller-chosen tag.
+        tag: u64,
+        /// Decoded reply.
+        reply: PmiReply,
+    },
+    /// Something else (event / stale response).
+    Other(Message),
+}
+
+impl Pmi {
+    /// Creates a PMI connection for process `grank` of `size` in job
+    /// `jobid`, attached to the broker at `broker_rank` as local client
+    /// `client_id`.
+    pub fn new(
+        jobid: impl Into<String>,
+        grank: u64,
+        size: u64,
+        broker_rank: Rank,
+        client_id: ClientId,
+    ) -> Pmi {
+        assert!(size > 0 && grank < size, "rank {grank} outside 0..{size}");
+        Pmi { kvs: KvsClient::new(broker_rank, client_id), jobid: jobid.into(), grank, size }
+    }
+
+    fn key_of(&self, grank: u64, key: &str) -> String {
+        format!("pmi.{}.{grank}.{key}", self.jobid)
+    }
+
+    /// `PMI_KVS_Put(key, val)` — under this process's namespace.
+    pub fn put(&mut self, key: &str, val: Value, tag: u64) -> Message {
+        let k = self.key_of(self.grank, key);
+        self.kvs.put(&k, val, tag)
+    }
+
+    /// `PMI_KVS_Commit + PMI_Barrier` — the Flux KVS fuses both into
+    /// `kvs_fence` across all `size` processes.
+    pub fn fence(&mut self, tag: u64) -> Message {
+        let name = format!("pmi.{}", self.jobid);
+        self.kvs.fence(&name, self.size, tag)
+    }
+
+    /// `PMI_KVS_Get` of `key` from process `grank`'s namespace.
+    pub fn get(&mut self, grank: u64, key: &str, tag: u64) -> Message {
+        let k = self.key_of(grank, key);
+        self.kvs.get(&k, tag)
+    }
+
+    /// Classifies an incoming message.
+    pub fn deliver(&mut self, msg: Message) -> PmiDelivery {
+        match self.kvs.deliver(msg) {
+            KvsDelivery::Reply { tag, reply } => {
+                let reply = match reply {
+                    KvsReply::Ack => PmiReply::PutOk,
+                    KvsReply::Version { .. } => PmiReply::FenceOk,
+                    KvsReply::Value(v) => PmiReply::Value(v),
+                    KvsReply::Err(e) => PmiReply::Err(e),
+                    // Dir listings / watch updates / stats never come back
+                    // for PMI-issued requests.
+                    _ => PmiReply::Err(flux_wire::errnum::EINVAL),
+                };
+                PmiDelivery::Reply { tag, reply }
+            }
+            KvsDelivery::Event(m) | KvsDelivery::Unmatched(m) => PmiDelivery::Other(m),
+        }
+    }
+}
+
+/// The canonical bootstrap exchange as simulator script ops: publish this
+/// process's business card, fence with everyone, then read `fanout`
+/// peers' cards (ring neighbours — each process contacts the next few
+/// ranks, the usual wire-up pattern).
+pub fn bootstrap_ops(jobid: &str, grank: u64, size: u64, fanout: u64) -> Vec<BootstrapOp> {
+    let mut ops = vec![BootstrapOp::Put {
+        key: format!("pmi.{jobid}.{grank}.card"),
+        val: Value::from(format!("endpoint://node/{grank}")),
+    }];
+    ops.push(BootstrapOp::Fence { name: format!("pmi.{jobid}"), nprocs: size });
+    for i in 1..=fanout.min(size.saturating_sub(1)) {
+        let peer = (grank + i) % size;
+        ops.push(BootstrapOp::Get { key: format!("pmi.{jobid}.{peer}.card") });
+    }
+    ops
+}
+
+/// A runtime-agnostic description of one bootstrap step. `flux-rt`'s
+/// `ScriptClient` ops mirror these exactly; the conversion lives with the
+/// caller to keep this crate free of runtime dependencies.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BootstrapOp {
+    /// Publish a value.
+    Put {
+        /// Full KVS key.
+        key: String,
+        /// The business card.
+        val: Value,
+    },
+    /// Collective fence.
+    Fence {
+        /// Fence name.
+        name: String,
+        /// Participants.
+        nprocs: u64,
+    },
+    /// Read a peer's value.
+    Get {
+        /// Full KVS key.
+        key: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_namespaced_per_rank_and_job() {
+        let mut p = Pmi::new("job7", 3, 8, Rank(1), 0);
+        let put = p.put("card", Value::from("x"), 1);
+        assert_eq!(put.payload.get("k"), Some(&Value::from("pmi.job7.3.card")));
+        let get = p.get(5, "card", 2);
+        assert_eq!(get.payload.get("k"), Some(&Value::from("pmi.job7.5.card")));
+    }
+
+    #[test]
+    fn fence_covers_all_processes() {
+        let mut p = Pmi::new("j", 0, 64, Rank(0), 0);
+        let f = p.fence(1);
+        assert_eq!(f.payload.get("name"), Some(&Value::from("pmi.j")));
+        assert_eq!(f.payload.get("nprocs"), Some(&Value::Int(64)));
+    }
+
+    #[test]
+    fn deliver_decodes_lifecycle() {
+        let mut p = Pmi::new("j", 0, 2, Rank(0), 0);
+        let put = p.put("card", Value::from("c"), 1);
+        let ack = Message::response_to(&put, Value::object());
+        assert_eq!(p.deliver(ack), PmiDelivery::Reply { tag: 1, reply: PmiReply::PutOk });
+        let fence = p.fence(2);
+        let done = Message::response_to(
+            &fence,
+            Value::from_pairs([("version", Value::Int(1)), ("root", Value::from("ab"))]),
+        );
+        assert_eq!(p.deliver(done), PmiDelivery::Reply { tag: 2, reply: PmiReply::FenceOk });
+        let get = p.get(1, "card", 3);
+        let val = Message::response_to(&get, Value::from_pairs([("v", Value::from("peer"))]));
+        assert_eq!(
+            p.deliver(val),
+            PmiDelivery::Reply { tag: 3, reply: PmiReply::Value(Value::from("peer")) }
+        );
+    }
+
+    #[test]
+    fn bootstrap_ops_shape() {
+        let ops = bootstrap_ops("mpi1", 2, 8, 3);
+        assert_eq!(ops.len(), 1 + 1 + 3);
+        assert!(matches!(&ops[0], BootstrapOp::Put { key, .. } if key == "pmi.mpi1.2.card"));
+        assert!(matches!(&ops[1], BootstrapOp::Fence { nprocs: 8, .. }));
+        assert!(matches!(&ops[2], BootstrapOp::Get { key } if key == "pmi.mpi1.3.card"));
+        // Fanout clamps for tiny jobs.
+        let tiny = bootstrap_ops("t", 0, 1, 5);
+        assert_eq!(tiny.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_rank_rejected() {
+        let _ = Pmi::new("j", 8, 8, Rank(0), 0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # flux-rt
+//!
+//! Runtimes that host the sans-io CMB brokers:
+//!
+//! * [`sim::SimSession`] — a comms session on the deterministic
+//!   discrete-event simulator (`flux-sim`). One actor per broker, one
+//!   actor per attached client process, the paper's cost model on every
+//!   link. This is where paper-scale runs (512 nodes × 16 processes)
+//!   happen, measured in virtual time.
+//! * [`threads::ThreadSession`] — the same brokers on real OS threads
+//!   connected by crossbeam channels, measured in wall-clock time. Used
+//!   by integration tests and small live demos; it demonstrates that the
+//!   protocol stack is runtime-agnostic (nothing in broker/module/KVS
+//!   code knows which runtime it is on).
+//!
+//! Both runtimes load arbitrary [`flux_broker::CommsModule`] sets, attach
+//! any number of clients per broker, and reconstruct message planes from
+//! message shape (events → event plane, rank-addressed → ring, otherwise
+//! tree), so the wire behaviour matches the paper's three-plane wire-up.
+
+
+#![warn(missing_docs)]
+pub mod script;
+pub mod sim;
+pub mod threads;

@@ -1,0 +1,177 @@
+//! Scripted client processes for simulator sessions.
+//!
+//! A [`ScriptClient`] is an actor that executes a fixed sequence of
+//! [`Op`]s against its local broker, one outstanding request at a time,
+//! recording the virtual completion time of every op. The KAP benchmark
+//! (flux-kap) and the examples are built from these: a KAP producer is
+//! `[Barrier, Put × n, Fence]`, a consumer `[Barrier, Fence, Get × m]`.
+
+use crate::sim::SimSession;
+use flux_broker::client::{ClientCore, Delivery};
+use flux_sim::{Actor, ActorId, Ctx, SimTime};
+use flux_value::Value;
+use flux_wire::{Message, Rank, Topic};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// `kvs.put key = val`.
+    Put {
+        /// Key.
+        key: String,
+        /// Value.
+        val: Value,
+    },
+    /// `kvs.commit`.
+    Commit,
+    /// `kvs.fence name nprocs`.
+    Fence {
+        /// Fence name.
+        name: String,
+        /// Participant count.
+        nprocs: u64,
+    },
+    /// `kvs.get key`.
+    Get {
+        /// Key.
+        key: String,
+    },
+    /// `kvs.get_version`.
+    GetVersion,
+    /// `kvs.wait_version v`.
+    WaitVersion(u64),
+    /// `barrier.enter name nprocs`.
+    Barrier {
+        /// Barrier name.
+        name: String,
+        /// Participant count.
+        nprocs: u64,
+    },
+    /// An arbitrary request.
+    Request {
+        /// Topic.
+        topic: Topic,
+        /// Payload.
+        payload: Value,
+    },
+}
+
+/// The recorded outcome of one script run.
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Completion time of each op, in script order.
+    pub op_done: Vec<SimTime>,
+    /// Error number per op (0 = success).
+    pub op_err: Vec<u32>,
+    /// Raw reply payloads per op.
+    pub replies: Vec<Value>,
+    /// True once every op has completed.
+    pub finished: bool,
+}
+
+/// Shared handle to an outcome, readable after the simulation runs.
+pub type OutcomeHandle = Rc<RefCell<Outcome>>;
+
+/// The scripted client actor.
+pub struct ScriptClient {
+    broker: ActorId,
+    core: ClientCore,
+    ops: Vec<Op>,
+    next: usize,
+    outcome: OutcomeHandle,
+}
+
+impl ScriptClient {
+    /// Attaches a scripted client to `rank` in `session`, returning the
+    /// outcome handle (inspect it after running the engine).
+    pub fn spawn(session: &mut SimSession, rank: Rank, ops: Vec<Op>) -> OutcomeHandle {
+        let outcome: OutcomeHandle = Rc::new(RefCell::new(Outcome::default()));
+        let handle = Rc::clone(&outcome);
+        session.add_client(rank, move |broker, client_id| {
+            Box::new(ScriptClient {
+                broker,
+                core: ClientCore::new(rank, client_id),
+                ops,
+                next: 0,
+                outcome: handle,
+            })
+        });
+        outcome
+    }
+
+    fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(op) = self.ops.get(self.next) else {
+            self.outcome.borrow_mut().finished = true;
+            return;
+        };
+        let tag = self.next as u64;
+        let msg = match op {
+            Op::Put { key, val } => self.core.request(
+                Topic::from_static("kvs.put"),
+                Value::from_pairs([("k", Value::from(key.as_str())), ("v", val.clone())]),
+                tag,
+            ),
+            Op::Commit => {
+                self.core.request(Topic::from_static("kvs.commit"), Value::object(), tag)
+            }
+            Op::Fence { name, nprocs } => self.core.request(
+                Topic::from_static("kvs.fence"),
+                Value::from_pairs([
+                    ("name", Value::from(name.as_str())),
+                    ("nprocs", Value::from(*nprocs as i64)),
+                ]),
+                tag,
+            ),
+            Op::Get { key } => self.core.request(
+                Topic::from_static("kvs.get"),
+                Value::from_pairs([("k", Value::from(key.as_str()))]),
+                tag,
+            ),
+            Op::GetVersion => {
+                self.core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
+            }
+            Op::WaitVersion(v) => self.core.request(
+                Topic::from_static("kvs.wait_version"),
+                Value::from_pairs([("version", Value::from(*v as i64))]),
+                tag,
+            ),
+            Op::Barrier { name, nprocs } => self.core.request(
+                Topic::from_static("barrier.enter"),
+                Value::from_pairs([
+                    ("name", Value::from(name.as_str())),
+                    ("nprocs", Value::from(*nprocs as i64)),
+                ]),
+                tag,
+            ),
+            Op::Request { topic, payload } => {
+                self.core.request(topic.clone(), payload.clone(), tag)
+            }
+        };
+        ctx.send(self.broker, msg);
+    }
+}
+
+impl Actor for ScriptClient {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.issue_next(ctx);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, msg: Message) {
+        match self.core.deliver(msg) {
+            Delivery::Response { tag, msg } => {
+                debug_assert_eq!(tag as usize, self.next, "responses arrive in script order");
+                {
+                    let mut out = self.outcome.borrow_mut();
+                    out.op_done.push(ctx.now());
+                    out.op_err.push(msg.header.errnum);
+                    out.replies.push(msg.payload);
+                }
+                self.next += 1;
+                self.issue_next(ctx);
+            }
+            Delivery::Event(_) | Delivery::Unmatched(_) => {}
+        }
+    }
+}

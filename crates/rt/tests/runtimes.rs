@@ -1,0 +1,248 @@
+//! The same protocol stack on both runtimes.
+
+use flux_broker::client::ClientCore;
+use flux_broker::CommsModule;
+use flux_modules::standard_modules;
+use flux_rt::script::{Op, ScriptClient};
+use flux_rt::sim::SimSession;
+use flux_rt::threads::ThreadSession;
+use flux_sim::{NetParams, SimTime};
+use flux_value::Value;
+use flux_wire::{Rank, Topic};
+use std::time::Duration;
+
+fn kvs_only(_r: Rank) -> Vec<Box<dyn CommsModule>> {
+    vec![
+        Box::new(flux_kvs::KvsModule::new()),
+        Box::new(flux_modules::BarrierModule::new()),
+    ]
+}
+
+#[test]
+fn sim_put_commit_get_across_session() {
+    let mut s = SimSession::new(64, 2, NetParams::default(), kvs_only);
+    let writer = ScriptClient::spawn(
+        &mut s,
+        Rank(63),
+        vec![
+            Op::Put { key: "sim.x".into(), val: Value::Int(7) },
+            Op::Commit,
+        ],
+    );
+    let end = s.run_until_quiet();
+    assert!(writer.borrow().finished);
+    assert!(writer.borrow().op_err.iter().all(|&e| e == 0));
+    assert!(end > SimTime::ZERO);
+
+    // A reader at another leaf, in a second phase.
+    let reader = ScriptClient::spawn(&mut s, Rank(33), vec![Op::Get { key: "sim.x".into() }]);
+    s.run_until_quiet();
+    let out = reader.borrow();
+    assert!(out.finished);
+    assert_eq!(out.op_err, [0]);
+    assert_eq!(out.replies[0].get("v"), Some(&Value::Int(7)));
+}
+
+#[test]
+fn sim_fence_synchronizes_all_writers() {
+    let size = 32u32;
+    let mut s = SimSession::new(size, 2, NetParams::default(), kvs_only);
+    let outcomes: Vec<_> = (0..size)
+        .map(|r| {
+            ScriptClient::spawn(
+                &mut s,
+                Rank(r),
+                vec![
+                    Op::Put { key: format!("f.k{r}"), val: Value::Int(i64::from(r)) },
+                    Op::Fence { name: "all".into(), nprocs: u64::from(size) },
+                    Op::Get { key: format!("f.k{}", (r + 1) % size) },
+                ],
+            )
+        })
+        .collect();
+    s.run_until_quiet();
+    for (r, o) in outcomes.iter().enumerate() {
+        let o = o.borrow();
+        assert!(o.finished, "rank {r}");
+        assert_eq!(o.op_err, [0, 0, 0], "rank {r}");
+        // The post-fence read of the neighbour's key succeeds.
+        let want = i64::try_from((r + 1) % size as usize).unwrap();
+        assert_eq!(o.replies[2].get("v"), Some(&Value::Int(want)), "rank {r}");
+        // The fence completes strictly after the put.
+        assert!(o.op_done[1] > o.op_done[0]);
+    }
+}
+
+#[test]
+fn sim_is_deterministic() {
+    let run = || {
+        let mut s = SimSession::new(16, 2, NetParams::default(), kvs_only);
+        let outs: Vec<_> = (0..16)
+            .map(|r| {
+                ScriptClient::spawn(
+                    &mut s,
+                    Rank(r),
+                    vec![
+                        Op::Put { key: format!("d.k{r}"), val: Value::from("v".repeat(64)) },
+                        Op::Fence { name: "d".into(), nprocs: 16 },
+                    ],
+                )
+            })
+            .collect();
+        let end = s.run_until_quiet();
+        let times: Vec<Vec<u64>> = outs
+            .iter()
+            .map(|o| o.borrow().op_done.iter().map(|t| t.as_nanos()).collect())
+            .collect();
+        (end, times, s.engine().stats())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn sim_sixteen_clients_per_node_like_the_paper() {
+    // The paper fully populates each node with 16 processes.
+    let nodes = 8u32;
+    let procs_per_node = 16u32;
+    let total = u64::from(nodes * procs_per_node);
+    let mut s = SimSession::new(nodes, 2, NetParams::default(), kvs_only);
+    let mut outcomes = Vec::new();
+    for node in 0..nodes {
+        for p in 0..procs_per_node {
+            let gid = node * procs_per_node + p;
+            outcomes.push(ScriptClient::spawn(
+                &mut s,
+                Rank(node),
+                vec![
+                    Op::Put { key: format!("m.k{gid}"), val: Value::Int(i64::from(gid)) },
+                    Op::Fence { name: "m".into(), nprocs: total },
+                ],
+            ));
+        }
+    }
+    s.run_until_quiet();
+    for (i, o) in outcomes.iter().enumerate() {
+        let o = o.borrow();
+        assert!(o.finished, "proc {i}");
+        assert_eq!(o.op_err, [0, 0], "proc {i}");
+    }
+}
+
+#[test]
+fn sim_failure_detection_and_selfheal_in_virtual_time() {
+    // Full module set (hb + live drive detection).
+    let mut s = SimSession::new(15, 2, NetParams::default(), |_| standard_modules());
+    // Let the session settle (resvc fence + a few heartbeats).
+    s.run_until(SimTime::from_nanos(500_000_000));
+    s.kill_broker(Rank(5));
+    // Heartbeat period 100ms, miss limit 3: detection within ~1s.
+    s.run_until(SimTime::from_nanos(2_000_000_000));
+    // Rank 11 (child of dead 5) can still commit to the KVS.
+    let orphan = ScriptClient::spawn(
+        &mut s,
+        Rank(11),
+        vec![
+            Op::Put { key: "heal.k".into(), val: Value::from("alive") },
+            Op::Commit,
+            Op::Get { key: "heal.k".into() },
+        ],
+    );
+    s.run_until(SimTime::from_nanos(4_000_000_000));
+    let o = orphan.borrow();
+    assert!(o.finished, "orphaned rank finished its script");
+    assert_eq!(o.op_err, [0, 0, 0]);
+    assert_eq!(o.replies[2].get("v"), Some(&Value::from("alive")));
+}
+
+#[test]
+fn threads_put_commit_get_and_barrier() {
+    let size = 8u32;
+    let mut builder = ThreadSession::builder(size, 2, |_| {
+        vec![
+            Box::new(flux_kvs::KvsModule::new()) as Box<dyn CommsModule>,
+            Box::new(flux_modules::BarrierModule::new()),
+        ]
+    });
+    let writer = builder.attach_client(Rank(5));
+    let reader = builder.attach_client(Rank(2));
+    let b1 = builder.attach_client(Rank(0));
+    let b2 = builder.attach_client(Rank(7));
+    let session = builder.start();
+
+    let timeout = Duration::from_secs(5);
+
+    // Writer: put + commit.
+    let mut wc = ClientCore::new(Rank(5), writer.client_id);
+    writer.send(wc.request(
+        Topic::from_static("kvs.put"),
+        Value::from_pairs([("k", Value::from("t.x")), ("v", Value::Int(11))]),
+        1,
+    ));
+    let resp = writer.recv_timeout(timeout).expect("put ack");
+    assert!(!resp.is_error());
+    writer.send(wc.request(Topic::from_static("kvs.commit"), Value::object(), 2));
+    let resp = writer.recv_timeout(timeout).expect("commit reply");
+    assert!(!resp.is_error());
+    let version = resp.payload.get("version").and_then(Value::as_uint).unwrap();
+    assert!(version >= 1);
+
+    // Reader on another broker: wait for the version, then get.
+    let mut rc = ClientCore::new(Rank(2), reader.client_id);
+    reader.send(rc.request(
+        Topic::from_static("kvs.wait_version"),
+        Value::from_pairs([("version", Value::from(version as i64))]),
+        1,
+    ));
+    assert!(!reader.recv_timeout(timeout).expect("wait reply").is_error());
+    reader.send(rc.request(
+        Topic::from_static("kvs.get"),
+        Value::from_pairs([("k", Value::from("t.x"))]),
+        2,
+    ));
+    let resp = reader.recv_timeout(timeout).expect("get reply");
+    assert_eq!(resp.payload.get("v"), Some(&Value::Int(11)));
+
+    // Barrier across two threads.
+    let mut c1 = ClientCore::new(Rank(0), b1.client_id);
+    let mut c2 = ClientCore::new(Rank(7), b2.client_id);
+    let enter = |c: &mut ClientCore| {
+        c.request(
+            Topic::from_static("barrier.enter"),
+            Value::from_pairs([("name", Value::from("tb")), ("nprocs", Value::Int(2))]),
+            3,
+        )
+    };
+    b1.send(enter(&mut c1));
+    b2.send(enter(&mut c2));
+    assert!(!b1.recv_timeout(timeout).expect("b1 released").is_error());
+    assert!(!b2.recv_timeout(timeout).expect("b2 released").is_error());
+
+    session.shutdown();
+}
+
+#[test]
+fn threads_watch_streams_updates() {
+    let mut builder = ThreadSession::builder(4, 2, |_| {
+        vec![Box::new(flux_kvs::KvsModule::new()) as Box<dyn CommsModule>]
+    });
+    let watcher = builder.attach_client(Rank(3));
+    let writer = builder.attach_client(Rank(1));
+    let session = builder.start();
+    let timeout = Duration::from_secs(5);
+
+    let mut wcli = flux_kvs::client::KvsClient::new(Rank(3), watcher.client_id);
+    let (wreq, _) = wcli.watch("tw.key", 1);
+    watcher.send(wreq);
+    let snap = watcher.recv_timeout(timeout).expect("initial snapshot");
+    assert_eq!(snap.payload.get("v"), Some(&Value::Null));
+
+    let mut pcli = flux_kvs::client::KvsClient::new(Rank(1), writer.client_id);
+    writer.send(pcli.put("tw.key", Value::Int(5), 1));
+    assert!(writer.recv_timeout(timeout).is_some());
+    writer.send(pcli.commit(2));
+    assert!(writer.recv_timeout(timeout).is_some());
+
+    let update = watcher.recv_timeout(timeout).expect("watch update");
+    assert_eq!(update.payload.get("v"), Some(&Value::Int(5)));
+    session.shutdown();
+}

@@ -1,0 +1,85 @@
+//! Actors and their execution context.
+
+use crate::time::{SimDuration, SimTime};
+use flux_wire::Message;
+
+/// Identifies an actor within an [`crate::Engine`].
+pub type ActorId = usize;
+
+/// Identifies a simulated node (host). Actors on the same node talk over
+/// the cheap IPC class; actors on different nodes over the network class.
+pub type NodeId = usize;
+
+/// A simulated process: a CMB broker, a KAP client, a launched task.
+///
+/// Handlers run to completion at a single virtual instant; time advances
+/// only through message transfer costs and timers. Actors communicate
+/// exclusively through [`Ctx`].
+pub trait Actor {
+    /// Called once when the simulation starts (or when the actor is added
+    /// to a running simulation).
+    fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}
+
+    /// A message has arrived from `from`.
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Message);
+
+    /// A timer set with [`Ctx::set_timer`] has fired.
+    fn on_timer(&mut self, _ctx: &mut Ctx<'_>, _token: u64) {}
+
+    /// The actor has been killed by failure injection. No further handlers
+    /// will run. Most actors need no cleanup in a simulation; the default
+    /// does nothing.
+    fn on_kill(&mut self, _now: SimTime) {}
+}
+
+/// What an actor asked the engine to do; drained after each handler.
+pub(crate) enum Action {
+    Send { to: ActorId, msg: Message },
+    SetTimer { delay: SimDuration, token: u64 },
+    Kill { victim: ActorId },
+    Stop,
+}
+
+/// Handler context: the only channel from actors back to the engine.
+pub struct Ctx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) self_id: ActorId,
+    pub(crate) actions: &'a mut Vec<Action>,
+}
+
+impl<'a> Ctx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This actor's id.
+    pub fn self_id(&self) -> ActorId {
+        self.self_id
+    }
+
+    /// Sends `msg` to another actor. Transfer cost and latency are charged
+    /// by the engine based on message size and placement; delivery order
+    /// per (sender, receiver) pair is FIFO.
+    pub fn send(&mut self, to: ActorId, msg: Message) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Arranges for [`Actor::on_timer`] to run `delay` from now with
+    /// `token`. Timers are not cancellable; stale timers are cheap to
+    /// ignore by checking state in the handler.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.actions.push(Action::SetTimer { delay, token });
+    }
+
+    /// Failure injection: kill `victim` (possibly self) at the current
+    /// instant. In-flight messages to and from it are dropped.
+    pub fn kill(&mut self, victim: ActorId) {
+        self.actions.push(Action::Kill { victim });
+    }
+
+    /// Stops the whole simulation after this handler returns.
+    pub fn stop(&mut self) {
+        self.actions.push(Action::Stop);
+    }
+}

@@ -1,0 +1,493 @@
+//! The discrete-event engine.
+
+use crate::actor::{Action, Actor, ActorId, Ctx, NodeId};
+use crate::net::NetParams;
+use crate::time::SimTime;
+use flux_wire::Message;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Aggregate counters maintained by the engine.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Events processed (delivery, handling, timers).
+    pub events: u64,
+    /// Messages handed to actor handlers.
+    pub messages_delivered: u64,
+    /// Sum of wire sizes of delivered messages.
+    pub bytes_delivered: u64,
+    /// Messages dropped because the receiver was dead.
+    pub messages_dropped: u64,
+}
+
+/// Heap entries. `seq` breaks time ties deterministically in insertion
+/// order, which makes whole simulations bit-reproducible.
+enum EventKind {
+    /// A message finished propagating and reached `to`'s receive queue.
+    Arrive { to: ActorId, from: ActorId, msg: Message, bytes: usize },
+    /// `to`'s receive processing of a message completed; run the handler.
+    Handle { to: ActorId, from: ActorId, msg: Message, bytes: usize },
+    /// A timer fires.
+    Timer { actor: ActorId, token: u64 },
+    /// Run `on_start` for a newly added actor.
+    Start { actor: ActorId },
+}
+
+struct Slot {
+    actor: Box<dyn Actor>,
+    node: NodeId,
+    dead: bool,
+    tx_free: SimTime,
+    rx_free: SimTime,
+}
+
+/// The discrete-event engine: owns actors, the clock, and the event heap.
+pub struct Engine {
+    params: NetParams,
+    slots: Vec<Slot>,
+    node_count: usize,
+    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
+    /// Event payloads, indexed by the heap entry's third field. Slots are
+    /// taken (replaced with None) when popped.
+    pending: Vec<Option<EventKind>>,
+    free_pending: Vec<usize>,
+    seq: u64,
+    now: SimTime,
+    stopped: bool,
+    stats: EngineStats,
+    event_limit: u64,
+    actions: Vec<Action>,
+}
+
+impl Engine {
+    /// Creates an engine with the given cost model.
+    pub fn new(params: NetParams) -> Engine {
+        Engine {
+            params,
+            slots: Vec::new(),
+            node_count: 0,
+            heap: BinaryHeap::new(),
+            pending: Vec::new(),
+            free_pending: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            stopped: false,
+            stats: EngineStats::default(),
+            event_limit: u64::MAX,
+            actions: Vec::new(),
+        }
+    }
+
+    /// Caps the number of events processed; exceeding it panics. Useful to
+    /// catch protocol livelock in tests.
+    pub fn set_event_limit(&mut self, limit: u64) {
+        self.event_limit = limit;
+    }
+
+    /// Adds a host. Actors placed on the same node use the IPC cost class.
+    pub fn add_node(&mut self) -> NodeId {
+        self.node_count += 1;
+        self.node_count - 1
+    }
+
+    /// Places an actor on `node` and schedules its `on_start` at the
+    /// current time.
+    ///
+    /// # Panics
+    /// Panics if `node` was not created by [`Engine::add_node`].
+    pub fn add_actor(&mut self, node: NodeId, actor: Box<dyn Actor>) -> ActorId {
+        assert!(node < self.node_count, "unknown node {node}");
+        let id = self.slots.len();
+        self.slots.push(Slot {
+            actor,
+            node,
+            dead: false,
+            tx_free: self.now,
+            rx_free: self.now,
+        });
+        self.push_event(self.now, EventKind::Start { actor: id });
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Counters so far.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The node an actor is placed on.
+    pub fn node_of(&self, a: ActorId) -> NodeId {
+        self.slots[a].node
+    }
+
+    /// True if `a` has been killed.
+    pub fn is_dead(&self, a: ActorId) -> bool {
+        self.slots[a].dead
+    }
+
+    /// Kills an actor from outside the simulation (failure injection
+    /// between runs).
+    pub fn kill(&mut self, a: ActorId) {
+        if !self.slots[a].dead {
+            self.slots[a].dead = true;
+            let now = self.now;
+            self.slots[a].actor.on_kill(now);
+        }
+    }
+
+    /// Borrows an actor, e.g. to inspect its final state after [`Engine::run`].
+    ///
+    /// The actor must be downcast by the caller; typed access is normally
+    /// provided by the harness that created the actor (see flux-rt).
+    pub fn actor_mut(&mut self, a: ActorId) -> &mut dyn Actor {
+        &mut *self.slots[a].actor
+    }
+
+    /// Runs until the event heap drains or an actor calls [`Ctx::stop`].
+    /// Returns the final virtual time.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::from_nanos(u64::MAX))
+    }
+
+    /// Runs until `deadline` (inclusive), the heap drains, or an actor
+    /// stops the simulation. Returns the current virtual time.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        while !self.stopped {
+            let Some(&Reverse((t, _, _))) = self.heap.peek() else { break };
+            if t > deadline {
+                // Advance the clock to the deadline so repeated bounded
+                // runs make forward progress even with a far-future event.
+                self.now = deadline;
+                return self.now;
+            }
+            let Reverse((t, _, idx)) = self.heap.pop().expect("peeked");
+            let kind = self.pending[idx].take().expect("event payload present");
+            self.free_pending.push(idx);
+            self.now = t;
+            self.stats.events += 1;
+            assert!(self.stats.events <= self.event_limit, "event limit exceeded: livelock?");
+            self.dispatch(kind);
+        }
+        self.now
+    }
+
+    fn dispatch(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Start { actor } => {
+                if self.slots[actor].dead {
+                    return;
+                }
+                let mut actions = std::mem::take(&mut self.actions);
+                {
+                    let mut ctx = Ctx { now: self.now, self_id: actor, actions: &mut actions };
+                    self.slots[actor].actor.on_start(&mut ctx);
+                }
+                self.actions = actions;
+                self.drain_actions(actor);
+            }
+            EventKind::Timer { actor, token } => {
+                if self.slots[actor].dead {
+                    return;
+                }
+                let mut actions = std::mem::take(&mut self.actions);
+                {
+                    let mut ctx = Ctx { now: self.now, self_id: actor, actions: &mut actions };
+                    self.slots[actor].actor.on_timer(&mut ctx, token);
+                }
+                self.actions = actions;
+                self.drain_actions(actor);
+            }
+            EventKind::Arrive { to, from, msg, bytes } => {
+                if self.slots[to].dead {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                // Serialize receive processing: the message occupies the
+                // receiver from max(now, rx_free) for rx_time.
+                let rx_start = self.now.max(self.slots[to].rx_free);
+                let rx_end = rx_start + self.params.rx_time(bytes);
+                self.slots[to].rx_free = rx_end;
+                self.push_event(rx_end, EventKind::Handle { to, from, msg, bytes });
+            }
+            EventKind::Handle { to, from, msg, bytes } => {
+                if self.slots[to].dead {
+                    self.stats.messages_dropped += 1;
+                    return;
+                }
+                self.stats.messages_delivered += 1;
+                self.stats.bytes_delivered += bytes as u64;
+                let mut actions = std::mem::take(&mut self.actions);
+                {
+                    let mut ctx = Ctx { now: self.now, self_id: to, actions: &mut actions };
+                    self.slots[to].actor.on_message(&mut ctx, from, msg);
+                }
+                self.actions = actions;
+                self.drain_actions(to);
+            }
+        }
+    }
+
+    fn drain_actions(&mut self, origin: ActorId) {
+        // Actions may enqueue further actions only via events, so a single
+        // pass suffices.
+        let actions = std::mem::take(&mut self.actions);
+        for action in actions {
+            match action {
+                Action::Send { to, msg } => self.do_send(origin, to, msg),
+                Action::SetTimer { delay, token } => {
+                    self.push_event(self.now + delay, EventKind::Timer { actor: origin, token });
+                }
+                Action::Kill { victim } => {
+                    assert!(victim < self.slots.len(), "kill of unknown actor {victim}");
+                    if !self.slots[victim].dead {
+                        self.slots[victim].dead = true;
+                        let now = self.now;
+                        self.slots[victim].actor.on_kill(now);
+                    }
+                }
+                Action::Stop => self.stopped = true,
+            }
+        }
+    }
+
+    fn do_send(&mut self, from: ActorId, to: ActorId, msg: Message) {
+        assert!(to < self.slots.len(), "send to unknown actor {to}");
+        if self.slots[to].dead {
+            self.stats.messages_dropped += 1;
+            return;
+        }
+        let bytes = msg.wire_size();
+        let same_node = self.slots[from].node == self.slots[to].node;
+        // Serialize the transmit path: store-and-forward.
+        let tx_start = self.now.max(self.slots[from].tx_free);
+        let tx_end = tx_start + self.params.tx_time(bytes, same_node);
+        self.slots[from].tx_free = tx_end;
+        let arrive = tx_end + self.params.latency(same_node);
+        self.push_event(arrive, EventKind::Arrive { to, from, msg, bytes });
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let idx = match self.free_pending.pop() {
+            Some(i) => {
+                self.pending[i] = Some(kind);
+                i
+            }
+            None => {
+                self.pending.push(Some(kind));
+                self.pending.len() - 1
+            }
+        };
+        self.seq += 1;
+        self.heap.push(Reverse((at, self.seq, idx)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+    use flux_value::Value;
+    use flux_wire::{MsgId, Rank, Topic};
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn msg(seq: u64, size: usize) -> Message {
+        Message::event(
+            Topic::from_static("t"),
+            MsgId { origin: Rank(0), seq },
+            Rank(0),
+            Value::from("x".repeat(size)),
+        )
+    }
+
+    /// Records arrival (seq, time) pairs.
+    struct Recorder {
+        log: Rc<RefCell<Vec<(u64, SimTime)>>>,
+    }
+    impl Actor for Recorder {
+        fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, m: Message) {
+            self.log.borrow_mut().push((m.header.id.seq, ctx.now()));
+        }
+    }
+
+    /// Sends a burst of messages at start.
+    struct Burst {
+        to: ActorId,
+        sizes: Vec<usize>,
+    }
+    impl Actor for Burst {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            for (i, &s) in self.sizes.iter().enumerate() {
+                ctx.send(self.to, msg(i as u64, s));
+            }
+        }
+        fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Message) {}
+    }
+
+    fn two_node_setup(sizes: Vec<usize>) -> (Engine, Rc<RefCell<Vec<(u64, SimTime)>>>) {
+        let mut eng = Engine::new(NetParams::default());
+        let n0 = eng.add_node();
+        let n1 = eng.add_node();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let rec = eng.add_actor(n1, Box::new(Recorder { log: Rc::clone(&log) }));
+        eng.add_actor(n0, Box::new(Burst { to: rec, sizes }));
+        (eng, log)
+    }
+
+    #[test]
+    fn fifo_delivery_per_pair() {
+        let (mut eng, log) = two_node_setup((0..20).map(|_| 64).collect());
+        eng.run();
+        let got: Vec<u64> = log.borrow().iter().map(|&(s, _)| s).collect();
+        assert_eq!(got, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn transfer_cost_scales_with_size() {
+        let (mut eng1, log1) = two_node_setup(vec![8]);
+        eng1.run();
+        let (mut eng2, log2) = two_node_setup(vec![1 << 20]);
+        eng2.run();
+        let t_small = log1.borrow()[0].1;
+        let t_big = log2.borrow()[0].1;
+        assert!(t_big.as_nanos() > 10 * t_small.as_nanos(), "{t_small} vs {t_big}");
+    }
+
+    #[test]
+    fn tx_serialization_queues_sends() {
+        // 10 × 64 KiB back-to-back: the last arrival must be ~10 transfer
+        // times out, not 1 (store-and-forward).
+        let (mut eng, log) = two_node_setup(vec![64 << 10; 10]);
+        eng.run();
+        let log = log.borrow();
+        let first = log.first().unwrap().1;
+        let last = log.last().unwrap().1;
+        assert!(
+            last.as_nanos() - first.as_nanos() > 8 * (first.as_nanos() / 2),
+            "first {first}, last {last}"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let run = || {
+            let (mut eng, log) = two_node_setup(vec![100, 5000, 8, 64 << 10, 17]);
+            eng.run();
+            let v = log.borrow().clone();
+            (v, eng.stats())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T {
+            log: Rc<RefCell<Vec<u64>>>,
+        }
+        impl Actor for T {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_micros(30), 3);
+                ctx.set_timer(SimDuration::from_micros(10), 1);
+                ctx.set_timer(SimDuration::from_micros(20), 2);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Message) {}
+            fn on_timer(&mut self, _: &mut Ctx<'_>, token: u64) {
+                self.log.borrow_mut().push(token);
+            }
+        }
+        let mut eng = Engine::new(NetParams::default());
+        let n = eng.add_node();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        eng.add_actor(n, Box::new(T { log: Rc::clone(&log) }));
+        eng.run();
+        assert_eq!(*log.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn dead_actors_drop_messages() {
+        let (mut eng, log) = two_node_setup(vec![64; 5]);
+        // Kill the recorder (actor id 0) before running.
+        eng.kill(0);
+        eng.run();
+        assert!(log.borrow().is_empty());
+        assert_eq!(eng.stats().messages_dropped, 5);
+        assert!(eng.is_dead(0));
+    }
+
+    #[test]
+    fn stop_halts_simulation() {
+        struct Stopper;
+        impl Actor for Stopper {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_micros(1), 0);
+                ctx.set_timer(SimDuration::from_secs(100), 1);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Message) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(token, 0, "second timer must never fire");
+                ctx.stop();
+            }
+        }
+        let mut eng = Engine::new(NetParams::default());
+        let n = eng.add_node();
+        eng.add_actor(n, Box::new(Stopper));
+        let end = eng.run();
+        assert!(end < SimTime::from_nanos(1_000_000_000));
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let (mut eng, log) = two_node_setup(vec![64; 3]);
+        let deadline = SimTime::from_nanos(100);
+        let t = eng.run_until(deadline);
+        assert!(t <= deadline);
+        let _ = log;
+        // Remaining events still processed by a full run.
+        eng.run();
+        assert_eq!(eng.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_catches_livelock() {
+        struct PingPong {
+            peer: ActorId,
+        }
+        impl Actor for PingPong {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.peer, msg(0, 8));
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, m: Message) {
+                ctx.send(from, m);
+            }
+        }
+        let mut eng = Engine::new(NetParams::default());
+        let n = eng.add_node();
+        // Two mutually-pinging actors; ids are assigned sequentially.
+        let a = eng.add_actor(n, Box::new(PingPong { peer: 1 }));
+        let _b = eng.add_actor(n, Box::new(PingPong { peer: a }));
+        eng.set_event_limit(1000);
+        eng.run();
+    }
+
+    #[test]
+    fn ipc_faster_than_network() {
+        // Same payload: co-located pair vs remote pair.
+        let time_for = |colocate: bool| {
+            let mut eng = Engine::new(NetParams::default());
+            let n0 = eng.add_node();
+            let n1 = if colocate { n0 } else { eng.add_node() };
+            let log = Rc::new(RefCell::new(Vec::new()));
+            let rec = eng.add_actor(n1, Box::new(Recorder { log: Rc::clone(&log) }));
+            eng.add_actor(n0, Box::new(Burst { to: rec, sizes: vec![32 << 10] }));
+            eng.run();
+            let t = log.borrow()[0].1;
+            t
+        };
+        assert!(time_for(true) < time_for(false));
+    }
+}

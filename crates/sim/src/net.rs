@@ -1,0 +1,105 @@
+//! The network/host cost model.
+
+use crate::time::SimDuration;
+
+/// Cost-model parameters for the simulated cluster.
+///
+/// Defaults approximate the paper's testbed: QDR Infiniband
+/// (~1.3 µs one-way latency, ~3.2 GB/s effective per link) between nodes,
+/// UNIX-domain IPC within a node, and a per-message software cost on both
+/// the send and receive paths (the ØMQ/broker stack). Absolute values only
+/// scale the figures; the *shapes* come from the protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct NetParams {
+    /// One-way wire latency between distinct nodes.
+    pub net_latency: SimDuration,
+    /// Per-byte transfer time between distinct nodes (inverse bandwidth).
+    pub net_ns_per_kib: u64,
+    /// Fixed software cost to transmit one message (any class).
+    pub send_overhead: SimDuration,
+    /// One-way latency for same-node IPC.
+    pub ipc_latency: SimDuration,
+    /// Per-byte transfer time for same-node IPC.
+    pub ipc_ns_per_kib: u64,
+    /// Fixed cost for the receiver to process one message.
+    pub recv_overhead: SimDuration,
+    /// Per-byte cost for the receiver to process a message (parsing,
+    /// hashing, cache insertion).
+    pub recv_ns_per_kib: u64,
+}
+
+impl Default for NetParams {
+    fn default() -> Self {
+        NetParams {
+            net_latency: SimDuration::from_nanos(1_300),
+            // ~3.2 GB/s  =>  ~305 ns per KiB.
+            net_ns_per_kib: 305,
+            send_overhead: SimDuration::from_nanos(500),
+            ipc_latency: SimDuration::from_nanos(300),
+            // ~8 GB/s over shared memory  =>  ~122 ns per KiB.
+            ipc_ns_per_kib: 122,
+            recv_overhead: SimDuration::from_nanos(400),
+            recv_ns_per_kib: 60,
+        }
+    }
+}
+
+impl NetParams {
+    /// Time the sender's transmit path is busy pushing `bytes` out
+    /// (excludes propagation latency, which overlaps with the next send).
+    pub fn tx_time(&self, bytes: usize, same_node: bool) -> SimDuration {
+        let per_kib = if same_node { self.ipc_ns_per_kib } else { self.net_ns_per_kib };
+        let transfer = (bytes as u64).saturating_mul(per_kib) / 1024;
+        self.send_overhead + SimDuration::from_nanos(transfer)
+    }
+
+    /// Propagation latency for one message.
+    pub fn latency(&self, same_node: bool) -> SimDuration {
+        if same_node {
+            self.ipc_latency
+        } else {
+            self.net_latency
+        }
+    }
+
+    /// Time the receiver is busy absorbing `bytes`.
+    pub fn rx_time(&self, bytes: usize) -> SimDuration {
+        let extra = (bytes as u64).saturating_mul(self.recv_ns_per_kib) / 1024;
+        self.recv_overhead + SimDuration::from_nanos(extra)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bigger_messages_cost_more() {
+        let p = NetParams::default();
+        assert!(p.tx_time(1 << 20, false) > p.tx_time(8, false));
+        assert!(p.rx_time(1 << 20) > p.rx_time(8));
+    }
+
+    #[test]
+    fn ipc_cheaper_than_net() {
+        let p = NetParams::default();
+        assert!(p.tx_time(4096, true) < p.tx_time(4096, false));
+        assert!(p.latency(true) < p.latency(false));
+    }
+
+    #[test]
+    fn megabyte_transfer_time_is_sane() {
+        let p = NetParams::default();
+        // 1 MiB at ~3.2 GB/s should take on the order of 300 µs.
+        let t = p.tx_time(1 << 20, false);
+        assert!(t.as_micros_f64() > 200.0 && t.as_micros_f64() < 500.0, "{t}");
+    }
+
+    #[test]
+    fn overflow_resistant() {
+        let p = NetParams::default();
+        // Absurd sizes must not panic.
+        let _ = p.tx_time(usize::MAX, false);
+        let _ = p.rx_time(usize::MAX);
+    }
+}

@@ -1,0 +1,183 @@
+//! Virtual time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in nanoseconds since simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed time since `earlier`.
+    ///
+    /// # Panics
+    /// Panics if `earlier` is later than `self` (a causality bug).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.checked_sub(earlier.0).expect("time went backwards"))
+    }
+}
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimDuration {
+        SimDuration(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> SimDuration {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> SimDuration {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs from whole seconds.
+    pub const fn from_secs(s: u64) -> SimDuration {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// As floating-point microseconds (for reporting).
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// As floating-point milliseconds (for reporting).
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// As floating-point seconds (for reporting).
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating scalar multiply.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        *self = *self + d;
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_micros(5);
+        assert_eq!(t.as_nanos(), 5_000);
+        let t2 = t + SimDuration::from_nanos(1);
+        assert_eq!((t2 - t).as_nanos(), 1);
+        assert_eq!(t2.since(t), SimDuration::from_nanos(1));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(SimDuration::from_millis(2).as_nanos(), 2_000_000);
+        assert_eq!(SimDuration::from_secs(1).as_nanos(), 1_000_000_000);
+        assert!((SimDuration::from_micros(1500).as_millis_f64() - 1.5).abs() < 1e-12);
+        assert!((SimDuration::from_millis(250).as_secs_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn negative_elapsed_panics() {
+        let early = SimTime::from_nanos(5);
+        let late = SimTime::from_nanos(10);
+        let _ = early.since(late);
+    }
+
+    #[test]
+    fn display_picks_units() {
+        assert_eq!(SimDuration::from_nanos(12).to_string(), "12ns");
+        assert_eq!(SimDuration::from_micros(12).to_string(), "12.000us");
+        assert_eq!(SimDuration::from_millis(12).to_string(), "12.000ms");
+        assert_eq!(SimDuration::from_secs(2).to_string(), "2.000s");
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let huge = SimDuration::from_nanos(u64::MAX);
+        assert_eq!(huge.saturating_mul(2).as_nanos(), u64::MAX);
+        assert_eq!((SimTime::from_nanos(u64::MAX) + huge).as_nanos(), u64::MAX);
+    }
+}

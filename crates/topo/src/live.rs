@@ -1,0 +1,163 @@
+//! Liveness tracking and self-heal reparenting.
+//!
+//! The paper: *"Each message plane implements reliable, in-order message
+//! delivery, and can self-heal when interior nodes fail."* [`LiveSet`]
+//! tracks which ranks are up and answers the reparenting question: when a
+//! node's tree parent is dead, traffic re-attaches to the nearest live
+//! ancestor, skipping any dead interior nodes on the way to the root.
+//!
+//! Root failure is out of scope, exactly as in the paper ("A design for
+//! comprehensive fault tolerance, including root node failure, is a
+//! near-term project activity").
+
+use crate::Tree;
+use flux_wire::Rank;
+
+/// Tracks per-rank liveness for a session of fixed size.
+#[derive(Clone, Debug)]
+pub struct LiveSet {
+    up: Vec<bool>,
+}
+
+impl LiveSet {
+    /// Creates a set with all `size` ranks alive.
+    pub fn new(size: u32) -> LiveSet {
+        LiveSet { up: vec![true; size as usize] }
+    }
+
+    /// Number of ranks tracked.
+    pub fn size(&self) -> u32 {
+        self.up.len() as u32
+    }
+
+    /// True if `r` is alive.
+    pub fn is_up(&self, r: Rank) -> bool {
+        self.up.get(r.index()).copied().unwrap_or(false)
+    }
+
+    /// Marks `r` dead.
+    ///
+    /// # Panics
+    /// Panics on an attempt to kill the session root — the paper's
+    /// prototype does not tolerate root failure and neither do we; callers
+    /// must treat root death as session death.
+    pub fn mark_down(&mut self, r: Rank) {
+        assert!(!r.is_root(), "root failure is session failure, not a liveness event");
+        if let Some(slot) = self.up.get_mut(r.index()) {
+            *slot = false;
+        }
+    }
+
+    /// Marks `r` alive again (a replaced/rebooted node re-joining).
+    pub fn mark_up(&mut self, r: Rank) {
+        if let Some(slot) = self.up.get_mut(r.index()) {
+            *slot = true;
+        }
+    }
+
+    /// Count of live ranks.
+    pub fn live_count(&self) -> u32 {
+        self.up.iter().filter(|&&b| b).count() as u32
+    }
+
+    /// The nearest live ancestor of `r` in `tree` — the rank `r`'s
+    /// upstream traffic should re-attach to. Returns `None` for the root
+    /// itself. The root is always live (see [`LiveSet::mark_down`]), so
+    /// for any non-root rank this returns `Some`.
+    pub fn effective_parent(&self, tree: &Tree, r: Rank) -> Option<Rank> {
+        let mut cur = tree.parent(r)?;
+        while !self.is_up(cur) {
+            cur = tree.parent(cur).expect("root is always live");
+        }
+        Some(cur)
+    }
+
+    /// The live children of `r` after self-healing: `r`'s direct children
+    /// that are up, plus — for each dead child — that child's live
+    /// descendants that re-attach to `r`. This is the set of ranks whose
+    /// `effective_parent` is `r`.
+    pub fn effective_children(&self, tree: &Tree, r: Rank) -> Vec<Rank> {
+        let mut out = Vec::new();
+        let mut frontier = tree.children(r);
+        while let Some(c) = frontier.pop() {
+            if self.is_up(c) {
+                out.push(c);
+            } else {
+                frontier.extend(tree.children(c));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_up_initially() {
+        let l = LiveSet::new(8);
+        assert_eq!(l.live_count(), 8);
+        assert!(l.is_up(Rank(7)));
+        assert!(!l.is_up(Rank(8)));
+    }
+
+    #[test]
+    fn mark_down_and_up() {
+        let mut l = LiveSet::new(4);
+        l.mark_down(Rank(2));
+        assert!(!l.is_up(Rank(2)));
+        assert_eq!(l.live_count(), 3);
+        l.mark_up(Rank(2));
+        assert!(l.is_up(Rank(2)));
+    }
+
+    #[test]
+    #[should_panic(expected = "root failure")]
+    fn killing_root_panics() {
+        LiveSet::new(4).mark_down(Rank(0));
+    }
+
+    #[test]
+    fn effective_parent_skips_dead_interior() {
+        // Binary tree over 15: rank 11's ancestry is 11 -> 5 -> 2 -> 0.
+        let t = Tree::binary(15);
+        let mut l = LiveSet::new(15);
+        assert_eq!(l.effective_parent(&t, Rank(11)), Some(Rank(5)));
+        l.mark_down(Rank(5));
+        assert_eq!(l.effective_parent(&t, Rank(11)), Some(Rank(2)));
+        l.mark_down(Rank(2));
+        assert_eq!(l.effective_parent(&t, Rank(11)), Some(Rank(0)));
+        assert_eq!(l.effective_parent(&t, Rank(0)), None);
+    }
+
+    #[test]
+    fn effective_children_absorb_orphans() {
+        let t = Tree::binary(15);
+        let mut l = LiveSet::new(15);
+        assert_eq!(l.effective_children(&t, Rank(2)), vec![Rank(5), Rank(6)]);
+        l.mark_down(Rank(5));
+        // 5's children (11, 12) re-attach to 2.
+        assert_eq!(l.effective_children(&t, Rank(2)), vec![Rank(6), Rank(11), Rank(12)]);
+        // Cascading failure: 11 also down, leaving 12 (11 is a leaf here).
+        l.mark_down(Rank(11));
+        assert_eq!(l.effective_children(&t, Rank(2)), vec![Rank(6), Rank(12)]);
+    }
+
+    #[test]
+    fn every_live_nonroot_reaches_root() {
+        let t = Tree::binary(31);
+        let mut l = LiveSet::new(31);
+        for dead in [1u32, 2, 5, 6, 11, 14] {
+            l.mark_down(Rank(dead));
+        }
+        for r in t.ranks().skip(1) {
+            if l.is_up(r) {
+                let p = l.effective_parent(&t, r).unwrap();
+                assert!(l.is_up(p), "parent of {r} must be live");
+                assert!(t.is_ancestor(p, r));
+            }
+        }
+    }
+}

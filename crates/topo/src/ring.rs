@@ -1,0 +1,101 @@
+//! Ring overlay for rank-addressed RPC.
+//!
+//! The paper: *"an RPC may be addressed to a specific CMB rank using a
+//! separate overlay, currently utilizing a ring topology which allows
+//! ranks to be trivially reached without routing tables"* — each node only
+//! knows its successor; a message hops forward until it arrives.
+
+use flux_wire::Rank;
+
+/// A unidirectional ring over ranks `0..size`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Ring {
+    size: u32,
+}
+
+impl Ring {
+    /// Creates a ring over `size` ranks.
+    ///
+    /// # Panics
+    /// Panics if `size == 0`.
+    pub fn new(size: u32) -> Ring {
+        assert!(size > 0, "ring must have at least one rank");
+        Ring { size }
+    }
+
+    /// Number of ranks.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The successor of `r` (wraps around).
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    pub fn next(&self, r: Rank) -> Rank {
+        assert!(r.0 < self.size, "rank {r} out of range 0..{}", self.size);
+        Rank((r.0 + 1) % self.size)
+    }
+
+    /// Forward hop count from `from` to `to`.
+    pub fn distance(&self, from: Rank, to: Rank) -> u32 {
+        assert!(from.0 < self.size && to.0 < self.size, "rank out of range");
+        (to.0 + self.size - from.0) % self.size
+    }
+
+    /// The sequence of ranks a message visits travelling from `from` to
+    /// `to`, excluding `from`, including `to`. Empty when `from == to`.
+    pub fn route(&self, from: Rank, to: Rank) -> Vec<Rank> {
+        let d = self.distance(from, to);
+        let mut out = Vec::with_capacity(d as usize);
+        let mut cur = from;
+        for _ in 0..d {
+            cur = self.next(cur);
+            out.push(cur);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_wraps() {
+        let r = Ring::new(4);
+        assert_eq!(r.next(Rank(0)), Rank(1));
+        assert_eq!(r.next(Rank(3)), Rank(0));
+    }
+
+    #[test]
+    fn single_node_ring() {
+        let r = Ring::new(1);
+        assert_eq!(r.next(Rank(0)), Rank(0));
+        assert_eq!(r.distance(Rank(0), Rank(0)), 0);
+        assert!(r.route(Rank(0), Rank(0)).is_empty());
+    }
+
+    #[test]
+    fn distances() {
+        let r = Ring::new(8);
+        assert_eq!(r.distance(Rank(0), Rank(0)), 0);
+        assert_eq!(r.distance(Rank(0), Rank(7)), 7);
+        assert_eq!(r.distance(Rank(7), Rank(0)), 1);
+        assert_eq!(r.distance(Rank(3), Rank(2)), 7);
+    }
+
+    #[test]
+    fn route_ends_at_destination() {
+        let r = Ring::new(5);
+        let route = r.route(Rank(3), Rank(1));
+        assert_eq!(route, vec![Rank(4), Rank(0), Rank(1)]);
+        assert_eq!(route.len() as u32, r.distance(Rank(3), Rank(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        Ring::new(3).next(Rank(3));
+    }
+}

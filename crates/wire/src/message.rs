@@ -1,0 +1,249 @@
+//! [`Message`]: the uniform multi-part CMB message.
+
+use crate::errnum;
+use crate::{Rank, Topic};
+use flux_value::Value;
+use std::fmt;
+
+/// Which overlay plane carries a message (paper §IV-A, Fig. 1).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Plane {
+    /// Publish/subscribe event bus (paper: PGM multicast) — events and
+    /// heartbeats, delivered reliably and in order session-wide.
+    Event,
+    /// Request/response tree (paper: TCP) — RPCs, barriers, reductions.
+    Tree,
+    /// Secondary rank-addressed overlay (paper: ring topology).
+    Ring,
+}
+
+/// Message kind.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum MsgType {
+    /// An RPC request, routed upstream (or by rank on the ring plane).
+    Request,
+    /// The reply to a request, retracing the request's hops.
+    Response,
+    /// A published event, fanned out on the event plane.
+    Event,
+}
+
+impl MsgType {
+    pub(crate) fn to_byte(self) -> u8 {
+        match self {
+            MsgType::Request => 1,
+            MsgType::Response => 2,
+            MsgType::Event => 3,
+        }
+    }
+
+    pub(crate) fn from_byte(b: u8) -> Option<MsgType> {
+        match b {
+            1 => Some(MsgType::Request),
+            2 => Some(MsgType::Response),
+            3 => Some(MsgType::Event),
+            _ => None,
+        }
+    }
+}
+
+/// A session-unique message identifier: originating rank plus a sequence
+/// number drawn from that rank's counter. Responses carry the id of the
+/// request they answer, which is how clients match replies.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId {
+    /// Rank whose counter issued this id.
+    pub origin: Rank,
+    /// Per-origin sequence number.
+    pub seq: u64,
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.origin, self.seq)
+    }
+}
+
+/// The header frame.
+///
+/// `hops` is the response-routing stack: every broker that forwards a
+/// request upstream pushes its rank, and the response pops ranks to retrace
+/// the path — the paper's *"RPC responses are routed back through the same
+/// set of hops, in reverse."*
+#[derive(Clone, PartialEq, Debug)]
+pub struct Header {
+    /// Request / response / event.
+    pub msg_type: MsgType,
+    /// Hierarchical recipient name, e.g. `kvs.put`.
+    pub topic: Topic,
+    /// Unique id; responses reuse the request's id.
+    pub id: MsgId,
+    /// Rank of the original sender (not the last forwarder).
+    pub src: Rank,
+    /// Explicit destination for rank-addressed (ring-plane) requests.
+    pub dst: Option<Rank>,
+    /// Error number for responses; `0` means success.
+    pub errnum: u32,
+    /// Response-routing stack (see type-level docs).
+    pub hops: Vec<Rank>,
+}
+
+/// A complete message: header frame + JSON payload frame.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Message {
+    /// The header frame.
+    pub header: Header,
+    /// The JSON payload frame.
+    pub payload: Value,
+}
+
+impl Message {
+    /// Builds an RPC request.
+    pub fn request(topic: Topic, id: MsgId, src: Rank, payload: Value) -> Message {
+        Message {
+            header: Header {
+                msg_type: MsgType::Request,
+                topic,
+                id,
+                src,
+                dst: None,
+                errnum: 0,
+                hops: Vec::new(),
+            },
+            payload,
+        }
+    }
+
+    /// Builds a rank-addressed request (carried on the ring plane).
+    pub fn request_to(topic: Topic, id: MsgId, src: Rank, dst: Rank, payload: Value) -> Message {
+        let mut m = Message::request(topic, id, src, payload);
+        m.header.dst = Some(dst);
+        m
+    }
+
+    /// Builds the successful response to `req`, preserving its id, topic
+    /// and hop stack (ready for reverse routing).
+    pub fn response_to(req: &Message, payload: Value) -> Message {
+        Message {
+            header: Header {
+                msg_type: MsgType::Response,
+                topic: req.header.topic.clone(),
+                id: req.header.id,
+                src: req.header.src,
+                dst: req.header.dst,
+                errnum: 0,
+                hops: req.header.hops.clone(),
+            },
+            payload,
+        }
+    }
+
+    /// Builds an error response to `req` with the given error number.
+    pub fn error_response_to(req: &Message, errnum: u32) -> Message {
+        let mut m = Message::response_to(
+            req,
+            Value::from_pairs([("errstr", Value::from(errnum::strerror(errnum)))]),
+        );
+        m.header.errnum = errnum;
+        m
+    }
+
+    /// Builds a published event.
+    pub fn event(topic: Topic, id: MsgId, src: Rank, payload: Value) -> Message {
+        Message {
+            header: Header {
+                msg_type: MsgType::Event,
+                topic,
+                id,
+                src,
+                dst: None,
+                errnum: 0,
+                hops: Vec::new(),
+            },
+            payload,
+        }
+    }
+
+    /// True if this is a response carrying an error.
+    pub fn is_error(&self) -> bool {
+        self.header.msg_type == MsgType::Response && self.header.errnum != 0
+    }
+
+    /// The size this message occupies on the wire, in bytes. Used by the
+    /// simulator's transfer-cost model; kept consistent with
+    /// [`Message::encode`] by construction (tested).
+    pub fn wire_size(&self) -> usize {
+        self.encode_header_only().len() + self.payload.approx_size()
+    }
+
+    fn encode_header_only(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.header.topic.wire_len());
+        crate::codec::encode_header(&self.header, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn topic(s: &str) -> Topic {
+        Topic::new(s).unwrap()
+    }
+
+    fn id(o: u32, s: u64) -> MsgId {
+        MsgId { origin: Rank(o), seq: s }
+    }
+
+    #[test]
+    fn request_constructor_defaults() {
+        let m = Message::request(topic("kvs.get"), id(2, 9), Rank(2), Value::Null);
+        assert_eq!(m.header.msg_type, MsgType::Request);
+        assert_eq!(m.header.errnum, 0);
+        assert!(m.header.dst.is_none());
+        assert!(m.header.hops.is_empty());
+        assert!(!m.is_error());
+    }
+
+    #[test]
+    fn response_preserves_identity_and_hops() {
+        let mut req = Message::request(topic("kvs.get"), id(2, 9), Rank(2), Value::Null);
+        req.header.hops = vec![Rank(2), Rank(1)];
+        let resp = Message::response_to(&req, Value::Int(1));
+        assert_eq!(resp.header.id, req.header.id);
+        assert_eq!(resp.header.topic, req.header.topic);
+        assert_eq!(resp.header.hops, req.header.hops);
+        assert_eq!(resp.header.msg_type, MsgType::Response);
+    }
+
+    #[test]
+    fn error_response_carries_errnum_and_string() {
+        let req = Message::request(topic("nosuch.thing"), id(0, 1), Rank(0), Value::Null);
+        let resp = Message::error_response_to(&req, errnum::ENOSYS);
+        assert!(resp.is_error());
+        assert_eq!(resp.header.errnum, errnum::ENOSYS);
+        assert!(resp.payload.get("errstr").unwrap().as_str().unwrap().contains("implement"));
+    }
+
+    #[test]
+    fn rank_addressed_request() {
+        let m = Message::request_to(topic("ping"), id(1, 1), Rank(1), Rank(5), Value::Null);
+        assert_eq!(m.header.dst, Some(Rank(5)));
+    }
+
+    #[test]
+    fn msg_type_byte_roundtrip() {
+        for t in [MsgType::Request, MsgType::Response, MsgType::Event] {
+            assert_eq!(MsgType::from_byte(t.to_byte()), Some(t));
+        }
+        assert_eq!(MsgType::from_byte(0), None);
+        assert_eq!(MsgType::from_byte(9), None);
+    }
+
+    #[test]
+    fn wire_size_tracks_payload() {
+        let small = Message::event(topic("hb"), id(0, 1), Rank(0), Value::Int(1));
+        let big = Message::event(topic("hb"), id(0, 1), Rank(0), Value::from("x".repeat(1000)));
+        assert!(big.wire_size() > small.wire_size() + 900);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: codec round-trips and decoder robustness.
+
+use crate::{Header, Message, MsgId, MsgType, Rank, Topic};
+use flux_value::Value;
+use proptest::prelude::*;
+
+fn arb_topic() -> impl Strategy<Value = Topic> {
+    "[a-z][a-z0-9_-]{0,8}(\\.[a-z][a-z0-9_-]{0,8}){0,3}"
+        .prop_map(|s| Topic::new(s).expect("strategy produces valid topics"))
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        any::<i64>().prop_map(Value::Int),
+        ".{0,16}".prop_map(Value::from),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(Value::Array),
+            prop::collection::btree_map("[a-z]{1,6}", inner, 0..4).prop_map(Value::Object),
+        ]
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        prop_oneof![Just(MsgType::Request), Just(MsgType::Response), Just(MsgType::Event)],
+        arb_topic(),
+        any::<u32>(),
+        any::<u64>(),
+        any::<u32>(),
+        prop::option::of(any::<u32>()),
+        any::<u16>(),
+        prop::collection::vec(any::<u32>(), 0..6),
+        arb_value(),
+    )
+        .prop_map(|(msg_type, topic, origin, seq, src, dst, errnum, hops, payload)| Message {
+            header: Header {
+                msg_type,
+                topic,
+                id: MsgId { origin: Rank(origin), seq },
+                src: Rank(src),
+                dst: dst.map(Rank),
+                errnum: u32::from(errnum),
+                hops: hops.into_iter().map(Rank).collect(),
+            },
+            payload,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity and consumes exactly the encoding.
+    #[test]
+    fn codec_roundtrip(m in arb_message()) {
+        let enc = m.encode();
+        let (back, used) = Message::decode(&enc).unwrap();
+        prop_assert_eq!(used, enc.len());
+        prop_assert_eq!(back, m);
+    }
+
+    /// Decoding random bytes never panics.
+    #[test]
+    fn decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Message::decode(&bytes);
+    }
+
+    /// Truncating a valid encoding anywhere yields an error, not a panic
+    /// or a bogus success.
+    #[test]
+    fn truncation_always_detected(m in arb_message(), frac in 0.0f64..1.0) {
+        let enc = m.encode();
+        let cut = ((enc.len() as f64) * frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(Message::decode(&enc[..cut]).is_err());
+        }
+    }
+
+    /// Two different messages never produce the same encoding.
+    #[test]
+    fn encoding_injective(a in arb_message(), b in arb_message()) {
+        if a != b {
+            prop_assert_ne!(a.encode(), b.encode());
+        }
+    }
+}

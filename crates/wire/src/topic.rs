@@ -1,0 +1,175 @@
+//! Hierarchical topic name space.
+//!
+//! Topics look like `kvs.put` or `event.hb`: dot-separated lowercase
+//! words. The first component is the *service* (the comms module the
+//! message is addressed to); the rest is the method path inside that
+//! module. Event subscriptions match by prefix, exactly like ØMQ
+//! subscription prefixes the prototype used.
+
+use std::fmt;
+
+/// A validated, hierarchical topic string.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Topic(String);
+
+/// Why a topic string was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopicError {
+    /// The string was empty.
+    Empty,
+    /// A component was empty (leading/trailing/double dot).
+    EmptyComponent,
+    /// A character outside `[a-z0-9_-]` appeared.
+    BadChar(char),
+    /// Longer than [`Topic::MAX_LEN`].
+    TooLong(usize),
+}
+
+impl fmt::Display for TopicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopicError::Empty => write!(f, "topic is empty"),
+            TopicError::EmptyComponent => write!(f, "topic has an empty component"),
+            TopicError::BadChar(c) => write!(f, "invalid character {c:?} in topic"),
+            TopicError::TooLong(n) => write!(f, "topic length {n} exceeds {}", Topic::MAX_LEN),
+        }
+    }
+}
+
+impl std::error::Error for TopicError {}
+
+impl Topic {
+    /// Maximum accepted topic length in bytes.
+    pub const MAX_LEN: usize = 255;
+
+    /// Validates and constructs a topic.
+    pub fn new(s: impl Into<String>) -> Result<Topic, TopicError> {
+        let s = s.into();
+        if s.is_empty() {
+            return Err(TopicError::Empty);
+        }
+        if s.len() > Self::MAX_LEN {
+            return Err(TopicError::TooLong(s.len()));
+        }
+        for part in s.split('.') {
+            if part.is_empty() {
+                return Err(TopicError::EmptyComponent);
+            }
+            for c in part.chars() {
+                if !(c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' || c == '-') {
+                    return Err(TopicError::BadChar(c));
+                }
+            }
+        }
+        Ok(Topic(s))
+    }
+
+    /// Constructs a topic, panicking on invalid input. For string literals.
+    ///
+    /// # Panics
+    /// Panics if the literal is not a valid topic.
+    pub fn from_static(s: &'static str) -> Topic {
+        Topic::new(s).unwrap_or_else(|e| panic!("invalid static topic {s:?}: {e}"))
+    }
+
+    /// The full topic string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The first component: the comms module this message is addressed to.
+    pub fn service(&self) -> &str {
+        self.0.split('.').next().expect("validated topic is non-empty")
+    }
+
+    /// Everything after the service, or `""` for a bare service topic.
+    pub fn method(&self) -> &str {
+        match self.0.split_once('.') {
+            Some((_, rest)) => rest,
+            None => "",
+        }
+    }
+
+    /// Prefix matching with component boundaries: `kvs` matches `kvs.put`
+    /// but not `kvstore.put`. The empty-prefix case is handled by
+    /// subscriptions storing `""`, which matches everything.
+    pub fn matches_prefix(&self, prefix: &str) -> bool {
+        if prefix.is_empty() {
+            return true;
+        }
+        match self.0.strip_prefix(prefix) {
+            Some("") => true,
+            Some(rest) => rest.starts_with('.'),
+            None => false,
+        }
+    }
+
+    /// Number of bytes this topic occupies on the wire.
+    pub fn wire_len(&self) -> usize {
+        self.0.len()
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Topic({})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_topics() {
+        for t in ["kvs", "kvs.put", "event.hb", "wexec.run.0", "a-b_c.d2"] {
+            assert!(Topic::new(t).is_ok(), "{t}");
+        }
+    }
+
+    #[test]
+    fn invalid_topics() {
+        assert_eq!(Topic::new(""), Err(TopicError::Empty));
+        assert_eq!(Topic::new(".kvs"), Err(TopicError::EmptyComponent));
+        assert_eq!(Topic::new("kvs."), Err(TopicError::EmptyComponent));
+        assert_eq!(Topic::new("a..b"), Err(TopicError::EmptyComponent));
+        assert_eq!(Topic::new("KVS.put"), Err(TopicError::BadChar('K')));
+        assert_eq!(Topic::new("kvs put"), Err(TopicError::BadChar(' ')));
+        assert!(matches!(Topic::new("x".repeat(300)), Err(TopicError::TooLong(300))));
+    }
+
+    #[test]
+    fn service_and_method() {
+        let t = Topic::new("kvs.commit.flush").unwrap();
+        assert_eq!(t.service(), "kvs");
+        assert_eq!(t.method(), "commit.flush");
+        let bare = Topic::new("kvs").unwrap();
+        assert_eq!(bare.service(), "kvs");
+        assert_eq!(bare.method(), "");
+    }
+
+    #[test]
+    fn prefix_matching_respects_boundaries() {
+        let t = Topic::new("kvs.put").unwrap();
+        assert!(t.matches_prefix(""));
+        assert!(t.matches_prefix("kvs"));
+        assert!(t.matches_prefix("kvs.put"));
+        assert!(!t.matches_prefix("kvs.p"));
+        assert!(!t.matches_prefix("kv"));
+        assert!(!t.matches_prefix("kvs.put.x"));
+        let t2 = Topic::new("kvstore.put").unwrap();
+        assert!(!t2.matches_prefix("kvs"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid static topic")]
+    fn from_static_panics_on_bad_literal() {
+        let _ = Topic::from_static("Not Valid");
+    }
+}

@@ -1,0 +1,102 @@
+//! Hierarchical, multilevel job management (paper §III).
+//!
+//! ```text
+//! cargo run --example hierarchical_jobs
+//! ```
+//!
+//! A center-wide root instance owns 128 nodes. It leases subsets to two
+//! child instances — a UQ ensemble runner (its own FCFS scheduler over
+//! 100 small jobs) and a capability partition (EASY backfill over a mixed
+//! queue) — demonstrating the unified job model: each child is a job
+//! *and* a full RJMS instance. Midway, the ensemble asks its parent to
+//! grow (parental consent), and at the end everything drains and the
+//! leases return.
+
+use flux_core::{EasyBackfill, Fcfs, Instance, InstanceConfig, JobState, Workload};
+
+fn main() {
+    let mut center = Instance::root(
+        InstanceConfig::new("center", 128).with_power(128 * 400),
+        Box::new(Fcfs),
+    );
+    println!(
+        "center: {} nodes, {} W budget",
+        center.grant_nodes(),
+        center.grant_power_w()
+    );
+
+    // Lease 32 nodes to a UQ ensemble, 64 to a capability partition.
+    let ensemble_id = center
+        .spawn_child(
+            InstanceConfig::new("uq-ensemble", 32).with_power(32 * 400),
+            Box::new(Fcfs),
+        )
+        .expect("lease fits");
+    let capability_id = center
+        .spawn_child(
+            InstanceConfig::new("capability", 64).with_power(64 * 400),
+            Box::new(EasyBackfill),
+        )
+        .expect("lease fits");
+    println!(
+        "leased: 32 -> uq-ensemble (fcfs), 64 -> capability (easy-backfill); {} free",
+        center.free_nodes()
+    );
+
+    // Fill both queues from the workload generators.
+    let mut wl = Workload::seeded(2014);
+    let uq_jobs = wl.uq_ensemble(100, 50_000);
+    let cap_jobs = wl.capability_mix(40, 32, 200_000);
+    for j in uq_jobs {
+        center.child_mut(ensemble_id).unwrap().submit(j);
+    }
+    for j in cap_jobs {
+        center.child_mut(capability_id).unwrap().submit(j);
+    }
+
+    // Run a while, then the ensemble requests more nodes (parental
+    // consent): the center grants from its free pool.
+    center.advance(100_000);
+    center.check_invariants();
+    let before = center.child(ensemble_id).unwrap().grant_nodes();
+    match center.request_grow(ensemble_id, 16, 16 * 400) {
+        Ok(()) => println!(
+            "t=100us: ensemble grew {} -> {} nodes with parental consent",
+            before,
+            center.child(ensemble_id).unwrap().grant_nodes()
+        ),
+        Err(e) => println!("t=100us: grow denied: {e:?}"),
+    }
+
+    // Drain everything.
+    let end = center.drain();
+    center.check_invariants();
+
+    for id in center.child_ids() {
+        let c = center.child(id).unwrap();
+        let done = c.history().iter().filter(|e| e.state == JobState::Complete).count();
+        let avg_wait: f64 = {
+            let waits: Vec<u64> = c
+                .history()
+                .iter()
+                .filter_map(|e| e.start_ns.map(|s| s - e.submit_ns))
+                .collect();
+            waits.iter().sum::<u64>() as f64 / waits.len().max(1) as f64 / 1e3
+        };
+        println!(
+            "{:>12}: {:3} jobs complete, mean wait {:8.1} us, grant {} nodes",
+            c.name,
+            done,
+            avg_wait,
+            c.grant_nodes()
+        );
+    }
+    println!("all work drained at t = {:.3} ms (virtual)", end as f64 / 1e6);
+
+    // Leases return to the center once children are idle.
+    for id in center.child_ids() {
+        center.close_child(id).unwrap();
+    }
+    assert_eq!(center.free_nodes(), 128);
+    println!("children closed; center back to {} free nodes", center.free_nodes());
+}

@@ -1,0 +1,121 @@
+//! Site-wide power capping through the hierarchy (paper §II challenges
+//! 1 & 3: "dynamic power capping at the level of systems, compute racks,
+//! and/or nodes"; power as the most elastic resource).
+//!
+//! ```text
+//! cargo run --example power_capping
+//! ```
+//!
+//! A center instance models its machines with the generalized resource
+//! model, leases two cluster partitions, and then takes a site-wide power
+//! cut. The cut propagates down the hierarchy as grant reductions;
+//! schedulers immediately stop starting work the budget no longer covers,
+//! and throughput recovers when the cap lifts.
+
+use flux_core::{
+    Fcfs, Instance, InstanceConfig, JobSpec, ResourceKind, ResourcePool, Workload,
+};
+
+fn running_watts(i: &Instance) -> u64 {
+    i.grant_power_w() - i.free_power_w()
+}
+
+fn main() {
+    // The generalized resource model describes the center.
+    let mut pool = ResourcePool::new();
+    let (center_res, clusters) =
+        pool.build_center(&[("zin", 4, 16), ("cab", 2, 16)], 80_000, 500_000);
+    let zin_nodes = clusters[0].1.len() as u32;
+    let cab_nodes = clusters[1].1.len() as u32;
+    println!(
+        "center model: {} resources, {} nodes, site budget {} W, fs {} MB/s",
+        pool.len(),
+        pool.find_kind(center_res, &ResourceKind::Node).len(),
+        80_000,
+        pool.total_capacity(center_res, &ResourceKind::Filesystem),
+    );
+
+    // The framework layer manages it as an instance hierarchy.
+    let mut center = Instance::root(
+        InstanceConfig::new("center", zin_nodes + cab_nodes).with_power(80_000),
+        Box::new(Fcfs),
+    );
+    let zin = center
+        .spawn_child(
+            InstanceConfig::new("zin", zin_nodes).with_power(40_000),
+            Box::new(Fcfs),
+        )
+        .unwrap();
+    let cab = center
+        .spawn_child(
+            InstanceConfig::new("cab", cab_nodes).with_power(20_000),
+            Box::new(Fcfs),
+        )
+        .unwrap();
+
+    // Steady-state load: hungry 400 W/node jobs.
+    let mut wl = Workload::seeded(7);
+    for spec in wl.uq_ensemble(200, 30_000) {
+        let spec = JobSpec { power_per_node_w: 400, ..spec };
+        center.child_mut(zin).unwrap().submit(spec);
+    }
+    for spec in wl.uq_ensemble(100, 30_000) {
+        let spec = JobSpec { power_per_node_w: 400, ..spec };
+        center.child_mut(cab).unwrap().submit(spec);
+    }
+    center.advance(10_000);
+    println!(
+        "t=10us : zin draws {:>6} W, cab draws {:>6} W",
+        running_watts(center.child(zin).unwrap()),
+        running_watts(center.child(cab).unwrap())
+    );
+
+    // Site emergency: the budget halves. The center reclaims headroom
+    // from its children (only unused watts can move — elasticity is
+    // cooperative) and re-caps them.
+    let zin_free = center.child(zin).unwrap().free_power_w();
+    let cab_free = center.child(cab).unwrap().free_power_w();
+    center.shrink_child(zin, 0, zin_free * 3 / 4).expect("reclaim zin headroom");
+    center.shrink_child(cab, 0, cab_free * 3 / 4).expect("reclaim cab headroom");
+    center.cap_power(40_000);
+    println!(
+        "CAP    : site 80 kW -> 40 kW; zin grant {:>6} W, cab grant {:>6} W",
+        center.child(zin).unwrap().grant_power_w(),
+        center.child(cab).unwrap().grant_power_w()
+    );
+
+    center.advance(40_000);
+    center.check_invariants();
+    let zin_running_capped = center.child(zin).unwrap().running_len();
+    println!(
+        "t=40us : under the cap zin runs {} jobs ({} W), queue {}",
+        zin_running_capped,
+        running_watts(center.child(zin).unwrap()),
+        center.child(zin).unwrap().queue_len()
+    );
+
+    // The emergency passes: grow the children back (parental consent).
+    center.cap_power(80_000);
+    center.request_grow(zin, 0, 20_000).expect("regrow zin");
+    center.request_grow(cab, 0, 8_000).expect("regrow cab");
+    center.advance(70_000);
+    let zin_running_lifted = center.child(zin).unwrap().running_len();
+    println!(
+        "LIFT   : cap lifted; zin now runs {} jobs ({} W)",
+        zin_running_lifted,
+        running_watts(center.child(zin).unwrap())
+    );
+
+    let end = center.drain();
+    center.check_invariants();
+    println!(
+        "drained: all {} + {} jobs complete at t = {:.3} ms (virtual)",
+        center.child(zin).unwrap().history().len(),
+        center.child(cab).unwrap().history().len(),
+        end as f64 / 1e6
+    );
+    assert!(
+        zin_running_lifted >= zin_running_capped,
+        "throughput recovers when the cap lifts"
+    );
+}
