@@ -6,9 +6,10 @@
 //! reproduction) and runs one or more sub-commands against it:
 //!
 //! ```text
-//! flux [--size N] [--arity K] <command> [; <command>]...
+//! flux [--size N] [--arity K] [--transport threads|tcp] <command> [; <command>]...
 //!
 //! commands:
+//!   start                        wire up the session and ping every rank
 //!   info                         broker/session facts (from a leaf)
 //!   ping <rank>                  rank-addressed ping over the ring
 //!   kvs put <key> <json>         write-back put
@@ -33,10 +34,16 @@
 //!
 //! Multiple commands separated by `;` run against the *same* session, so
 //! `flux kvs put a.b 42 ; kvs commit ; kvs get a.b` round-trips.
+//!
+//! `--transport` selects the wire hosting the ephemeral session:
+//! `threads` (in-process channels, the default) or `tcp` (brokers linked
+//! over loopback TCP sockets). `flux --transport tcp start` wires up a
+//! real-socket session and pings every rank.
 
 use flux_broker::client::{ClientCore, Delivery};
 use flux_modules::standard_modules;
-use flux_rt::threads::{ThreadClient, ThreadSession};
+use flux_rt::transport::TransportKind;
+use flux_rt::LiveClient;
 use flux_value::Value;
 use flux_wire::{Message, Rank, Topic};
 use std::process::ExitCode;
@@ -45,9 +52,11 @@ use std::time::Duration;
 const TIMEOUT: Duration = Duration::from_secs(10);
 
 struct Cli {
-    conn: ThreadClient,
+    conn: LiveClient,
     core: ClientCore,
     tag: u64,
+    size: u32,
+    transport: TransportKind,
 }
 
 impl Cli {
@@ -97,6 +106,18 @@ fn parse_json_arg(s: &str) -> Value {
 fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
     let words: Vec<&str> = cmd.iter().map(String::as_str).collect();
     match words.as_slice() {
+        ["start"] => {
+            // Prove the overlay is wired end to end: a rank-addressed
+            // ping makes a full trip over the ring to every broker.
+            for r in 0..cli.size {
+                cli.rpc_to(Rank(r), "cmb.ping", Value::object())
+                    .map_err(|e| format!("rank {r} unreachable: {e}"))?;
+            }
+            Ok(format!(
+                "session of {} brokers up over {} (all ranks answered ping)",
+                cli.size, cli.transport
+            ))
+        }
         ["info"] => {
             let m = cli.rpc("cmb.info", Value::Null)?;
             Ok(m.payload.to_json_pretty())
@@ -276,11 +297,19 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = 8u32;
     let mut arity = 2u32;
+    let mut transport = TransportKind::Threads;
     while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
         args.remove(0);
         match flag.as_str() {
             "--size" => size = args.remove(0).parse().unwrap_or(8),
             "--arity" => arity = args.remove(0).parse().unwrap_or(2),
+            "--transport" => match args.remove(0).parse() {
+                Ok(t) => transport = t,
+                Err(e) => {
+                    eprintln!("flux: {e}");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" => {
                 eprintln!("see `flux` module docs; e.g. flux kvs put a.b 42 \\; kvs commit \\; kvs get a.b");
                 return ExitCode::SUCCESS;
@@ -292,17 +321,28 @@ fn main() -> ExitCode {
         }
     }
     if args.is_empty() {
-        eprintln!("usage: flux [--size N] [--arity K] <command> [; <command>]...");
+        eprintln!(
+            "usage: flux [--size N] [--arity K] [--transport threads|tcp] <command> [; <command>]..."
+        );
+        return ExitCode::from(2);
+    }
+    if size == 0 || arity == 0 {
+        eprintln!("flux: --size and --arity must be at least 1");
         return ExitCode::from(2);
     }
 
-    // Host an ephemeral session; attach at the last rank (a leaf).
-    let mut builder = ThreadSession::builder(size, arity, |_| standard_modules());
+    // Host an ephemeral session over the chosen transport; attach at the
+    // last rank (a leaf).
+    let Some(live) = transport.live() else {
+        eprintln!("flux: the sim transport runs in virtual time; use threads or tcp");
+        return ExitCode::from(2);
+    };
+    let mut builder = live.open(size, arity, &|_| standard_modules());
     let leaf = Rank(size - 1);
     let conn = builder.attach_client(leaf);
     let session = builder.start();
     let core = ClientCore::new(leaf, conn.client_id);
-    let mut cli = Cli { conn, core, tag: 0 };
+    let mut cli = Cli { conn, core, tag: 0, size, transport };
 
     let mut status = ExitCode::SUCCESS;
     for cmd in args.split(|a| a == ";") {

@@ -35,6 +35,7 @@
 pub mod instance;
 pub mod jobspec;
 pub mod resource;
+pub mod rng;
 pub mod sched;
 pub mod spec;
 pub mod workload;

@@ -1,0 +1,103 @@
+//! A small seeded PRNG for reproducible workload generation.
+//!
+//! SplitMix64: full 64-bit state, passes practical statistical tests, and
+//! keeps the workspace free of external dependencies (the build
+//! environment has no crates.io access). Not cryptographic.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seeded pseudo-random generator with `rand`-style `gen_range`.
+#[derive(Clone, Debug)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a fixed seed.
+    pub fn seeded(seed: u64) -> Rng {
+        Rng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64 step).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value below `bound` (multiply-shift; `bound` must be > 0).
+    fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform value in `range`, like `rand::Rng::gen_range`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Ranges `Rng::gen_range` accepts.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64) - (self.start as u64);
+                self.start + rng.below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as u64).wrapping_sub(lo as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                lo + rng.below(span) as $t
+            }
+        }
+    )*};
+}
+sample_range!(u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seeded(9);
+        let mut b = Rng::seeded(9);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Rng::seeded(1);
+        for _ in 0..1000 {
+            let v: u32 = rng.gen_range(1..=2);
+            assert!((1..=2).contains(&v));
+            let w: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&w));
+        }
+    }
+
+    #[test]
+    fn full_domain_inclusive_range_works() {
+        let mut rng = Rng::seeded(2);
+        // Must not panic or loop; just produce something.
+        let _: u64 = rng.gen_range(0..=u64::MAX);
+    }
+}

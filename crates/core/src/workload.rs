@@ -8,19 +8,18 @@
 //! shapes for the scheduler benches and examples.
 
 use crate::jobspec::JobSpec;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 
 /// A seeded workload generator.
 pub struct Workload {
-    rng: StdRng,
+    rng: Rng,
     counter: u64,
 }
 
 impl Workload {
     /// Creates a generator with a fixed seed (runs are reproducible).
     pub fn seeded(seed: u64) -> Workload {
-        Workload { rng: StdRng::seed_from_u64(seed), counter: 0 }
+        Workload { rng: Rng::seeded(seed), counter: 0 }
     }
 
     fn next_name(&mut self, prefix: &str) -> String {
@@ -34,7 +33,7 @@ impl Workload {
         (0..count)
             .map(|_| {
                 let nodes = self.rng.gen_range(1..=2);
-                let jitter = self.rng.gen_range(75..=125);
+                let jitter = self.rng.gen_range(75u64..=125);
                 let name = self.next_name("uq");
                 JobSpec::rigid(name, nodes, walltime_ns * jitter / 100).with_power(300)
             })

@@ -134,7 +134,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut ids = vec![ObjectId::hash(b"1"), ObjectId::hash(b"2"), ObjectId::hash(b"3")];
+        let mut ids = [ObjectId::hash(b"1"), ObjectId::hash(b"2"), ObjectId::hash(b"3")];
         ids.sort();
         assert!(ids.windows(2).all(|w| w[0] <= w[1]));
     }

@@ -38,7 +38,7 @@ pub fn value_for(gid: u64, value_size: usize, redundant: bool) -> Value {
         s.truncate(value_size);
     } else {
         let fill = value_size - s.len();
-        s.extend(std::iter::repeat('x').take(fill));
+        s.extend(std::iter::repeat_n('x', fill));
     }
     Value::Str(s)
 }

@@ -31,4 +31,4 @@ pub mod model;
 pub mod report;
 mod runner;
 
-pub use runner::{run_kap, KapParams, KapResult, Role};
+pub use runner::{run_kap, run_kap_on, KapParams, KapResult, Role};

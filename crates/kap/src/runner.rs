@@ -1,11 +1,17 @@
-//! Running KAP on a simulated comms session.
+//! Running KAP on any comms runtime.
+//!
+//! The workload is defined once as per-process [`Op`] scripts and runs
+//! against the [`ScriptTransport`] abstraction: [`run_kap`] uses the
+//! simulator (virtual time, the paper's cost model), while
+//! [`run_kap_on`] accepts any transport — e.g. the live loopback-TCP
+//! runtime — and measures wall-clock phases instead.
 
 use crate::layout::{key_for, value_for, DirLayout};
 use flux_broker::CommsModule;
 use flux_kvs::{KvsConfig, KvsModule};
 use flux_modules::BarrierModule;
-use flux_rt::script::{Op, OutcomeHandle, ScriptClient};
-use flux_rt::sim::SimSession;
+use flux_rt::script::Op;
+use flux_rt::transport::{ScriptTransport, SimTransport};
 use flux_sim::NetParams;
 use flux_wire::Rank;
 
@@ -156,56 +162,60 @@ fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
     ops
 }
 
-/// Runs one KAP configuration to completion on the simulator.
+/// Runs one KAP configuration to completion on the simulator (the
+/// paper's measurement setup: virtual time, modeled network).
 pub fn run_kap(params: &KapParams) -> KapResult {
+    run_kap_on(params, &SimTransport { net: params.net })
+}
+
+/// Runs one KAP configuration on any script-capable transport: the
+/// simulator, OS threads, or loopback TCP. Live transports report
+/// wall-clock phase latencies and zero engine events/bytes.
+pub fn run_kap_on(params: &KapParams, transport: &dyn ScriptTransport) -> KapResult {
     params.validate();
-    let mut session = SimSession::new(params.nodes, params.arity, params.net, |_| {
-        vec![
-            Box::new(KvsModule::with_config(KvsConfig::default())) as Box<dyn CommsModule>,
-            Box::new(BarrierModule::new()),
-        ]
-    });
 
     // Launch testers: consecutive global ranks on consecutive nodes
     // ("consecutive rank processes are distributed to consecutive
     // nodes"), i.e. round-robin placement.
     let procs = params.total_procs();
-    let mut outcomes: Vec<(u64, OutcomeHandle)> = Vec::with_capacity(procs as usize);
-    for gid in 0..procs {
-        let node = Rank((gid % u64::from(params.nodes)) as u32);
-        let ops = script_for(params, gid);
-        let outcome = ScriptClient::spawn(&mut session, node, ops);
-        outcomes.push((gid, outcome));
-    }
+    let scripts: Vec<(Rank, Vec<Op>)> = (0..procs)
+        .map(|gid| {
+            let node = Rank((gid % u64::from(params.nodes)) as u32);
+            (node, script_for(params, gid))
+        })
+        .collect();
 
-    let end = session.run_until_quiet();
-    let stats = session.engine().stats();
+    let report = transport.run_scripts(params.nodes, params.arity, &|_| {
+        vec![
+            Box::new(KvsModule::with_config(KvsConfig::default())) as Box<dyn CommsModule>,
+            Box::new(BarrierModule::new()),
+        ]
+    }, scripts);
 
     // Aggregate phase maxima.
     let mut producer_ns = 0u64;
     let mut sync_ns = 0u64;
     let mut consumer_ns = 0u64;
-    for (gid, handle) in &outcomes {
-        let out = handle.borrow();
+    for (gid, out) in report.outcomes.iter().enumerate() {
         assert!(out.finished, "process {gid} did not finish its script");
         assert!(
             out.op_err.iter().all(|&e| e == 0),
             "process {gid} had op errors: {:?}",
             out.op_err
         );
-        let role = params.role_of(*gid);
+        let role = params.role_of(gid as u64);
         let n_puts = if matches!(role, Role::Producer | Role::Both) { params.nputs } else { 0 };
         // Op order: [barrier, puts.., fence, gets..].
-        let barrier_done = out.op_done[0].as_nanos();
-        let put_end = out.op_done[n_puts as usize].as_nanos();
+        let barrier_done = out.op_done_ns[0];
+        let put_end = out.op_done_ns[n_puts as usize];
         let fence_idx = 1 + n_puts as usize;
-        let fence_done = out.op_done[fence_idx].as_nanos();
+        let fence_done = out.op_done_ns[fence_idx];
         if n_puts > 0 {
             producer_ns = producer_ns.max(put_end - barrier_done);
         }
         sync_ns = sync_ns.max(fence_done - put_end);
-        if out.op_done.len() > fence_idx + 1 {
-            let last_get = out.op_done.last().expect("nonempty").as_nanos();
+        if out.op_done_ns.len() > fence_idx + 1 {
+            let last_get = *out.op_done_ns.last().expect("nonempty");
             consumer_ns = consumer_ns.max(last_get - fence_done);
         }
     }
@@ -214,9 +224,9 @@ pub fn run_kap(params: &KapParams) -> KapResult {
         producer_ns,
         sync_ns,
         consumer_ns,
-        makespan_ns: end.as_nanos(),
-        events: stats.events,
-        bytes: stats.bytes_delivered,
+        makespan_ns: report.makespan_ns,
+        events: report.events,
+        bytes: report.bytes,
     }
 }
 
@@ -322,6 +332,20 @@ mod tests {
     fn deterministic_across_runs() {
         let p = quick(4);
         assert_eq!(run_kap(&p), run_kap(&p));
+    }
+
+    #[test]
+    fn same_workload_runs_on_live_transports() {
+        use flux_rt::transport::{TcpTransport, ThreadTransport};
+        let mut p = KapParams::fully_populated(2);
+        p.procs_per_node = 2;
+        p.producers = p.total_procs();
+        p.consumers = p.total_procs();
+        for transport in [&ThreadTransport as &dyn ScriptTransport, &TcpTransport::default()] {
+            let r = run_kap_on(&p, transport);
+            assert!(r.makespan_ns > 0, "{} ran", transport.name());
+            assert_eq!(r.events, 0, "live transports have no engine stats");
+        }
     }
 
     #[test]

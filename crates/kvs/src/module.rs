@@ -26,7 +26,7 @@ use flux_broker::{CommsModule, ModuleCtx};
 use flux_hash::ObjectId;
 use flux_value::{Map, Value};
 use flux_wire::{errnum, Message, MsgId, Topic};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 /// KVS tuning knobs.
@@ -105,6 +105,9 @@ struct FenceAcc {
     objects: BTreeMap<ObjectId, Arc<KvsObject>>,
     /// Local client fence requests awaiting completion.
     waiters: Vec<Message>,
+    /// Local requesters that already contributed: a process fencing the
+    /// same name twice must not count as two of `nprocs` participants.
+    contributors: HashSet<Requester>,
     /// A flush window timer is pending.
     window_armed: bool,
 }
@@ -432,7 +435,25 @@ impl KvsModule {
             ctx.respond_err(msg, errnum::EINVAL);
             return;
         };
+        // nprocs == 0 can never be satisfied (`count < nprocs` starts
+        // false but the accumulator is skipped while nprocs is 0): the
+        // caller would hang forever, so reject it up front.
+        if nprocs == 0 {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
         let requester = requester_of(msg);
+        let acc = self.fences.entry(name.clone()).or_default();
+        if acc.nprocs != 0 && acc.nprocs != nprocs {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
+        if !acc.contributors.insert(requester) {
+            // A duplicate contribution from the same process would
+            // complete the fence one real participant early.
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
         let pend = self.pending.remove(&requester).unwrap_or_default();
         self.fence_contribute(ctx, &name, nprocs, 1, pend.tuples, pend.objects, Some(msg.clone()));
     }
@@ -448,6 +469,10 @@ impl KvsModule {
             // One-way message: nothing to answer; drop.
             return;
         };
+        if nprocs == 0 {
+            // Malformed child batch; merging it would park forever.
+            return;
+        }
         self.fence_contribute(ctx, &name, nprocs, count, tuples, objects, None);
     }
 
@@ -804,7 +829,7 @@ impl CommsModule for KvsModule {
         }
         // Fence completion: answer local waiters.
         if let Some(fences) = msg.payload.get("fences").and_then(Value::as_array) {
-            for f in fences.to_vec() {
+            for f in fences {
                 let Some(name) = f.as_str() else { continue };
                 if let Some(acc) = self.fences.remove(name) {
                     for req in acc.waiters {

@@ -123,7 +123,7 @@ impl KvsObject {
         match self {
             KvsObject::Val(v) => 1 + v.approx_size(),
             KvsObject::Dir(entries) => {
-                1 + entries.iter().map(|(name, _)| name.len() + 28).sum::<usize>()
+                1 + entries.keys().map(|name| name.len() + 28).sum::<usize>()
             }
         }
     }

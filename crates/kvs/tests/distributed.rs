@@ -244,6 +244,81 @@ fn fence_deduplicates_redundant_values() {
 }
 
 #[test]
+fn fence_with_zero_nprocs_is_einval() {
+    // nprocs = 0 can never be satisfied; it must fail fast, not hang.
+    let mut net = net(3);
+    let mut c = KvsClient::new(Rank(2), 0);
+    assert_eq!(
+        rpc(&mut net, Rank(2), 0, &mut c, |c| c.fence("zero", 0, 1)),
+        KvsReply::Err(errnum::EINVAL)
+    );
+}
+
+#[test]
+fn mismatched_fence_nprocs_is_einval() {
+    // Two clients on one broker disagree on the participant count: the
+    // first claim stands, the contradicting one is rejected.
+    let mut net = net(3);
+    let mut a = KvsClient::new(Rank(1), 0);
+    let f = a.fence("mm", 2, 1);
+    net.client_send(Rank(1), 0, f);
+    let mut b = KvsClient::new(Rank(1), 1);
+    assert_eq!(
+        rpc(&mut net, Rank(1), 1, &mut b, |b| b.fence("mm", 3, 1)),
+        KvsReply::Err(errnum::EINVAL)
+    );
+}
+
+#[test]
+fn duplicate_fence_contribution_does_not_double_count() {
+    // nprocs = 2 but only ONE real participant, which fences twice. The
+    // duplicate is rejected with EINVAL and must NOT count: the fence
+    // completes only when the second genuine participant arrives.
+    let mut net = net(3);
+    let mut a = KvsClient::new(Rank(1), 0);
+    let first = a.fence("dup", 2, 1);
+    net.client_send(Rank(1), 0, first);
+    let dup = a.fence("dup", 2, 2);
+    net.client_send(Rank(1), 0, dup);
+
+    // Only the duplicate is answered (immediately, with EINVAL).
+    let mut msgs = Vec::new();
+    pump_for(&mut net, Rank(1), 0, 1, &mut msgs);
+    assert_eq!(msgs.len(), 1, "only the duplicate may be answered: {msgs:?}");
+    match a.deliver(msgs.remove(0)) {
+        KvsDelivery::Reply { reply, .. } => assert_eq!(reply, KvsReply::Err(errnum::EINVAL)),
+        other => panic!("{other:?}"),
+    }
+    // Drain pending timers: the first fence must still be parked.
+    for _ in 0..100 {
+        if !net.fire_next_timer() {
+            break;
+        }
+    }
+    assert!(
+        net.take_client_msgs(Rank(1), 0).is_empty(),
+        "fence completed with one participant missing"
+    );
+
+    // The real second participant completes it for both.
+    let mut b = KvsClient::new(Rank(2), 0);
+    let f = b.fence("dup", 2, 1);
+    net.client_send(Rank(2), 0, f);
+    let (mut am, mut bm) = (Vec::new(), Vec::new());
+    pump_for(&mut net, Rank(1), 0, 1, &mut am);
+    pump_for(&mut net, Rank(2), 0, 1, &mut bm);
+    for (client, mut got) in [(&mut a, am), (&mut b, bm)] {
+        assert_eq!(got.len(), 1);
+        match client.deliver(got.remove(0)) {
+            KvsDelivery::Reply { reply, .. } => {
+                assert!(matches!(reply, KvsReply::Version { .. }), "{reply:?}");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
 fn watch_streams_changes_to_remote_rank() {
     let mut net = net(7);
     let mut watcher = KvsClient::new(Rank(6), 0);

@@ -301,7 +301,7 @@ impl CommsModule for MonModule {
         let samples: Vec<(String, Agg)> = self
             .specs
             .iter()
-            .filter(|(_, s)| epoch % s.period == 0)
+            .filter(|(_, s)| epoch.is_multiple_of(s.period))
             .map(|(name, s)| (name.clone(), Agg::of(synth_metric(&s.metric, rank, epoch))))
             .collect();
         for (name, agg) in samples {

@@ -96,7 +96,7 @@ fn two_sequential_barriers_with_same_name() {
     let mut net = net(size);
     for round in 0u32..2 {
         let mut clients: Vec<ClientCore> =
-            (0..size).map(|r| ClientCore::new(Rank(r), u32::from(round))).collect();
+            (0..size).map(|r| ClientCore::new(Rank(r), round)).collect();
         for r in 0..size {
             let req = clients[r as usize].request(
                 topic("barrier.enter"),
@@ -106,10 +106,10 @@ fn two_sequential_barriers_with_same_name() {
                 ]),
                 1,
             );
-            net.client_send(Rank(r), u32::from(round), req);
+            net.client_send(Rank(r), round, req);
         }
         for r in 0..size {
-            let msgs = pump(&mut net, Rank(r), u32::from(round), 1, 500);
+            let msgs = pump(&mut net, Rank(r), round, 1, 500);
             assert_eq!(msgs.len(), 1, "round {round} rank {r}");
         }
     }

@@ -8,18 +8,32 @@
 //!   link. This is where paper-scale runs (512 nodes × 16 processes)
 //!   happen, measured in virtual time.
 //! * [`threads::ThreadSession`] — the same brokers on real OS threads
-//!   connected by crossbeam channels, measured in wall-clock time. Used
+//!   connected by std mpsc channels, measured in wall-clock time. Used
 //!   by integration tests and small live demos; it demonstrates that the
 //!   protocol stack is runtime-agnostic (nothing in broker/module/KVS
 //!   code knows which runtime it is on).
+//! * [`tcp::TcpSession`] — the brokers on OS threads wired over real
+//!   loopback TCP sockets carrying length-prefixed `flux-wire` frames,
+//!   with per-link connect retry and exponential backoff. The closest
+//!   analogue of the prototype's ØMQ TCP overlay.
 //!
-//! Both runtimes load arbitrary [`flux_broker::CommsModule`] sets, attach
+//! The [`transport`] module abstracts over them: [`transport::Transport`]
+//! is the object-safe factory for live sessions (pick `threads` or `tcp`
+//! at runtime), and [`transport::ScriptTransport`] runs scripted client
+//! workloads on any of the three runtimes, including the simulator.
+//!
+//! All runtimes load arbitrary [`flux_broker::CommsModule`] sets, attach
 //! any number of clients per broker, and reconstruct message planes from
 //! message shape (events → event plane, rank-addressed → ring, otherwise
 //! tree), so the wire behaviour matches the paper's three-plane wire-up.
 
 
 #![warn(missing_docs)]
+pub(crate) mod live;
 pub mod script;
 pub mod sim;
+pub mod tcp;
 pub mod threads;
+pub mod transport;
+
+pub use live::LiveClient;

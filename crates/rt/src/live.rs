@@ -1,0 +1,178 @@
+//! Machinery shared by the live (wall-clock) runtimes.
+//!
+//! [`threads::ThreadSession`](crate::threads::ThreadSession) and
+//! [`tcp::TcpSession`](crate::tcp::TcpSession) differ only in how broker
+//! output reaches a peer broker — an in-process channel vs. a loopback
+//! TCP link. Everything else lives here: the per-broker event loop with
+//! its timer heap, the client attachment model (clients are in-process
+//! and talk to their local broker over a channel, the moral equivalent
+//! of the prototype's IPC sockets), and the event type flowing into a
+//! broker thread.
+
+use flux_broker::{Broker, ClientId, Input, Output};
+use flux_wire::{Message, MsgType, Plane, Rank};
+use std::collections::BinaryHeap;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
+
+/// What flows into a broker thread.
+pub(crate) enum Event {
+    /// A message from a peer broker.
+    FromBroker {
+        /// Sending rank.
+        from: Rank,
+        /// The message.
+        msg: Message,
+    },
+    /// A request from a locally attached client.
+    FromClient {
+        /// Broker-local client id.
+        client: ClientId,
+        /// The request.
+        msg: Message,
+    },
+    /// Stop the broker thread.
+    Shutdown,
+}
+
+/// Infers the plane a message travelled on from its shape: events use
+/// the event plane, rank-addressed messages the ring, the rest the tree.
+pub(crate) fn plane_of(msg: &Message) -> Plane {
+    match msg.header.msg_type {
+        MsgType::Event => Plane::Event,
+        _ if msg.header.dst.is_some() => Plane::Ring,
+        _ => Plane::Tree,
+    }
+}
+
+/// A client connection to a broker in a live session.
+///
+/// Clients are in-process on every live transport: they exchange
+/// messages with their local broker over a channel (the prototype's
+/// local IPC socket), while broker↔broker traffic rides the transport's
+/// own links.
+pub struct LiveClient {
+    /// The rank this client is attached to.
+    pub rank: Rank,
+    /// The broker-local client id.
+    pub client_id: ClientId,
+    pub(crate) tx: Sender<Event>,
+    pub(crate) rx: Receiver<Message>,
+}
+
+impl LiveClient {
+    /// Sends a request to the local broker.
+    pub fn send(&self, msg: Message) {
+        let _ = self.tx.send(Event::FromClient { client: self.client_id, msg });
+    }
+
+    /// Receives the next message (response or subscribed event), waiting
+    /// up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Message> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// How a broker host delivers a message to a peer broker. The one point
+/// where live transports differ.
+pub(crate) trait PeerSender {
+    /// Delivers `msg` to the broker at `to`.
+    fn send_to(&mut self, to: Rank, msg: Message);
+
+    /// Called once when the host's event loop exits, before the thread
+    /// terminates (e.g. to flush or close links).
+    fn close(&mut self) {}
+}
+
+/// In-process peer delivery over channels (the threads transport).
+pub(crate) struct ChannelPeers {
+    pub(crate) rank: Rank,
+    pub(crate) peers: Vec<Sender<Event>>,
+}
+
+impl PeerSender for ChannelPeers {
+    fn send_to(&mut self, to: Rank, msg: Message) {
+        let _ = self.peers[to.index()].send(Event::FromBroker { from: self.rank, msg });
+    }
+}
+
+/// The per-thread broker event loop: services due timers from a local
+/// heap, otherwise sleeps in `recv_timeout` until traffic arrives, so a
+/// broker thread is quiet when the session is quiet (the low-noise
+/// design goal).
+pub(crate) struct BrokerHost<P: PeerSender> {
+    pub(crate) broker: Broker,
+    pub(crate) rx: Receiver<Event>,
+    pub(crate) peers: P,
+    pub(crate) clients: Vec<Sender<Message>>,
+    pub(crate) epoch: Instant,
+    pub(crate) timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+}
+
+impl<P: PeerSender> BrokerHost<P> {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn absorb(&mut self, outs: Vec<Output>) {
+        for out in outs {
+            match out {
+                Output::ToBroker { to, msg, .. } => self.peers.send_to(to, msg),
+                Output::ToClient { client, msg } => {
+                    if let Some(tx) = self.clients.get(client as usize) {
+                        let _ = tx.send(msg);
+                    }
+                }
+                Output::SetTimer { delay_ns, token } => {
+                    let at = Instant::now() + Duration::from_nanos(delay_ns);
+                    self.timers.push(std::cmp::Reverse((at, token)));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn run(mut self) {
+        let outs = self.broker.start(self.now_ns());
+        self.absorb(outs);
+        loop {
+            // Fire due timers.
+            let now = Instant::now();
+            while let Some(&std::cmp::Reverse((at, token))) = self.timers.peek() {
+                if at > now {
+                    break;
+                }
+                self.timers.pop();
+                let now_ns = self.now_ns();
+                let outs = self.broker.handle(now_ns, Input::Timer { token });
+                self.absorb(outs);
+            }
+            // Sleep until traffic or the next timer.
+            let timeout = self
+                .timers
+                .peek()
+                .map(|&std::cmp::Reverse((at, _))| at.saturating_duration_since(Instant::now()))
+                .unwrap_or(Duration::from_millis(250));
+            match self.rx.recv_timeout(timeout) {
+                Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Ok(Event::FromBroker { from, msg }) => {
+                    let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
+                    let now_ns = self.now_ns();
+                    let outs = self.broker.handle(now_ns, input);
+                    self.absorb(outs);
+                }
+                Ok(Event::FromClient { client, msg }) => {
+                    let now_ns = self.now_ns();
+                    let outs = self.broker.handle(now_ns, Input::FromClient { client, msg });
+                    self.absorb(outs);
+                }
+            }
+        }
+        self.peers.close();
+    }
+}

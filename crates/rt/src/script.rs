@@ -58,6 +58,52 @@ pub enum Op {
     },
 }
 
+impl Op {
+    /// Builds the request message for this op (tagged `tag`), using
+    /// `core` for id allocation. Shared by the simulator's
+    /// [`ScriptClient`] and the live-transport script driver.
+    pub fn to_request(&self, core: &mut ClientCore, tag: u64) -> Message {
+        match self {
+            Op::Put { key, val } => core.request(
+                Topic::from_static("kvs.put"),
+                Value::from_pairs([("k", Value::from(key.as_str())), ("v", val.clone())]),
+                tag,
+            ),
+            Op::Commit => core.request(Topic::from_static("kvs.commit"), Value::object(), tag),
+            Op::Fence { name, nprocs } => core.request(
+                Topic::from_static("kvs.fence"),
+                Value::from_pairs([
+                    ("name", Value::from(name.as_str())),
+                    ("nprocs", Value::from(*nprocs as i64)),
+                ]),
+                tag,
+            ),
+            Op::Get { key } => core.request(
+                Topic::from_static("kvs.get"),
+                Value::from_pairs([("k", Value::from(key.as_str()))]),
+                tag,
+            ),
+            Op::GetVersion => {
+                core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
+            }
+            Op::WaitVersion(v) => core.request(
+                Topic::from_static("kvs.wait_version"),
+                Value::from_pairs([("version", Value::from(*v as i64))]),
+                tag,
+            ),
+            Op::Barrier { name, nprocs } => core.request(
+                Topic::from_static("barrier.enter"),
+                Value::from_pairs([
+                    ("name", Value::from(name.as_str())),
+                    ("nprocs", Value::from(*nprocs as i64)),
+                ]),
+                tag,
+            ),
+            Op::Request { topic, payload } => core.request(topic.clone(), payload.clone(), tag),
+        }
+    }
+}
+
 /// The recorded outcome of one script run.
 #[derive(Debug, Default)]
 pub struct Outcome {
@@ -102,53 +148,11 @@ impl ScriptClient {
     }
 
     fn issue_next(&mut self, ctx: &mut Ctx<'_>) {
-        let Some(op) = self.ops.get(self.next) else {
+        let Some(op) = self.ops.get(self.next).cloned() else {
             self.outcome.borrow_mut().finished = true;
             return;
         };
-        let tag = self.next as u64;
-        let msg = match op {
-            Op::Put { key, val } => self.core.request(
-                Topic::from_static("kvs.put"),
-                Value::from_pairs([("k", Value::from(key.as_str())), ("v", val.clone())]),
-                tag,
-            ),
-            Op::Commit => {
-                self.core.request(Topic::from_static("kvs.commit"), Value::object(), tag)
-            }
-            Op::Fence { name, nprocs } => self.core.request(
-                Topic::from_static("kvs.fence"),
-                Value::from_pairs([
-                    ("name", Value::from(name.as_str())),
-                    ("nprocs", Value::from(*nprocs as i64)),
-                ]),
-                tag,
-            ),
-            Op::Get { key } => self.core.request(
-                Topic::from_static("kvs.get"),
-                Value::from_pairs([("k", Value::from(key.as_str()))]),
-                tag,
-            ),
-            Op::GetVersion => {
-                self.core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
-            }
-            Op::WaitVersion(v) => self.core.request(
-                Topic::from_static("kvs.wait_version"),
-                Value::from_pairs([("version", Value::from(*v as i64))]),
-                tag,
-            ),
-            Op::Barrier { name, nprocs } => self.core.request(
-                Topic::from_static("barrier.enter"),
-                Value::from_pairs([
-                    ("name", Value::from(name.as_str())),
-                    ("nprocs", Value::from(*nprocs as i64)),
-                ]),
-                tag,
-            ),
-            Op::Request { topic, payload } => {
-                self.core.request(topic.clone(), payload.clone(), tag)
-            }
-        };
+        let msg = op.to_request(&mut self.core, self.next as u64);
         ctx.send(self.broker, msg);
     }
 }

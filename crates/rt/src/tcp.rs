@@ -1,0 +1,433 @@
+//! Comms sessions over real loopback TCP sockets.
+//!
+//! The closest live analogue of the prototype's ØMQ TCP overlay: one
+//! broker thread per rank as in [`crate::threads`], but broker↔broker
+//! traffic rides genuine `TcpStream`s carrying length-prefixed
+//! [`flux_wire`] frames ([`flux_wire::frame`]). Clients remain
+//! in-process channel attachments (the prototype's local IPC sockets).
+//!
+//! Wire-up: every rank binds a listener on `127.0.0.1:0` *before* any
+//! broker starts, so the full address map is known up front — the moral
+//! equivalent of the paper's PMI exchange of broker endpoints. Outbound
+//! links are established lazily on first send, with bounded
+//! connect-retry and exponential backoff to ride out peers that are
+//! still starting. Each direction of a broker pair is its own
+//! connection; a link opens with a 4-byte little-endian rank handshake
+//! so the accepting side can attribute inbound frames.
+//!
+//! Shutdown is ordered: brokers stop (dropping outbound links), peers'
+//! reader threads drain to EOF, acceptors are woken by a local connect
+//! and exit, and every thread is joined before `shutdown()` returns.
+
+use crate::live::{BrokerHost, Event, LiveClient, PeerSender};
+use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule};
+use flux_wire::{frame, Message, Rank};
+use std::collections::BinaryHeap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Tuning for TCP links.
+#[derive(Clone, Debug)]
+pub struct TcpConfig {
+    /// Per-attempt connect timeout.
+    pub connect_timeout: Duration,
+    /// Connect attempts per link before giving up (≥ 1).
+    pub max_connect_attempts: u32,
+    /// Backoff before the second connect attempt; doubles per attempt.
+    pub initial_backoff: Duration,
+    /// Ceiling on the per-attempt backoff.
+    pub max_backoff: Duration,
+    /// Read timeout for the rank handshake on accepted connections
+    /// (guards against a connector that never identifies itself).
+    pub handshake_timeout: Duration,
+    /// Size cap on a single frame, bytes (see [`frame::MAX_FRAME`]).
+    pub max_frame: usize,
+}
+
+impl Default for TcpConfig {
+    fn default() -> Self {
+        TcpConfig {
+            connect_timeout: Duration::from_secs(5),
+            max_connect_attempts: 6,
+            initial_backoff: Duration::from_millis(20),
+            max_backoff: Duration::from_secs(1),
+            handshake_timeout: Duration::from_secs(5),
+            max_frame: frame::MAX_FRAME,
+        }
+    }
+}
+
+/// Connects to `addr`, retrying with exponential backoff per the config.
+///
+/// # Errors
+/// Returns the last connect error once `max_connect_attempts` attempts
+/// have failed.
+pub fn connect_with_retry(addr: SocketAddr, config: &TcpConfig) -> io::Result<TcpStream> {
+    let attempts = config.max_connect_attempts.max(1);
+    let mut backoff = config.initial_backoff;
+    let mut last_err = None;
+    for attempt in 0..attempts {
+        if attempt > 0 {
+            std::thread::sleep(backoff);
+            backoff = (backoff * 2).min(config.max_backoff);
+        }
+        match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+            Ok(stream) => return Ok(stream),
+            Err(e) => last_err = Some(e),
+        }
+    }
+    Err(last_err.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+}
+
+/// Outbound TCP links of one broker: lazily connected, retried once
+/// (with the full backoff schedule) on a mid-session write failure.
+struct TcpPeers {
+    rank: Rank,
+    addrs: Vec<SocketAddr>,
+    links: Vec<Option<TcpStream>>,
+    config: TcpConfig,
+}
+
+impl TcpPeers {
+    fn open_link(&self, to: Rank) -> io::Result<TcpStream> {
+        let mut stream = connect_with_retry(self.addrs[to.index()], &self.config)?;
+        stream.set_nodelay(true)?;
+        // Identify ourselves so the acceptor can attribute our frames.
+        stream.write_all(&self.rank.0.to_le_bytes())?;
+        Ok(stream)
+    }
+
+    fn try_send(&mut self, to: Rank, msg: &Message) -> io::Result<()> {
+        if self.links[to.index()].is_none() {
+            self.links[to.index()] = Some(self.open_link(to)?);
+        }
+        let stream = self.links[to.index()].as_mut().expect("link just ensured");
+        frame::write_frame(stream, msg, self.config.max_frame)
+    }
+}
+
+impl PeerSender for TcpPeers {
+    fn send_to(&mut self, to: Rank, msg: Message) {
+        if self.try_send(to, &msg).is_err() {
+            // The link may have died mid-session; rebuild it once and
+            // retry. A second failure drops the message — overlay peers
+            // are expected to be repaired by the liveness layer, not the
+            // transport.
+            self.links[to.index()] = None;
+            let _ = self.try_send(to, &msg);
+        }
+    }
+
+    fn close(&mut self) {
+        for link in self.links.iter_mut().filter_map(Option::take) {
+            let _ = link.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Reads the 4-byte little-endian rank handshake.
+fn read_handshake(stream: &mut TcpStream, timeout: Duration) -> io::Result<Rank> {
+    stream.set_read_timeout(Some(timeout))?;
+    let mut raw = [0u8; 4];
+    stream.read_exact(&mut raw)?;
+    stream.set_read_timeout(None)?;
+    Ok(Rank(u32::from_le_bytes(raw)))
+}
+
+/// Accept loop for one rank's listener: handshakes each inbound link and
+/// spawns a reader thread that feeds decoded frames into the broker.
+fn accept_loop(
+    listener: TcpListener,
+    tx: Sender<Event>,
+    config: TcpConfig,
+    stopping: Arc<AtomicBool>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else { break };
+        if stopping.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(from) = read_handshake(&mut stream, config.handshake_timeout) else {
+            continue; // never identified itself; drop the connection
+        };
+        let tx = tx.clone();
+        let max_frame = config.max_frame;
+        let handle = std::thread::Builder::new()
+            .name(format!("flux-tcp-read-{}", from.0))
+            .spawn(move || {
+                let mut stream = stream;
+                // Clean EOF, a malformed frame, or a dead socket all end
+                // this link; the peer reconnects if it has more to say.
+                while let Ok(Some(msg)) = frame::read_frame(&mut stream, max_frame) {
+                    if tx.send(Event::FromBroker { from, msg }).is_err() {
+                        break; // broker gone
+                    }
+                }
+            })
+            .expect("spawn reader thread");
+        readers.lock().expect("reader registry").push(handle);
+    }
+}
+
+/// A client connection to a broker in a [`TcpSession`].
+pub type TcpClient = LiveClient;
+
+/// A comms session whose brokers are wired over loopback TCP: call
+/// [`TcpSession::builder`], attach clients, then
+/// [`TcpSessionBuilder::start`].
+pub struct TcpSession {
+    size: u32,
+    addrs: Vec<SocketAddr>,
+    senders: Vec<Sender<Event>>,
+    broker_handles: Vec<std::thread::JoinHandle<()>>,
+    acceptor_handles: Vec<std::thread::JoinHandle<()>>,
+    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    stopping: Arc<AtomicBool>,
+}
+
+/// Builder collecting brokers and client attachments before the session
+/// goes live.
+pub struct TcpSessionBuilder {
+    config: TcpConfig,
+    configs: Vec<BrokerConfig>,
+    modules: Vec<Vec<Box<dyn CommsModule>>>,
+    senders: Vec<Sender<Event>>,
+    receivers: Vec<Option<Receiver<Event>>>,
+    clients: Vec<Vec<Sender<Message>>>,
+}
+
+impl TcpSession {
+    /// Starts building a session of `size` brokers with tree `arity`;
+    /// `factory` produces each rank's modules.
+    pub fn builder<F>(size: u32, arity: u32, factory: F) -> TcpSessionBuilder
+    where
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        let mut b = TcpSessionBuilder {
+            config: TcpConfig::default(),
+            configs: Vec::new(),
+            modules: Vec::new(),
+            senders: Vec::new(),
+            receivers: Vec::new(),
+            clients: Vec::new(),
+        };
+        for r in 0..size {
+            let rank = Rank(r);
+            let (tx, rx) = channel();
+            b.configs.push(BrokerConfig::new(rank, size).with_arity(arity));
+            b.modules.push(factory(rank));
+            b.senders.push(tx);
+            b.receivers.push(Some(rx));
+            b.clients.push(Vec::new());
+        }
+        b
+    }
+
+    /// Session size in brokers.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The loopback address each rank's broker listens on.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Stops broker threads, drains links, and joins every thread the
+    /// session spawned.
+    pub fn shutdown(self) {
+        // 1. Brokers exit, dropping their outbound links; peers' reader
+        //    threads see EOF and drain.
+        for tx in &self.senders {
+            let _ = tx.send(Event::Shutdown);
+        }
+        for h in self.broker_handles {
+            let _ = h.join();
+        }
+        // 2. Wake each acceptor with a throwaway local connect.
+        self.stopping.store(true, Ordering::SeqCst);
+        for addr in &self.addrs {
+            let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
+        }
+        for h in self.acceptor_handles {
+            let _ = h.join();
+        }
+        // 3. Reader threads: already at EOF from step 1.
+        let readers = std::mem::take(&mut *self.readers.lock().expect("reader registry"));
+        for h in readers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl TcpSessionBuilder {
+    /// Overrides the link tuning (timeouts, retry, backoff, frame cap).
+    pub fn with_config(mut self, config: TcpConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides one rank's broker config (e.g. a faster heartbeat).
+    pub fn set_config(&mut self, rank: Rank, config: BrokerConfig) -> &mut Self {
+        self.configs[rank.index()] = config;
+        self
+    }
+
+    /// Attaches a client to `rank`'s broker, returning its handle.
+    pub fn attach_client(&mut self, rank: Rank) -> TcpClient {
+        let (tx, rx) = channel();
+        let client_id = self.clients[rank.index()].len() as ClientId;
+        self.clients[rank.index()].push(tx);
+        LiveClient { rank, client_id, tx: self.senders[rank.index()].clone(), rx }
+    }
+
+    /// Binds every rank's listener, then launches acceptor and broker
+    /// threads. The session epoch (t = 0) is shared.
+    ///
+    /// # Panics
+    /// Panics if a loopback listener cannot be bound or a thread cannot
+    /// be spawned.
+    pub fn start(mut self) -> TcpSession {
+        let size = self.configs.len() as u32;
+        // Bind all listeners before any broker runs, so every rank's
+        // first outbound connect finds a live (if not yet accepting)
+        // socket: the kernel backlog absorbs early connects.
+        let listeners: Vec<TcpListener> = (0..size)
+            .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind loopback listener"))
+            .collect();
+        let addrs: Vec<SocketAddr> =
+            listeners.iter().map(|l| l.local_addr().expect("listener addr")).collect();
+
+        let stopping = Arc::new(AtomicBool::new(false));
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let acceptor_handles: Vec<_> = listeners
+            .into_iter()
+            .enumerate()
+            .map(|(idx, listener)| {
+                let tx = self.senders[idx].clone();
+                let config = self.config.clone();
+                let stopping = Arc::clone(&stopping);
+                let readers = Arc::clone(&readers);
+                std::thread::Builder::new()
+                    .name(format!("flux-tcp-accept-{idx}"))
+                    .spawn(move || accept_loop(listener, tx, config, stopping, readers))
+                    .expect("spawn acceptor thread")
+            })
+            .collect();
+
+        let epoch = Instant::now();
+        let mut broker_handles = Vec::new();
+        for (idx, rx) in self.receivers.iter_mut().enumerate() {
+            let host = BrokerHost {
+                broker: Broker::new(
+                    self.configs[idx].clone(),
+                    std::mem::take(&mut self.modules[idx]),
+                ),
+                rx: rx.take().expect("receiver present"),
+                peers: TcpPeers {
+                    rank: Rank::from(idx),
+                    addrs: addrs.clone(),
+                    links: (0..size).map(|_| None).collect(),
+                    config: self.config.clone(),
+                },
+                clients: std::mem::take(&mut self.clients[idx]),
+                epoch,
+                timers: BinaryHeap::new(),
+            };
+            broker_handles.push(
+                std::thread::Builder::new()
+                    .name(format!("flux-broker-{idx}"))
+                    .spawn(move || host.run())
+                    .expect("spawn broker thread"),
+            );
+        }
+        TcpSession {
+            size,
+            addrs,
+            senders: self.senders,
+            broker_handles,
+            acceptor_handles,
+            readers,
+            stopping,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> TcpConfig {
+        TcpConfig {
+            connect_timeout: Duration::from_millis(500),
+            max_connect_attempts: 3,
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_millis(50),
+            ..TcpConfig::default()
+        }
+    }
+
+    #[test]
+    fn connect_with_retry_succeeds_on_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let stream = connect_with_retry(addr, &quick_config()).unwrap();
+        drop(stream);
+    }
+
+    #[test]
+    fn connect_with_retry_gives_up_after_attempts() {
+        // Bind-then-drop to obtain a loopback port that refuses connects.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let t0 = Instant::now();
+        let err = connect_with_retry(addr, &quick_config()).unwrap_err();
+        // 3 attempts with 10ms + 20ms backoff between them.
+        assert!(t0.elapsed() >= Duration::from_millis(30), "backoff was applied");
+        assert!(err.kind() == io::ErrorKind::ConnectionRefused || err.kind() == io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn connect_with_retry_rides_out_a_late_listener() {
+        // Reserve a port, free it, then re-bind it shortly after the
+        // first connect attempt has already failed.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let binder = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(25));
+            let listener = TcpListener::bind(addr).expect("re-bind reserved port");
+            // Hold the listener long enough for the retry to land.
+            std::thread::sleep(Duration::from_millis(500));
+            drop(listener);
+        });
+        let mut config = quick_config();
+        config.max_connect_attempts = 8;
+        config.max_backoff = Duration::from_millis(100);
+        let result = connect_with_retry(addr, &config);
+        binder.join().unwrap();
+        assert!(result.is_ok(), "retry found the late listener: {result:?}");
+    }
+
+    #[test]
+    fn handshake_timeout_drops_silent_connections() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let silent = TcpStream::connect(addr).unwrap();
+        let (mut accepted, _) = listener.accept().unwrap();
+        let err = read_handshake(&mut accepted, Duration::from_millis(50)).unwrap_err();
+        assert!(
+            err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut,
+            "timed out: {err:?}"
+        );
+        drop(silent);
+    }
+}

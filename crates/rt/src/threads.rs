@@ -1,138 +1,24 @@
 //! Comms sessions on real OS threads.
 //!
-//! One thread per broker; crossbeam channels stand in for the prototype's
+//! One thread per broker; std mpsc channels stand in for the prototype's
 //! ØMQ TCP/IPC sockets (same guarantees: reliable, per-link FIFO).
-//! Timers are kept in a per-thread heap and serviced with
-//! `recv_timeout`, so a broker thread sleeps unless it has traffic or a
-//! due timer — brokers are quiet when the session is quiet, matching the
-//! low-noise design goal.
+//! The per-broker event loop (timers, client delivery) is shared with
+//! the TCP transport — see [`crate::live`].
 
-use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
-use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule, Input, Output};
-use flux_wire::{Message, MsgType, Plane, Rank};
+use crate::live::{BrokerHost, ChannelPeers, Event, LiveClient};
+use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule};
+use flux_wire::{Message, Rank};
 use std::collections::BinaryHeap;
-use std::time::{Duration, Instant};
-
-/// What flows into a broker thread.
-enum Event {
-    FromBroker { from: Rank, msg: Message },
-    FromClient { client: ClientId, msg: Message },
-    Shutdown,
-}
-
-fn plane_of(msg: &Message) -> Plane {
-    match msg.header.msg_type {
-        MsgType::Event => Plane::Event,
-        _ if msg.header.dst.is_some() => Plane::Ring,
-        _ => Plane::Tree,
-    }
-}
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::time::Instant;
 
 /// A client connection to a broker in a [`ThreadSession`].
-pub struct ThreadClient {
-    /// The rank this client is attached to.
-    pub rank: Rank,
-    /// The broker-local client id.
-    pub client_id: ClientId,
-    tx: Sender<Event>,
-    rx: Receiver<Message>,
-}
-
-impl ThreadClient {
-    /// Sends a request to the local broker.
-    pub fn send(&self, msg: Message) {
-        let _ = self.tx.send(Event::FromClient { client: self.client_id, msg });
-    }
-
-    /// Receives the next message (response or subscribed event), waiting
-    /// up to `timeout`.
-    pub fn recv_timeout(&self, timeout: Duration) -> Option<Message> {
-        self.rx.recv_timeout(timeout).ok()
-    }
-
-    /// Non-blocking receive.
-    pub fn try_recv(&self) -> Option<Message> {
-        self.rx.try_recv().ok()
-    }
-}
-
-struct BrokerHost {
-    broker: Broker,
-    rank: Rank,
-    rx: Receiver<Event>,
-    peers: Vec<Sender<Event>>,
-    clients: Vec<Sender<Message>>,
-    epoch: Instant,
-    timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
-}
-
-impl BrokerHost {
-    fn now_ns(&self) -> u64 {
-        self.epoch.elapsed().as_nanos() as u64
-    }
-
-    fn absorb(&mut self, outs: Vec<Output>) {
-        for out in outs {
-            match out {
-                Output::ToBroker { to, msg, .. } => {
-                    let _ = self.peers[to.index()].send(Event::FromBroker { from: self.rank, msg });
-                }
-                Output::ToClient { client, msg } => {
-                    if let Some(tx) = self.clients.get(client as usize) {
-                        let _ = tx.send(msg);
-                    }
-                }
-                Output::SetTimer { delay_ns, token } => {
-                    let at = Instant::now() + Duration::from_nanos(delay_ns);
-                    self.timers.push(std::cmp::Reverse((at, token)));
-                }
-            }
-        }
-    }
-
-    fn run(mut self) {
-        let outs = self.broker.start(self.now_ns());
-        self.absorb(outs);
-        loop {
-            // Fire due timers.
-            let now = Instant::now();
-            while let Some(&std::cmp::Reverse((at, token))) = self.timers.peek() {
-                if at > now {
-                    break;
-                }
-                self.timers.pop();
-                let now_ns = self.now_ns();
-                let outs = self.broker.handle(now_ns, Input::Timer { token });
-                self.absorb(outs);
-            }
-            // Sleep until traffic or the next timer.
-            let timeout = self
-                .timers
-                .peek()
-                .map(|&std::cmp::Reverse((at, _))| at.saturating_duration_since(Instant::now()))
-                .unwrap_or(Duration::from_millis(250));
-            match self.rx.recv_timeout(timeout) {
-                Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => return,
-                Err(RecvTimeoutError::Timeout) => continue,
-                Ok(Event::FromBroker { from, msg }) => {
-                    let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
-                    let now_ns = self.now_ns();
-                    let outs = self.broker.handle(now_ns, input);
-                    self.absorb(outs);
-                }
-                Ok(Event::FromClient { client, msg }) => {
-                    let now_ns = self.now_ns();
-                    let outs = self.broker.handle(now_ns, Input::FromClient { client, msg });
-                    self.absorb(outs);
-                }
-            }
-        }
-    }
-}
+pub type ThreadClient = LiveClient;
 
 /// A comms session on OS threads: call [`ThreadSession::builder`], attach
 /// clients, then [`ThreadSessionBuilder::start`].
 pub struct ThreadSession {
+    size: u32,
     senders: Vec<Sender<Event>>,
     handles: Vec<std::thread::JoinHandle<()>>,
 }
@@ -163,7 +49,7 @@ impl ThreadSession {
         };
         for r in 0..size {
             let rank = Rank(r);
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             b.configs.push(BrokerConfig::new(rank, size).with_arity(arity));
             b.modules.push(factory(rank));
             b.senders.push(tx);
@@ -171,6 +57,11 @@ impl ThreadSession {
             b.clients.push(Vec::new());
         }
         b
+    }
+
+    /// Session size in brokers.
+    pub fn size(&self) -> u32 {
+        self.size
     }
 
     /// Stops all broker threads and joins them.
@@ -193,15 +84,16 @@ impl ThreadSessionBuilder {
 
     /// Attaches a client to `rank`'s broker, returning its handle.
     pub fn attach_client(&mut self, rank: Rank) -> ThreadClient {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = channel();
         let client_id = self.clients[rank.index()].len() as ClientId;
         self.clients[rank.index()].push(tx);
-        ThreadClient { rank, client_id, tx: self.senders[rank.index()].clone(), rx }
+        LiveClient { rank, client_id, tx: self.senders[rank.index()].clone(), rx }
     }
 
     /// Launches all broker threads. The session epoch (t = 0) is shared.
     pub fn start(mut self) -> ThreadSession {
         let epoch = Instant::now();
+        let size = self.configs.len() as u32;
         let mut handles = Vec::new();
         for (idx, rx) in self.receivers.iter_mut().enumerate() {
             let host = BrokerHost {
@@ -209,9 +101,8 @@ impl ThreadSessionBuilder {
                     self.configs[idx].clone(),
                     std::mem::take(&mut self.modules[idx]),
                 ),
-                rank: Rank::from(idx),
                 rx: rx.take().expect("receiver present"),
-                peers: self.senders.clone(),
+                peers: ChannelPeers { rank: Rank::from(idx), peers: self.senders.clone() },
                 clients: std::mem::take(&mut self.clients[idx]),
                 epoch,
                 timers: BinaryHeap::new(),
@@ -223,6 +114,6 @@ impl ThreadSessionBuilder {
                     .expect("spawn broker thread"),
             );
         }
-        ThreadSession { senders: self.senders, handles }
+        ThreadSession { size, senders: self.senders, handles }
     }
 }

@@ -1,0 +1,346 @@
+//! Runtime-selectable transports.
+//!
+//! Two levels of abstraction:
+//!
+//! * [`Transport`] — an object-safe factory for *live* (wall-clock)
+//!   sessions: implemented by [`ThreadTransport`] (in-process channels)
+//!   and [`TcpTransport`] (loopback TCP links). The `flux` CLI and
+//!   integration tests pick one at runtime via [`TransportKind`].
+//! * [`ScriptTransport`] — runs a batch of scripted client workloads
+//!   ([`Op`] sequences) to completion and reports per-op results. All
+//!   three runtimes implement it: [`SimTransport`] in virtual time, and
+//!   every live [`Transport`] via a blanket impl that drives each script
+//!   on its own thread. The KAP benchmark runner is written against this
+//!   trait, so the same workload runs on the simulator or over real
+//!   sockets.
+
+use crate::live::LiveClient;
+use crate::script::{Op, ScriptClient};
+use crate::sim::SimSession;
+use crate::tcp::{TcpConfig, TcpSession};
+use crate::threads::ThreadSession;
+use flux_broker::client::{ClientCore, Delivery};
+use flux_broker::CommsModule;
+use flux_sim::NetParams;
+use flux_wire::{errnum, Rank};
+use std::fmt;
+use std::str::FromStr;
+use std::time::{Duration, Instant};
+
+/// The per-rank module factory every transport consumes.
+pub type ModuleFactory<'a> = &'a (dyn Fn(Rank) -> Vec<Box<dyn CommsModule>> + 'a);
+
+/// An object-safe factory for live comms sessions, so callers can pick
+/// the wire at runtime (`--transport tcp`).
+pub trait Transport {
+    /// Short name ("threads", "tcp").
+    fn name(&self) -> &'static str;
+
+    /// Opens a session builder for `size` brokers with tree `arity`.
+    fn open(&self, size: u32, arity: u32, factory: ModuleFactory<'_>) -> Box<dyn SessionBuilder>;
+}
+
+/// A live session being assembled: attach clients, then start.
+pub trait SessionBuilder {
+    /// Attaches a client to `rank`'s broker.
+    fn attach_client(&mut self, rank: Rank) -> LiveClient;
+
+    /// Launches the session.
+    fn start(self: Box<Self>) -> Box<dyn LiveSession>;
+}
+
+/// A running live session.
+pub trait LiveSession {
+    /// Session size in brokers.
+    fn size(&self) -> u32;
+
+    /// Stops the session and joins its threads.
+    fn shutdown(self: Box<Self>);
+}
+
+/// The in-process channel transport ([`ThreadSession`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadTransport;
+
+impl Transport for ThreadTransport {
+    fn name(&self) -> &'static str {
+        "threads"
+    }
+
+    fn open(&self, size: u32, arity: u32, factory: ModuleFactory<'_>) -> Box<dyn SessionBuilder> {
+        Box::new(ThreadSession::builder(size, arity, factory))
+    }
+}
+
+impl SessionBuilder for crate::threads::ThreadSessionBuilder {
+    fn attach_client(&mut self, rank: Rank) -> LiveClient {
+        crate::threads::ThreadSessionBuilder::attach_client(self, rank)
+    }
+
+    fn start(self: Box<Self>) -> Box<dyn LiveSession> {
+        Box::new((*self).start())
+    }
+}
+
+impl LiveSession for ThreadSession {
+    fn size(&self) -> u32 {
+        ThreadSession::size(self)
+    }
+
+    fn shutdown(self: Box<Self>) {
+        ThreadSession::shutdown(*self)
+    }
+}
+
+/// The loopback TCP transport ([`TcpSession`]).
+#[derive(Clone, Debug, Default)]
+pub struct TcpTransport {
+    /// Link tuning applied to every session this transport opens.
+    pub config: TcpConfig,
+}
+
+impl Transport for TcpTransport {
+    fn name(&self) -> &'static str {
+        "tcp"
+    }
+
+    fn open(&self, size: u32, arity: u32, factory: ModuleFactory<'_>) -> Box<dyn SessionBuilder> {
+        Box::new(TcpSession::builder(size, arity, factory).with_config(self.config.clone()))
+    }
+}
+
+impl SessionBuilder for crate::tcp::TcpSessionBuilder {
+    fn attach_client(&mut self, rank: Rank) -> LiveClient {
+        crate::tcp::TcpSessionBuilder::attach_client(self, rank)
+    }
+
+    fn start(self: Box<Self>) -> Box<dyn LiveSession> {
+        Box::new((*self).start())
+    }
+}
+
+impl LiveSession for TcpSession {
+    fn size(&self) -> u32 {
+        TcpSession::size(self)
+    }
+
+    fn shutdown(self: Box<Self>) {
+        TcpSession::shutdown(*self)
+    }
+}
+
+/// Which runtime hosts a session. Parsed from CLI flags and test
+/// environment variables.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Discrete-event simulator, virtual time.
+    Sim,
+    /// OS threads with channel links.
+    Threads,
+    /// OS threads with loopback TCP links.
+    Tcp,
+}
+
+impl TransportKind {
+    /// The live transport for this kind, or `None` for the simulator
+    /// (which runs in virtual time and has no live session form).
+    pub fn live(&self) -> Option<Box<dyn Transport>> {
+        match self {
+            TransportKind::Sim => None,
+            TransportKind::Threads => Some(Box::new(ThreadTransport)),
+            TransportKind::Tcp => Some(Box::new(TcpTransport::default())),
+        }
+    }
+}
+
+impl FromStr for TransportKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sim" => Ok(TransportKind::Sim),
+            "threads" => Ok(TransportKind::Threads),
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (want sim, threads, or tcp)")),
+        }
+    }
+}
+
+impl fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Threads => "threads",
+            TransportKind::Tcp => "tcp",
+        })
+    }
+}
+
+/// Per-script results from a [`ScriptTransport`] run, mirroring the
+/// simulator's [`crate::script::Outcome`] in plain nanoseconds.
+#[derive(Debug, Default, Clone)]
+pub struct ScriptOutcome {
+    /// Completion time of each op (ns since the session epoch).
+    pub op_done_ns: Vec<u64>,
+    /// Error number per op (0 = success).
+    pub op_err: Vec<u32>,
+    /// Raw reply payloads per op.
+    pub replies: Vec<flux_value::Value>,
+    /// True once every op completed.
+    pub finished: bool,
+}
+
+/// What a scripted run produced, across all scripts.
+#[derive(Debug, Default)]
+pub struct ScriptReport {
+    /// One outcome per submitted script, in submission order.
+    pub outcomes: Vec<ScriptOutcome>,
+    /// When the run finished (ns since the session epoch; virtual or
+    /// wall-clock depending on the transport).
+    pub makespan_ns: u64,
+    /// Engine events processed (simulator only; 0 on live transports).
+    pub events: u64,
+    /// Bytes moved over all links (simulator only; 0 on live transports).
+    pub bytes: u64,
+}
+
+/// Runs batches of scripted clients to completion. The abstraction the
+/// KAP runner targets: one workload definition, any runtime.
+pub trait ScriptTransport {
+    /// Short name ("sim", "threads", "tcp").
+    fn name(&self) -> &'static str;
+
+    /// Builds a session, runs every `(rank, ops)` script against it, and
+    /// tears the session down.
+    fn run_scripts(
+        &self,
+        size: u32,
+        arity: u32,
+        factory: ModuleFactory<'_>,
+        scripts: Vec<(Rank, Vec<Op>)>,
+    ) -> ScriptReport;
+}
+
+/// The discrete-event simulator as a script runner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SimTransport {
+    /// Simulated network parameters.
+    pub net: NetParams,
+}
+
+impl ScriptTransport for SimTransport {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn run_scripts(
+        &self,
+        size: u32,
+        arity: u32,
+        factory: ModuleFactory<'_>,
+        scripts: Vec<(Rank, Vec<Op>)>,
+    ) -> ScriptReport {
+        let mut session = SimSession::new(size, arity, self.net, factory);
+        let handles: Vec<_> = scripts
+            .into_iter()
+            .map(|(rank, ops)| ScriptClient::spawn(&mut session, rank, ops))
+            .collect();
+        let end = session.run_until_quiet();
+        let stats = session.engine().stats();
+        let outcomes = handles
+            .into_iter()
+            .map(|h| {
+                let o = h.borrow();
+                ScriptOutcome {
+                    op_done_ns: o.op_done.iter().map(|t| t.as_nanos()).collect(),
+                    op_err: o.op_err.clone(),
+                    replies: o.replies.clone(),
+                    finished: o.finished,
+                }
+            })
+            .collect();
+        ScriptReport {
+            outcomes,
+            makespan_ns: end.as_nanos(),
+            events: stats.events,
+            bytes: stats.bytes_delivered,
+        }
+    }
+}
+
+/// How long a live script driver waits for any single op's reply before
+/// recording `ETIMEDOUT` and abandoning the script.
+pub const LIVE_OP_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Drives one op script synchronously over a live client, stamping
+/// completion times relative to `epoch`.
+pub fn drive_script(client: &LiveClient, ops: &[Op], epoch: Instant) -> ScriptOutcome {
+    let mut core = ClientCore::new(client.rank, client.client_id);
+    let mut out = ScriptOutcome::default();
+    for (idx, op) in ops.iter().enumerate() {
+        let tag = idx as u64;
+        client.send(op.to_request(&mut core, tag));
+        let deadline = Instant::now() + LIVE_OP_TIMEOUT;
+        let reply = loop {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                break None;
+            }
+            let Some(msg) = client.recv_timeout(left) else { continue };
+            match core.deliver(msg) {
+                Delivery::Response { tag: t, msg } if t == tag => break Some(msg),
+                Delivery::Response { .. } | Delivery::Event(_) | Delivery::Unmatched(_) => continue,
+            }
+        };
+        match reply {
+            Some(msg) => {
+                out.op_done_ns.push(epoch.elapsed().as_nanos() as u64);
+                out.op_err.push(msg.header.errnum);
+                out.replies.push(msg.payload);
+            }
+            None => {
+                out.op_done_ns.push(epoch.elapsed().as_nanos() as u64);
+                out.op_err.push(errnum::ETIMEDOUT);
+                out.replies.push(flux_value::Value::Null);
+                return out; // abandoned: finished stays false
+            }
+        }
+    }
+    out.finished = true;
+    out
+}
+
+impl<T: Transport + ?Sized> ScriptTransport for T {
+    fn name(&self) -> &'static str {
+        Transport::name(self)
+    }
+
+    fn run_scripts(
+        &self,
+        size: u32,
+        arity: u32,
+        factory: ModuleFactory<'_>,
+        scripts: Vec<(Rank, Vec<Op>)>,
+    ) -> ScriptReport {
+        let mut builder = self.open(size, arity, factory);
+        let clients: Vec<LiveClient> =
+            scripts.iter().map(|(rank, _)| builder.attach_client(*rank)).collect();
+        let epoch = Instant::now();
+        let session = builder.start();
+        let drivers: Vec<_> = clients
+            .into_iter()
+            .zip(scripts)
+            .map(|(client, (_, ops))| {
+                std::thread::Builder::new()
+                    .name(format!("flux-script-{}", client.rank.0))
+                    .spawn(move || drive_script(&client, &ops, epoch))
+                    .expect("spawn script driver")
+            })
+            .collect();
+        let outcomes: Vec<ScriptOutcome> =
+            drivers.into_iter().map(|d| d.join().expect("script driver panicked")).collect();
+        let makespan_ns = epoch.elapsed().as_nanos() as u64;
+        session.shutdown();
+        ScriptReport { outcomes, makespan_ns, events: 0, bytes: 0 }
+    }
+}

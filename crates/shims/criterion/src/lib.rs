@@ -1,0 +1,257 @@
+//! Offline shim for the [criterion](https://docs.rs/criterion) API
+//! surface used by this workspace's benches.
+//!
+//! The build environment has no access to crates.io. This shim keeps the
+//! bench sources compiling and running unchanged: it performs a short
+//! warm-up, then a fixed number of timed samples per benchmark, and
+//! prints a `name  time: [median]  (min .. max)` line per benchmark.
+//! No statistics engine, no HTML reports.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+/// Accepted by `bench_function` in place of a string id.
+pub trait IntoBenchmarkId {
+    /// The display id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Throughput annotation (printed alongside timings).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch sizing for `iter_batched` (accepted, not used for sizing).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// The per-benchmark measurement driver.
+pub struct Bencher {
+    samples: u64,
+    /// Measured sample durations, one per sample, each normalized per iter.
+    per_iter: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Bencher {
+        Bencher { samples, per_iter: Vec::new() }
+    }
+
+    /// Times `routine` directly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find an iteration count that takes ~2ms.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let el = t0.elapsed();
+            if el > Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 2;
+        }
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            self.per_iter.push(t0.elapsed() / iters as u32);
+        }
+    }
+
+    /// The routine reports its own duration for `iters` iterations
+    /// (criterion's escape hatch for virtual-time measurements).
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        for _ in 0..self.samples {
+            let total = routine(1);
+            self.per_iter.push(total);
+        }
+    }
+
+    /// Times `routine` on inputs built by `setup` (setup excluded).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.per_iter.push(t0.elapsed());
+        }
+    }
+}
+
+fn print_result(name: &str, throughput: Option<Throughput>, per_iter: &mut [Duration]) {
+    if per_iter.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    per_iter.sort_unstable();
+    let min = per_iter[0];
+    let max = per_iter[per_iter.len() - 1];
+    let med = per_iter[per_iter.len() / 2];
+    let rate = throughput.map(|t| match t {
+        Throughput::Bytes(n) => format!(
+            "  {:.1} MiB/s",
+            n as f64 / med.as_secs_f64() / (1024.0 * 1024.0)
+        ),
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / med.as_secs_f64()),
+    });
+    println!(
+        "{name:<48} time: [{med:?}]  ({min:?} .. {max:?}){}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Annotates following benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Declares measurement time (accepted for compatibility, unused).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        print_result(&full, self.throughput, &mut b.per_iter);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The top-level benchmark harness handle.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Disables plot generation (no-op here).
+    pub fn without_plots(self) -> Self {
+        self
+    }
+
+    /// Applies command-line configuration (no-op here).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: 10, throughput: None, _parent: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = id.into_id();
+        let mut b = Bencher::new(10);
+        f(&mut b);
+        print_result(&name, None, &mut b.per_iter);
+        self
+    }
+}
+
+/// Declares a benchmark group, in either criterion syntax.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,215 @@
+//! Generation of strings matching a small regex subset.
+//!
+//! Supports exactly the constructs the workspace's test patterns use:
+//! literals, escapes (`\.`), `.`, character classes (`[a-z0-9_-]`),
+//! groups, alternation, and the quantifiers `?`, `*`, `+`, `{n}`,
+//! `{m,n}`. Unsupported syntax panics at compile time of the pattern,
+//! which in tests is the right failure mode.
+
+use crate::rng::TestRng;
+
+/// Characters `.` may generate: mostly printable ASCII, with a sprinkle
+/// of exotic code points so parsers see multi-byte UTF-8 and controls.
+const DOT_EXOTIC: &[char] = &[
+    '\u{0}', '\t', '"', '\\', '\u{7f}', 'é', 'Ω', '→', '🦀', '\u{202e}', '\u{fffd}',
+];
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A sequence of nodes.
+    Seq(Vec<Node>),
+    /// One of several alternatives.
+    Alt(Vec<Node>),
+    /// A literal character.
+    Lit(char),
+    /// Any character (`.`).
+    Dot,
+    /// A character class as an explicit set.
+    Class(Vec<char>),
+    /// A repeated node.
+    Repeat(Box<Node>, u32, u32),
+}
+
+/// A compiled generator for one pattern.
+pub struct RegexGen {
+    root: Node,
+}
+
+impl RegexGen {
+    /// Compiles `pattern`; panics on syntax outside the supported subset.
+    pub fn compile(pattern: &str) -> RegexGen {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let root = parse_alt(&chars, &mut pos);
+        assert!(pos == chars.len(), "unsupported regex syntax in {pattern:?} at {pos}");
+        RegexGen { root }
+    }
+
+    /// Produces one matching string.
+    pub fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        emit(&self.root, rng, &mut out);
+        out
+    }
+}
+
+fn parse_alt(chars: &[char], pos: &mut usize) -> Node {
+    let mut alts = vec![parse_seq(chars, pos)];
+    while chars.get(*pos) == Some(&'|') {
+        *pos += 1;
+        alts.push(parse_seq(chars, pos));
+    }
+    if alts.len() == 1 {
+        alts.pop().expect("one alt")
+    } else {
+        Node::Alt(alts)
+    }
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize) -> Node {
+    let mut seq = Vec::new();
+    while let Some(&c) = chars.get(*pos) {
+        if c == ')' || c == '|' {
+            break;
+        }
+        let atom = parse_atom(chars, pos);
+        seq.push(parse_quantifier(chars, pos, atom));
+    }
+    Node::Seq(seq)
+}
+
+fn parse_atom(chars: &[char], pos: &mut usize) -> Node {
+    match chars[*pos] {
+        '(' => {
+            *pos += 1;
+            let inner = parse_alt(chars, pos);
+            assert!(chars.get(*pos) == Some(&')'), "unclosed group");
+            *pos += 1;
+            inner
+        }
+        '[' => {
+            *pos += 1;
+            let mut set = Vec::new();
+            assert!(chars.get(*pos) != Some(&'^'), "negated classes unsupported");
+            while let Some(&c) = chars.get(*pos) {
+                if c == ']' {
+                    break;
+                }
+                if chars.get(*pos + 1) == Some(&'-') && chars.get(*pos + 2).is_some_and(|&e| e != ']') {
+                    let lo = c as u32;
+                    let hi = chars[*pos + 2] as u32;
+                    assert!(lo <= hi, "bad class range");
+                    for v in lo..=hi {
+                        if let Some(ch) = char::from_u32(v) {
+                            set.push(ch);
+                        }
+                    }
+                    *pos += 3;
+                } else {
+                    set.push(c);
+                    *pos += 1;
+                }
+            }
+            assert!(chars.get(*pos) == Some(&']'), "unclosed class");
+            *pos += 1;
+            Node::Class(set)
+        }
+        '.' => {
+            *pos += 1;
+            Node::Dot
+        }
+        '\\' => {
+            *pos += 1;
+            let c = chars[*pos];
+            *pos += 1;
+            match c {
+                'd' => Node::Class(('0'..='9').collect()),
+                'w' => {
+                    let mut set: Vec<char> = ('a'..='z').collect();
+                    set.extend('A'..='Z');
+                    set.extend('0'..='9');
+                    set.push('_');
+                    Node::Class(set)
+                }
+                's' => Node::Class(vec![' ', '\t', '\n']),
+                other => Node::Lit(other),
+            }
+        }
+        c => {
+            assert!(!"?*+{".contains(c), "dangling quantifier in pattern");
+            *pos += 1;
+            Node::Lit(c)
+        }
+    }
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize, atom: Node) -> Node {
+    match chars.get(*pos) {
+        Some('?') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 1)
+        }
+        Some('*') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *pos += 1;
+            Node::Repeat(Box::new(atom), 1, 8)
+        }
+        Some('{') => {
+            *pos += 1;
+            let mut lo = String::new();
+            while chars[*pos].is_ascii_digit() {
+                lo.push(chars[*pos]);
+                *pos += 1;
+            }
+            let lo: u32 = lo.parse().expect("repeat count");
+            let hi = if chars[*pos] == ',' {
+                *pos += 1;
+                let mut hi = String::new();
+                while chars[*pos].is_ascii_digit() {
+                    hi.push(chars[*pos]);
+                    *pos += 1;
+                }
+                hi.parse().expect("repeat bound")
+            } else {
+                lo
+            };
+            assert!(chars[*pos] == '}', "unclosed repetition");
+            *pos += 1;
+            Node::Repeat(Box::new(atom), lo, hi)
+        }
+        _ => atom,
+    }
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(items) => {
+            for n in items {
+                emit(n, rng, out);
+            }
+        }
+        Node::Alt(alts) => {
+            let i = rng.range_usize(0, alts.len());
+            emit(&alts[i], rng, out);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Dot => {
+            // 3/4 printable ASCII (not newline), 1/4 exotic.
+            if rng.below(4) < 3 {
+                out.push(char::from_u32(0x20 + rng.below(0x5f) as u32).unwrap_or('x'));
+            } else {
+                out.push(DOT_EXOTIC[rng.range_usize(0, DOT_EXOTIC.len())]);
+            }
+        }
+        Node::Class(set) => out.push(set[rng.range_usize(0, set.len())]),
+        Node::Repeat(inner, lo, hi) => {
+            let n = *lo + rng.below(u64::from(hi - lo) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+    }
+}

@@ -304,9 +304,12 @@ mod tests {
         )
     }
 
+    /// Shared arrival log: (seq, time) pairs.
+    type DeliveryLog = Rc<RefCell<Vec<(u64, SimTime)>>>;
+
     /// Records arrival (seq, time) pairs.
     struct Recorder {
-        log: Rc<RefCell<Vec<(u64, SimTime)>>>,
+        log: DeliveryLog,
     }
     impl Actor for Recorder {
         fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, m: Message) {
@@ -328,7 +331,7 @@ mod tests {
         fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Message) {}
     }
 
-    fn two_node_setup(sizes: Vec<usize>) -> (Engine, Rc<RefCell<Vec<(u64, SimTime)>>>) {
+    fn two_node_setup(sizes: Vec<usize>) -> (Engine, DeliveryLog) {
         let mut eng = Engine::new(NetParams::default());
         let n0 = eng.add_node();
         let n1 = eng.add_node();

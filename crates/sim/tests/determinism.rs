@@ -82,7 +82,7 @@ proptest! {
         let mut last: std::collections::HashMap<ActorId, u64> = Default::default();
         for (from, seq, _) in log {
             let prev = last.insert(from, seq);
-            prop_assert!(prev.map_or(true, |p| p < seq), "sender {from} reordered");
+            prop_assert!(prev.is_none_or(|p| p < seq), "sender {from} reordered");
         }
     }
 

@@ -43,7 +43,15 @@ pub enum DecodeError {
     TrailingBytes,
     /// Object keys were not strictly ascending (non-canonical input).
     UnsortedKeys,
+    /// Containers nested beyond [`MAX_DEPTH`] (hostile or corrupt input;
+    /// decoding recurses, so unbounded nesting would overflow the stack).
+    TooDeep,
 }
+
+/// Maximum container nesting depth the decoder accepts. Far above
+/// anything the KVS or the control plane produces, far below what could
+/// exhaust a thread stack.
+pub const MAX_DEPTH: u32 = 128;
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -54,6 +62,9 @@ impl fmt::Display for DecodeError {
             DecodeError::BadVarint => write!(f, "varint too long"),
             DecodeError::TrailingBytes => write!(f, "trailing bytes after canonical value"),
             DecodeError::UnsortedKeys => write!(f, "object keys not in canonical order"),
+            DecodeError::TooDeep => {
+                write!(f, "containers nested deeper than {MAX_DEPTH}")
+            }
         }
     }
 }
@@ -78,7 +89,7 @@ impl Value {
     /// to be exactly one value.
     pub fn decode_canonical(bytes: &[u8]) -> Result<Value, DecodeError> {
         let mut cur = Cursor { bytes, pos: 0 };
-        let v = decode_one(&mut cur)?;
+        let v = decode_one(&mut cur, 0)?;
         if cur.pos != bytes.len() {
             return Err(DecodeError::TrailingBytes);
         }
@@ -89,7 +100,7 @@ impl Value {
     /// number of bytes consumed.
     pub fn decode_canonical_prefix(bytes: &[u8]) -> Result<(Value, usize), DecodeError> {
         let mut cur = Cursor { bytes, pos: 0 };
-        let v = decode_one(&mut cur)?;
+        let v = decode_one(&mut cur, 0)?;
         Ok((v, cur.pos))
     }
 }
@@ -190,7 +201,10 @@ impl<'a> Cursor<'a> {
     }
 }
 
-fn decode_one(cur: &mut Cursor<'_>) -> Result<Value, DecodeError> {
+fn decode_one(cur: &mut Cursor<'_>, depth: u32) -> Result<Value, DecodeError> {
+    if depth > MAX_DEPTH {
+        return Err(DecodeError::TooDeep);
+    }
     let t = cur.take(1)?[0];
     Ok(match t {
         tag::NULL => Value::Null,
@@ -209,7 +223,7 @@ fn decode_one(cur: &mut Cursor<'_>) -> Result<Value, DecodeError> {
             let len = cur.varint()? as usize;
             let mut a = Vec::new();
             for _ in 0..len {
-                a.push(decode_one(cur)?);
+                a.push(decode_one(cur, depth + 1)?);
             }
             Value::Array(a)
         }
@@ -224,7 +238,7 @@ fn decode_one(cur: &mut Cursor<'_>) -> Result<Value, DecodeError> {
                         return Err(DecodeError::UnsortedKeys);
                     }
                 }
-                let v = decode_one(cur)?;
+                let v = decode_one(cur, depth + 1)?;
                 last_key = Some(k.clone());
                 m.insert(k, v);
             }
@@ -325,6 +339,31 @@ mod tests {
         buf.extend([1, b'a', 0x00]);
         buf.extend([1, b'a', 0x00]);
         assert_eq!(Value::decode_canonical(&buf), Err(DecodeError::UnsortedKeys));
+    }
+
+    /// `[[[…]]]` nested `n` deep, as raw bytes (each level is tag + len 1,
+    /// innermost is the empty array).
+    fn nested_array_bytes(n: usize) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(2 * n);
+        for _ in 0..n.saturating_sub(1) {
+            buf.extend([tag::ARRAY, 1]);
+        }
+        buf.extend([tag::ARRAY, 0]);
+        buf
+    }
+
+    #[test]
+    fn decode_rejects_hostile_nesting_depth() {
+        // Deep nesting must return an error, not blow the stack: this is
+        // what a 20 KB hostile frame would do to a broker thread.
+        let deep = nested_array_bytes(10_000);
+        assert_eq!(Value::decode_canonical(&deep), Err(DecodeError::TooDeep));
+        // Sane nesting still decodes.
+        let ok = nested_array_bytes(MAX_DEPTH as usize);
+        assert!(Value::decode_canonical(&ok).is_ok());
+        // One past the limit is the boundary.
+        let over = nested_array_bytes(MAX_DEPTH as usize + 2);
+        assert_eq!(Value::decode_canonical(&over), Err(DecodeError::TooDeep));
     }
 
     #[test]

@@ -17,8 +17,10 @@ pub type Map = BTreeMap<String, Value>;
 /// `i64`, and to `Float` otherwise, matching the behaviour HPC tooling
 /// expects for ranks, counts, and sizes.
 #[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
 pub enum Value {
     /// JSON `null`.
+    #[default]
     Null,
     /// JSON `true` / `false`.
     Bool(bool),
@@ -212,11 +214,6 @@ impl Value {
     }
 }
 
-impl Default for Value {
-    fn default() -> Self {
-        Value::Null
-    }
-}
 
 impl fmt::Display for Value {
     /// Displays as compact JSON.

@@ -1,0 +1,158 @@
+//! Length-prefixed stream framing for [`Message`].
+//!
+//! The canonical encoding is self-delimiting, so a trusted byte stream
+//! could be decoded without any outer framing. Socket transports still
+//! want a length prefix: it lets a reader pull exactly one message off
+//! the wire before parsing, enforce a size cap *before* allocating, and
+//! resynchronize error handling at frame granularity. The frame is
+//!
+//! ```text
+//! len   u32 LE   byte length of the encoded message (not counting `len`)
+//! body  [u8]     `Message::encode()` bytes
+//! ```
+//!
+//! Oversized, truncated, or malformed frames surface as
+//! `io::ErrorKind::InvalidData` — never a panic.
+
+use crate::Message;
+use std::io::{self, Read, Write};
+
+/// Default ceiling on a frame body, in bytes. Generous for control-plane
+/// traffic (KVS values ride inside messages), tight enough that a
+/// corrupt or hostile length prefix cannot trigger a huge allocation.
+pub const MAX_FRAME: usize = 16 * 1024 * 1024;
+
+/// Writes `msg` as one length-prefixed frame.
+///
+/// # Errors
+/// Returns any underlying I/O error; `InvalidData` if the encoded
+/// message exceeds `max_frame`.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message, max_frame: usize) -> io::Result<()> {
+    let body = msg.encode();
+    if body.len() > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("outgoing frame of {} bytes exceeds cap {max_frame}", body.len()),
+        ));
+    }
+    w.write_all(&(body.len() as u32).to_le_bytes())?;
+    w.write_all(&body)
+}
+
+/// Reads one length-prefixed frame, returning `None` on a clean EOF at a
+/// frame boundary.
+///
+/// # Errors
+/// `InvalidData` on an oversized length prefix or a body that fails
+/// [`Message::decode`]; `UnexpectedEof` if the stream ends mid-frame;
+/// otherwise the underlying I/O error.
+pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> io::Result<Option<Message>> {
+    let mut len_raw = [0u8; 4];
+    // A clean EOF before any length byte means the peer closed between
+    // frames — a normal shutdown, not an error.
+    match r.read(&mut len_raw) {
+        Ok(0) => return Ok(None),
+        Ok(n) => r.read_exact(&mut len_raw[n..])?,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+            r.read_exact(&mut len_raw)?;
+        }
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_raw) as usize;
+    if len > max_frame {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("incoming frame of {len} bytes exceeds cap {max_frame}"),
+        ));
+    }
+    let mut body = vec![0u8; len];
+    r.read_exact(&mut body)?;
+    let (msg, used) = Message::decode(&body)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    if used != body.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame had {} trailing bytes after one message", body.len() - used),
+        ));
+    }
+    Ok(Some(msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MsgId, Rank, Topic};
+    use flux_value::Value;
+
+    fn sample(seq: u64) -> Message {
+        Message::request(
+            Topic::new("kvs.put").unwrap(),
+            MsgId { origin: Rank(1), seq },
+            Rank(1),
+            Value::from_pairs([("k", Value::from("a.b")), ("v", Value::Int(seq as i64))]),
+        )
+    }
+
+    #[test]
+    fn roundtrip_stream_of_frames() {
+        let mut buf = Vec::new();
+        for seq in 0..5 {
+            write_frame(&mut buf, &sample(seq), MAX_FRAME).unwrap();
+        }
+        let mut r = &buf[..];
+        for seq in 0..5 {
+            let m = read_frame(&mut r, MAX_FRAME).unwrap().expect("frame");
+            assert_eq!(m, sample(seq));
+        }
+        assert!(read_frame(&mut r, MAX_FRAME).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_body_is_unexpected_eof() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(9), MAX_FRAME).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_body_is_invalid_data() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, &sample(3), MAX_FRAME).unwrap();
+        buf[4] = 0x00; // stomp the magic byte
+        let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn trailing_garbage_in_frame_is_invalid_data() {
+        let body = {
+            let mut b = sample(4).encode();
+            b.push(0xAB);
+            b
+        };
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        buf.extend_from_slice(&body);
+        let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn outgoing_cap_is_enforced() {
+        let m = sample(1);
+        let mut buf = Vec::new();
+        let err = write_frame(&mut buf, &m, 4).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(buf.is_empty(), "nothing written for a rejected frame");
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 mod codec;
 pub mod errnum;
+pub mod frame;
 mod message;
 mod rank;
 mod topic;

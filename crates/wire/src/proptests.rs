@@ -86,4 +86,32 @@ proptest! {
             prop_assert_ne!(a.encode(), b.encode());
         }
     }
+
+    /// Corrupting any byte of a valid encoding never panics the decoder:
+    /// it either errs or decodes to *some* message, but always returns.
+    #[test]
+    fn mutated_encodings_never_panic(m in arb_message(), pos in any::<usize>(), xor in any::<u8>()) {
+        let mut enc = m.encode();
+        let i = pos % enc.len();
+        enc[i] ^= xor.max(1);
+        let _ = Message::decode(&enc);
+    }
+
+    /// The canonical value decoder is panic-free on arbitrary bytes too —
+    /// it runs inside message decode, so its crashes would be ours.
+    #[test]
+    fn value_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Value::decode_canonical(&bytes);
+        let _ = Value::decode_canonical_prefix(&bytes);
+    }
+
+    /// The TCP frame reader never panics on arbitrary bytes: it errs on
+    /// garbage and reports clean EOF only at a frame boundary.
+    #[test]
+    fn frame_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let mut r = &bytes[..];
+        if let Ok(None) = crate::frame::read_frame(&mut r, crate::frame::MAX_FRAME) {
+            prop_assert!(bytes.is_empty(), "EOF only at a boundary");
+        }
+    }
 }
