@@ -187,10 +187,20 @@ impl Core {
         self.deliver_queue.push_back((msg, true));
     }
 
-    /// Emits the event to all effective children. Called after local
-    /// delivery so liveness changes carried by the event are in force.
+    /// Emits the event to all effective children, plus any *down* direct
+    /// tree children. Called after local delivery so liveness changes
+    /// carried by the event are in force. Sending to down children costs
+    /// nothing while they are truly dead (the transport drops it), but it
+    /// is what lets a silently revived broker hear heartbeats again and
+    /// announce itself — without it, a restart could never rejoin.
     pub(crate) fn fan_children(&mut self, msg: &Message) {
-        for child in self.effective_children() {
+        let mut targets = self.effective_children();
+        for child in self.tree.children(self.config.rank) {
+            if !self.live.is_up(child) && !targets.contains(&child) {
+                targets.push(child);
+            }
+        }
+        for child in targets {
             self.outputs.push(Output::ToBroker {
                 plane: Plane::Event,
                 to: child,
@@ -423,15 +433,17 @@ impl Broker {
     }
 
     /// Delivers one stamped event locally: liveness bookkeeping, module
-    /// subscriptions, client subscriptions, heartbeat hook.
-    fn deliver_event_locally(&mut self, msg: Message) {
+    /// subscriptions, client subscriptions, heartbeat hook. Returns
+    /// `false` for a stale or duplicate event (sequence at or below the
+    /// newest already delivered) — routine under fault injection
+    /// (duplicated frames, delayed copies overtaken by newer events) and
+    /// during tree healing, when a broker can briefly hear two parents.
+    /// Stale events are dropped without redelivery or re-fanning.
+    fn deliver_event_locally(&mut self, msg: Message) -> bool {
         let seq = msg.header.id.seq;
-        assert!(
-            seq > self.core.last_event_seq,
-            "event sequence moved backwards: {} after {}",
-            seq,
-            self.core.last_event_seq
-        );
+        if seq <= self.core.last_event_seq {
+            return false;
+        }
         self.core.last_event_seq = seq;
 
         let topic = msg.header.topic.clone();
@@ -478,6 +490,7 @@ impl Broker {
         for client in to_clients {
             self.core.outputs.push(Output::ToClient { client, msg: msg.clone() });
         }
+        true
     }
 
     /// Runs `f` against module `idx` with a fresh context.
@@ -499,8 +512,8 @@ impl Broker {
     fn drain_raised(&mut self) {
         loop {
             if let Some((msg, fan)) = self.core.deliver_queue.pop_front() {
-                self.deliver_event_locally(msg.clone());
-                if fan {
+                let fresh = self.deliver_event_locally(msg.clone());
+                if fan && fresh {
                     self.core.fan_children(&msg);
                 }
                 continue;

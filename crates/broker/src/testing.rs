@@ -101,6 +101,14 @@ impl TestNet {
         self.dead.insert(rank);
     }
 
+    /// Revives a previously [`TestNet::kill`]ed broker with its state
+    /// intact (the crash-restart model used by fault injection): it
+    /// receives traffic again and can re-announce itself via the live
+    /// module's hello path.
+    pub fn revive(&mut self, rank: Rank) {
+        self.dead.remove(&rank);
+    }
+
     /// Processes queued deliveries until quiescent. Timers do not fire.
     pub fn run(&mut self) {
         let mut guard = 0u64;

@@ -39,11 +39,18 @@
 //! `threads` (in-process channels, the default) or `tcp` (brokers linked
 //! over loopback TCP sockets). `flux --transport tcp start` wires up a
 //! real-socket session and pings every rank.
+//!
+//! `--faults SEED:SPEC` runs the session under a deterministic fault
+//! plan (see `flux_rt::FaultPlan::parse`): e.g.
+//! `flux --faults 7:drop=0.01,delay=0.05/2ms,kill=3@6..14 start` drops
+//! 1% of messages, delays 5% by up to 2 ms, and silences rank 3 for
+//! heartbeat epochs 6..14. The same `SEED:SPEC` reproduces the same
+//! per-link fault decisions run to run.
 
 use flux_broker::client::{ClientCore, Delivery};
 use flux_modules::standard_modules;
-use flux_rt::transport::TransportKind;
-use flux_rt::LiveClient;
+use flux_rt::transport::{FaultyTransport, TransportKind};
+use flux_rt::{FaultPlan, LiveClient};
 use flux_value::Value;
 use flux_wire::{Message, Rank, Topic};
 use std::process::ExitCode;
@@ -298,6 +305,7 @@ fn main() -> ExitCode {
     let mut size = 8u32;
     let mut arity = 2u32;
     let mut transport = TransportKind::Threads;
+    let mut faults: Option<String> = None;
     while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
         args.remove(0);
         match flag.as_str() {
@@ -310,6 +318,7 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--faults" => faults = Some(args.remove(0)),
             "--help" => {
                 eprintln!("see `flux` module docs; e.g. flux kvs put a.b 42 \\; kvs commit \\; kvs get a.b");
                 return ExitCode::SUCCESS;
@@ -322,7 +331,8 @@ fn main() -> ExitCode {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: flux [--size N] [--arity K] [--transport threads|tcp] <command> [; <command>]..."
+            "usage: flux [--size N] [--arity K] [--transport threads|tcp] \
+             [--faults SEED:SPEC] <command> [; <command>]..."
         );
         return ExitCode::from(2);
     }
@@ -333,10 +343,22 @@ fn main() -> ExitCode {
 
     // Host an ephemeral session over the chosen transport; attach at the
     // last rank (a leaf).
-    let Some(live) = transport.live() else {
+    let Some(mut live) = transport.live() else {
         eprintln!("flux: the sim transport runs in virtual time; use threads or tcp");
         return ExitCode::from(2);
     };
+    if let Some(flag) = faults {
+        // Epoch windows in the spec are scaled by the default heartbeat
+        // period (the CLI does not override broker configs).
+        let hb = flux_broker::BrokerConfig::new(Rank(0), size).hb_period_ns;
+        match FaultPlan::parse_flag(&flag, hb) {
+            Ok(plan) => live = Box::new(FaultyTransport::new(live, plan)),
+            Err(e) => {
+                eprintln!("flux: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
     let mut builder = live.open(size, arity, &|_| standard_modules());
     let leaf = Rank(size - 1);
     let conn = builder.attach_client(leaf);

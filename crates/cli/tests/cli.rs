@@ -22,7 +22,9 @@ fn kvs_roundtrip_via_cli() {
     ]);
     assert!(ok, "stderr: {stderr}");
     assert!(stdout.contains("cli.x staged"), "{stdout}");
-    assert!(stdout.contains("committed: version 1"), "{stdout}");
+    // The exact version races with resvc's startup enumeration fence
+    // (which also commits), so only the shape is asserted.
+    assert!(stdout.contains("committed: version"), "{stdout}");
     assert!(stdout.trim_end().ends_with("42"), "{stdout}");
 }
 

@@ -165,7 +165,7 @@ fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
 /// Runs one KAP configuration to completion on the simulator (the
 /// paper's measurement setup: virtual time, modeled network).
 pub fn run_kap(params: &KapParams) -> KapResult {
-    run_kap_on(params, &SimTransport { net: params.net })
+    run_kap_on(params, &SimTransport { net: params.net, ..SimTransport::default() })
 }
 
 /// Runs one KAP configuration on any script-capable transport: the

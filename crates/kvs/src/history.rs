@@ -1,0 +1,284 @@
+//! Per-client consistency checking for chaos-test histories.
+//!
+//! Chaos workloads (see `flux_rt::chaos`) drive scripted clients against a
+//! faulty session and record what each client observed. This module turns
+//! those observations into verdicts: an empty violation list means the
+//! history is explainable by the KVS consistency model (read-your-writes
+//! and monotonic reads per client, monotonically advancing versions).
+//!
+//! The checker is deliberately conservative about *uncertainty*: a commit
+//! whose response was lost ([`Event::StagedOnly`]) may or may not have
+//! reached the master, so later reads may legitimately observe it — or
+//! not. Only outcomes that no interleaving of the recorded operations can
+//! produce are reported as violations.
+
+use std::collections::HashMap;
+
+/// One observation in a client's history, in program order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// A commit acknowledged by the session: every generation of `key`
+    /// up to and including `gen` written by this client is durable, and
+    /// the store version was `version` when it applied.
+    Committed {
+        /// The key written.
+        key: String,
+        /// Highest generation of `key` covered by this commit.
+        gen: u64,
+        /// Store version reported by the commit response.
+        version: u64,
+    },
+    /// A write whose commit outcome is unknown (the response was lost or
+    /// the commit errored): generation `gen` of `key` may or may not be
+    /// visible to later reads.
+    StagedOnly {
+        /// The key written.
+        key: String,
+        /// Generation whose durability is unknown.
+        gen: u64,
+    },
+    /// A read of `key` observing generation `gen` (`None` = key absent).
+    Read {
+        /// The key read.
+        key: String,
+        /// Observed generation, or `None` if the key was absent.
+        gen: Option<u64>,
+    },
+    /// An observation of the store version (e.g. `kvs.version`).
+    Version {
+        /// The observed version.
+        v: u64,
+    },
+}
+
+/// Everything one scripted client observed, in program order.
+#[derive(Clone, Debug)]
+pub struct ClientHistory {
+    /// A label for error messages (e.g. `"rank3/client0"`).
+    pub client: String,
+    /// Observations in program order.
+    pub events: Vec<Event>,
+}
+
+/// Checks a set of per-client histories for consistency violations.
+///
+/// Returns human-readable violation descriptions; an empty vector means
+/// the histories are consistent. Checked properties:
+///
+/// 1. **Writes exist**: a read observing generation `g` of a key is only
+///    legal if some client wrote generation `g` (committed *or* staged —
+///    a lost commit response does not mean a lost commit).
+/// 2. **Read-your-writes**: after a client's commit of `gen` is
+///    acknowledged, that client's later reads of the key must observe
+///    `gen` or newer, and never `None`.
+/// 3. **Monotonic reads**: per (client, key), observed generations never
+///    go backwards, and a key never vanishes after being observed.
+/// 4. **Monotonic versions**: per client, the sequence of observed store
+///    versions (commit responses and explicit version probes) never
+///    decreases.
+pub fn check(histories: &[ClientHistory]) -> Vec<String> {
+    let mut violations = Vec::new();
+
+    // Pass 1: the global set of generations ever written, per key. Using
+    // the whole history (rather than a causal cut) can only under-report,
+    // never false-positive.
+    let mut max_written: HashMap<&str, u64> = HashMap::new();
+    for h in histories {
+        for ev in &h.events {
+            if let Event::Committed { key, gen, .. } | Event::StagedOnly { key, gen } = ev {
+                let e = max_written.entry(key.as_str()).or_insert(0);
+                *e = (*e).max(*gen);
+            }
+        }
+    }
+
+    // Pass 2: per-client program-order checks.
+    for h in histories {
+        // key → highest acknowledged-committed gen by this client.
+        let mut floor: HashMap<&str, u64> = HashMap::new();
+        // key → last gen this client observed via a read.
+        let mut last_read: HashMap<&str, u64> = HashMap::new();
+        let mut last_version: u64 = 0;
+        for (i, ev) in h.events.iter().enumerate() {
+            match ev {
+                Event::Committed { key, gen, version } => {
+                    if *version < last_version {
+                        violations.push(format!(
+                            "{}@{i}: commit of {key}#{gen} returned version {version} \
+                             after having observed version {last_version}",
+                            h.client
+                        ));
+                    }
+                    last_version = last_version.max(*version);
+                    let e = floor.entry(key.as_str()).or_insert(0);
+                    *e = (*e).max(*gen);
+                }
+                Event::StagedOnly { .. } => {}
+                Event::Version { v } => {
+                    if *v < last_version {
+                        violations.push(format!(
+                            "{}@{i}: observed version {v} after version {last_version}",
+                            h.client
+                        ));
+                    }
+                    last_version = last_version.max(*v);
+                }
+                Event::Read { key, gen } => {
+                    let floor_gen = floor.get(key.as_str()).copied().unwrap_or(0);
+                    let prev_read = last_read.get(key.as_str()).copied();
+                    match gen {
+                        Some(g) => {
+                            let written = max_written.get(key.as_str()).copied().unwrap_or(0);
+                            if *g > written {
+                                violations.push(format!(
+                                    "{}@{i}: read {key}#{g} but no client ever wrote \
+                                     past generation {written}",
+                                    h.client
+                                ));
+                            }
+                            if *g < floor_gen {
+                                violations.push(format!(
+                                    "{}@{i}: read-your-writes violation: read {key}#{g} \
+                                     after own commit of #{floor_gen} was acknowledged",
+                                    h.client
+                                ));
+                            }
+                            if let Some(prev) = prev_read {
+                                if *g < prev {
+                                    violations.push(format!(
+                                        "{}@{i}: monotonic-reads violation: read {key}#{g} \
+                                         after having read #{prev}",
+                                        h.client
+                                    ));
+                                }
+                            }
+                            let e = last_read.entry(key.as_str()).or_insert(0);
+                            *e = (*e).max(*g);
+                        }
+                        None => {
+                            if floor_gen > 0 {
+                                violations.push(format!(
+                                    "{}@{i}: read-your-writes violation: {key} absent \
+                                     after own commit of #{floor_gen} was acknowledged",
+                                    h.client
+                                ));
+                            }
+                            if let Some(prev) = prev_read {
+                                violations.push(format!(
+                                    "{}@{i}: monotonic-reads violation: {key} absent \
+                                     after having read #{prev}",
+                                    h.client
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(events: Vec<Event>) -> ClientHistory {
+        ClientHistory { client: "c0".into(), events }
+    }
+
+    #[test]
+    fn clean_history_passes() {
+        let h = hist(vec![
+            Event::Read { key: "k".into(), gen: None },
+            Event::Committed { key: "k".into(), gen: 1, version: 5 },
+            Event::Read { key: "k".into(), gen: Some(1) },
+            Event::Committed { key: "k".into(), gen: 2, version: 7 },
+            Event::Version { v: 7 },
+            Event::Read { key: "k".into(), gen: Some(2) },
+        ]);
+        assert!(check(&[h]).is_empty());
+    }
+
+    #[test]
+    fn staged_only_reads_are_tolerated_either_way() {
+        // A lost commit response: the read may see the write or not.
+        let saw = hist(vec![
+            Event::StagedOnly { key: "k".into(), gen: 1 },
+            Event::Read { key: "k".into(), gen: Some(1) },
+        ]);
+        let missed = hist(vec![
+            Event::StagedOnly { key: "k".into(), gen: 1 },
+            Event::Read { key: "k".into(), gen: None },
+        ]);
+        assert!(check(&[saw]).is_empty());
+        assert!(check(&[missed]).is_empty());
+    }
+
+    #[test]
+    fn read_your_writes_violation_detected() {
+        let stale = hist(vec![
+            Event::Committed { key: "k".into(), gen: 2, version: 3 },
+            Event::Read { key: "k".into(), gen: Some(1) },
+        ]);
+        let v = check(&[stale]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("read-your-writes"), "{v:?}");
+
+        let absent = hist(vec![
+            Event::Committed { key: "k".into(), gen: 1, version: 3 },
+            Event::Read { key: "k".into(), gen: None },
+        ]);
+        assert!(!check(&[absent]).is_empty());
+    }
+
+    #[test]
+    fn monotonic_reads_violation_detected() {
+        let writer = ClientHistory {
+            client: "w".into(),
+            events: vec![
+                Event::Committed { key: "k".into(), gen: 1, version: 1 },
+                Event::Committed { key: "k".into(), gen: 2, version: 2 },
+            ],
+        };
+        let reader = ClientHistory {
+            client: "r".into(),
+            events: vec![
+                Event::Read { key: "k".into(), gen: Some(2) },
+                Event::Read { key: "k".into(), gen: Some(1) },
+            ],
+        };
+        let v = check(&[writer, reader]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("monotonic-reads"), "{v:?}");
+    }
+
+    #[test]
+    fn phantom_read_detected() {
+        let h = hist(vec![Event::Read { key: "ghost".into(), gen: Some(3) }]);
+        let v = check(&[h]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("ever wrote"), "{v:?}");
+    }
+
+    #[test]
+    fn version_regression_detected() {
+        let h = hist(vec![Event::Version { v: 9 }, Event::Version { v: 4 }]);
+        let v = check(&[h]);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].contains("version 4 after version 9"), "{v:?}");
+    }
+
+    #[test]
+    fn cross_client_reads_validated_against_all_writers() {
+        let writer = ClientHistory {
+            client: "w".into(),
+            events: vec![Event::StagedOnly { key: "w.k".into(), gen: 3 }],
+        };
+        let reader = ClientHistory {
+            client: "r".into(),
+            events: vec![Event::Read { key: "w.k".into(), gen: Some(3) }],
+        };
+        assert!(check(&[writer, reader]).is_empty());
+    }
+}

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 pub mod client;
+pub mod history;
 mod master;
 mod module;
 mod object;

@@ -26,7 +26,7 @@ use flux_broker::{CommsModule, ModuleCtx};
 use flux_hash::ObjectId;
 use flux_value::{Map, Value};
 use flux_wire::{errnum, Message, MsgId, Topic};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
 /// KVS tuning knobs.
@@ -108,6 +108,10 @@ struct FenceAcc {
     /// Local requesters that already contributed: a process fencing the
     /// same name twice must not count as two of `nprocs` participants.
     contributors: HashSet<Requester>,
+    /// `(source rank, batch id)` of child batches already merged here:
+    /// a transport-duplicated `kvs.fence.up` frame must not double-count
+    /// its contributions and complete the fence early.
+    seen_batches: HashSet<(u32, u64)>,
     /// A flush window timer is pending.
     window_armed: bool,
 }
@@ -133,6 +137,13 @@ pub struct KvsModule {
     fences: HashMap<String, FenceAcc>,
     /// Fence window timer tokens.
     fence_tokens: HashMap<u64, String>,
+    /// Monotonic id stamped on every flushed fence batch, so parents can
+    /// recognise (and discard) transport-duplicated batches.
+    next_fence_batch: u64,
+    /// Recently handled `kvs.push` request ids, so a transport-duplicated
+    /// push frame is applied (and relayed) at most once. Bounded FIFO.
+    seen_pushes: HashSet<MsgId>,
+    seen_push_order: VecDeque<MsgId>,
     next_token: u64,
     version_waiters: Vec<(u64, Message)>,
     watchers: HashMap<u64, Watcher>,
@@ -165,6 +176,9 @@ impl KvsModule {
             push_relays: HashMap::new(),
             fences: HashMap::new(),
             fence_tokens: HashMap::new(),
+            next_fence_batch: 0,
+            seen_pushes: HashSet::new(),
+            seen_push_order: VecDeque::new(),
             next_token: 0,
             version_waiters: Vec::new(),
             watchers: HashMap::new(),
@@ -333,7 +347,32 @@ impl KvsModule {
         }
     }
 
+    /// Records a push request id; returns false if it was already seen
+    /// (a transport-level duplicate — the fault layer can duplicate
+    /// frames, and a late duplicate re-applying an old batch after newer
+    /// commits would silently rewind keys).
+    fn note_push(&mut self, id: MsgId) -> bool {
+        if !self.seen_pushes.insert(id) {
+            return false;
+        }
+        self.seen_push_order.push_back(id);
+        if self.seen_push_order.len() > 4096 {
+            if let Some(old) = self.seen_push_order.pop_front() {
+                self.seen_pushes.remove(&old);
+            }
+        }
+        true
+    }
+
     fn handle_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if !self.note_push(msg.header.id) {
+            if self.master {
+                // Re-answer with the current version: the response to the
+                // first copy may itself have been lost in transit.
+                self.respond_version(ctx, msg);
+            }
+            return;
+        }
         if self.master {
             let (Some(tuples), Some(objects)) = (
                 Self::tuples_from_value(msg.payload.get("tuples")),
@@ -409,6 +448,8 @@ impl KvsModule {
 
     fn flush_fence(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
         debug_assert!(!self.master);
+        self.next_fence_batch += 1;
+        let batch = self.next_fence_batch;
         let Some(acc) = self.fences.get_mut(name) else { return };
         acc.window_armed = false;
         if acc.unflushed_count == 0 {
@@ -421,6 +462,8 @@ impl KvsModule {
             ("name", Value::from(name)),
             ("nprocs", Value::from(acc.nprocs as i64)),
             ("count", Value::from(count as i64)),
+            ("src", Value::from(ctx.rank().0)),
+            ("batch", Value::from(batch as i64)),
             ("tuples", Self::tuples_to_value(&tuples)),
             ("objects", Self::objects_to_value(&objects)),
         ]);
@@ -472,6 +515,17 @@ impl KvsModule {
         if nprocs == 0 {
             // Malformed child batch; merging it would park forever.
             return;
+        }
+        // Idempotence under duplicated frames: each flushed batch is
+        // stamped (src, batch); merge any given batch at most once.
+        if let (Some(src), Some(batch)) = (
+            msg.payload.get("src").and_then(Value::as_uint),
+            msg.payload.get("batch").and_then(Value::as_uint),
+        ) {
+            let acc = self.fences.entry(name.clone()).or_default();
+            if !acc.seen_batches.insert((src as u32, batch)) {
+                return; // already merged this batch
+            }
         }
         self.fence_contribute(ctx, &name, nprocs, count, tuples, objects, None);
     }

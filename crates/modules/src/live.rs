@@ -26,6 +26,10 @@ pub struct LiveModule {
     epoch: u64,
     /// Children this broker has heard from: rank → state.
     children: HashMap<Rank, ChildState>,
+    /// The effective-children set as of the previous heartbeat, to spot
+    /// newly adopted children (a dead child's orphans, or a subtree
+    /// returned by a `live.up`) whose old tracking state is stale.
+    prev_children: Vec<Rank>,
     /// Downs this instance has reported (for tests/tools).
     downs_reported: u64,
 }
@@ -33,7 +37,12 @@ pub struct LiveModule {
 impl LiveModule {
     /// Creates the module.
     pub fn new() -> LiveModule {
-        LiveModule { epoch: 0, children: HashMap::new(), downs_reported: 0 }
+        LiveModule {
+            epoch: 0,
+            children: HashMap::new(),
+            prev_children: Vec::new(),
+            downs_reported: 0,
+        }
     }
 }
 
@@ -49,7 +58,25 @@ impl CommsModule for LiveModule {
     }
 
     fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
+        // Deaf guard: if the epoch jumped by more than one, *this* broker
+        // was out of the loop (restarted after a crash, or cut off by a
+        // partition) — its child bookkeeping is stale, not its children.
+        // Refresh every live child's grace to the new epoch and judge
+        // nobody this round; genuinely dead children will still miss the
+        // next `miss_limit` consecutive heartbeats.
+        let deaf = epoch > self.epoch.saturating_add(1);
+        // Stale heartbeat (epoch at or behind what we've seen): events
+        // can arrive duplicated or reordered under fault injection. Track
+        // the max but never let an old epoch trigger judgements.
+        let stale = epoch <= self.epoch && self.epoch != 0;
         self.epoch = self.epoch.max(epoch);
+        if deaf {
+            for state in self.children.values_mut() {
+                if !state.reported_down {
+                    state.last_hello_epoch = state.last_hello_epoch.max(epoch);
+                }
+            }
+        }
         // Child side: hello to the (effective) parent.
         if !ctx.is_root() {
             let payload = Value::from_pairs([("rank", Value::from(ctx.rank().0))]);
@@ -57,8 +84,24 @@ impl CommsModule for LiveModule {
         }
         // Parent side: check for silent children.
         let miss_limit = u64::from(ctx.config().live_miss_limit);
+        let current = ctx.children();
+        // A child adopted since the last heartbeat (its old parent died,
+        // or it returned here after a live.up elsewhere) may carry stale
+        // tracking state from an earlier adoption episode — its hellos
+        // went to another parent in between. Grant it fresh grace rather
+        // than judging it on ancient history.
+        for child in &current {
+            if !self.prev_children.contains(child) {
+                if let Some(state) = self.children.get_mut(child) {
+                    if !state.reported_down {
+                        state.last_hello_epoch = state.last_hello_epoch.max(epoch);
+                    }
+                }
+            }
+        }
+        self.prev_children = current.clone();
         let mut to_report = Vec::new();
-        for child in ctx.children() {
+        for child in current {
             let state = self.children.entry(child).or_insert(ChildState {
                 // Grace: an unseen child counts as heard-from now, so
                 // session startup (and adoption after a re-parent) does
@@ -66,7 +109,7 @@ impl CommsModule for LiveModule {
                 last_hello_epoch: epoch,
                 reported_down: false,
             });
-            if state.reported_down {
+            if state.reported_down || deaf || stale {
                 continue;
             }
             if epoch.saturating_sub(state.last_hello_epoch) > miss_limit {
@@ -89,6 +132,9 @@ impl CommsModule for LiveModule {
                 let Some(rank) = msg.payload.get("rank").and_then(Value::as_uint) else {
                     return; // one-way; malformed hellos are dropped
                 };
+                if rank >= u64::from(ctx.size()) {
+                    return; // hello from a rank outside the session
+                }
                 let rank = Rank(rank as u32);
                 let epoch = self.epoch;
                 let state = self

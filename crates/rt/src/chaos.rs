@@ -1,0 +1,343 @@
+//! Seeded chaos workloads: random KVS traffic under random fault plans.
+//!
+//! One `u64` seed reproducibly determines a whole experiment — session
+//! size, client placement, the op script each client runs, and the
+//! [`FaultPlan`] applied to the links. The chaos test suites sweep seeds
+//! and check the resulting observations with
+//! [`flux_kvs::history::check`]; a failing seed is a complete repro
+//! recipe on its own.
+//!
+//! Fault-style notes (why the generator is shaped the way it is):
+//!
+//! * **Drops and blackouts** stall requests (there is no retransmit
+//!   layer), so scripts may record only a prefix of their ops — the
+//!   history mapping treats an unanswered commit as
+//!   [`Event::StagedOnly`] (it may or may not have applied).
+//! * **Duplicates** are safe end-to-end: the broker event plane dedups
+//!   by sequence number, `kvs.push` and fence batches dedup by id, and
+//!   script clients ignore mismatched response tags.
+//! * **Fences** require every participant to arrive, so the generator
+//!   only emits fence rounds for loss-free styles; a single dropped
+//!   contribution would otherwise stall all clients.
+
+use crate::faults::FaultPlan;
+use crate::script::Op;
+use crate::transport::{ScriptReport, ScriptTransport, SimTransport};
+use flux_core::rng::Rng;
+use flux_kvs::history::{ClientHistory, Event};
+use flux_sim::NetParams;
+use flux_value::Value;
+use flux_wire::{errnum, Rank};
+
+/// The heartbeat period the chaos generator assumes when converting
+/// epoch windows to nanoseconds (`BrokerConfig` default).
+pub const HB_PERIOD_NS: u64 = 100_000_000;
+
+/// A fully-determined chaos experiment.
+#[derive(Debug, Clone)]
+pub struct ChaosWorkload {
+    /// The seed that produced everything below.
+    pub seed: u64,
+    /// Session size in brokers.
+    pub size: u32,
+    /// Tree arity.
+    pub arity: u32,
+    /// Per-client op scripts, `(rank, ops)`.
+    pub scripts: Vec<(Rank, Vec<Op>)>,
+    /// The fault plan to apply to the session links.
+    pub plan: FaultPlan,
+    /// Virtual-time deadline for simulator runs (heartbeats never let
+    /// the event heap drain on its own).
+    pub deadline_ns: u64,
+}
+
+/// Generates the experiment for `seed`.
+///
+/// `time_scale_ns` sets the magnitude of pauses and injected delays
+/// (use ~100ms on the simulator where time is free, a few ms on live
+/// transports). `with_kill` additionally blacks out one non-client,
+/// non-root broker for a few heartbeat epochs mid-run.
+pub fn workload(seed: u64, time_scale_ns: u64, with_kill: bool) -> ChaosWorkload {
+    let scale = time_scale_ns.max(2);
+    let mut rng = Rng::seeded(seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(0xc4a5));
+    let size: u32 = rng.gen_range(5u32..=12);
+    let arity: u32 = rng.gen_range(2u32..=3);
+    // Leave root (the KVS master) and at least one other rank client-free
+    // so a kill never silences a scripted client's own broker.
+    let nclients = (rng.gen_range(3u32..=6) as usize).min(size as usize - 2);
+    let mut ranks: Vec<u32> = (1..size).collect();
+    for i in (1..ranks.len()).rev() {
+        let j = rng.gen_range(0usize..=i);
+        ranks.swap(i, j);
+    }
+    let client_ranks: Vec<u32> = ranks[..nclients].to_vec();
+
+    // Fault style first: the workload shape depends on it (fences only
+    // when nothing is dropped).
+    let style: u32 = rng.gen_range(0u32..4);
+    let mut plan = FaultPlan::new(seed);
+    let lossless = match style {
+        0 => {
+            plan = plan.delay(0.02, scale);
+            true
+        }
+        1 => {
+            plan = plan.drop(f64::from(rng.gen_range(1u32..=20)) / 1000.0);
+            false
+        }
+        2 => {
+            plan = plan.duplicate(0.02).delay(0.05, scale * 2);
+            true
+        }
+        _ => {
+            plan = plan.drop(0.005).duplicate(0.01).delay(0.02, scale);
+            false
+        }
+    };
+    let mut window_end_ns = 0u64;
+    if with_kill {
+        let victim = *ranks[nclients..]
+            .iter()
+            .min()
+            .expect("nclients leaves a spare rank");
+        let from = u64::from(rng.gen_range(2u32..=4));
+        let until = from + u64::from(rng.gen_range(3u32..=5));
+        plan = plan.kill_epochs(Rank(victim), from..until, HB_PERIOD_NS);
+        window_end_ns = until * HB_PERIOD_NS;
+    } else if rng.gen_range(0u32..4) == 0 {
+        // Occasionally partition a small group away for a window.
+        let group: Vec<Rank> = ranks[nclients..]
+            .iter()
+            .take(2)
+            .map(|&r| Rank(r))
+            .collect();
+        if !group.is_empty() {
+            let from = u64::from(rng.gen_range(2u32..=4)) * HB_PERIOD_NS;
+            let until = from + u64::from(rng.gen_range(2u32..=4)) * HB_PERIOD_NS;
+            window_end_ns = until;
+            plan = plan.partition(group, from..until);
+        }
+    }
+
+    let mut scripts = Vec::with_capacity(nclients);
+    let mut max_pause_sum = 0u64;
+    let fence_round = lossless && rng.gen_range(0u32..10) < 3;
+    for (ci, &crank) in client_ranks.iter().enumerate().take(nclients) {
+        let own = format!("chaos.c{ci}");
+        let other = format!("chaos.c{}", rng.gen_range(0usize..nclients));
+        let rounds: u64 = rng.gen_range(3u64..=8);
+        let mut ops = Vec::new();
+        let mut pause_sum = 0u64;
+        if rng.gen_range(0u32..2) == 0 {
+            ops.push(Op::Get { key: own.clone() }); // pre-write read: absent
+        }
+        for gen in 1..=rounds {
+            if rng.gen_range(0u32..100) < 60 {
+                let ns = rng.gen_range(scale / 2..=scale * 2);
+                pause_sum += ns;
+                ops.push(Op::Pause(ns));
+            }
+            ops.push(Op::Put { key: own.clone(), val: Value::from(gen as i64) });
+            ops.push(Op::Commit);
+            match rng.gen_range(0u32..4) {
+                0 => ops.push(Op::Get { key: own.clone() }),
+                1 => ops.push(Op::Get { key: other.clone() }),
+                2 => ops.push(Op::GetVersion),
+                _ => {
+                    ops.push(Op::Get { key: own.clone() });
+                    ops.push(Op::GetVersion);
+                }
+            }
+        }
+        if fence_round {
+            ops.push(Op::Fence { name: format!("chaos.f{seed:x}"), nprocs: nclients as u64 });
+            ops.push(Op::Get { key: other });
+        }
+        max_pause_sum = max_pause_sum.max(pause_sum);
+        scripts.push((Rank(crank), ops));
+    }
+
+    // Generous virtual-time budget: all pauses, the fault windows, plus
+    // worst-case injected delay for every op (each op crosses several
+    // links, any of which may be held back by up to `max_delay_ns`).
+    // Virtual time is free, so over-budgeting only costs heartbeats.
+    let max_ops = scripts.iter().map(|(_, ops)| ops.len() as u64).max().unwrap_or(0);
+    let deadline_ns = 2 * max_pause_sum
+        + window_end_ns
+        + 20 * HB_PERIOD_NS
+        + max_ops * plan.max_delay_ns.saturating_mul(4);
+    ChaosWorkload { seed, size, arity, scripts, plan, deadline_ns }
+}
+
+/// Runs the workload on the discrete-event simulator with the standard
+/// module set, faults wired natively into the engine.
+pub fn run_sim(w: &ChaosWorkload) -> ScriptReport {
+    let transport = SimTransport {
+        net: NetParams::default(),
+        faults: Some(w.plan.clone()),
+        deadline_ns: Some(w.deadline_ns),
+    };
+    transport.run_scripts(w.size, w.arity, &|_| flux_modules::standard_modules(), w.scripts.clone())
+}
+
+/// Maps a run's per-op results back onto consistency-checker events.
+///
+/// Only the recorded prefix of each script is used: a stalled or
+/// timed-out op ends the walk (the live driver abandons the script, the
+/// simulator records nothing further). The commit reached when the
+/// record ends is conservative — every put staged since the previous
+/// commit becomes [`Event::StagedOnly`].
+pub fn histories(w: &ChaosWorkload, report: &ScriptReport) -> Vec<ClientHistory> {
+    let mut out = Vec::with_capacity(w.scripts.len());
+    for (si, (rank, ops)) in w.scripts.iter().enumerate() {
+        let outcome = &report.outcomes[si];
+        let mut events = Vec::new();
+        let mut staged: Vec<(String, u64)> = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            let recorded = i < outcome.op_err.len();
+            match op {
+                Op::Put { key, val } if recorded && outcome.op_err[i] == 0 => {
+                    let gen = val.as_uint().unwrap_or(0);
+                    staged.push((key.clone(), gen));
+                }
+                Op::Commit => {
+                    let ok = recorded && outcome.op_err[i] == 0;
+                    let version = if ok {
+                        outcome.replies[i].get("version").and_then(Value::as_uint)
+                    } else {
+                        None
+                    };
+                    for (key, gen) in staged.drain(..) {
+                        events.push(match version {
+                            Some(v) => Event::Committed { key, gen, version: v },
+                            None => Event::StagedOnly { key, gen },
+                        });
+                    }
+                }
+                Op::Get { key } => {
+                    if !recorded {
+                        break;
+                    }
+                    match outcome.op_err[i] {
+                        0 => {
+                            let gen = outcome.replies[i].get("v").and_then(Value::as_uint);
+                            events.push(Event::Read { key: key.clone(), gen });
+                        }
+                        e if e == errnum::ENOENT => {
+                            events.push(Event::Read { key: key.clone(), gen: None });
+                        }
+                        _ => break,
+                    }
+                }
+                Op::GetVersion | Op::Fence { .. } if recorded && outcome.op_err[i] == 0 => {
+                    if let Some(v) = outcome.replies[i].get("version").and_then(Value::as_uint) {
+                        events.push(Event::Version { v });
+                    }
+                }
+                _ => {}
+            }
+            if !recorded {
+                break;
+            }
+        }
+        // An unanswered tail commit was drained above only if the Commit
+        // op itself was reached in the loop; puts still staged when the
+        // record ends have unknown fate only if a commit follows in the
+        // script — but an unreached commit was never sent, so those
+        // writes were never published and are rightly omitted.
+        out.push(ClientHistory { client: format!("r{}c{si}", rank.0), events });
+    }
+    out
+}
+
+/// Convenience: run the mapping and the checker in one step.
+pub fn check_run(w: &ChaosWorkload, report: &ScriptReport) -> Vec<String> {
+    flux_kvs::history::check(&histories(w, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::ScriptOutcome;
+
+    #[test]
+    fn workload_is_deterministic() {
+        let a = workload(42, 1_000_000, true);
+        let b = workload(42, 1_000_000, true);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn seeds_vary_the_experiment() {
+        let shapes: Vec<String> = (0..8u64)
+            .map(|s| {
+                let w = workload(s, 1_000_000, false);
+                format!("{}/{}/{}", w.size, w.arity, w.scripts.len())
+            })
+            .collect();
+        let first = &shapes[0];
+        assert!(shapes.iter().any(|s| s != first), "shapes: {shapes:?}");
+    }
+
+    #[test]
+    fn kill_workloads_never_kill_a_client_rank() {
+        for seed in 0..32u64 {
+            let w = workload(seed, 1_000_000, true);
+            for b in &w.plan.blackouts {
+                assert!(!b.rank.is_root(), "seed {seed} kills root");
+                assert!(
+                    w.scripts.iter().all(|(r, _)| *r != b.rank),
+                    "seed {seed} kills client rank {}",
+                    b.rank.0
+                );
+            }
+            assert!(!w.plan.blackouts.is_empty(), "seed {seed} has no kill");
+        }
+    }
+
+    #[test]
+    fn histories_map_commits_and_reads() {
+        let w = ChaosWorkload {
+            seed: 0,
+            size: 3,
+            arity: 2,
+            scripts: vec![(
+                Rank(1),
+                vec![
+                    Op::Put { key: "k".into(), val: Value::from(1i64) },
+                    Op::Commit,
+                    Op::Get { key: "k".into() },
+                    Op::Put { key: "k".into(), val: Value::from(2i64) },
+                    Op::Commit, // unanswered → StagedOnly
+                ],
+            )],
+            plan: FaultPlan::new(0),
+            deadline_ns: 0,
+        };
+        let report = ScriptReport {
+            outcomes: vec![ScriptOutcome {
+                op_done_ns: vec![1, 2, 3, 4, 5],
+                op_err: vec![0, 0, 0, 0, errnum::ETIMEDOUT],
+                replies: vec![
+                    Value::Null,
+                    Value::from_pairs([("version", Value::from(7i64))]),
+                    Value::from_pairs([("v", Value::from(1i64))]),
+                    Value::Null,
+                    Value::Null,
+                ],
+                finished: false,
+            }],
+            ..ScriptReport::default()
+        };
+        let h = histories(&w, &report);
+        assert_eq!(
+            h[0].events,
+            vec![
+                Event::Committed { key: "k".into(), gen: 1, version: 7 },
+                Event::Read { key: "k".into(), gen: Some(1) },
+                Event::StagedOnly { key: "k".into(), gen: 2 },
+            ]
+        );
+        assert!(check_run(&w, &report).is_empty());
+    }
+}

@@ -28,7 +28,14 @@
 //! tree), so the wire behaviour matches the paper's three-plane wire-up.
 
 
+//! Fault injection ([`faults::FaultPlan`]) rides below all of this: the
+//! simulator applies a plan natively in virtual time, and the live
+//! runtimes apply the same plan per broker host, so one seeded fault
+//! schedule drives chaos tests on every backend (see [`chaos`]).
+
 #![warn(missing_docs)]
+pub mod chaos;
+pub mod faults;
 pub(crate) mod live;
 pub mod script;
 pub mod sim;
@@ -36,4 +43,5 @@ pub mod tcp;
 pub mod threads;
 pub mod transport;
 
+pub use faults::FaultPlan;
 pub use live::LiveClient;

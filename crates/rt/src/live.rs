@@ -9,6 +9,7 @@
 //! of the prototype's IPC sockets), and the event type flowing into a
 //! broker thread.
 
+use crate::faults::LinkFaults;
 use flux_broker::{Broker, ClientId, Input, Output};
 use flux_wire::{Message, MsgType, Plane, Rank};
 use std::collections::BinaryHeap;
@@ -101,10 +102,43 @@ impl PeerSender for ChannelPeers {
     }
 }
 
+/// A fault-delayed outbound message awaiting release. Ordered by
+/// `(at, seq)` so the host's `BinaryHeap` acts as a min-heap with FIFO
+/// tie-breaking.
+pub(crate) struct Delayed {
+    at: Instant,
+    seq: u64,
+    to: Rank,
+    msg: Message,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: the earliest release time is the heap maximum.
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
 /// The per-thread broker event loop: services due timers from a local
 /// heap, otherwise sleeps in `recv_timeout` until traffic arrives, so a
 /// broker thread is quiet when the session is quiet (the low-noise
 /// design goal).
+///
+/// With `faults` set, every outbound broker message consults the link's
+/// fault stream (drop/dup/delay), inbound traffic is discarded while
+/// this rank is inside a blackout window, and delayed copies sit in
+/// `delayed` until their release time.
 pub(crate) struct BrokerHost<P: PeerSender> {
     pub(crate) broker: Broker,
     pub(crate) rx: Receiver<Event>,
@@ -112,6 +146,9 @@ pub(crate) struct BrokerHost<P: PeerSender> {
     pub(crate) clients: Vec<Sender<Message>>,
     pub(crate) epoch: Instant,
     pub(crate) timers: BinaryHeap<std::cmp::Reverse<(Instant, u64)>>,
+    pub(crate) faults: Option<LinkFaults>,
+    pub(crate) delayed: BinaryHeap<Delayed>,
+    pub(crate) delay_seq: u64,
 }
 
 impl<P: PeerSender> BrokerHost<P> {
@@ -119,11 +156,49 @@ impl<P: PeerSender> BrokerHost<P> {
         self.epoch.elapsed().as_nanos() as u64
     }
 
+    fn silenced(&self, now_ns: u64) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.silenced(now_ns))
+    }
+
+    fn send_to_broker(&mut self, now_ns: u64, plane: Plane, to: Rank, msg: Message) {
+        let Some(f) = &mut self.faults else {
+            self.peers.send_to(to, msg);
+            return;
+        };
+        // The event plane needs per-link FIFO (its seq dedup drops
+        // reordered events), so delays are suppressed there.
+        let fate = if matches!(plane, Plane::Event) {
+            f.fate_ordered(now_ns, to)
+        } else {
+            f.fate(now_ns, to)
+        };
+        for &extra in &fate.copies {
+            if extra == 0 {
+                self.peers.send_to(to, msg.clone());
+            } else {
+                self.delay_seq += 1;
+                self.delayed.push(Delayed {
+                    at: Instant::now() + Duration::from_nanos(extra),
+                    seq: self.delay_seq,
+                    to,
+                    msg: msg.clone(),
+                });
+            }
+        }
+    }
+
     fn absorb(&mut self, outs: Vec<Output>) {
+        let now_ns = self.now_ns();
         for out in outs {
             match out {
-                Output::ToBroker { to, msg, .. } => self.peers.send_to(to, msg),
+                Output::ToBroker { plane, to, msg } => {
+                    self.send_to_broker(now_ns, plane, to, msg)
+                }
                 Output::ToClient { client, msg } => {
+                    // A blacked-out broker cannot answer its clients.
+                    if self.silenced(now_ns) {
+                        continue;
+                    }
                     if let Some(tx) = self.clients.get(client as usize) {
                         let _ = tx.send(msg);
                     }
@@ -140,7 +215,9 @@ impl<P: PeerSender> BrokerHost<P> {
         let outs = self.broker.start(self.now_ns());
         self.absorb(outs);
         loop {
-            // Fire due timers.
+            // Fire due timers. (They run even during a blackout — absorb
+            // suppresses their outputs — so periodic re-arm chains
+            // survive a simulated crash/restart.)
             let now = Instant::now();
             while let Some(&std::cmp::Reverse((at, token))) = self.timers.peek() {
                 if at > now {
@@ -151,23 +228,40 @@ impl<P: PeerSender> BrokerHost<P> {
                 let outs = self.broker.handle(now_ns, Input::Timer { token });
                 self.absorb(outs);
             }
-            // Sleep until traffic or the next timer.
-            let timeout = self
+            // Release fault-delayed messages that have come due.
+            while let Some(d) = self.delayed.peek() {
+                if d.at > Instant::now() {
+                    break;
+                }
+                let d = self.delayed.pop().expect("peeked");
+                self.peers.send_to(d.to, d.msg);
+            }
+            // Sleep until traffic, the next timer, or the next release.
+            let mut timeout = self
                 .timers
                 .peek()
                 .map(|&std::cmp::Reverse((at, _))| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(250));
+            if let Some(d) = self.delayed.peek() {
+                timeout = timeout.min(d.at.saturating_duration_since(Instant::now()));
+            }
             match self.rx.recv_timeout(timeout) {
                 Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
                 Err(RecvTimeoutError::Timeout) => continue,
                 Ok(Event::FromBroker { from, msg }) => {
-                    let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
                     let now_ns = self.now_ns();
+                    if self.silenced(now_ns) {
+                        continue; // crashed: inbound traffic is lost
+                    }
+                    let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
                     let outs = self.broker.handle(now_ns, input);
                     self.absorb(outs);
                 }
                 Ok(Event::FromClient { client, msg }) => {
                     let now_ns = self.now_ns();
+                    if self.silenced(now_ns) {
+                        continue; // crashed: local clients get no service
+                    }
                     let outs = self.broker.handle(now_ns, Input::FromClient { client, msg });
                     self.absorb(outs);
                 }

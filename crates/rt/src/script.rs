@@ -8,7 +8,7 @@
 
 use crate::sim::SimSession;
 use flux_broker::client::{ClientCore, Delivery};
-use flux_sim::{Actor, ActorId, Ctx, SimTime};
+use flux_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use flux_value::Value;
 use flux_wire::{Message, Rank, Topic};
 use std::cell::RefCell;
@@ -56,6 +56,11 @@ pub enum Op {
         /// Payload.
         payload: Value,
     },
+    /// Wait this many nanoseconds before the next op (virtual time on
+    /// the simulator, wall time on live transports). Lets a workload
+    /// span heartbeat epochs, so scheduled faults (blackouts,
+    /// partitions) genuinely interleave with its traffic.
+    Pause(u64),
 }
 
 impl Op {
@@ -100,6 +105,7 @@ impl Op {
                 tag,
             ),
             Op::Request { topic, payload } => core.request(topic.clone(), payload.clone(), tag),
+            Op::Pause(_) => panic!("Op::Pause has no wire request; script drivers handle it"),
         }
     }
 }
@@ -152,8 +158,19 @@ impl ScriptClient {
             self.outcome.borrow_mut().finished = true;
             return;
         };
+        if let Op::Pause(ns) = op {
+            ctx.set_timer(SimDuration::from_nanos(ns), self.next as u64);
+            return;
+        }
         let msg = op.to_request(&mut self.core, self.next as u64);
         ctx.send(self.broker, msg);
+    }
+
+    fn record(&mut self, now: SimTime, errnum: u32, reply: Value) {
+        let mut out = self.outcome.borrow_mut();
+        out.op_done.push(now);
+        out.op_err.push(errnum);
+        out.replies.push(reply);
     }
 }
 
@@ -165,17 +182,27 @@ impl Actor for ScriptClient {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ActorId, msg: Message) {
         match self.core.deliver(msg) {
             Delivery::Response { tag, msg } => {
-                debug_assert_eq!(tag as usize, self.next, "responses arrive in script order");
-                {
-                    let mut out = self.outcome.borrow_mut();
-                    out.op_done.push(ctx.now());
-                    out.op_err.push(msg.header.errnum);
-                    out.replies.push(msg.payload);
+                // Under fault injection a duplicated request can produce a
+                // duplicated response; only the expected tag advances the
+                // script, stale tags are dropped.
+                if tag as usize != self.next {
+                    return;
                 }
+                self.record(ctx.now(), msg.header.errnum, msg.payload);
                 self.next += 1;
                 self.issue_next(ctx);
             }
             Delivery::Event(_) | Delivery::Unmatched(_) => {}
         }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        // A Pause op elapsed.
+        if token as usize != self.next {
+            return;
+        }
+        self.record(ctx.now(), 0, Value::Null);
+        self.next += 1;
+        self.issue_next(ctx);
     }
 }

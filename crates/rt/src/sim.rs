@@ -1,5 +1,6 @@
 //! Comms sessions on the discrete-event simulator.
 
+use crate::faults::{FaultPlan, LinkFaults};
 use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule, Input, Output};
 use flux_sim::{Actor, ActorId, Ctx, Engine, NetParams, SimDuration, SimTime};
 use flux_wire::{Message, MsgType, Plane, Rank};
@@ -39,20 +40,46 @@ fn plane_of(msg: &Message) -> Plane {
 struct BrokerActor {
     broker: Broker,
     book: Rc<RefCell<AddressBook>>,
+    /// Fault injection for this broker's outbound links (and its own
+    /// blackout state), when the session carries a [`FaultPlan`].
+    faults: Option<LinkFaults>,
     started: bool,
 }
 
 impl BrokerActor {
     fn absorb(&mut self, ctx: &mut Ctx<'_>, outs: Vec<Output>) {
+        let now_ns = ctx.now().as_nanos();
         for out in outs {
             match out {
-                Output::ToBroker { to, msg, .. } => {
+                Output::ToBroker { plane, to, msg } => {
                     let target = self.book.borrow().broker_of_rank.get(&to).copied();
-                    if let Some(target) = target {
-                        ctx.send(target, msg);
+                    let Some(target) = target else { continue };
+                    match &mut self.faults {
+                        None => ctx.send(target, msg),
+                        Some(f) => {
+                            // The event plane needs per-link FIFO (its
+                            // seq dedup drops reordered events), so
+                            // delays are suppressed there.
+                            let fate = if matches!(plane, Plane::Event) {
+                                f.fate_ordered(now_ns, to)
+                            } else {
+                                f.fate(now_ns, to)
+                            };
+                            for &extra in &fate.copies {
+                                ctx.send_delayed(
+                                    target,
+                                    msg.clone(),
+                                    SimDuration::from_nanos(extra),
+                                );
+                            }
+                        }
                     }
                 }
                 Output::ToClient { client, msg } => {
+                    // A blacked-out broker cannot answer its clients.
+                    if self.faults.as_ref().is_some_and(|f| f.silenced(now_ns)) {
+                        continue;
+                    }
                     let target =
                         self.book.borrow().client_actor.get(&(ctx.self_id(), client)).copied();
                     if let Some(target) = target {
@@ -65,6 +92,13 @@ impl BrokerActor {
             }
         }
     }
+
+    /// True if this broker is inside a blackout window: it processes
+    /// nothing, exactly like a crashed process (its state freezes until
+    /// the window ends — the restart model).
+    fn silenced(&self, now_ns: u64) -> bool {
+        self.faults.as_ref().is_some_and(|f| f.silenced(now_ns))
+    }
 }
 
 impl Actor for BrokerActor {
@@ -76,6 +110,9 @@ impl Actor for BrokerActor {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, msg: Message) {
+        if self.silenced(ctx.now().as_nanos()) {
+            return;
+        }
         let kind = self.book.borrow().by_actor.get(&from).copied();
         let input = match kind {
             Some(PeerKind::Broker(rank)) => {
@@ -88,6 +125,9 @@ impl Actor for BrokerActor {
         self.absorb(ctx, outs);
     }
 
+    // Timers still run during a blackout (absorb suppresses their
+    // outputs): skipping them would break the re-arm chains periodic
+    // modules rely on, leaving a revived broker with dead timers.
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
         let outs = self.broker.handle(ctx.now().as_nanos(), Input::Timer { token });
         self.absorb(ctx, outs);
@@ -131,8 +171,44 @@ impl SimSession {
         )
     }
 
+    /// Like [`SimSession::new`] with a [`FaultPlan`] applied to every
+    /// broker's links: the plan plays out in virtual time, so the whole
+    /// faulty run is bit-reproducible from the plan's seed.
+    pub fn new_with_faults<F>(
+        size: u32,
+        arity: u32,
+        params: NetParams,
+        plan: &FaultPlan,
+        factory: F,
+    ) -> SimSession
+    where
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        Self::build(
+            size,
+            params,
+            |r| BrokerConfig::new(r, size).with_arity(arity),
+            factory,
+            Some(plan),
+        )
+    }
+
     /// Like [`SimSession::new`] with full per-rank config control.
     pub fn with_config<C, F>(size: u32, params: NetParams, config: C, factory: F) -> SimSession
+    where
+        C: Fn(Rank) -> BrokerConfig,
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        Self::build(size, params, config, factory, None)
+    }
+
+    fn build<C, F>(
+        size: u32,
+        params: NetParams,
+        config: C,
+        factory: F,
+        faults: Option<&FaultPlan>,
+    ) -> SimSession
     where
         C: Fn(Rank) -> BrokerConfig,
         F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
@@ -145,7 +221,12 @@ impl SimSession {
             let broker = Broker::new(config(rank), factory(rank));
             let actor = engine.add_actor(
                 node,
-                Box::new(BrokerActor { broker, book: Rc::clone(&book), started: false }),
+                Box::new(BrokerActor {
+                    broker,
+                    book: Rc::clone(&book),
+                    faults: faults.filter(|p| !p.is_empty()).map(|p| p.for_sender(rank)),
+                    started: false,
+                }),
             );
             let mut b = book.borrow_mut();
             b.by_actor.insert(actor, PeerKind::Broker(rank));

@@ -19,8 +19,10 @@
 //! reader threads drain to EOF, acceptors are woken by a local connect
 //! and exit, and every thread is joined before `shutdown()` returns.
 
+use crate::faults::FaultPlan;
 use crate::live::{BrokerHost, Event, LiveClient, PeerSender};
 use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule};
+use flux_core::rng::Rng;
 use flux_wire::{frame, Message, Rank};
 use std::collections::BinaryHeap;
 use std::io::{self, Read, Write};
@@ -41,6 +43,10 @@ pub struct TcpConfig {
     pub initial_backoff: Duration,
     /// Ceiling on the per-attempt backoff.
     pub max_backoff: Duration,
+    /// Total time budget across all connect attempts for one link: once
+    /// exceeded, [`connect_with_retry`] stops retrying and surfaces the
+    /// last error even if attempts remain.
+    pub retry_deadline: Duration,
     /// Read timeout for the rank handshake on accepted connections
     /// (guards against a connector that never identifies itself).
     pub handshake_timeout: Duration,
@@ -55,32 +61,69 @@ impl Default for TcpConfig {
             max_connect_attempts: 6,
             initial_backoff: Duration::from_millis(20),
             max_backoff: Duration::from_secs(1),
+            retry_deadline: Duration::from_secs(15),
             handshake_timeout: Duration::from_secs(5),
             max_frame: frame::MAX_FRAME,
         }
     }
 }
 
-/// Connects to `addr`, retrying with exponential backoff per the config.
+/// Connects to `addr`, retrying with jittered exponential backoff per
+/// the config. Each sleep is uniform in `[backoff/2, backoff]` so a
+/// session's worth of brokers retrying the same slow peer don't
+/// synchronize into connect storms.
 ///
 /// # Errors
 /// Returns the last connect error once `max_connect_attempts` attempts
-/// have failed.
+/// have failed or the total `retry_deadline` budget is spent, whichever
+/// comes first.
 pub fn connect_with_retry(addr: SocketAddr, config: &TcpConfig) -> io::Result<TcpStream> {
     let attempts = config.max_connect_attempts.max(1);
+    let started = Instant::now();
+    let deadline = started + config.retry_deadline;
+    // Jitter only needs to decorrelate concurrent retriers, not be
+    // reproducible, so seed from the clock and the target port.
+    let clock_seed = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos() as u64)
+        .unwrap_or(0);
+    let mut rng = Rng::seeded(clock_seed ^ (u64::from(addr.port()) << 32));
     let mut backoff = config.initial_backoff;
     let mut last_err = None;
+    let mut made = 0u32;
     for attempt in 0..attempts {
         if attempt > 0 {
-            std::thread::sleep(backoff);
+            let base = backoff.as_nanos() as u64;
+            let sleep = Duration::from_nanos(base / 2 + rng.gen_range(0..=base.div_ceil(2)));
+            if Instant::now() + sleep >= deadline {
+                break; // budget would be spent sleeping; give up now
+            }
+            std::thread::sleep(sleep);
             backoff = (backoff * 2).min(config.max_backoff);
         }
-        match TcpStream::connect_timeout(&addr, config.connect_timeout) {
+        let per_attempt = config.connect_timeout.min(deadline.saturating_duration_since(Instant::now()));
+        if per_attempt.is_zero() {
+            break;
+        }
+        made += 1;
+        match TcpStream::connect_timeout(&addr, per_attempt) {
             Ok(stream) => return Ok(stream),
             Err(e) => last_err = Some(e),
         }
     }
-    Err(last_err.unwrap_or_else(|| io::Error::other("no connect attempts made")))
+    Err(match last_err {
+        Some(e) => io::Error::new(
+            e.kind(),
+            format!(
+                "connect to {addr} failed after {made} attempt(s) over {:?}: {e}",
+                started.elapsed()
+            ),
+        ),
+        None => io::Error::new(
+            io::ErrorKind::TimedOut,
+            format!("connect to {addr}: retry budget {:?} spent before any attempt", config.retry_deadline),
+        ),
+    })
 }
 
 /// Outbound TCP links of one broker: lazily connected, retried once
@@ -142,6 +185,7 @@ fn read_handshake(stream: &mut TcpStream, timeout: Duration) -> io::Result<Rank>
 /// spawns a reader thread that feeds decoded frames into the broker.
 fn accept_loop(
     listener: TcpListener,
+    size: u32,
     tx: Sender<Event>,
     config: TcpConfig,
     stopping: Arc<AtomicBool>,
@@ -155,6 +199,9 @@ fn accept_loop(
         let Ok(from) = read_handshake(&mut stream, config.handshake_timeout) else {
             continue; // never identified itself; drop the connection
         };
+        if from.0 >= size {
+            continue; // garbage handshake claiming an out-of-range rank
+        }
         let tx = tx.clone();
         let max_frame = config.max_frame;
         let handle = std::thread::Builder::new()
@@ -199,6 +246,7 @@ pub struct TcpSessionBuilder {
     senders: Vec<Sender<Event>>,
     receivers: Vec<Option<Receiver<Event>>>,
     clients: Vec<Vec<Sender<Message>>>,
+    faults: Option<FaultPlan>,
 }
 
 impl TcpSession {
@@ -215,6 +263,7 @@ impl TcpSession {
             senders: Vec::new(),
             receivers: Vec::new(),
             clients: Vec::new(),
+            faults: None,
         };
         for r in 0..size {
             let rank = Rank(r);
@@ -278,6 +327,12 @@ impl TcpSessionBuilder {
         self
     }
 
+    /// Applies a fault-injection plan to every broker's links.
+    pub fn set_faults(&mut self, plan: &FaultPlan) -> &mut Self {
+        self.faults = Some(plan.clone()).filter(|p| !p.is_empty());
+        self
+    }
+
     /// Attaches a client to `rank`'s broker, returning its handle.
     pub fn attach_client(&mut self, rank: Rank) -> TcpClient {
         let (tx, rx) = channel();
@@ -315,7 +370,7 @@ impl TcpSessionBuilder {
                 let readers = Arc::clone(&readers);
                 std::thread::Builder::new()
                     .name(format!("flux-tcp-accept-{idx}"))
-                    .spawn(move || accept_loop(listener, tx, config, stopping, readers))
+                    .spawn(move || accept_loop(listener, size, tx, config, stopping, readers))
                     .expect("spawn acceptor thread")
             })
             .collect();
@@ -338,6 +393,9 @@ impl TcpSessionBuilder {
                 clients: std::mem::take(&mut self.clients[idx]),
                 epoch,
                 timers: BinaryHeap::new(),
+                faults: self.faults.as_ref().map(|p| p.for_sender(Rank::from(idx))),
+                delayed: BinaryHeap::new(),
+                delay_seq: 0,
             };
             broker_handles.push(
                 std::thread::Builder::new()
@@ -389,9 +447,28 @@ mod tests {
         };
         let t0 = Instant::now();
         let err = connect_with_retry(addr, &quick_config()).unwrap_err();
-        // 3 attempts with 10ms + 20ms backoff between them.
-        assert!(t0.elapsed() >= Duration::from_millis(30), "backoff was applied");
+        // 3 attempts with jittered backoffs between them: at least
+        // 10/2 + 20/2 = 15ms of sleeping.
+        assert!(t0.elapsed() >= Duration::from_millis(14), "backoff was applied");
         assert!(err.kind() == io::ErrorKind::ConnectionRefused || err.kind() == io::ErrorKind::TimedOut);
+    }
+
+    #[test]
+    fn connect_with_retry_respects_total_deadline() {
+        // With an effectively unbounded attempt count, the total retry
+        // budget must still stop a connect to a peer that never comes up.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let mut config = quick_config();
+        config.max_connect_attempts = u32::MAX;
+        config.retry_deadline = Duration::from_millis(120);
+        let t0 = Instant::now();
+        let err = connect_with_retry(addr, &config).unwrap_err();
+        let elapsed = t0.elapsed();
+        assert!(elapsed < Duration::from_secs(5), "gave up near the budget, took {elapsed:?}");
+        assert!(err.to_string().contains("attempt"), "error names the attempts: {err}");
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! The per-broker event loop (timers, client delivery) is shared with
 //! the TCP transport — see [`crate::live`].
 
+use crate::faults::FaultPlan;
 use crate::live::{BrokerHost, ChannelPeers, Event, LiveClient};
 use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule};
 use flux_wire::{Message, Rank};
@@ -31,6 +32,7 @@ pub struct ThreadSessionBuilder {
     senders: Vec<Sender<Event>>,
     receivers: Vec<Option<Receiver<Event>>>,
     clients: Vec<Vec<Sender<Message>>>,
+    faults: Option<FaultPlan>,
 }
 
 impl ThreadSession {
@@ -46,6 +48,7 @@ impl ThreadSession {
             senders: Vec::new(),
             receivers: Vec::new(),
             clients: Vec::new(),
+            faults: None,
         };
         for r in 0..size {
             let rank = Rank(r);
@@ -82,6 +85,12 @@ impl ThreadSessionBuilder {
         self
     }
 
+    /// Applies a fault-injection plan to every broker's links.
+    pub fn set_faults(&mut self, plan: &FaultPlan) -> &mut Self {
+        self.faults = Some(plan.clone()).filter(|p| !p.is_empty());
+        self
+    }
+
     /// Attaches a client to `rank`'s broker, returning its handle.
     pub fn attach_client(&mut self, rank: Rank) -> ThreadClient {
         let (tx, rx) = channel();
@@ -106,6 +115,9 @@ impl ThreadSessionBuilder {
                 clients: std::mem::take(&mut self.clients[idx]),
                 epoch,
                 timers: BinaryHeap::new(),
+                faults: self.faults.as_ref().map(|p| p.for_sender(Rank::from(idx))),
+                delayed: BinaryHeap::new(),
+                delay_seq: 0,
             };
             handles.push(
                 std::thread::Builder::new()

@@ -14,6 +14,7 @@
 //!   trait, so the same workload runs on the simulator or over real
 //!   sockets.
 
+use crate::faults::FaultPlan;
 use crate::live::LiveClient;
 use crate::script::{Op, ScriptClient};
 use crate::sim::SimSession;
@@ -21,7 +22,7 @@ use crate::tcp::{TcpConfig, TcpSession};
 use crate::threads::ThreadSession;
 use flux_broker::client::{ClientCore, Delivery};
 use flux_broker::CommsModule;
-use flux_sim::NetParams;
+use flux_sim::{NetParams, SimTime};
 use flux_wire::{errnum, Rank};
 use std::fmt;
 use std::str::FromStr;
@@ -38,12 +39,22 @@ pub trait Transport {
 
     /// Opens a session builder for `size` brokers with tree `arity`.
     fn open(&self, size: u32, arity: u32, factory: ModuleFactory<'_>) -> Box<dyn SessionBuilder>;
+
+    /// How long a script driver waits for any single op's reply on this
+    /// transport before recording `ETIMEDOUT`. Fault-injecting wrappers
+    /// shorten this so lossy runs don't stall for the full default.
+    fn op_timeout(&self) -> Duration {
+        LIVE_OP_TIMEOUT
+    }
 }
 
 /// A live session being assembled: attach clients, then start.
 pub trait SessionBuilder {
     /// Attaches a client to `rank`'s broker.
     fn attach_client(&mut self, rank: Rank) -> LiveClient;
+
+    /// Applies a fault-injection plan to the session's links.
+    fn set_faults(&mut self, plan: &FaultPlan);
 
     /// Launches the session.
     fn start(self: Box<Self>) -> Box<dyn LiveSession>;
@@ -75,6 +86,10 @@ impl Transport for ThreadTransport {
 impl SessionBuilder for crate::threads::ThreadSessionBuilder {
     fn attach_client(&mut self, rank: Rank) -> LiveClient {
         crate::threads::ThreadSessionBuilder::attach_client(self, rank)
+    }
+
+    fn set_faults(&mut self, plan: &FaultPlan) {
+        crate::threads::ThreadSessionBuilder::set_faults(self, plan);
     }
 
     fn start(self: Box<Self>) -> Box<dyn LiveSession> {
@@ -114,6 +129,10 @@ impl SessionBuilder for crate::tcp::TcpSessionBuilder {
         crate::tcp::TcpSessionBuilder::attach_client(self, rank)
     }
 
+    fn set_faults(&mut self, plan: &FaultPlan) {
+        crate::tcp::TcpSessionBuilder::set_faults(self, plan);
+    }
+
     fn start(self: Box<Self>) -> Box<dyn LiveSession> {
         Box::new((*self).start())
     }
@@ -126,6 +145,52 @@ impl LiveSession for TcpSession {
 
     fn shutdown(self: Box<Self>) {
         TcpSession::shutdown(*self)
+    }
+}
+
+/// A [`Transport`] decorator that applies a [`FaultPlan`] to every
+/// session the inner transport opens, so the same seeded fault schedule
+/// that drives a simulator run can wrap the threads or TCP runtime.
+pub struct FaultyTransport {
+    inner: Box<dyn Transport>,
+    plan: FaultPlan,
+    op_timeout: Duration,
+}
+
+impl FaultyTransport {
+    /// Wraps `inner` so every opened session runs under `plan`. The
+    /// per-op script timeout defaults to 2 seconds: lossy links make
+    /// lost ops routine, and waiting the full [`LIVE_OP_TIMEOUT`] for
+    /// each would stall chaos runs.
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan) -> FaultyTransport {
+        FaultyTransport { inner, plan, op_timeout: Duration::from_secs(2) }
+    }
+
+    /// Overrides the per-op script timeout.
+    pub fn with_op_timeout(mut self, timeout: Duration) -> FaultyTransport {
+        self.op_timeout = timeout;
+        self
+    }
+
+    /// The plan applied to opened sessions.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl Transport for FaultyTransport {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn open(&self, size: u32, arity: u32, factory: ModuleFactory<'_>) -> Box<dyn SessionBuilder> {
+        let mut builder = self.inner.open(size, arity, factory);
+        builder.set_faults(&self.plan);
+        builder
+    }
+
+    fn op_timeout(&self) -> Duration {
+        self.op_timeout
     }
 }
 
@@ -178,7 +243,7 @@ impl fmt::Display for TransportKind {
 
 /// Per-script results from a [`ScriptTransport`] run, mirroring the
 /// simulator's [`crate::script::Outcome`] in plain nanoseconds.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ScriptOutcome {
     /// Completion time of each op (ns since the session epoch).
     pub op_done_ns: Vec<u64>,
@@ -191,7 +256,7 @@ pub struct ScriptOutcome {
 }
 
 /// What a scripted run produced, across all scripts.
-#[derive(Debug, Default)]
+#[derive(Debug, Default, Clone, PartialEq)]
 pub struct ScriptReport {
     /// One outcome per submitted script, in submission order.
     pub outcomes: Vec<ScriptOutcome>,
@@ -222,10 +287,16 @@ pub trait ScriptTransport {
 }
 
 /// The discrete-event simulator as a script runner.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct SimTransport {
     /// Simulated network parameters.
     pub net: NetParams,
+    /// Fault-injection plan applied to every broker link.
+    pub faults: Option<FaultPlan>,
+    /// Virtual-time deadline for the run. Required when the module set
+    /// generates periodic traffic forever (e.g. heartbeats), since the
+    /// event heap never drains on its own then.
+    pub deadline_ns: Option<u64>,
 }
 
 impl ScriptTransport for SimTransport {
@@ -240,12 +311,18 @@ impl ScriptTransport for SimTransport {
         factory: ModuleFactory<'_>,
         scripts: Vec<(Rank, Vec<Op>)>,
     ) -> ScriptReport {
-        let mut session = SimSession::new(size, arity, self.net, factory);
+        let mut session = match &self.faults {
+            Some(plan) => SimSession::new_with_faults(size, arity, self.net, plan, factory),
+            None => SimSession::new(size, arity, self.net, factory),
+        };
         let handles: Vec<_> = scripts
             .into_iter()
             .map(|(rank, ops)| ScriptClient::spawn(&mut session, rank, ops))
             .collect();
-        let end = session.run_until_quiet();
+        let end = match self.deadline_ns {
+            Some(ns) => session.run_until(SimTime::from_nanos(ns)),
+            None => session.run_until_quiet(),
+        };
         let stats = session.engine().stats();
         let outcomes = handles
             .into_iter()
@@ -273,14 +350,27 @@ impl ScriptTransport for SimTransport {
 pub const LIVE_OP_TIMEOUT: Duration = Duration::from_secs(30);
 
 /// Drives one op script synchronously over a live client, stamping
-/// completion times relative to `epoch`.
-pub fn drive_script(client: &LiveClient, ops: &[Op], epoch: Instant) -> ScriptOutcome {
+/// completion times relative to `epoch`. Any single op left unanswered
+/// for `op_timeout` records `ETIMEDOUT` and abandons the script.
+pub fn drive_script(
+    client: &LiveClient,
+    ops: &[Op],
+    epoch: Instant,
+    op_timeout: Duration,
+) -> ScriptOutcome {
     let mut core = ClientCore::new(client.rank, client.client_id);
     let mut out = ScriptOutcome::default();
     for (idx, op) in ops.iter().enumerate() {
         let tag = idx as u64;
+        if let Op::Pause(ns) = op {
+            std::thread::sleep(Duration::from_nanos(*ns));
+            out.op_done_ns.push(epoch.elapsed().as_nanos() as u64);
+            out.op_err.push(0);
+            out.replies.push(flux_value::Value::Null);
+            continue;
+        }
         client.send(op.to_request(&mut core, tag));
-        let deadline = Instant::now() + LIVE_OP_TIMEOUT;
+        let deadline = Instant::now() + op_timeout;
         let reply = loop {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
@@ -326,6 +416,7 @@ impl<T: Transport + ?Sized> ScriptTransport for T {
         let clients: Vec<LiveClient> =
             scripts.iter().map(|(rank, _)| builder.attach_client(*rank)).collect();
         let epoch = Instant::now();
+        let op_timeout = self.op_timeout();
         let session = builder.start();
         let drivers: Vec<_> = clients
             .into_iter()
@@ -333,7 +424,7 @@ impl<T: Transport + ?Sized> ScriptTransport for T {
             .map(|(client, (_, ops))| {
                 std::thread::Builder::new()
                     .name(format!("flux-script-{}", client.rank.0))
-                    .spawn(move || drive_script(&client, &ops, epoch))
+                    .spawn(move || drive_script(&client, &ops, epoch, op_timeout))
                     .expect("spawn script driver")
             })
             .collect();

@@ -34,7 +34,7 @@ pub trait Actor {
 
 /// What an actor asked the engine to do; drained after each handler.
 pub(crate) enum Action {
-    Send { to: ActorId, msg: Message },
+    Send { to: ActorId, msg: Message, extra_delay: SimDuration },
     SetTimer { delay: SimDuration, token: u64 },
     Kill { victim: ActorId },
     Stop,
@@ -62,7 +62,16 @@ impl<'a> Ctx<'a> {
     /// by the engine based on message size and placement; delivery order
     /// per (sender, receiver) pair is FIFO.
     pub fn send(&mut self, to: ActorId, msg: Message) {
-        self.actions.push(Action::Send { to, msg });
+        self.actions.push(Action::Send { to, msg, extra_delay: SimDuration::ZERO });
+    }
+
+    /// Like [`Ctx::send`], but the message spends an additional
+    /// `extra_delay` in flight on top of the modelled transfer cost.
+    /// Used by fault injection to delay (and thereby reorder) traffic:
+    /// a delayed message lands behind later undelayed sends, so per-pair
+    /// FIFO no longer holds for it.
+    pub fn send_delayed(&mut self, to: ActorId, msg: Message, extra_delay: SimDuration) {
+        self.actions.push(Action::Send { to, msg, extra_delay });
     }
 
     /// Arranges for [`Actor::on_timer`] to run `delay` from now with

@@ -2,7 +2,7 @@
 
 use crate::actor::{Action, Actor, ActorId, Ctx, NodeId};
 use crate::net::NetParams;
-use crate::time::SimTime;
+use crate::time::{SimDuration, SimTime};
 use flux_wire::Message;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -237,7 +237,9 @@ impl Engine {
         let actions = std::mem::take(&mut self.actions);
         for action in actions {
             match action {
-                Action::Send { to, msg } => self.do_send(origin, to, msg),
+                Action::Send { to, msg, extra_delay } => {
+                    self.do_send(origin, to, msg, extra_delay)
+                }
                 Action::SetTimer { delay, token } => {
                     self.push_event(self.now + delay, EventKind::Timer { actor: origin, token });
                 }
@@ -254,7 +256,7 @@ impl Engine {
         }
     }
 
-    fn do_send(&mut self, from: ActorId, to: ActorId, msg: Message) {
+    fn do_send(&mut self, from: ActorId, to: ActorId, msg: Message, extra_delay: SimDuration) {
         assert!(to < self.slots.len(), "send to unknown actor {to}");
         if self.slots[to].dead {
             self.stats.messages_dropped += 1;
@@ -266,7 +268,7 @@ impl Engine {
         let tx_start = self.now.max(self.slots[from].tx_free);
         let tx_end = tx_start + self.params.tx_time(bytes, same_node);
         self.slots[from].tx_free = tx_end;
-        let arrive = tx_end + self.params.latency(same_node);
+        let arrive = tx_end + self.params.latency(same_node) + extra_delay;
         self.push_event(arrive, EventKind::Arrive { to, from, msg, bytes });
     }
 

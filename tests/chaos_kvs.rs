@@ -1,0 +1,70 @@
+//! Chaos KVS workloads across runtimes.
+//!
+//! * The simulator is fully deterministic: the same (workload, fault
+//!   plan) pair must produce bit-identical reports run-to-run.
+//! * The threaded runtime runs the same seeded workloads under the same
+//!   fault plans via the `FaultyTransport` decorator; wall-clock timing
+//!   varies, but every observed history must still satisfy the
+//!   consistency checker.
+//!
+//! Reproduce any failing seed with:
+//!
+//! ```text
+//! FLUX_CHAOS_SEED=<seed> cargo test -p flux-bench --test chaos_kvs
+//! ```
+
+use flux_modules::standard_modules;
+use flux_rt::chaos;
+use flux_rt::transport::{FaultyTransport, ScriptTransport, ThreadTransport};
+use std::time::Duration;
+
+fn seed_range() -> Vec<u64> {
+    if let Ok(one) = std::env::var("FLUX_CHAOS_SEED") {
+        let s = one.parse().expect("FLUX_CHAOS_SEED must be a u64");
+        return vec![s];
+    }
+    let n: u64 = std::env::var("FLUX_CHAOS_SEEDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(32);
+    (0..n).collect()
+}
+
+/// Identical (workload, plan) → identical simulator results, including
+/// makespan, event count, and every recorded reply.
+#[test]
+fn sim_chaos_runs_are_deterministic() {
+    for &(seed, with_kill) in &[(1u64, false), (7, true), (13, false), (19, true), (28, false)] {
+        let w = chaos::workload(seed, 100_000_000, with_kill);
+        let a = chaos::run_sim(&w);
+        let b = chaos::run_sim(&w);
+        assert_eq!(
+            a, b,
+            "seed {seed} (with_kill={with_kill}) diverged between identical runs; \
+             plan: {}",
+            w.plan
+        );
+    }
+}
+
+/// The threads runtime under the same seeded fault plans: every client
+/// history must pass the consistency checker.
+#[test]
+fn threads_chaos_consistency_sweep() {
+    for seed in seed_range() {
+        let w = chaos::workload(seed, 2_000_000, false);
+        let transport = FaultyTransport::new(Box::new(ThreadTransport), w.plan.clone())
+            .with_op_timeout(Duration::from_millis(200));
+        let report =
+            transport.run_scripts(w.size, w.arity, &|_| standard_modules(), w.scripts.clone());
+        let violations = chaos::check_run(&w, &report);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} violated consistency on threads; repro with \
+             `FLUX_CHAOS_SEED={seed} cargo test -p flux-bench --test chaos_kvs`\n\
+             plan: {}\nviolations:\n  {}",
+            w.plan,
+            violations.join("\n  ")
+        );
+    }
+}
