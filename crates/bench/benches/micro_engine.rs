@@ -7,8 +7,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use flux_hash::{ObjectId, Sha1};
 use flux_kvs::{apply_tuples, KvsObject, ObjectCache};
+use flux_proto::KvsMethod;
 use flux_value::Value;
-use flux_wire::{Message, MsgId, Rank, Topic};
+use flux_wire::{Message, MsgId, Rank};
 use std::hint::black_box;
 
 fn sha1_bench(c: &mut Criterion) {
@@ -45,7 +46,7 @@ fn canonical_bench(c: &mut Criterion) {
 fn codec_bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro/wire-codec");
     let msg = Message::request(
-        Topic::from_static("kvs.put"),
+        KvsMethod::Put.topic(),
         MsgId { origin: Rank(3), seq: 42 },
         Rank(3),
         Value::parse(r#"{"k": "a.b.c", "v": "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"}"#).unwrap(),

@@ -11,6 +11,9 @@
 //! shapes quickly; the `kap` binary (flux-kap) runs the full paper-scale
 //! sweeps.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use flux_kap::{run_kap, KapParams};
 use std::time::Duration;
 

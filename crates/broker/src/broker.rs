@@ -4,6 +4,7 @@ use crate::builtin;
 use crate::config::BrokerConfig;
 use crate::io::{ClientId, Input, Output};
 use crate::module::{CommsModule, ModuleCtx};
+use flux_proto::{Event, Service};
 use flux_topo::{LiveSet, Ring, Tree};
 use flux_value::Value;
 use flux_wire::{errnum, Message, MsgId, MsgType, Plane, Rank, Topic};
@@ -124,7 +125,9 @@ impl Core {
     /// on the configured overlay (ring or tree), skipping dead ranks. A
     /// request addressed to a dead rank fails with EHOSTDOWN.
     pub(crate) fn route_ring(&mut self, msg: Message) {
-        let dst = msg.header.dst.expect("rank-addressed message has a destination");
+        // Only rank-addressed messages reach here; one without a
+        // destination is malformed and dropped rather than trusted.
+        let Some(dst) = msg.header.dst else { return };
         if !self.live.is_up(dst) {
             if msg.header.msg_type == MsgType::Request {
                 let resp = Message::error_response_to(&msg, errnum::EHOSTDOWN);
@@ -153,7 +156,13 @@ impl Core {
                         .find(|&c| self.tree.is_ancestor(c, dst))
                         .unwrap_or(dst)
                 } else {
-                    self.effective_parent().expect("non-root when dst not below")
+                    // The root is an ancestor of every rank, so a dst not
+                    // below us means we have a parent; if the healed tree
+                    // disagrees, drop rather than mis-route.
+                    match self.effective_parent() {
+                        Some(parent) => parent,
+                        None => return,
+                    }
                 }
             }
         };
@@ -167,7 +176,10 @@ impl Core {
         if self.config.rank.is_root() {
             self.sequence_and_fan_out(msg);
         } else {
-            let parent = self.effective_parent().expect("non-root has a parent");
+            // A non-root broker always has an effective parent; if the
+            // healed tree momentarily disagrees, drop the publication
+            // (events are retried by their publishers' protocols).
+            let Some(parent) = self.effective_parent() else { return };
             self.outputs.push(Output::ToBroker { plane: Plane::Event, to: parent, msg });
         }
     }
@@ -331,15 +343,14 @@ impl Broker {
         self.core.now_ns = now_ns;
         match input {
             Input::FromClient { client, msg } => {
-                let mut msg = msg;
-                match msg.header.msg_type {
-                    MsgType::Request => {
-                        msg.header.hops.push(Rank::client_hop(client));
-                        self.route_request(msg);
-                    }
-                    // Clients only send requests; anything else is a
-                    // protocol violation we surface loudly.
-                    other => panic!("client {client} sent non-request {other:?}"),
+                // Clients only send requests; anything else is a
+                // protocol violation. Dropped, not panicked: over a
+                // live transport a misbehaving client must not be able
+                // to take its broker down.
+                if msg.header.msg_type == MsgType::Request {
+                    let mut msg = msg;
+                    msg.header.hops.push(Rank::client_hop(client));
+                    self.route_request(msg);
                 }
             }
             Input::FromBroker { plane, from, msg } => match msg.header.msg_type {
@@ -387,7 +398,7 @@ impl Broker {
     /// ENOSYS.
     fn dispatch_request(&mut self, msg: Message) {
         let service = msg.header.topic.service().to_owned();
-        if service == "cmb" {
+        if service == Service::Cmb.name() {
             builtin::handle(self, msg);
             return;
         }
@@ -426,8 +437,9 @@ impl Broker {
             self.core.sequence_and_fan_out(msg);
             self.drain_raised();
         } else {
-            // Raw publication still climbing; relay toward the root.
-            let parent = self.core.effective_parent().expect("non-root has a parent");
+            // Raw publication still climbing; relay toward the root. As
+            // in `publish`, a missing parent during healing drops it.
+            let Some(parent) = self.core.effective_parent() else { return };
             self.core.outputs.push(Output::ToBroker { plane: Plane::Event, to: parent, msg });
         }
     }
@@ -450,14 +462,14 @@ impl Broker {
 
         // Liveness view: the broker core itself tracks live.down/live.up
         // so routing self-heals no matter which modules are loaded.
-        if topic.as_str() == "live.down" {
+        if topic.as_str() == Event::LiveDown.topic_str() {
             if let Some(r) = msg.payload.get("rank").and_then(Value::as_uint) {
                 let r = Rank(r as u32);
                 if !r.is_root() {
                     self.core.live.mark_down(r);
                 }
             }
-        } else if topic.as_str() == "live.up" {
+        } else if topic.as_str() == Event::LiveUp.topic_str() {
             if let Some(r) = msg.payload.get("rank").and_then(Value::as_uint) {
                 self.core.live.mark_up(Rank(r as u32));
             }
@@ -472,7 +484,7 @@ impl Broker {
         }
 
         // Heartbeat hook.
-        if topic.as_str() == "hb" {
+        if topic.as_str() == Event::Hb.topic_str() {
             let epoch = msg.payload.get("epoch").and_then(Value::as_uint).unwrap_or(0);
             for i in 0..self.modules.len() {
                 self.with_module(i, |m, ctx| m.on_heartbeat(ctx, epoch));
@@ -498,6 +510,9 @@ impl Broker {
     where
         F: FnOnce(&mut dyn CommsModule, &mut ModuleCtx<'_>),
     {
+        // flux-lint: allow(panic) — module re-entry is a broker bug, not
+        // an input condition; continuing with a vanished module would
+        // silently drop its traffic.
         let mut m = self.modules[idx].take().expect("module re-entered");
         {
             let mut ctx = ModuleCtx { core: &mut self.core, module_idx: idx };
@@ -522,6 +537,10 @@ impl Broker {
             match msg.header.msg_type {
                 MsgType::Request => self.route_request(msg),
                 MsgType::Response => {
+                    // flux-lint: allow(panic) — raised and
+                    // raised_response_module are pushed in lockstep by
+                    // Core::raise; divergence is memory corruption, not
+                    // load.
                     let idx = self
                         .core
                         .raised_response_module
@@ -529,6 +548,8 @@ impl Broker {
                         .expect("response raised with module idx");
                     self.with_module(idx, |m, ctx| m.handle_response(ctx, &msg));
                 }
+                // flux-lint: allow(panic) — Core::raise never queues
+                // events; this arm existing at all is a local logic bug.
                 MsgType::Event => unreachable!("events are not raised"),
             }
         }

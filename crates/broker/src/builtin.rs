@@ -10,12 +10,13 @@
 //! * `cmb.sub` / `cmb.unsub` — client event-subscription management.
 
 use crate::broker::Broker;
+use flux_proto::CmbMethod;
 use flux_value::Value;
 use flux_wire::{errnum, Message};
 
 pub(crate) fn handle(broker: &mut Broker, msg: Message) {
-    match msg.header.topic.method() {
-        "ping" => {
+    match CmbMethod::from_method(msg.header.topic.method()) {
+        Some(CmbMethod::Ping) => {
             let rank = broker.core().rank();
             let mut payload = msg.payload.clone();
             if payload.is_null() {
@@ -28,7 +29,7 @@ pub(crate) fn handle(broker: &mut Broker, msg: Message) {
             let resp = Message::response_to(&msg, payload);
             broker.core_mut().route_response(resp);
         }
-        "info" => {
+        Some(CmbMethod::Info) => {
             let core = broker.core();
             let payload = Value::from_pairs([
                 ("rank", Value::from(core.rank().0)),
@@ -46,7 +47,7 @@ pub(crate) fn handle(broker: &mut Broker, msg: Message) {
             let resp = Message::response_to(&msg, payload);
             broker.core_mut().route_response(resp);
         }
-        "sub" | "unsub" => {
+        Some(method @ (CmbMethod::Sub | CmbMethod::Unsub)) => {
             // Only valid directly from a local client: the hop stack must
             // be exactly [client].
             let client = match (msg.header.hops.len(), msg.header.hops.last()) {
@@ -64,7 +65,7 @@ pub(crate) fn handle(broker: &mut Broker, msg: Message) {
                 return;
             };
             let prefix = prefix.to_owned();
-            if msg.header.topic.method() == "sub" {
+            if method == CmbMethod::Sub {
                 broker.core_mut().subscribe_client(client, prefix);
             } else {
                 broker.core_mut().unsubscribe_client(client, &prefix);
@@ -72,7 +73,7 @@ pub(crate) fn handle(broker: &mut Broker, msg: Message) {
             let resp = Message::response_to(&msg, Value::object());
             broker.core_mut().route_response(resp);
         }
-        _ => {
+        None => {
             let resp = Message::error_response_to(&msg, errnum::ENOSYS);
             broker.core_mut().route_response(resp);
         }

@@ -136,7 +136,7 @@ mod tests {
     #[test]
     fn request_response_matching() {
         let mut c = ClientCore::new(Rank(3), 0);
-        let req = c.request(topic("kvs.get"), Value::from("k"), 42);
+        let req = c.request(topic("svc.get"), Value::from("k"), 42);
         assert_eq!(c.outstanding_len(), 1);
         let resp = Message::response_to(&req, Value::Int(1));
         match c.deliver(resp) {
@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn streaming_responses_persist() {
         let mut c = ClientCore::new(Rank(0), 0);
-        let req = c.request(topic("kvs.watch"), Value::from("k"), 7);
+        let req = c.request(topic("svc.watch"), Value::from("k"), 7);
         c.expect_stream(req.header.id);
         let resp = Message::response_to(&req, Value::Int(1));
         for _ in 0..3 {
@@ -190,7 +190,7 @@ mod tests {
     #[test]
     fn rank_addressed_request_sets_dst() {
         let mut c = ClientCore::new(Rank(2), 0);
-        let req = c.request_to(Rank(6), topic("cmb.ping"), Value::Null, 9);
+        let req = c.request_to(Rank(6), topic("bld.ping"), Value::Null, 9);
         assert_eq!(req.header.dst, Some(Rank(6)));
     }
 }

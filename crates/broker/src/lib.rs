@@ -36,7 +36,8 @@
 //! the session, as in the paper's prototype.
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod broker;
 pub mod testing;
 mod builtin;

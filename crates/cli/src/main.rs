@@ -47,8 +47,14 @@
 //! heartbeat epochs 6..14. The same `SEED:SPEC` reproduces the same
 //! per-link fault decisions run to run.
 
+#![forbid(unsafe_code)]
+
 use flux_broker::client::{ClientCore, Delivery};
 use flux_modules::standard_modules;
+use flux_proto::{
+    keys, BarrierMethod, CmbMethod, GroupMethod, KvsMethod, LiveMethod, LogMethod, MonMethod,
+    ResvcMethod, WexecMethod,
+};
 use flux_rt::transport::{FaultyTransport, TransportKind};
 use flux_rt::{FaultPlan, LiveClient};
 use flux_value::Value;
@@ -67,16 +73,14 @@ struct Cli {
 }
 
 impl Cli {
-    fn rpc(&mut self, topic: &str, payload: Value) -> Result<Message, String> {
+    fn rpc(&mut self, topic: Topic, payload: Value) -> Result<Message, String> {
         self.tag += 1;
-        let topic = Topic::new(topic).map_err(|e| e.to_string())?;
         self.conn.send(self.core.request(topic, payload, self.tag));
         self.wait_reply()
     }
 
-    fn rpc_to(&mut self, rank: Rank, topic: &str, payload: Value) -> Result<Message, String> {
+    fn rpc_to(&mut self, rank: Rank, topic: Topic, payload: Value) -> Result<Message, String> {
         self.tag += 1;
-        let topic = Topic::new(topic).map_err(|e| e.to_string())?;
         self.conn.send(self.core.request_to(rank, topic, payload, self.tag));
         self.wait_reply()
     }
@@ -117,7 +121,7 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             // Prove the overlay is wired end to end: a rank-addressed
             // ping makes a full trip over the ring to every broker.
             for r in 0..cli.size {
-                cli.rpc_to(Rank(r), "cmb.ping", Value::object())
+                cli.rpc_to(Rank(r), CmbMethod::Ping.topic(), Value::object())
                     .map_err(|e| format!("rank {r} unreachable: {e}"))?;
             }
             Ok(format!(
@@ -126,13 +130,13 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             ))
         }
         ["info"] => {
-            let m = cli.rpc("cmb.info", Value::Null)?;
+            let m = cli.rpc(CmbMethod::Info.topic(), Value::Null)?;
             Ok(m.payload.to_json_pretty())
         }
         ["ping", rank] => {
             let r: u32 = rank.parse().map_err(|_| "bad rank".to_string())?;
             let t0 = std::time::Instant::now();
-            let m = cli.rpc_to(Rank(r), "cmb.ping", Value::object())?;
+            let m = cli.rpc_to(Rank(r), CmbMethod::Ping.topic(), Value::object())?;
             Ok(format!(
                 "pong from rank {} in {:?}",
                 m.payload.get("pong").cloned().unwrap_or(Value::Null),
@@ -141,16 +145,16 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         }
         ["kvs", "put", key, json] => {
             let payload = Value::from_pairs([("k", Value::from(*key)), ("v", parse_json_arg(json))]);
-            cli.rpc("kvs.put", payload)?;
+            cli.rpc(KvsMethod::Put.topic(), payload)?;
             Ok(format!("{key} staged (commit to publish)"))
         }
         ["kvs", "get", key] => {
-            let m = cli.rpc("kvs.get", Value::from_pairs([("k", Value::from(*key))]))?;
+            let m = cli.rpc(KvsMethod::Get.topic(), Value::from_pairs([("k", Value::from(*key))]))?;
             Ok(m.payload.get("v").cloned().unwrap_or(Value::Null).to_json_pretty())
         }
         ["kvs", "dir", key] => {
             let m = cli.rpc(
-                "kvs.get",
+                KvsMethod::Get.topic(),
                 Value::from_pairs([("k", Value::from(*key)), ("dir", Value::Bool(true))]),
             )?;
             let listing = m.payload.get("dir").cloned().unwrap_or(Value::object());
@@ -161,11 +165,11 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             Ok(names.join("\n"))
         }
         ["kvs", "unlink", key] => {
-            cli.rpc("kvs.unlink", Value::from_pairs([("k", Value::from(*key))]))?;
+            cli.rpc(KvsMethod::Unlink.topic(), Value::from_pairs([("k", Value::from(*key))]))?;
             Ok(format!("{key} unlink staged"))
         }
         ["kvs", "commit"] => {
-            let m = cli.rpc("kvs.commit", Value::object())?;
+            let m = cli.rpc(KvsMethod::Commit.topic(), Value::object())?;
             Ok(format!(
                 "committed: version {} root {}",
                 m.payload.get("version").cloned().unwrap_or(Value::Null),
@@ -173,17 +177,17 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             ))
         }
         ["kvs", "version"] => {
-            let m = cli.rpc("kvs.get_version", Value::object())?;
+            let m = cli.rpc(KvsMethod::GetVersion.topic(), Value::object())?;
             Ok(m.payload.to_json())
         }
         ["kvs", "stats"] => {
-            let m = cli.rpc("kvs.stats", Value::object())?;
+            let m = cli.rpc(KvsMethod::Stats.topic(), Value::object())?;
             Ok(m.payload.to_json_pretty())
         }
         ["barrier", name, nprocs] => {
             let n: i64 = nprocs.parse().map_err(|_| "bad nprocs".to_string())?;
             let m = cli.rpc(
-                "barrier.enter",
+                BarrierMethod::Enter.topic(),
                 Value::from_pairs([("name", Value::from(*name)), ("nprocs", Value::Int(n))]),
             )?;
             Ok(format!("barrier {} released", m.payload.get("name").unwrap_or(&Value::Null)))
@@ -191,7 +195,7 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         ["run", jobid, rest @ ..] if !rest.is_empty() => {
             let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
             let m = cli.rpc(
-                "wexec.run",
+                WexecMethod::Run.topic(),
                 Value::from_pairs([
                     ("jobid", Value::Int(id)),
                     ("cmd", Value::from(rest.join(" "))),
@@ -205,10 +209,10 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         }
         ["wait-job", jobid] => {
             let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
-            let key = format!("lwj.{id}.complete");
+            let key = keys::lwj::complete_key(id as u64);
             let deadline = std::time::Instant::now() + TIMEOUT;
             loop {
-                match cli.rpc("kvs.get", Value::from_pairs([("k", Value::from(key.as_str()))])) {
+                match cli.rpc(KvsMethod::Get.topic(), Value::from_pairs([("k", Value::from(key.as_str()))])) {
                     Ok(m) => {
                         return Ok(format!(
                             "job {id} complete: {}",
@@ -223,13 +227,13 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             }
         }
         ["ps"] => {
-            let m = cli.rpc("wexec.ps", Value::object())?;
+            let m = cli.rpc(WexecMethod::Ps.topic(), Value::object())?;
             Ok(m.payload.to_json_pretty())
         }
         ["log", "msg", level, rest @ ..] if !rest.is_empty() => {
             let lvl: i64 = level.parse().map_err(|_| "bad level".to_string())?;
             cli.rpc(
-                "log.msg",
+                LogMethod::Msg.topic(),
                 Value::from_pairs([
                     ("level", Value::Int(lvl)),
                     ("text", Value::from(rest.join(" "))),
@@ -238,7 +242,7 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             Ok("logged".into())
         }
         ["log", "query"] => {
-            let m = cli.rpc("log.query", Value::object())?;
+            let m = cli.rpc(LogMethod::Query.topic(), Value::object())?;
             let entries = m.payload.get("entries").cloned().unwrap_or(Value::array());
             let mut out = String::new();
             for e in entries.as_array().unwrap_or(&[]) {
@@ -253,12 +257,12 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         }
         ["log", "dump", rank] => {
             let r: u32 = rank.parse().map_err(|_| "bad rank".to_string())?;
-            let m = cli.rpc_to(Rank(r), "log.dump", Value::object())?;
+            let m = cli.rpc_to(Rank(r), LogMethod::Dump.topic(), Value::object())?;
             Ok(m.payload.to_json_pretty())
         }
         ["mon", "add", name, metric] => {
             cli.rpc(
-                "mon.add",
+                MonMethod::Add.topic(),
                 Value::from_pairs([
                     ("name", Value::from(*name)),
                     ("metric", Value::from(*metric)),
@@ -268,32 +272,34 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
             Ok(format!("sampler {name} registered (data under mon.data.{name}.*)"))
         }
         ["group", verb @ ("join" | "leave" | "info"), name] => {
-            let m = cli.rpc(
-                &format!("group.{verb}"),
-                Value::from_pairs([("name", Value::from(*name))]),
-            )?;
+            let method = match *verb {
+                "join" => GroupMethod::Join,
+                "leave" => GroupMethod::Leave,
+                _ => GroupMethod::Info,
+            };
+            let m = cli.rpc(method.topic(), Value::from_pairs([("name", Value::from(*name))]))?;
             Ok(m.payload.to_json())
         }
         ["resvc", "status"] => {
-            let m = cli.rpc("resvc.status", Value::object())?;
+            let m = cli.rpc(ResvcMethod::Status.topic(), Value::object())?;
             Ok(m.payload.to_json())
         }
         ["resvc", "alloc", jobid, nnodes] => {
             let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
             let n: i64 = nnodes.parse().map_err(|_| "bad nnodes".to_string())?;
             let m = cli.rpc(
-                "resvc.alloc",
+                ResvcMethod::Alloc.topic(),
                 Value::from_pairs([("jobid", Value::Int(id)), ("nnodes", Value::Int(n))]),
             )?;
             Ok(m.payload.to_json())
         }
         ["resvc", "free", jobid] => {
             let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
-            let m = cli.rpc("resvc.free", Value::from_pairs([("jobid", Value::Int(id))]))?;
+            let m = cli.rpc(ResvcMethod::Free.topic(), Value::from_pairs([("jobid", Value::Int(id))]))?;
             Ok(m.payload.to_json())
         }
         ["up"] => {
-            let m = cli.rpc("live.status", Value::object())?;
+            let m = cli.rpc(LiveMethod::Status.topic(), Value::object())?;
             Ok(m.payload.to_json())
         }
         _ => Err(format!("unknown command: {}", words.join(" "))),

@@ -31,7 +31,8 @@
 //! `hierarchical_jobs` example shows the two composed.
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod instance;
 pub mod jobspec;
 pub mod resource;

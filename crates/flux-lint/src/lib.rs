@@ -1,0 +1,466 @@
+//! Offline static-conformance linter for the workspace.
+//!
+//! `cargo run -p flux-lint` walks `crates/` and enforces the protocol
+//! and panic-hygiene rules described in DESIGN.md §12:
+//!
+//! 1. **topic-literal** — no topic-pattern string literal (a `"` followed
+//!    by a registered service name and a `.`) may appear outside
+//!    `crates/proto` and integration-test directories. All protocol
+//!    routing goes through the [`flux_proto`] registry.
+//! 2. **panic** — no `unwrap()` / `expect()` / `panic!()` family call in
+//!    the non-test code of the `broker`, `rt`, `kvs` and `wire` crates,
+//!    unless justified by a `// flux-lint: allow(panic)` annotation.
+//! 3. **wildcard** — no `_ =>` match arm in the non-test code of the
+//!    wire crate (protocol decoders must enumerate their domain), unless
+//!    justified by `// flux-lint: allow(wildcard)`.
+//! 4. **header** — every crate root carries `#![forbid(unsafe_code)]`,
+//!    and every library root additionally `#![deny(missing_docs)]`.
+//!
+//! A small allowlist (`crates/flux-lint/allowlist.txt`) can tolerate
+//! legacy violations per (rule, file); an entry that no longer matches
+//! anything is itself reported as a violation, so the list can only
+//! shrink. The linter has no dependencies outside the workspace and
+//! never touches the network.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Which lint rule a violation belongs to.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Rule {
+    /// A topic-pattern string literal outside the protocol registry.
+    TopicLiteral,
+    /// An unjustified panic-family call in a panic-free crate.
+    Panic,
+    /// An unjustified `_ =>` arm in a protocol decoder crate.
+    Wildcard,
+    /// A crate root missing the agreed lint header.
+    Header,
+    /// An allowlist entry that no longer suppresses anything.
+    StaleAllow,
+}
+
+impl Rule {
+    /// The rule's name as used in allowlist entries and diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::TopicLiteral => "topic-literal",
+            Rule::Panic => "panic",
+            Rule::Wildcard => "wildcard",
+            Rule::Header => "header",
+            Rule::StaleAllow => "stale-allow",
+        }
+    }
+}
+
+/// One finding: a rule broken at a specific file and line.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line number (0 for whole-file findings).
+    pub line: usize,
+    /// The rule that fired.
+    pub rule: Rule,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}: [{}] {}", self.file, self.rule.name(), self.message)
+        } else {
+            write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.message)
+        }
+    }
+}
+
+/// Crates whose non-test code must be panic-free (rule 2).
+const PANIC_FREE: &[&str] =
+    &["crates/broker/src/", "crates/rt/src/", "crates/kvs/src/", "crates/wire/src/"];
+
+/// Crates whose non-test matches may not use `_ =>` (rule 3).
+const NO_WILDCARD: &[&str] = &["crates/wire/src/"];
+
+/// Tokens that abort the process when reached.
+const PANIC_TOKENS: &[&str] =
+    &[".unwrap()", ".expect(", "panic!(", "unreachable!(", "todo!(", "unimplemented!("];
+
+/// How many lines an `// flux-lint: allow(...)` annotation reaches
+/// forward. Keeps a waiver from silently covering unrelated code.
+const ALLOW_REACH: usize = 10;
+
+/// True if the topic-literal rule applies to this file at all.
+fn topic_rule_applies(rel: &str) -> bool {
+    !rel.starts_with("crates/proto/")
+        && !rel.starts_with("crates/flux-lint/")
+        && !rel.contains("/tests/")
+}
+
+/// Finds `"<service>.` occurrences in one line of source text. Mirrors
+/// the repository's conformance grep: a plain text scan, comments and
+/// test modules included (in-source tests must use neutral names).
+fn line_has_topic_literal(line: &str, services: &[&str]) -> Option<&'static str> {
+    let bytes = line.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        if b != b'"' {
+            continue;
+        }
+        let rest = &line[i + 1..];
+        for svc in flux_proto::Service::ALL {
+            let name = svc.name();
+            if services.contains(&name)
+                && rest.len() > name.len()
+                && rest.starts_with(name)
+                && rest.as_bytes()[name.len()] == b'.'
+            {
+                return Some(name);
+            }
+        }
+    }
+    None
+}
+
+/// Per-line scan state for the panic and wildcard rules: tracks
+/// `#[cfg(test)]` regions and pending `allow` waivers.
+struct ScanState {
+    in_test: bool,
+    test_depth: i32,
+    test_entered: bool,
+    allow_panic: Option<usize>,
+    allow_wildcard: Option<usize>,
+}
+
+impl ScanState {
+    fn new() -> ScanState {
+        ScanState {
+            in_test: false,
+            test_depth: 0,
+            test_entered: false,
+            allow_panic: None,
+            allow_wildcard: None,
+        }
+    }
+
+    /// Updates test-region tracking for `line`; returns true while the
+    /// line is inside (or opening) a `#[cfg(test)]` region.
+    fn track_test_region(&mut self, line: &str) -> bool {
+        if !self.in_test && line.contains("#[cfg(test)]") {
+            self.in_test = true;
+            self.test_depth = 0;
+            self.test_entered = false;
+        }
+        if !self.in_test {
+            return false;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    self.test_depth += 1;
+                    self.test_entered = true;
+                }
+                '}' => self.test_depth -= 1,
+                _ => {}
+            }
+        }
+        if self.test_entered && self.test_depth <= 0 {
+            self.in_test = false; // region closed on this line
+        } else if !self.test_entered && line.trim_end().ends_with(';') {
+            self.in_test = false; // `#[cfg(test)] mod x;` — out-of-line module
+        }
+        true
+    }
+}
+
+/// Lints one file's content as if it lived at workspace-relative path
+/// `rel`. This is the pure core `lint_tree` applies to every source
+/// file; tests feed it fixture content directly.
+pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let services: Vec<&str> = flux_proto::Service::ALL.iter().map(|s| s.name()).collect();
+    let topic_scope = topic_rule_applies(rel);
+    let panic_scope =
+        PANIC_FREE.iter().any(|p| rel.starts_with(p)) && !rel.ends_with("proptests.rs");
+    let wildcard_scope =
+        NO_WILDCARD.iter().any(|p| rel.starts_with(p)) && !rel.ends_with("proptests.rs");
+
+    let mut st = ScanState::new();
+    for (idx, line) in content.lines().enumerate() {
+        let lineno = idx + 1;
+        if topic_scope {
+            if let Some(svc) = line_has_topic_literal(line, &services) {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: lineno,
+                    rule: Rule::TopicLiteral,
+                    message: format!(
+                        "string literal for service `{svc}` — route through flux-proto instead"
+                    ),
+                });
+            }
+        }
+        if !(panic_scope || wildcard_scope) {
+            continue;
+        }
+        let in_test = st.track_test_region(line);
+        let trimmed = line.trim_start();
+        if trimmed.starts_with("//") {
+            if line.contains("flux-lint: allow(panic)") {
+                st.allow_panic = Some(lineno);
+            }
+            if line.contains("flux-lint: allow(wildcard)") {
+                st.allow_wildcard = Some(lineno);
+            }
+            continue;
+        }
+        if in_test {
+            continue;
+        }
+        if panic_scope {
+            if let Some(tok) = PANIC_TOKENS.iter().find(|t| line.contains(*t)) {
+                if line.contains("flux-lint: allow(panic)") {
+                    // waived inline
+                } else if st.allow_panic.is_some_and(|l| lineno - l <= ALLOW_REACH) {
+                    st.allow_panic = None;
+                } else {
+                    out.push(Violation {
+                        file: rel.to_owned(),
+                        line: lineno,
+                        rule: Rule::Panic,
+                        message: format!(
+                            "`{}` in panic-free code — return an error or justify with \
+                             `// flux-lint: allow(panic)`",
+                            tok.trim_start_matches('.')
+                        ),
+                    });
+                }
+            }
+        }
+        if wildcard_scope && line.contains("_ =>") {
+            if line.contains("flux-lint: allow(wildcard)") {
+                // waived inline
+            } else if st.allow_wildcard.is_some_and(|l| lineno - l <= ALLOW_REACH) {
+                st.allow_wildcard = None;
+            } else {
+                out.push(Violation {
+                    file: rel.to_owned(),
+                    line: lineno,
+                    rule: Rule::Wildcard,
+                    message: "`_ =>` arm in a protocol decoder — enumerate the domain or \
+                              justify with `// flux-lint: allow(wildcard)`"
+                        .to_owned(),
+                });
+            }
+        }
+    }
+
+    out.extend(check_headers(rel, content));
+    out
+}
+
+/// Rule 4: crate roots must carry the agreed lint headers.
+fn check_headers(rel: &str, content: &str) -> Vec<Violation> {
+    let is_lib = rel.ends_with("/src/lib.rs");
+    let is_bin = rel.ends_with("/src/main.rs") || rel.contains("/src/bin/");
+    let mut out = Vec::new();
+    if !(is_lib || is_bin) {
+        return out;
+    }
+    if !content.contains("#![forbid(unsafe_code)]") {
+        out.push(Violation {
+            file: rel.to_owned(),
+            line: 0,
+            rule: Rule::Header,
+            message: "crate root is missing `#![forbid(unsafe_code)]`".to_owned(),
+        });
+    }
+    if is_lib && !content.contains("#![deny(missing_docs)]") {
+        out.push(Violation {
+            file: rel.to_owned(),
+            line: 0,
+            rule: Rule::Header,
+            message: "library root is missing `#![deny(missing_docs)]`".to_owned(),
+        });
+    }
+    out
+}
+
+/// Applies an allowlist (the content of `allowlist.txt`) to a violation
+/// set: entries of the form `<rule>:<path>` suppress matching
+/// violations; an entry that suppresses nothing becomes a
+/// [`Rule::StaleAllow`] violation so dead entries fail the lint.
+pub fn apply_allowlist(violations: Vec<Violation>, allowlist: &str) -> Vec<Violation> {
+    let entries: Vec<(usize, &str)> = allowlist
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .collect();
+    let mut used = vec![false; entries.len()];
+    let mut kept = Vec::new();
+    for v in violations {
+        let tag = format!("{}:{}", v.rule.name(), v.file);
+        match entries.iter().position(|(_, e)| *e == tag) {
+            Some(i) => used[i] = true,
+            None => kept.push(v),
+        }
+    }
+    for (i, (lineno, entry)) in entries.iter().enumerate() {
+        if !used[i] {
+            kept.push(Violation {
+                file: "crates/flux-lint/allowlist.txt".to_owned(),
+                line: *lineno,
+                rule: Rule::StaleAllow,
+                message: format!("entry `{entry}` no longer matches any violation — remove it"),
+            });
+        }
+    }
+    kept
+}
+
+/// Recursively collects `.rs` files under `dir`, skipping fixture and
+/// build-output directories.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name == "fixtures" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// `crates/`), applying the allowlist if present. Returns the surviving
+/// violations, sorted by file and line.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    files.sort();
+    let mut violations = Vec::new();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let content = std::fs::read_to_string(path)?;
+        violations.extend(lint_file(&rel, &content));
+    }
+    let allowlist = std::fs::read_to_string(root.join("crates/flux-lint/allowlist.txt"))
+        .unwrap_or_default();
+    let mut kept = apply_allowlist(violations, &allowlist);
+    kept.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    Ok(kept)
+}
+
+/// The workspace root this linter was built in, for the self-check test
+/// and the default `main` invocation.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOPIC_FIXTURE: &str = include_str!("../fixtures/topic_literal.rs.bad");
+    const PANIC_FIXTURE: &str = include_str!("../fixtures/panic_unwrap.rs.bad");
+    const WILDCARD_FIXTURE: &str = include_str!("../fixtures/wildcard_match.rs.bad");
+    const HEADER_FIXTURE: &str = include_str!("../fixtures/missing_header.rs.bad");
+
+    fn rules(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn topic_literal_fixture_fires() {
+        let v = lint_file("crates/modules/src/fake.rs", TOPIC_FIXTURE);
+        assert!(rules(&v).contains(&Rule::TopicLiteral), "{v:?}");
+        // Neutral service names and bare (dot-free) names never fire.
+        let clean = lint_file("crates/modules/src/fake.rs", "let t = (\"svc.put\", \"hb\");\n");
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn topic_literal_exempt_in_proto_and_tests() {
+        for rel in
+            ["crates/proto/src/lib.rs", "crates/kvs/tests/it.rs", "crates/flux-lint/src/lib.rs"]
+        {
+            let v = lint_file(rel, TOPIC_FIXTURE);
+            assert!(!rules(&v).contains(&Rule::TopicLiteral), "{rel}: {v:?}");
+        }
+    }
+
+    #[test]
+    fn panic_fixture_fires_only_outside_tests_and_waivers() {
+        let v = lint_file("crates/kvs/src/fake.rs", PANIC_FIXTURE);
+        let hits: Vec<_> = v.iter().filter(|x| x.rule == Rule::Panic).collect();
+        // The fixture has exactly one unjustified site; its cfg(test)
+        // unwrap and its annotated expect must not fire.
+        assert_eq!(hits.len(), 1, "{v:?}");
+        assert!(hits[0].message.contains("unwrap"), "{v:?}");
+    }
+
+    #[test]
+    fn panic_rule_scoped_to_panic_free_crates() {
+        let v = lint_file("crates/modules/src/fake.rs", PANIC_FIXTURE);
+        assert!(!rules(&v).contains(&Rule::Panic), "{v:?}");
+    }
+
+    #[test]
+    fn wildcard_fixture_fires_in_wire_only() {
+        let v = lint_file("crates/wire/src/fake.rs", WILDCARD_FIXTURE);
+        let hits: Vec<_> = v.iter().filter(|x| x.rule == Rule::Wildcard).collect();
+        assert_eq!(hits.len(), 1, "{v:?}");
+        let v = lint_file("crates/broker/src/fake.rs", WILDCARD_FIXTURE);
+        assert!(!rules(&v).contains(&Rule::Wildcard), "{v:?}");
+    }
+
+    #[test]
+    fn header_fixture_fires_for_lib_roots() {
+        let v = lint_file("crates/fake/src/lib.rs", HEADER_FIXTURE);
+        assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 2, "{v:?}");
+        // A bin root only needs forbid(unsafe_code).
+        let v = lint_file("crates/fake/src/main.rs", HEADER_FIXTURE);
+        assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 1, "{v:?}");
+        // Non-root files carry no header obligation.
+        let v = lint_file("crates/fake/src/other.rs", HEADER_FIXTURE);
+        assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 0, "{v:?}");
+    }
+
+    #[test]
+    fn allowlist_suppresses_and_reports_stale() {
+        let v = lint_file("crates/kvs/src/fake.rs", PANIC_FIXTURE);
+        let list = "# comment\npanic:crates/kvs/src/fake.rs\npanic:crates/kvs/src/gone.rs\n";
+        let kept = apply_allowlist(v, list);
+        assert!(!rules(&kept).contains(&Rule::Panic), "{kept:?}");
+        let stale: Vec<_> = kept.iter().filter(|x| x.rule == Rule::StaleAllow).collect();
+        assert_eq!(stale.len(), 1, "{kept:?}");
+        assert!(stale[0].message.contains("gone.rs"), "{kept:?}");
+    }
+
+    #[test]
+    fn live_tree_is_clean() {
+        let v = lint_tree(&workspace_root()).expect("walk workspace");
+        assert!(v.is_empty(), "live tree has lint violations:\n{}", {
+            let mut s = String::new();
+            for x in &v {
+                s.push_str(&format!("  {x}\n"));
+            }
+            s
+        });
+    }
+}

@@ -1,0 +1,45 @@
+//! End-to-end negative tests: each `fixtures/*.rs.bad` file, planted as
+//! real source in a scratch workspace, must make [`flux_lint::lint_tree`]
+//! report the violation it demonstrates — proving the tree walk (not
+//! just the per-file scanner) catches it.
+
+use flux_lint::{lint_tree, Rule};
+use std::path::{Path, PathBuf};
+
+/// Copies `fixture` into a scratch workspace at crates-relative `rel`
+/// and lints the scratch tree.
+fn plant_and_lint(fixture: &str, rel: &str) -> Vec<flux_lint::Violation> {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let scratch: PathBuf = std::env::temp_dir()
+        .join(format!("flux-lint-e2e-{}-{}", std::process::id(), fixture.replace('.', "_")));
+    let dst = scratch.join(rel);
+    std::fs::create_dir_all(dst.parent().expect("rel has a parent")).expect("mkdir scratch");
+    std::fs::copy(fixtures.join(fixture), &dst).expect("copy fixture");
+    let result = lint_tree(&scratch).expect("walk scratch tree");
+    std::fs::remove_dir_all(&scratch).ok();
+    result
+}
+
+#[test]
+fn topic_literal_fixture_fails_the_tree() {
+    let v = plant_and_lint("topic_literal.rs.bad", "crates/modules/src/fake.rs");
+    assert!(v.iter().any(|x| x.rule == Rule::TopicLiteral), "{v:?}");
+}
+
+#[test]
+fn panic_fixture_fails_the_tree() {
+    let v = plant_and_lint("panic_unwrap.rs.bad", "crates/kvs/src/fake.rs");
+    assert!(v.iter().any(|x| x.rule == Rule::Panic), "{v:?}");
+}
+
+#[test]
+fn wildcard_fixture_fails_the_tree() {
+    let v = plant_and_lint("wildcard_match.rs.bad", "crates/wire/src/fake.rs");
+    assert!(v.iter().any(|x| x.rule == Rule::Wildcard), "{v:?}");
+}
+
+#[test]
+fn missing_header_fixture_fails_the_tree() {
+    let v = plant_and_lint("missing_header.rs.bad", "crates/fake/src/lib.rs");
+    assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 2, "{v:?}");
+}

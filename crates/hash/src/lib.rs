@@ -29,7 +29,8 @@
 //! ```
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod object_id;
 mod sha1;
 

@@ -8,6 +8,8 @@
 //! 1024–8192 testers). `--quick` runs a reduced sweep for smoke testing.
 //! Output is markdown; EXPERIMENTS.md embeds it.
 
+#![forbid(unsafe_code)]
+
 use flux_kap::layout::DirLayout;
 use flux_kap::model;
 use flux_kap::report::{ms, Table};
@@ -177,6 +179,10 @@ fn table1() {
     use flux_broker::client::ClientCore;
     use flux_broker::testing::TestNet;
     use flux_modules::standard_modules;
+    use flux_proto::{
+        BarrierMethod, GroupMethod, HbMethod, KvsMethod, LiveMethod, LogMethod, MonMethod,
+        ResvcMethod, WexecMethod,
+    };
     use flux_value::Value;
     use flux_wire::{Rank, Topic};
 
@@ -185,9 +191,9 @@ fn table1() {
         &["module", "exercise", "status"],
     );
     let mut net = TestNet::new(7, 2, |_| standard_modules());
-    let mut check = |name: &str, what: &str, topic: &str, payload: Value| {
+    let mut check = |name: &str, what: &str, topic: Topic, payload: Value| {
         let mut c = ClientCore::new(Rank(5), 42);
-        let req = c.request(Topic::new(topic).unwrap(), payload, 0);
+        let req = c.request(topic, payload, 0);
         net.client_send(Rank(5), 42, req);
         let mut replies = net.take_client_msgs(Rank(5), 42);
         for _ in 0..500 {
@@ -206,54 +212,49 @@ fn table1() {
         };
         t.row(vec![name.into(), what.into(), status.into()]);
     };
-    check("hb", "hb.epoch query", "hb.epoch", Value::object());
-    check(
-        "live",
-        "live.status query",
-        "live.status",
-        Value::object(),
-    );
+    check("hb", "epoch query", HbMethod::Epoch.topic(), Value::object());
+    check("live", "status query", LiveMethod::Status.topic(), Value::object());
     check(
         "log",
-        "log.msg append",
-        "log.msg",
+        "msg append",
+        LogMethod::Msg.topic(),
         Value::from_pairs([("level", Value::Int(6)), ("text", Value::from("smoke"))]),
     );
     check(
         "mon",
-        "mon.add sampler",
-        "mon.add",
+        "add sampler",
+        MonMethod::Add.topic(),
         Value::from_pairs([("name", Value::from("smoke")), ("metric", Value::from("load"))]),
     );
     check(
         "group",
-        "group.join",
-        "group.join",
+        "join",
+        GroupMethod::Join.topic(),
         Value::from_pairs([("name", Value::from("smoke"))]),
     );
     check(
         "barrier",
         "1-proc barrier",
-        "barrier.enter",
+        BarrierMethod::Enter.topic(),
         Value::from_pairs([("name", Value::from("smoke")), ("nprocs", Value::Int(1))]),
     );
     check(
         "kvs",
-        "kvs.put",
-        "kvs.put",
+        "put",
+        KvsMethod::Put.topic(),
         Value::from_pairs([("k", Value::from("smoke.k")), ("v", Value::Int(1))]),
     );
     check(
         "wexec",
-        "wexec.run echo",
-        "wexec.run",
+        "run echo",
+        WexecMethod::Run.topic(),
         Value::from_pairs([
             ("jobid", Value::Int(9)),
             ("cmd", Value::from("echo hi")),
             ("targets", Value::from("all")),
         ]),
     );
-    check("resvc", "resvc.status", "resvc.status", Value::object());
+    check("resvc", "status", ResvcMethod::Status.topic(), Value::object());
     println!("{}", t.render());
 }
 

@@ -25,7 +25,8 @@
 //! 128 objects per directory (Fig. 4).
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod layout;
 pub mod model;
 pub mod report;

@@ -11,7 +11,8 @@
 use flux_broker::client::{ClientCore, Delivery};
 use flux_broker::ClientId;
 use flux_value::Value;
-use flux_wire::{Message, MsgId, Rank, Topic};
+use flux_proto::KvsMethod;
+use flux_wire::{Message, MsgId, Rank};
 
 /// A decoded KVS reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,19 +86,19 @@ impl KvsClient {
     /// soon as the local broker has cached the object.
     pub fn put(&mut self, key: &str, val: Value, tag: u64) -> Message {
         let payload = Value::from_pairs([("k", Value::from(key)), ("v", val)]);
-        self.core.request(Topic::from_static("kvs.put"), payload, tag)
+        self.core.request(KvsMethod::Put.topic(), payload, tag)
     }
 
     /// Queues an unlink of `key`.
     pub fn unlink(&mut self, key: &str, tag: u64) -> Message {
         let payload = Value::from_pairs([("k", Value::from(key))]);
-        self.core.request(Topic::from_static("kvs.unlink"), payload, tag)
+        self.core.request(KvsMethod::Unlink.topic(), payload, tag)
     }
 
     /// `kvs_commit()` — synchronously flush this client's puts; the reply
     /// carries the new root version.
     pub fn commit(&mut self, tag: u64) -> Message {
-        self.core.request(Topic::from_static("kvs.commit"), Value::object(), tag)
+        self.core.request(KvsMethod::Commit.topic(), Value::object(), tag)
     }
 
     /// `kvs_fence(name, nprocs)` — collective commit across `nprocs`
@@ -107,31 +108,31 @@ impl KvsClient {
             ("name", Value::from(name)),
             ("nprocs", Value::from(nprocs as i64)),
         ]);
-        self.core.request(Topic::from_static("kvs.fence"), payload, tag)
+        self.core.request(KvsMethod::Fence.topic(), payload, tag)
     }
 
     /// `kvs_get(key)`.
     pub fn get(&mut self, key: &str, tag: u64) -> Message {
         let payload = Value::from_pairs([("k", Value::from(key))]);
-        self.core.request(Topic::from_static("kvs.get"), payload, tag)
+        self.core.request(KvsMethod::Get.topic(), payload, tag)
     }
 
     /// Directory listing of `key`.
     pub fn get_dir(&mut self, key: &str, tag: u64) -> Message {
         let payload =
             Value::from_pairs([("k", Value::from(key)), ("dir", Value::Bool(true))]);
-        self.core.request(Topic::from_static("kvs.get"), payload, tag)
+        self.core.request(KvsMethod::Get.topic(), payload, tag)
     }
 
     /// `kvs_get_version()`.
     pub fn get_version(&mut self, tag: u64) -> Message {
-        self.core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
+        self.core.request(KvsMethod::GetVersion.topic(), Value::object(), tag)
     }
 
     /// `kvs_wait_version(v)` — replies once the store reaches version `v`.
     pub fn wait_version(&mut self, version: u64, tag: u64) -> Message {
         let payload = Value::from_pairs([("version", Value::from(version as i64))]);
-        self.core.request(Topic::from_static("kvs.wait_version"), payload, tag)
+        self.core.request(KvsMethod::WaitVersion.topic(), payload, tag)
     }
 
     /// `kvs_watch(key, callback)` — the reply streams: an initial snapshot
@@ -139,7 +140,7 @@ impl KvsClient {
     /// the id to [`KvsClient::unwatch`] bookkeeping if needed).
     pub fn watch(&mut self, key: &str, tag: u64) -> (Message, MsgId) {
         let payload = Value::from_pairs([("k", Value::from(key))]);
-        let msg = self.core.request(Topic::from_static("kvs.watch"), payload, tag);
+        let msg = self.core.request(KvsMethod::Watch.topic(), payload, tag);
         let id = msg.header.id;
         self.core.expect_stream(id);
         (msg, id)
@@ -150,12 +151,12 @@ impl KvsClient {
     pub fn unwatch(&mut self, key: &str, watch_id: MsgId, tag: u64) -> Message {
         self.core.cancel(watch_id);
         let payload = Value::from_pairs([("k", Value::from(key))]);
-        self.core.request(Topic::from_static("kvs.unwatch"), payload, tag)
+        self.core.request(KvsMethod::Unwatch.topic(), payload, tag)
     }
 
     /// KVS cache statistics from the local broker.
     pub fn stats(&mut self, tag: u64) -> Message {
-        self.core.request(Topic::from_static("kvs.stats"), Value::object(), tag)
+        self.core.request(KvsMethod::Stats.topic(), Value::object(), tag)
     }
 
     /// Classifies and decodes an incoming message.
@@ -170,14 +171,22 @@ impl KvsClient {
     }
 }
 
-/// Decodes a KVS response message into a [`KvsReply`] based on its topic.
+/// Decodes a KVS response message into a [`KvsReply`] based on its
+/// topic. The match over [`KvsMethod`] is exhaustive: adding a method to
+/// the registry forces a decoding decision here.
 pub fn decode_reply(msg: &Message) -> KvsReply {
     if msg.is_error() {
         return KvsReply::Err(msg.header.errnum);
     }
-    match msg.header.topic.method() {
-        "put" | "unlink" | "unwatch" => KvsReply::Ack,
-        "commit" | "fence" | "get_version" | "wait_version" | "push" => KvsReply::Version {
+    match KvsMethod::from_method(msg.header.topic.method()) {
+        Some(KvsMethod::Put | KvsMethod::Unlink | KvsMethod::Unwatch) => KvsReply::Ack,
+        Some(
+            KvsMethod::Commit
+            | KvsMethod::Fence
+            | KvsMethod::GetVersion
+            | KvsMethod::WaitVersion
+            | KvsMethod::Push,
+        ) => KvsReply::Version {
             version: msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0),
             root: msg
                 .payload
@@ -186,19 +195,23 @@ pub fn decode_reply(msg: &Message) -> KvsReply {
                 .unwrap_or_default()
                 .to_owned(),
         },
-        "get" => {
+        Some(KvsMethod::Get) => {
             if let Some(dir) = msg.payload.get("dir") {
                 KvsReply::Dir(dir.clone())
             } else {
                 KvsReply::Value(msg.payload.get("v").cloned().unwrap_or(Value::Null))
             }
         }
-        "watch" => KvsReply::WatchUpdate {
+        Some(KvsMethod::Watch) => KvsReply::WatchUpdate {
             key: msg.payload.get("k").and_then(Value::as_str).unwrap_or_default().to_owned(),
             value: msg.payload.get("v").cloned().unwrap_or(Value::Null),
         },
-        "stats" => KvsReply::Stats(msg.payload.clone()),
-        _ => KvsReply::Stats(msg.payload.clone()),
+        // Internal transfers carry their payload through raw.
+        Some(KvsMethod::Stats | KvsMethod::Load | KvsMethod::FenceUp) => {
+            KvsReply::Stats(msg.payload.clone())
+        }
+        // Not a declared KVS method: nothing this client could have sent.
+        None => KvsReply::Err(flux_wire::errnum::ENOSYS),
     }
 }
 
@@ -209,15 +222,16 @@ mod tests {
     #[test]
     fn builders_emit_expected_topics() {
         let mut c = KvsClient::new(Rank(3), 1);
-        assert_eq!(c.put("a.b", Value::Int(1), 0).header.topic.as_str(), "kvs.put");
-        assert_eq!(c.unlink("a.b", 0).header.topic.as_str(), "kvs.unlink");
-        assert_eq!(c.commit(0).header.topic.as_str(), "kvs.commit");
-        assert_eq!(c.fence("f", 4, 0).header.topic.as_str(), "kvs.fence");
-        assert_eq!(c.get("a.b", 0).header.topic.as_str(), "kvs.get");
-        assert_eq!(c.get_version(0).header.topic.as_str(), "kvs.get_version");
-        assert_eq!(c.wait_version(3, 0).header.topic.as_str(), "kvs.wait_version");
+        let topic_of = |m: KvsMethod| m.topic_str();
+        assert_eq!(c.put("a.b", Value::Int(1), 0).header.topic.as_str(), topic_of(KvsMethod::Put));
+        assert_eq!(c.unlink("a.b", 0).header.topic.as_str(), topic_of(KvsMethod::Unlink));
+        assert_eq!(c.commit(0).header.topic.as_str(), topic_of(KvsMethod::Commit));
+        assert_eq!(c.fence("f", 4, 0).header.topic.as_str(), topic_of(KvsMethod::Fence));
+        assert_eq!(c.get("a.b", 0).header.topic.as_str(), topic_of(KvsMethod::Get));
+        assert_eq!(c.get_version(0).header.topic.as_str(), topic_of(KvsMethod::GetVersion));
+        assert_eq!(c.wait_version(3, 0).header.topic.as_str(), topic_of(KvsMethod::WaitVersion));
         let (w, _) = c.watch("a.b", 0);
-        assert_eq!(w.header.topic.as_str(), "kvs.watch");
+        assert_eq!(w.header.topic.as_str(), topic_of(KvsMethod::Watch));
     }
 
     #[test]
@@ -268,7 +282,7 @@ mod tests {
             ));
         }
         let un = c.unwatch("k", id, 3);
-        assert_eq!(un.header.topic.as_str(), "kvs.unwatch");
+        assert_eq!(un.header.topic.as_str(), KvsMethod::Unwatch.topic_str());
         assert!(matches!(c.deliver(upd), KvsDelivery::Unmatched(_)));
     }
 }

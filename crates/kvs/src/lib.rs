@@ -34,7 +34,8 @@
 //! `watch`, `unlink`, and `dir`.
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod client;
 pub mod history;
 mod master;

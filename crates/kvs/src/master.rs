@@ -133,8 +133,9 @@ pub fn resolve(cache: &mut ObjectCache, root: ObjectId, key: &str) -> Option<Obj
         }
         cur = *next;
     }
-    // Empty component list is impossible for a validated key.
-    unreachable!("validated keys have at least one component")
+    // Empty component list is impossible for a validated key; treat it
+    // as unresolvable rather than panicking in the master's hot path.
+    None
 }
 
 #[cfg(test)]

@@ -24,8 +24,9 @@ use crate::path::validate_key;
 use crate::store::ObjectCache;
 use flux_broker::{CommsModule, ModuleCtx};
 use flux_hash::ObjectId;
+use flux_proto::{Event, KvsMethod};
 use flux_value::{Map, Value};
-use flux_wire::{errnum, Message, MsgId, Topic};
+use flux_wire::{errnum, Message, MsgId};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -299,7 +300,7 @@ impl KvsModule {
         self.commits_applied += 1;
         // apply_root handles waiter/watcher wake-up uniformly.
         self.apply_root(ctx, new_version, new_root);
-        ctx.publish(Topic::from_static("kvs.setroot"), self.setroot_payload(fences));
+        ctx.publish(Event::KvsSetroot.topic(), self.setroot_payload(fences));
     }
 
     // ----- put / commit ----------------------------------------------------
@@ -339,7 +340,7 @@ impl KvsModule {
             ("tuples", Self::tuples_to_value(&pend.tuples)),
             ("objects", Self::objects_to_value(&pend.objects)),
         ]);
-        match ctx.request_upstream(Topic::from_static("kvs.push"), payload) {
+        match ctx.request_upstream(KvsMethod::Push.topic(), payload) {
             Ok(id) => {
                 self.push_relays.insert(id, msg.clone());
             }
@@ -388,7 +389,7 @@ impl KvsModule {
         // Interior: relay upstream; the response's root is applied here
         // before unwinding, so every broker on the path is at least as new
         // as the committer.
-        match ctx.request_upstream(Topic::from_static("kvs.push"), msg.payload.clone()) {
+        match ctx.request_upstream(KvsMethod::Push.topic(), msg.payload.clone()) {
             Ok(id) => {
                 self.push_relays.insert(id, msg.clone());
             }
@@ -424,11 +425,16 @@ impl KvsModule {
         }
         if self.master {
             self.check_fence_complete(ctx, name);
-        } else if !self.fences[name].window_armed {
+        } else {
             self.next_token += 1;
-            self.fence_tokens.insert(self.next_token, name.to_owned());
-            ctx.set_timer(self.cfg.window_ns, self.next_token);
-            self.fences.get_mut(name).expect("just inserted").window_armed = true;
+            let token = self.next_token;
+            if let Some(acc) = self.fences.get_mut(name) {
+                if !acc.window_armed {
+                    acc.window_armed = true;
+                    self.fence_tokens.insert(token, name.to_owned());
+                    ctx.set_timer(self.cfg.window_ns, token);
+                }
+            }
         }
     }
 
@@ -438,7 +444,7 @@ impl KvsModule {
         if acc.nprocs == 0 || acc.count < acc.nprocs {
             return;
         }
-        let acc = self.fences.remove(name).expect("checked above");
+        let Some(acc) = self.fences.remove(name) else { return };
         self.master_apply(ctx, &acc.tuples, acc.objects, vec![name.to_owned()]);
         // Local waiters at the master complete immediately.
         for req in acc.waiters {
@@ -467,7 +473,7 @@ impl KvsModule {
             ("tuples", Self::tuples_to_value(&tuples)),
             ("objects", Self::objects_to_value(&objects)),
         ]);
-        let _ = ctx.notify_upstream(Topic::from_static("kvs.fence.up"), payload);
+        let _ = ctx.notify_upstream(KvsMethod::FenceUp.topic(), payload);
     }
 
     fn handle_fence(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
@@ -557,7 +563,7 @@ impl KvsModule {
                 self.park_walk(ctx, walk_id, cur);
                 return;
             };
-            let walk = self.walks.get_mut(&walk_id).expect("walk still present");
+            let Some(walk) = self.walks.get_mut(&walk_id) else { return };
             if walk.idx == walk.components.len() {
                 // Watch checks accept either kind: a watched directory's
                 // listing changes whenever any key under it (at any path
@@ -617,7 +623,7 @@ impl KvsModule {
 
     fn request_load(&mut self, ctx: &mut ModuleCtx<'_>, id: ObjectId) {
         let payload = Value::from_pairs([("id", Value::from(id.to_hex()))]);
-        match ctx.request_upstream(Topic::from_static("kvs.load"), payload) {
+        match ctx.request_upstream(KvsMethod::Load.topic(), payload) {
             Ok(req_id) => {
                 self.inflight_loads.insert(req_id, id);
             }
@@ -637,8 +643,7 @@ impl KvsModule {
         let Some((walks, requests)) = self.load_waiters.remove(&id) else { return };
         let available = self.cache.contains(id);
         for req in requests {
-            if available {
-                let obj = self.cache.get(id).expect("checked");
+            if let Some(obj) = self.cache.get(id) {
                 ctx.respond(
                     &req,
                     Value::from_pairs([
@@ -786,7 +791,7 @@ impl CommsModule for KvsModule {
     }
 
     fn subscriptions(&self) -> Vec<String> {
-        vec!["kvs.setroot".to_owned()]
+        vec![Event::KvsSetroot.topic_str().to_owned()]
     }
 
     fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
@@ -794,17 +799,17 @@ impl CommsModule for KvsModule {
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "put" => self.handle_put(ctx, msg, false),
-            "unlink" => self.handle_put(ctx, msg, true),
-            "commit" => self.handle_commit(ctx, msg),
-            "push" => self.handle_push(ctx, msg),
-            "fence" => self.handle_fence(ctx, msg),
-            "fence.up" => self.handle_fence_up(ctx, msg),
-            "get" => self.handle_get(ctx, msg),
-            "load" => self.handle_load(ctx, msg),
-            "get_version" => self.respond_version(ctx, msg),
-            "wait_version" => {
+        match KvsMethod::from_method(msg.header.topic.method()) {
+            Some(KvsMethod::Put) => self.handle_put(ctx, msg, false),
+            Some(KvsMethod::Unlink) => self.handle_put(ctx, msg, true),
+            Some(KvsMethod::Commit) => self.handle_commit(ctx, msg),
+            Some(KvsMethod::Push) => self.handle_push(ctx, msg),
+            Some(KvsMethod::Fence) => self.handle_fence(ctx, msg),
+            Some(KvsMethod::FenceUp) => self.handle_fence_up(ctx, msg),
+            Some(KvsMethod::Get) => self.handle_get(ctx, msg),
+            Some(KvsMethod::Load) => self.handle_load(ctx, msg),
+            Some(KvsMethod::GetVersion) => self.respond_version(ctx, msg),
+            Some(KvsMethod::WaitVersion) => {
                 let Some(v) = msg.payload.get("version").and_then(Value::as_uint) else {
                     ctx.respond_err(msg, errnum::EINVAL);
                     return;
@@ -815,9 +820,9 @@ impl CommsModule for KvsModule {
                     self.version_waiters.push((v, msg.clone()));
                 }
             }
-            "watch" => self.handle_watch(ctx, msg),
-            "unwatch" => self.handle_unwatch(ctx, msg),
-            "stats" => {
+            Some(KvsMethod::Watch) => self.handle_watch(ctx, msg),
+            Some(KvsMethod::Unwatch) => self.handle_unwatch(ctx, msg),
+            Some(KvsMethod::Stats) => {
                 let s = self.cache.stats();
                 ctx.respond(
                     msg,
@@ -832,7 +837,7 @@ impl CommsModule for KvsModule {
                     ]),
                 );
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 
@@ -869,7 +874,7 @@ impl CommsModule for KvsModule {
     }
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        if msg.header.topic.as_str() != "kvs.setroot" {
+        if msg.header.topic.as_str() != Event::KvsSetroot.topic_str() {
             return;
         }
         let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);

@@ -9,8 +9,9 @@
 //! the paper's KAP uses for phase alignment.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{BarrierMethod, Event};
 use flux_value::Value;
-use flux_wire::{errnum, Message, Topic};
+use flux_wire::{errnum, Message};
 use std::collections::HashMap;
 
 /// Per-barrier accumulation state.
@@ -99,7 +100,7 @@ impl BarrierModule {
         let acc = self.barriers.remove(name).expect("checked");
         self.completed += 1;
         ctx.publish(
-            Topic::from_static("barrier.exit"),
+            Event::BarrierExit.topic(),
             Value::from_pairs([("name", Value::from(name))]),
         );
         for req in acc.waiters {
@@ -119,7 +120,7 @@ impl BarrierModule {
             ("nprocs", Value::from(acc.nprocs as i64)),
             ("count", Value::from(count as i64)),
         ]);
-        let _ = ctx.notify_upstream(Topic::from_static("barrier.up"), payload);
+        let _ = ctx.notify_upstream(BarrierMethod::Up.topic(), payload);
     }
 }
 
@@ -135,12 +136,12 @@ impl CommsModule for BarrierModule {
     }
 
     fn subscriptions(&self) -> Vec<String> {
-        vec!["barrier.exit".to_owned()]
+        vec![Event::BarrierExit.topic_str().to_owned()]
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "enter" => {
+        match BarrierMethod::from_method(msg.header.topic.method()) {
+            Some(BarrierMethod::Enter) => {
                 let (Some(name), Some(nprocs)) = (
                     msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
                     msg.payload.get("nprocs").and_then(Value::as_uint),
@@ -154,7 +155,7 @@ impl CommsModule for BarrierModule {
                 }
                 self.contribute(ctx, &name, nprocs, 1, Some(msg.clone()));
             }
-            "up" => {
+            Some(BarrierMethod::Up) => {
                 let (Some(name), Some(nprocs), Some(count)) = (
                     msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
                     msg.payload.get("nprocs").and_then(Value::as_uint),
@@ -164,12 +165,12 @@ impl CommsModule for BarrierModule {
                 };
                 self.contribute(ctx, &name, nprocs, count, None);
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        if msg.header.topic.as_str() != "barrier.exit" {
+        if msg.header.topic.as_str() != Event::BarrierExit.topic_str() {
             return;
         }
         let Some(name) = msg.payload.get("name").and_then(Value::as_str) else { return };

@@ -7,8 +7,9 @@
 //! size with the `barrier` module (`group.info` reports the size).
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{keys, GroupMethod, KvsMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, MsgId, Topic};
+use flux_wire::{errnum, Message, MsgId};
 use std::collections::HashMap;
 
 /// What an outstanding internal KVS request was for.
@@ -42,11 +43,11 @@ impl GroupModule {
             .and_then(|h| h.as_client_hop())
             .map(|c| format!("c{c}"))
             .unwrap_or_else(|| "m".to_owned());
-        format!("groups.{name}.r{}-{client}", rank.0)
+        keys::group::member_key(name, &format!("r{}-{client}", rank.0))
     }
 
-    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, topic: &'static str, payload: Value) -> MsgId {
-        ctx.local_request(Topic::from_static(topic), payload)
+    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, method: KvsMethod, payload: Value) -> MsgId {
+        ctx.local_request(method.topic(), payload)
     }
 }
 
@@ -71,8 +72,8 @@ impl CommsModule for GroupModule {
             ctx.respond_err(msg, errnum::EINVAL);
             return;
         }
-        match msg.header.topic.method() {
-            "join" => {
+        match GroupMethod::from_method(msg.header.topic.method()) {
+            Some(GroupMethod::Join) => {
                 let key = Self::member_key(&name, msg);
                 let put = Value::from_pairs([
                     ("k", Value::from(key)),
@@ -84,26 +85,26 @@ impl CommsModule for GroupModule {
                         ]),
                     ),
                 ]);
-                let _ = self.kvs(ctx, "kvs.put", put);
-                let id = self.kvs(ctx, "kvs.commit", Value::object());
+                let _ = self.kvs(ctx, KvsMethod::Put, put);
+                let id = self.kvs(ctx, KvsMethod::Commit, Value::object());
                 self.pending.insert(id, PendingKind::Commit(msg.clone()));
             }
-            "leave" => {
+            Some(GroupMethod::Leave) => {
                 let key = Self::member_key(&name, msg);
                 let unlink = Value::from_pairs([("k", Value::from(key))]);
-                let _ = self.kvs(ctx, "kvs.unlink", unlink);
-                let id = self.kvs(ctx, "kvs.commit", Value::object());
+                let _ = self.kvs(ctx, KvsMethod::Unlink, unlink);
+                let id = self.kvs(ctx, KvsMethod::Commit, Value::object());
                 self.pending.insert(id, PendingKind::Commit(msg.clone()));
             }
-            "info" => {
+            Some(GroupMethod::Info) => {
                 let get = Value::from_pairs([
-                    ("k", Value::from(format!("groups.{name}"))),
+                    ("k", Value::from(keys::group::dir(&name))),
                     ("dir", Value::Bool(true)),
                 ]);
-                let id = self.kvs(ctx, "kvs.get", get);
+                let id = self.kvs(ctx, KvsMethod::Get, get);
                 self.pending.insert(id, PendingKind::Listing(msg.clone()));
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 

@@ -7,8 +7,9 @@
 //! expiry) to one pulse is the paper's jitter-reduction mechanism.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{Event, HbMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, Topic};
+use flux_wire::{errnum, Message};
 
 /// The heartbeat module. Only the root instance is active; instances on
 /// other ranks merely answer `hb.epoch` queries from the last event seen.
@@ -53,7 +54,7 @@ impl CommsModule for HbModule {
         }
         self.epoch += 1;
         ctx.publish(
-            Topic::from_static("hb"),
+            Event::Hb.topic(),
             Value::from_pairs([("epoch", Value::from(self.epoch as i64))]),
         );
         ctx.set_timer(ctx.config().hb_period_ns, TIMER_PULSE);
@@ -65,12 +66,12 @@ impl CommsModule for HbModule {
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "epoch" => ctx.respond(
+        match HbMethod::from_method(msg.header.topic.method()) {
+            Some(HbMethod::Epoch) => ctx.respond(
                 msg,
                 Value::from_pairs([("epoch", Value::from(self.epoch as i64))]),
             ),
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 }

@@ -18,7 +18,8 @@
 //! for one broker — what a production session loads on every node.
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod barrier;
 mod group;
 mod hb;

@@ -10,8 +10,9 @@
 //! `live.up` event (a replaced node re-joining).
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{Event, LiveMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, Rank, Topic};
+use flux_wire::{errnum, Message, Rank};
 use std::collections::HashMap;
 
 /// Per-child tracking state at a parent.
@@ -80,7 +81,7 @@ impl CommsModule for LiveModule {
         // Child side: hello to the (effective) parent.
         if !ctx.is_root() {
             let payload = Value::from_pairs([("rank", Value::from(ctx.rank().0))]);
-            let _ = ctx.notify_upstream(Topic::from_static("live.hello"), payload);
+            let _ = ctx.notify_upstream(LiveMethod::Hello.topic(), payload);
         }
         // Parent side: check for silent children.
         let miss_limit = u64::from(ctx.config().live_miss_limit);
@@ -120,15 +121,15 @@ impl CommsModule for LiveModule {
         for child in to_report {
             self.downs_reported += 1;
             ctx.publish(
-                Topic::from_static("live.down"),
+                Event::LiveDown.topic(),
                 Value::from_pairs([("rank", Value::from(child.0))]),
             );
         }
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "hello" => {
+        match LiveMethod::from_method(msg.header.topic.method()) {
+            Some(LiveMethod::Hello) => {
                 let Some(rank) = msg.payload.get("rank").and_then(Value::as_uint) else {
                     return; // one-way; malformed hellos are dropped
                 };
@@ -146,12 +147,12 @@ impl CommsModule for LiveModule {
                 if state.reported_down {
                     state.reported_down = false;
                     ctx.publish(
-                        Topic::from_static("live.up"),
+                        Event::LiveUp.topic(),
                         Value::from_pairs([("rank", Value::from(rank.0))]),
                     );
                 }
             }
-            "status" => {
+            Some(LiveMethod::Status) => {
                 // Local liveness view for tools.
                 let size = ctx.size();
                 let up: Vec<Value> = (0..size)
@@ -166,7 +167,7 @@ impl CommsModule for LiveModule {
                     ]),
                 );
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 }

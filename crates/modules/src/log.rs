@@ -10,8 +10,9 @@
 //! (rank-addressable for debugging); `log.query` returns the root log.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{Event, LogMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, MsgId, Topic};
+use flux_wire::{errnum, Message, MsgId};
 use std::collections::HashMap;
 use std::collections::VecDeque;
 
@@ -142,7 +143,7 @@ impl LogModule {
             "entries",
             Self::entries_value(entries.into_iter()),
         )]);
-        let _ = ctx.notify_upstream(Topic::from_static("log.batch"), payload);
+        let _ = ctx.notify_upstream(LogMethod::Batch.topic(), payload);
     }
 }
 
@@ -158,12 +159,12 @@ impl CommsModule for LogModule {
     }
 
     fn subscriptions(&self) -> Vec<String> {
-        vec!["log.fault".to_owned()]
+        vec![Event::LogFault.topic_str().to_owned()]
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "msg" => {
+        match LogMethod::from_method(msg.header.topic.method()) {
+            Some(LogMethod::Msg) => {
                 let level = msg.payload.get("level").and_then(Value::as_int).unwrap_or(level::INFO);
                 let Some(text) = msg.payload.get("text").and_then(Value::as_str) else {
                     ctx.respond_err(msg, errnum::EINVAL);
@@ -178,7 +179,7 @@ impl CommsModule for LogModule {
                 self.append(ctx, entry);
                 ctx.respond(msg, Value::object());
             }
-            "batch" => {
+            Some(LogMethod::Batch) => {
                 // Merged entries climbing the tree (one-way). Interior
                 // brokers re-batch; the root stores.
                 let Some(arr) = msg.payload.get("entries").and_then(Value::as_array) else {
@@ -194,7 +195,7 @@ impl CommsModule for LogModule {
                     self.batch.extend(entries);
                 }
             }
-            "dump" => {
+            Some(LogMethod::Dump) => {
                 // Local circular buffer (rank-addressable for debugging).
                 ctx.respond(
                     msg,
@@ -204,7 +205,7 @@ impl CommsModule for LogModule {
                     )]),
                 );
             }
-            "query" => {
+            Some(LogMethod::Query) => {
                 if ctx.is_root() {
                     let min_level =
                         msg.payload.get("level").and_then(Value::as_int).unwrap_or(i64::MAX);
@@ -219,8 +220,7 @@ impl CommsModule for LogModule {
                     );
                 } else {
                     // Relay to the root's instance.
-                    match ctx.request_upstream(Topic::from_static("log.query"), msg.payload.clone())
-                    {
+                    match ctx.request_upstream(LogMethod::Query.topic(), msg.payload.clone()) {
                         Ok(id) => {
                             self.query_relays.insert(id, msg.clone());
                         }
@@ -228,7 +228,7 @@ impl CommsModule for LogModule {
                     }
                 }
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 
@@ -243,7 +243,7 @@ impl CommsModule for LogModule {
     }
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        if msg.header.topic.as_str() != "log.fault" {
+        if msg.header.topic.as_str() != Event::LogFault.topic_str() {
             return;
         }
         // Fault: every broker dumps its debug ring to the root for
@@ -253,7 +253,7 @@ impl CommsModule for LogModule {
                 "entries",
                 Self::entries_value(self.ring.iter().cloned()),
             )]);
-            let _ = ctx.notify_upstream(Topic::from_static("log.batch"), payload);
+            let _ = ctx.notify_upstream(LogMethod::Batch.topic(), payload);
         }
     }
 

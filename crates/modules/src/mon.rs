@@ -9,8 +9,9 @@
 //! `mon.data.<name>.e<epoch>`.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{keys, KvsMethod, MonMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, MsgId, Topic};
+use flux_wire::{errnum, Message, MsgId};
 use std::collections::HashMap;
 
 /// A sampler specification.
@@ -93,16 +94,19 @@ impl MonModule {
         }
     }
 
-    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, topic: &'static str, payload: Value, kind: PendingKind) {
-        let id = ctx.local_request(Topic::from_static(topic), payload);
+    fn kvs(&mut self, ctx: &mut ModuleCtx<'_>, method: KvsMethod, payload: Value, kind: PendingKind) {
+        let id = ctx.local_request(method.topic(), payload);
         self.pending.insert(id, kind);
     }
 
     fn refresh_specs(&mut self, ctx: &mut ModuleCtx<'_>) {
         self.kvs(
             ctx,
-            "kvs.get",
-            Value::from_pairs([("k", Value::from("mon.samplers")), ("dir", Value::Bool(true))]),
+            KvsMethod::Get,
+            Value::from_pairs([
+                ("k", Value::from(keys::mon::SAMPLERS_DIR)),
+                ("dir", Value::Bool(true)),
+            ]),
             PendingKind::DirListing,
         );
     }
@@ -143,10 +147,7 @@ impl MonModule {
             for ((name, epoch), agg) in ready {
                 self.finalized += 1;
                 let payload = Value::from_pairs([
-                    (
-                        "k",
-                        Value::from(format!("mon.data.{name}.e{epoch}")),
-                    ),
+                    ("k", Value::from(keys::mon::data_key(&name, epoch))),
                     (
                         "v",
                         Value::from_pairs([
@@ -158,9 +159,9 @@ impl MonModule {
                         ]),
                     ),
                 ]);
-                self.kvs(ctx, "kvs.put", payload, PendingKind::Ignore);
+                self.kvs(ctx, KvsMethod::Put, payload, PendingKind::Ignore);
             }
-            self.kvs(ctx, "kvs.commit", Value::object(), PendingKind::Ignore);
+            self.kvs(ctx, KvsMethod::Commit, Value::object(), PendingKind::Ignore);
         } else {
             for ((name, epoch), agg) in ready {
                 let payload = Value::from_pairs([
@@ -171,7 +172,7 @@ impl MonModule {
                     ("max", Value::Float(agg.max)),
                     ("count", Value::from(agg.count as i64)),
                 ]);
-                let _ = ctx.notify_upstream(Topic::from_static("mon.up"), payload);
+                let _ = ctx.notify_upstream(MonMethod::Up.topic(), payload);
             }
         }
     }
@@ -189,8 +190,8 @@ impl CommsModule for MonModule {
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "add" => {
+        match MonMethod::from_method(msg.header.topic.method()) {
+            Some(MonMethod::Add) => {
                 let (Some(name), Some(metric)) = (
                     msg.payload.get("name").and_then(Value::as_str),
                     msg.payload.get("metric").and_then(Value::as_str),
@@ -204,13 +205,18 @@ impl CommsModule for MonModule {
                     ("period", Value::from(period as i64)),
                 ]);
                 let put = Value::from_pairs([
-                    ("k", Value::from(format!("mon.samplers.{name}"))),
+                    ("k", Value::from(keys::mon::sampler_key(name))),
                     ("v", spec_val),
                 ]);
-                self.kvs(ctx, "kvs.put", put, PendingKind::Ignore);
-                self.kvs(ctx, "kvs.commit", Value::object(), PendingKind::AddCommit(msg.clone()));
+                self.kvs(ctx, KvsMethod::Put, put, PendingKind::Ignore);
+                self.kvs(
+                    ctx,
+                    KvsMethod::Commit,
+                    Value::object(),
+                    PendingKind::AddCommit(msg.clone()),
+                );
             }
-            "up" => {
+            Some(MonMethod::Up) => {
                 let (Some(name), Some(epoch), Some(sum), Some(min), Some(max), Some(count)) = (
                     msg.payload.get("name").and_then(Value::as_str).map(str::to_owned),
                     msg.payload.get("epoch").and_then(Value::as_uint),
@@ -223,7 +229,7 @@ impl CommsModule for MonModule {
                 };
                 self.contribute(ctx, &name, epoch, Agg { sum, min, max, count });
             }
-            "list" => {
+            Some(MonMethod::List) => {
                 let mut specs = flux_value::Map::new();
                 for (name, spec) in &self.specs {
                     specs.insert(
@@ -236,7 +242,7 @@ impl CommsModule for MonModule {
                 }
                 ctx.respond(msg, Value::from_pairs([("samplers", Value::Object(specs))]));
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 
@@ -265,9 +271,9 @@ impl CommsModule for MonModule {
                         self.listing.insert(name.clone(), hex);
                         let get = Value::from_pairs([(
                             "k",
-                            Value::from(format!("mon.samplers.{name}")),
+                            Value::from(keys::mon::sampler_key(name)),
                         )]);
-                        self.kvs(ctx, "kvs.get", get, PendingKind::SpecFetch(name.clone()));
+                        self.kvs(ctx, KvsMethod::Get, get, PendingKind::SpecFetch(name.clone()));
                     }
                 }
             }

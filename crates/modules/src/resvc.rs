@@ -10,8 +10,9 @@
 //! (flux-core) drives this interface from its schedulers.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{keys, KvsMethod, ResvcMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, Topic};
+use flux_wire::{errnum, Message};
 use std::collections::BTreeSet;
 use std::collections::HashMap;
 
@@ -93,13 +94,13 @@ impl ResvcModule {
         let ranks_val =
             Value::Array(granted.iter().map(|&r| Value::from(r)).collect());
         let _ = ctx.local_request(
-            Topic::from_static("kvs.put"),
+            KvsMethod::Put.topic(),
             Value::from_pairs([
-                ("k", Value::from(format!("lwj.{jobid}.ranks"))),
+                ("k", Value::from(keys::lwj::ranks_key(jobid))),
                 ("v", ranks_val.clone()),
             ]),
         );
-        let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+        let _ = ctx.local_request(KvsMethod::Commit.topic(), Value::object());
         ctx.respond(
             msg,
             Value::from_pairs([
@@ -121,10 +122,10 @@ impl ResvcModule {
         };
         self.free.extend(ranks);
         let _ = ctx.local_request(
-            Topic::from_static("kvs.unlink"),
-            Value::from_pairs([("k", Value::from(format!("lwj.{jobid}.ranks")))]),
+            KvsMethod::Unlink.topic(),
+            Value::from_pairs([("k", Value::from(keys::lwj::ranks_key(jobid)))]),
         );
-        let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+        let _ = ctx.local_request(KvsMethod::Commit.topic(), Value::object());
         ctx.respond(msg, Value::object());
     }
 }
@@ -142,22 +143,22 @@ impl CommsModule for ResvcModule {
 
     fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
         // Enumerate this node's resources into the KVS.
-        let key = format!("resource.r{}", ctx.rank().0);
+        let key = keys::resvc::resource_key(ctx.rank().0);
         let inv = Value::from_pairs([
             ("cores", Value::from(self.inventory.cores)),
             ("mem_gb", Value::from(self.inventory.mem_gb)),
             ("rank", Value::from(ctx.rank().0)),
         ]);
         let _ = ctx.local_request(
-            Topic::from_static("kvs.put"),
+            KvsMethod::Put.topic(),
             Value::from_pairs([("k", Value::from(key)), ("v", inv)]),
         );
         // The enumeration lands with a collective fence across all
         // brokers, so `resource.*` is complete once the fence resolves.
         let _ = ctx.local_request(
-            Topic::from_static("kvs.fence"),
+            KvsMethod::Fence.topic(),
             Value::from_pairs([
-                ("name", Value::from("resvc.enumerate")),
+                ("name", Value::from(keys::resvc::ENUMERATE_FENCE)),
                 ("nprocs", Value::from(i64::from(ctx.size() as i32))),
             ]),
         );
@@ -167,22 +168,22 @@ impl CommsModule for ResvcModule {
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "alloc" => {
+        match ResvcMethod::from_method(msg.header.topic.method()) {
+            Some(ResvcMethod::Alloc) => {
                 if ctx.is_root() {
                     self.handle_alloc(ctx, msg);
                 } else {
                     self.relay_to_root(ctx, msg);
                 }
             }
-            "free" => {
+            Some(ResvcMethod::Free) => {
                 if ctx.is_root() {
                     self.handle_free(ctx, msg);
                 } else {
                     self.relay_to_root(ctx, msg);
                 }
             }
-            "status" => {
+            Some(ResvcMethod::Status) => {
                 if ctx.is_root() {
                     ctx.respond(
                         msg,
@@ -196,7 +197,7 @@ impl CommsModule for ResvcModule {
                     self.relay_to_root(ctx, msg);
                 }
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 

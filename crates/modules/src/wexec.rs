@@ -24,8 +24,9 @@
 //! KVS) is exactly the paper's; only the process body is synthetic.
 
 use flux_broker::{CommsModule, ModuleCtx};
+use flux_proto::{keys, Event, KvsMethod, WexecMethod};
 use flux_value::Value;
-use flux_wire::{errnum, Message, Rank, Topic};
+use flux_wire::{errnum, Message, Rank};
 use std::collections::HashMap;
 
 /// A local task's lifecycle.
@@ -121,12 +122,12 @@ impl WexecModule {
         if let Some(out) = stdout {
             // Standard I/O captured in the KVS (paper, Table I). Written
             // back lazily: the job-completion commit flushes it.
-            let key = format!("lwj.{jobid}.{}.stdout", ctx.rank().0);
+            let key = keys::lwj::stdout_key(jobid, ctx.rank().0);
             let _ = ctx.local_request(
-                Topic::from_static("kvs.put"),
+                KvsMethod::Put.topic(),
                 Value::from_pairs([("k", Value::from(key)), ("v", Value::from(out))]),
             );
-            let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+            let _ = ctx.local_request(KvsMethod::Commit.topic(), Value::object());
         }
         if runtime_ns == 0 {
             self.finish_task(ctx, token, code);
@@ -186,16 +187,16 @@ impl WexecModule {
             ("max_code", Value::Int(acc.max_code)),
         ]);
         let _ = ctx.local_request(
-            Topic::from_static("kvs.put"),
+            KvsMethod::Put.topic(),
             Value::from_pairs([
-                ("k", Value::from(format!("lwj.{jobid}.complete"))),
+                ("k", Value::from(keys::lwj::complete_key(jobid))),
                 ("v", complete.clone()),
             ]),
         );
-        let _ = ctx.local_request(Topic::from_static("kvs.commit"), Value::object());
+        let _ = ctx.local_request(KvsMethod::Commit.topic(), Value::object());
         let mut payload = complete;
         payload.insert("jobid", Value::from(jobid as i64));
-        ctx.publish(Topic::from_static("wexec.complete"), payload);
+        ctx.publish(Event::WexecComplete.topic(), payload);
     }
 }
 
@@ -211,12 +212,15 @@ impl CommsModule for WexecModule {
     }
 
     fn subscriptions(&self) -> Vec<String> {
-        vec!["wexec.run".to_owned(), "wexec.kill".to_owned()]
+        vec![
+            Event::WexecRun.topic_str().to_owned(),
+            Event::WexecKill.topic_str().to_owned(),
+        ]
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.method() {
-            "run" => {
+        match WexecMethod::from_method(msg.header.topic.method()) {
+            Some(WexecMethod::Run) => {
                 let (Some(jobid), Some(cmd), Some(targets)) = (
                     msg.payload.get("jobid").and_then(Value::as_uint),
                     msg.payload.get("cmd").and_then(Value::as_str),
@@ -236,7 +240,7 @@ impl CommsModule for WexecModule {
                 // Fan out as an event; every broker (including this one)
                 // sees it in the session total order.
                 ctx.publish(
-                    Topic::from_static("wexec.run"),
+                    Event::WexecRun.topic(),
                     Value::from_pairs([
                         ("jobid", Value::from(jobid as i64)),
                         ("cmd", Value::from(cmd)),
@@ -252,18 +256,18 @@ impl CommsModule for WexecModule {
                     ]),
                 );
             }
-            "kill" => {
+            Some(WexecMethod::Kill) => {
                 let Some(jobid) = msg.payload.get("jobid").and_then(Value::as_uint) else {
                     ctx.respond_err(msg, errnum::EINVAL);
                     return;
                 };
                 ctx.publish(
-                    Topic::from_static("wexec.kill"),
+                    Event::WexecKill.topic(),
                     Value::from_pairs([("jobid", Value::from(jobid as i64))]),
                 );
                 ctx.respond(msg, Value::object());
             }
-            "status.up" => {
+            Some(WexecMethod::StatusUp) => {
                 let (Some(jobid), Some(reported), Some(failed), Some(max_code)) = (
                     msg.payload.get("jobid").and_then(Value::as_uint),
                     msg.payload.get("reported").and_then(Value::as_uint),
@@ -274,7 +278,7 @@ impl CommsModule for WexecModule {
                 };
                 self.report_status(ctx, jobid, reported, failed, max_code);
             }
-            "ps" => {
+            Some(WexecMethod::Ps) => {
                 let running: Vec<Value> = self
                     .tasks
                     .values()
@@ -288,13 +292,13 @@ impl CommsModule for WexecModule {
                     .collect();
                 ctx.respond(msg, Value::from_pairs([("tasks", Value::Array(running))]));
             }
-            _ => ctx.respond_err(msg, errnum::ENOSYS),
+            None => ctx.respond_err(msg, errnum::ENOSYS),
         }
     }
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        match msg.header.topic.as_str() {
-            "wexec.run" => {
+        match Event::from_topic_str(msg.header.topic.as_str()) {
+            Some(Event::WexecRun) => {
                 let (Some(jobid), Some(cmd), Some(targets)) = (
                     msg.payload.get("jobid").and_then(Value::as_uint),
                     msg.payload.get("cmd").and_then(Value::as_str).map(str::to_owned),
@@ -315,7 +319,7 @@ impl CommsModule for WexecModule {
                     self.check_job_complete(ctx, jobid);
                 }
             }
-            "wexec.kill" => {
+            Some(Event::WexecKill) => {
                 let Some(jobid) = msg.payload.get("jobid").and_then(Value::as_uint) else {
                     return;
                 };
@@ -346,7 +350,7 @@ impl CommsModule for WexecModule {
                 ("failed", Value::from(failed as i64)),
                 ("max_code", Value::Int(max_code)),
             ]);
-            let _ = ctx.notify_upstream(Topic::from_static("wexec.status.up"), payload);
+            let _ = ctx.notify_upstream(WexecMethod::StatusUp.topic(), payload);
         }
     }
 

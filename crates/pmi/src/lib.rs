@@ -20,7 +20,8 @@
 //! read your peers' cards.
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 use flux_broker::ClientId;
 use flux_kvs::client::{KvsClient, KvsDelivery, KvsReply};
 use flux_value::Value;

@@ -96,6 +96,9 @@ pub fn workload(seed: u64, time_scale_ns: u64, with_kill: bool) -> ChaosWorkload
     };
     let mut window_end_ns = 0u64;
     if with_kill {
+        // flux-lint: allow(panic) — test-harness scenario generator; the
+        // caller guarantees size > nclients, and a bad plan should fail
+        // the chaos suite loudly.
         let victim = *ranks[nclients..]
             .iter()
             .min()

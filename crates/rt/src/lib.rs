@@ -33,7 +33,8 @@
 //! runtimes apply the same plan per broker host, so one seeded fault
 //! schedule drives chaos tests on every backend (see [`chaos`]).
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 pub mod chaos;
 pub mod faults;
 pub(crate) mod live;

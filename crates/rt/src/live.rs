@@ -233,7 +233,7 @@ impl<P: PeerSender> BrokerHost<P> {
                 if d.at > Instant::now() {
                     break;
                 }
-                let d = self.delayed.pop().expect("peeked");
+                let Some(d) = self.delayed.pop() else { break };
                 self.peers.send_to(d.to, d.msg);
             }
             // Sleep until traffic, the next timer, or the next release.

@@ -10,6 +10,7 @@ use crate::sim::SimSession;
 use flux_broker::client::{ClientCore, Delivery};
 use flux_sim::{Actor, ActorId, Ctx, SimDuration, SimTime};
 use flux_value::Value;
+use flux_proto::{BarrierMethod, KvsMethod};
 use flux_wire::{Message, Rank, Topic};
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -70,13 +71,13 @@ impl Op {
     pub fn to_request(&self, core: &mut ClientCore, tag: u64) -> Message {
         match self {
             Op::Put { key, val } => core.request(
-                Topic::from_static("kvs.put"),
+                KvsMethod::Put.topic(),
                 Value::from_pairs([("k", Value::from(key.as_str())), ("v", val.clone())]),
                 tag,
             ),
-            Op::Commit => core.request(Topic::from_static("kvs.commit"), Value::object(), tag),
+            Op::Commit => core.request(KvsMethod::Commit.topic(), Value::object(), tag),
             Op::Fence { name, nprocs } => core.request(
-                Topic::from_static("kvs.fence"),
+                KvsMethod::Fence.topic(),
                 Value::from_pairs([
                     ("name", Value::from(name.as_str())),
                     ("nprocs", Value::from(*nprocs as i64)),
@@ -84,20 +85,20 @@ impl Op {
                 tag,
             ),
             Op::Get { key } => core.request(
-                Topic::from_static("kvs.get"),
+                KvsMethod::Get.topic(),
                 Value::from_pairs([("k", Value::from(key.as_str()))]),
                 tag,
             ),
             Op::GetVersion => {
-                core.request(Topic::from_static("kvs.get_version"), Value::object(), tag)
+                core.request(KvsMethod::GetVersion.topic(), Value::object(), tag)
             }
             Op::WaitVersion(v) => core.request(
-                Topic::from_static("kvs.wait_version"),
+                KvsMethod::WaitVersion.topic(),
                 Value::from_pairs([("version", Value::from(*v as i64))]),
                 tag,
             ),
             Op::Barrier { name, nprocs } => core.request(
-                Topic::from_static("barrier.enter"),
+                BarrierMethod::Enter.topic(),
                 Value::from_pairs([
                     ("name", Value::from(name.as_str())),
                     ("nprocs", Value::from(*nprocs as i64)),
@@ -105,6 +106,9 @@ impl Op {
                 tag,
             ),
             Op::Request { topic, payload } => core.request(topic.clone(), payload.clone(), tag),
+            // flux-lint: allow(panic) — an API misuse by the script
+            // driver (both drivers special-case Pause before calling
+            // here), not a runtime input.
             Op::Pause(_) => panic!("Op::Pause has no wire request; script drivers handle it"),
         }
     }

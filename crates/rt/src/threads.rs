@@ -110,6 +110,8 @@ impl ThreadSessionBuilder {
                     self.configs[idx].clone(),
                     std::mem::take(&mut self.modules[idx]),
                 ),
+                // flux-lint: allow(panic) — each receiver is taken exactly
+                // once here; a second take is a builder bug.
                 rx: rx.take().expect("receiver present"),
                 peers: ChannelPeers { rank: Rank::from(idx), peers: self.senders.clone() },
                 clients: std::mem::take(&mut self.clients[idx]),
@@ -123,6 +125,9 @@ impl ThreadSessionBuilder {
                 std::thread::Builder::new()
                     .name(format!("flux-broker-{idx}"))
                     .spawn(move || host.run())
+                    // flux-lint: allow(panic) — setup-time thread spawn;
+                    // a session that cannot start has nothing to degrade
+                    // to.
                     .expect("spawn broker thread"),
             );
         }

@@ -425,9 +425,14 @@ impl<T: Transport + ?Sized> ScriptTransport for T {
                 std::thread::Builder::new()
                     .name(format!("flux-script-{}", client.rank.0))
                     .spawn(move || drive_script(&client, &ops, epoch, op_timeout))
+                    // flux-lint: allow(panic) — benchmark-harness setup;
+                    // failing to spawn a driver invalidates the run.
                     .expect("spawn script driver")
             })
             .collect();
+        // flux-lint: allow(panic) — propagating a driver thread's panic
+        // into the harness is the point: a crashed script must fail the
+        // benchmark run, not produce a partial report.
         let outcomes: Vec<ScriptOutcome> =
             drivers.into_iter().map(|d| d.join().expect("script driver panicked")).collect();
         let makespan_ns = epoch.elapsed().as_nanos() as u64;

@@ -7,6 +7,9 @@
 //! prints a `name  time: [median]  (min .. max)` line per benchmark.
 //! No statistics engine, no HTML reports.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

@@ -9,6 +9,9 @@
 //! Test sources are unchanged; swapping the real crate back in is a
 //! one-line Cargo.toml change.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub mod regex;
 pub mod rng;
 pub mod strategy;

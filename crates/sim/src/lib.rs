@@ -71,7 +71,8 @@
 //! ```
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod actor;
 mod engine;
 mod net;

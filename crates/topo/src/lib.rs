@@ -30,7 +30,8 @@
 //! ```
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod live;
 mod ring;
 mod tree;

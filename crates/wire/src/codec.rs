@@ -172,8 +172,8 @@ impl<'a> Cur<'a> {
     }
 
     fn u32(&mut self) -> Result<u32, WireError> {
-        let raw: [u8; 4] = self.take(4)?.try_into().expect("len checked");
-        Ok(u32::from_le_bytes(raw))
+        let raw = self.take(4)?;
+        Ok(u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]))
     }
 
     fn varint(&mut self) -> Result<u64, WireError> {
@@ -191,7 +191,7 @@ mod tests {
 
     fn sample() -> Message {
         let mut m = Message::request(
-            Topic::new("kvs.commit").unwrap(),
+            Topic::new("svc.commit").unwrap(),
             MsgId { origin: Rank(7), seq: 123456 },
             Rank(7),
             Value::from_pairs([("root", Value::from("abc")), ("n", Value::Int(3))]),

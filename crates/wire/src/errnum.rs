@@ -47,6 +47,8 @@ pub fn strerror(errnum: u32) -> &'static str {
         ETIMEDOUT => "operation timed out",
         EHOSTDOWN => "host is down",
         ESTALE => "stale version",
+        // flux-lint: allow(wildcard) — errnums are an open u32 domain;
+        // unknown codes get a generic string, never silent behavior.
         _ => "unknown error",
     }
 }

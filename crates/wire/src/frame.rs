@@ -86,7 +86,7 @@ mod tests {
 
     fn sample(seq: u64) -> Message {
         Message::request(
-            Topic::new("kvs.put").unwrap(),
+            Topic::new("svc.put").unwrap(),
             MsgId { origin: Rank(1), seq },
             Rank(1),
             Value::from_pairs([("k", Value::from("a.b")), ("v", Value::Int(seq as i64))]),

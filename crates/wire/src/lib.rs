@@ -30,7 +30,7 @@
 //! use flux_value::Value;
 //!
 //! let req = Message::request(
-//!     Topic::new("kvs.put").unwrap(),
+//!     Topic::new("store.put").unwrap(),
 //!     MsgId { origin: Rank(3), seq: 1 },
 //!     Rank(3),
 //!     Value::from_pairs([("key", Value::from("a.b.c")), ("val", Value::Int(42))]),
@@ -39,11 +39,12 @@
 //! let (back, used) = Message::decode(&bytes).unwrap();
 //! assert_eq!(used, bytes.len());
 //! assert_eq!(back, req);
-//! assert_eq!(back.header.topic.service(), "kvs");
+//! assert_eq!(back.header.topic.service(), "store");
 //! ```
 
 
-#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 mod codec;
 pub mod errnum;
 pub mod frame;

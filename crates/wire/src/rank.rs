@@ -72,6 +72,8 @@ impl From<usize> for Rank {
     /// # Panics
     /// Panics if `v` exceeds `u32::MAX` — sessions are bounded well below that.
     fn from(v: usize) -> Self {
+        // flux-lint: allow(panic) — documented contract; ranks index
+        // in-process session vectors whose sizes never approach u32::MAX.
         Rank(u32::try_from(v).expect("rank fits in u32"))
     }
 }

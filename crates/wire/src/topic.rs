@@ -69,6 +69,9 @@ impl Topic {
     /// # Panics
     /// Panics if the literal is not a valid topic.
     pub fn from_static(s: &'static str) -> Topic {
+        // flux-lint: allow(panic) — documented contract for compile-time
+        // literals; the flux-proto registry is the only production caller
+        // and its literals are exercised by its own round-trip tests.
         Topic::new(s).unwrap_or_else(|e| panic!("invalid static topic {s:?}: {e}"))
     }
 
@@ -79,7 +82,9 @@ impl Topic {
 
     /// The first component: the comms module this message is addressed to.
     pub fn service(&self) -> &str {
-        self.0.split('.').next().expect("validated topic is non-empty")
+        // split() always yields at least one item, so this never falls
+        // back — but the fallback beats a panic path in the hot decoder.
+        self.0.split('.').next().unwrap_or("")
     }
 
     /// Everything after the service, or `""` for a bare service topic.
@@ -128,7 +133,7 @@ mod tests {
 
     #[test]
     fn valid_topics() {
-        for t in ["kvs", "kvs.put", "event.hb", "wexec.run.0", "a-b_c.d2"] {
+        for t in ["svc", "svc.put", "event.tick", "xexec.run.0", "a-b_c.d2"] {
             assert!(Topic::new(t).is_ok(), "{t}");
         }
     }
@@ -136,35 +141,35 @@ mod tests {
     #[test]
     fn invalid_topics() {
         assert_eq!(Topic::new(""), Err(TopicError::Empty));
-        assert_eq!(Topic::new(".kvs"), Err(TopicError::EmptyComponent));
-        assert_eq!(Topic::new("kvs."), Err(TopicError::EmptyComponent));
+        assert_eq!(Topic::new(".svc"), Err(TopicError::EmptyComponent));
+        assert_eq!(Topic::new("svc."), Err(TopicError::EmptyComponent));
         assert_eq!(Topic::new("a..b"), Err(TopicError::EmptyComponent));
-        assert_eq!(Topic::new("KVS.put"), Err(TopicError::BadChar('K')));
-        assert_eq!(Topic::new("kvs put"), Err(TopicError::BadChar(' ')));
+        assert_eq!(Topic::new("SVC.put"), Err(TopicError::BadChar('S')));
+        assert_eq!(Topic::new("svc put"), Err(TopicError::BadChar(' ')));
         assert!(matches!(Topic::new("x".repeat(300)), Err(TopicError::TooLong(300))));
     }
 
     #[test]
     fn service_and_method() {
-        let t = Topic::new("kvs.commit.flush").unwrap();
-        assert_eq!(t.service(), "kvs");
+        let t = Topic::new("svc.commit.flush").unwrap();
+        assert_eq!(t.service(), "svc");
         assert_eq!(t.method(), "commit.flush");
-        let bare = Topic::new("kvs").unwrap();
-        assert_eq!(bare.service(), "kvs");
+        let bare = Topic::new("svc").unwrap();
+        assert_eq!(bare.service(), "svc");
         assert_eq!(bare.method(), "");
     }
 
     #[test]
     fn prefix_matching_respects_boundaries() {
-        let t = Topic::new("kvs.put").unwrap();
+        let t = Topic::new("svc.put").unwrap();
         assert!(t.matches_prefix(""));
-        assert!(t.matches_prefix("kvs"));
-        assert!(t.matches_prefix("kvs.put"));
-        assert!(!t.matches_prefix("kvs.p"));
-        assert!(!t.matches_prefix("kv"));
-        assert!(!t.matches_prefix("kvs.put.x"));
-        let t2 = Topic::new("kvstore.put").unwrap();
-        assert!(!t2.matches_prefix("kvs"));
+        assert!(t.matches_prefix("svc"));
+        assert!(t.matches_prefix("svc.put"));
+        assert!(!t.matches_prefix("svc.p"));
+        assert!(!t.matches_prefix("sv"));
+        assert!(!t.matches_prefix("svc.put.x"));
+        let t2 = Topic::new("svcstore.put").unwrap();
+        assert!(!t2.matches_prefix("svc"));
     }
 
     #[test]
