@@ -53,7 +53,7 @@ fn run_with_depth(max_depth: u32) -> Duration {
             )
         })
         .collect();
-    let end = session.run_until_quiet();
+    let end = session.run_until_quiet(None).expect("unbounded");
     for (g, o) in outcomes.iter().enumerate() {
         let o = o.borrow();
         assert!(o.finished && o.op_err.iter().all(|&e| e == 0), "proc {g}: {:?}", o.op_err);

@@ -35,7 +35,7 @@ fn wireup_time(size: u32, arity: u32) -> Duration {
             )
         })
         .collect();
-    let end = session.run_until_quiet();
+    let end = session.run_until_quiet(None).expect("unbounded");
     for o in &outcomes {
         assert!(o.borrow().finished);
     }

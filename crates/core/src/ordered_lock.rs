@@ -1,0 +1,174 @@
+//! Runtime lock-ordering enforcement, the dynamic half of the
+//! deadlock-freedom story.
+//!
+//! The static half is flux-lint's cross-crate lock-order graph (DESIGN
+//! §13): every `Mutex` acquisition site is collected at lint time and
+//! the acquisition graph must be acyclic. That analysis sees names, not
+//! executions, so this module adds the complementary runtime check: an
+//! [`OrderedMutex`] carries a numeric *level*, every thread tracks the
+//! stack of levels it currently holds, and (in debug builds) acquiring
+//! a lock at or below the level of one already held panics immediately
+//! — turning a would-be deadlock into a deterministic test failure at
+//! the exact inversion site. Release builds skip the bookkeeping
+//! entirely apart from the thread-local stack push/pop.
+//!
+//! Levels are assigned per lock at construction; unrelated subsystems
+//! should space their levels out (gaps of 100) so new locks can slot in
+//! between without renumbering.
+
+use std::cell::RefCell;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+thread_local! {
+    /// Stack of `(level, name)` for locks the current thread holds.
+    static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A [`Mutex`] with a name and an ordering level.
+///
+/// Locks must be acquired in strictly increasing level order within a
+/// thread. Poisoning is absorbed (the protected data's invariants are
+/// the caller's concern; a panicked writer does not make the data
+/// unreachable), so [`lock`](OrderedMutex::lock) never returns an
+/// error.
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    name: &'static str,
+    level: u32,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// Wraps `value` in a mutex at `level` named `name` (used only in
+    /// inversion diagnostics).
+    pub fn new(name: &'static str, level: u32, value: T) -> OrderedMutex<T> {
+        OrderedMutex { name, level, inner: Mutex::new(value) }
+    }
+
+    /// The lock's ordering level.
+    pub fn level(&self) -> u32 {
+        self.level
+    }
+
+    /// The lock's diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Acquires the lock, enforcing level order in debug builds.
+    ///
+    /// # Panics
+    ///
+    /// In debug builds, if the calling thread already holds a lock at a
+    /// level greater than or equal to this one — that order, executed
+    /// concurrently with the reverse order, is a deadlock.
+    pub fn lock(&self) -> OrderedGuard<'_, T> {
+        #[cfg(debug_assertions)]
+        HELD.with(|held| {
+            if let Some(&(top_level, top_name)) = held.borrow().last() {
+                assert!(
+                    self.level > top_level,
+                    "lock-order inversion: acquiring `{}` (level {}) while holding `{}` \
+                     (level {}); levels must strictly increase",
+                    self.name,
+                    self.level,
+                    top_name,
+                    top_level,
+                );
+            }
+        });
+        let guard = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        HELD.with(|held| held.borrow_mut().push((self.level, self.name)));
+        OrderedGuard { guard: Some(guard) }
+    }
+}
+
+/// Guard returned by [`OrderedMutex::lock`]; pops the thread's held
+/// stack on drop.
+#[derive(Debug)]
+pub struct OrderedGuard<'a, T> {
+    guard: Option<MutexGuard<'a, T>>,
+}
+
+impl<T> std::ops::Deref for OrderedGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for OrderedGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release the OS lock before editing the thread-local so a
+        // (hypothetical) panic in the bookkeeping can't hold the mutex.
+        drop(self.guard.take());
+        HELD.with(|held| {
+            held.borrow_mut().pop();
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn increasing_order_is_fine() {
+        let a = OrderedMutex::new("a", 100, 1u32);
+        let b = OrderedMutex::new("b", 200, 2u32);
+        let ga = a.lock();
+        let gb = b.lock();
+        assert_eq!(*ga + *gb, 3);
+    }
+
+    #[test]
+    fn release_resets_the_stack() {
+        let a = OrderedMutex::new("a", 100, ());
+        let b = OrderedMutex::new("b", 200, ());
+        {
+            let _gb = b.lock();
+        }
+        // b was released, so taking a (lower level) afterwards is fine.
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order inversion"))]
+    fn inversion_panics_in_debug() {
+        let a = OrderedMutex::new("a", 100, ());
+        let b = OrderedMutex::new("b", 200, ());
+        let _gb = b.lock();
+        let _ga = a.lock(); // 100 <= 200: inversion
+        // In release builds the check compiles out and this test only
+        // asserts that both locks can be taken.
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order inversion"))]
+    fn same_level_is_an_inversion() {
+        let a = OrderedMutex::new("a", 100, ());
+        let b = OrderedMutex::new("b", 100, ());
+        let _ga = a.lock();
+        let _gb = b.lock();
+    }
+
+    #[test]
+    fn poisoning_is_absorbed() {
+        let m = std::sync::Arc::new(OrderedMutex::new("p", 100, 7u32));
+        let m2 = m.clone();
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*m.lock(), 7, "data stays reachable after a poisoning panic");
+    }
+}

@@ -1,0 +1,308 @@
+//! AST-lite scaffolding shared by the semantic lints: function
+//! extraction, brace matching, and statement splitting over blanked
+//! source text (see [`crate::token::blank`]).
+//!
+//! This is deliberately not a full parser. Blanked text has no brace or
+//! paren noise from strings and comments, so delimiter matching is
+//! exact; statement structure is recovered with a small set of rules
+//! that cover the workspace's (rustfmt-shaped) code. The semantic lints
+//! built on top are tuned to fail toward *false negatives*, never false
+//! positives: anything the scaffolding cannot classify is treated as
+//! plain text.
+
+/// One function found in a file.
+pub(crate) struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// Signature text (everything from `fn` to the body's `{`).
+    pub sig: String,
+    /// Byte span of the body *interior* (between the braces).
+    pub body: (usize, usize),
+}
+
+/// Returns the position just past the delimiter matching the opener at
+/// `open` (any of `(`/`[`/`{`), or `None` if unbalanced. Operates on
+/// blanked text, so every delimiter is structural.
+pub(crate) fn match_delim(bytes: &[u8], open: usize) -> Option<usize> {
+    let (o, c) = match bytes[open] {
+        b'(' => (b'(', b')'),
+        b'[' => (b'[', b']'),
+        b'{' => (b'{', b'}'),
+        _ => return None,
+    };
+    let mut depth = 0usize;
+    for (k, &b) in bytes.iter().enumerate().skip(open) {
+        if b == o {
+            depth += 1;
+        } else if b == c {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k + 1);
+            }
+        }
+    }
+    None
+}
+
+/// True if `text[idx..]` starts a word-boundary occurrence of `word`.
+fn word_at(bytes: &[u8], idx: usize, word: &str) -> bool {
+    if !bytes[idx..].starts_with(word.as_bytes()) {
+        return false;
+    }
+    let before_ok = idx == 0 || !(bytes[idx - 1].is_ascii_alphanumeric() || bytes[idx - 1] == b'_');
+    let after = idx + word.len();
+    let after_ok =
+        after >= bytes.len() || !(bytes[after].is_ascii_alphanumeric() || bytes[after] == b'_');
+    before_ok && after_ok
+}
+
+/// Byte offset of the first word-boundary occurrence of `word`.
+pub(crate) fn find_word(text: &str, word: &str) -> Option<usize> {
+    let bytes = text.as_bytes();
+    (0..bytes.len().saturating_sub(word.len() - 1)).find(|&i| word_at(bytes, i, word))
+}
+
+/// Extracts every `fn` with a body from blanked source text. Trait
+/// method declarations (ending in `;`) are skipped.
+pub(crate) fn extract_fns(blanked: &str) -> Vec<FnDef> {
+    let bytes = blanked.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 3 < bytes.len() {
+        if !word_at(bytes, i, "fn") {
+            i += 1;
+            continue;
+        }
+        // Name runs from after `fn ` to the `(` or `<` of the signature.
+        let name_start = i + 3;
+        let Some(rel) = blanked[name_start..].find(['(', '<']) else { break };
+        let name = blanked[name_start..name_start + rel].trim().to_owned();
+        if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+            i += 2;
+            continue;
+        }
+        // The body `{` is the first top-level brace after the signature;
+        // a `;` first means a bodiless declaration.
+        let mut j = name_start + rel;
+        let mut body = None;
+        while j < bytes.len() {
+            match bytes[j] {
+                b'(' | b'[' => match match_delim(bytes, j) {
+                    Some(end) => j = end,
+                    None => break,
+                },
+                b'<' | b'>' | b'-' => j += 1, // generics / return arrow
+                b';' => break,
+                b'{' => {
+                    if let Some(end) = match_delim(bytes, j) {
+                        body = Some((j + 1, end - 1));
+                    }
+                    break;
+                }
+                _ => j += 1,
+            }
+        }
+        if let Some(body) = body {
+            out.push(FnDef { name, sig: blanked[i..body.0 - 1].to_owned(), body });
+            i = body.0;
+        } else {
+            i = j.max(i + 2);
+        }
+    }
+    out
+}
+
+/// One statement inside a block: interleaved text segments and brace
+/// blocks (`segs[0] block[0] segs[1] block[1] … segs[n]`).
+pub(crate) struct Stmt {
+    /// Text segments outside the statement's top-level blocks.
+    pub segs: Vec<String>,
+    /// Byte spans (interiors) of the statement's top-level blocks.
+    pub blocks: Vec<(usize, usize)>,
+    /// Byte span of the whole statement.
+    pub full: (usize, usize),
+}
+
+impl Stmt {
+    /// The statement's leading text, trimmed.
+    pub fn head(&self) -> &str {
+        self.segs.first().map(|s| s.trim_start()).unwrap_or("")
+    }
+}
+
+/// Keywords that make a brace block end a statement when it appears in
+/// statement position (`if … { }`, `match … { }`, …).
+const CONTROL: &[&str] = &["if", "match", "for", "while", "loop", "unsafe", "else"];
+
+/// Splits a block interior into statements. Braces nested inside parens
+/// or brackets (closure bodies in call arguments, array literals) are
+/// treated as text, not structure.
+pub(crate) fn split_stmts(blanked: &str, span: (usize, usize)) -> Vec<Stmt> {
+    let bytes = blanked.as_bytes();
+    let mut out: Vec<Stmt> = Vec::new();
+    let mut i = span.0;
+    let mut stmt_start = span.0;
+    let mut segs: Vec<String> = Vec::new();
+    let mut blocks: Vec<(usize, usize)> = Vec::new();
+    let mut seg_start = span.0;
+
+    let flush = |out: &mut Vec<Stmt>,
+                 segs: &mut Vec<String>,
+                 blocks: &mut Vec<(usize, usize)>,
+                 stmt_start: &mut usize,
+                 seg_start: &mut usize,
+                 end: usize| {
+        let mut segs = std::mem::take(segs);
+        segs.push(blanked[*seg_start..end].to_owned());
+        let blocks = std::mem::take(blocks);
+        if !segs.iter().all(|s| s.trim().is_empty()) || !blocks.is_empty() {
+            out.push(Stmt { segs, blocks, full: (*stmt_start, end) });
+        }
+        *stmt_start = end;
+        *seg_start = end;
+    };
+
+    while i < span.1 {
+        match bytes[i] {
+            b'(' | b'[' => {
+                // Opaque group: skip it whole (braces inside are text).
+                i = match match_delim(bytes, i) {
+                    Some(end) => end,
+                    None => span.1,
+                };
+            }
+            b';' => {
+                i += 1;
+                flush(&mut out, &mut segs, &mut blocks, &mut stmt_start, &mut seg_start, i);
+            }
+            b'{' => {
+                segs.push(blanked[seg_start..i].to_owned());
+                let end = match match_delim(bytes, i) {
+                    Some(end) => end,
+                    None => span.1,
+                };
+                blocks.push((i + 1, end.saturating_sub(1)));
+                i = end;
+                seg_start = i;
+                // Does this block end the statement? Only in statement
+                // position (head starts with a control keyword or the
+                // statement is a bare/label block) and when no `else`
+                // continues it.
+                let head = segs[0].trim_start();
+                let control = head.is_empty()
+                    || CONTROL.iter().any(|k| {
+                        head.starts_with(k)
+                            && head[k.len()..].chars().next().is_none_or(|c| !c.is_alphanumeric())
+                    });
+                let mut k = i;
+                while k < span.1 && (bytes[k] as char).is_whitespace() {
+                    k += 1;
+                }
+                let else_follows = k + 4 <= span.1 && word_at(bytes, k, "else");
+                if control && !else_follows {
+                    flush(&mut out, &mut segs, &mut blocks, &mut stmt_start, &mut seg_start, i);
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    if stmt_start < span.1 {
+        flush(&mut out, &mut segs, &mut blocks, &mut stmt_start, &mut seg_start, span.1);
+    }
+    out
+}
+
+/// Blanks `#[cfg(test)]` regions out of already-blanked text (line
+/// structure preserved). The semantic lints skip test code: tests may
+/// deliberately construct lock inversions or reply-less dispatches to
+/// assert on them.
+pub(crate) fn strip_test_regions(blanked: &str) -> String {
+    let mut out = String::with_capacity(blanked.len());
+    let mut in_test = false;
+    let mut depth: i32 = 0;
+    let mut entered = false;
+    for line in blanked.split_inclusive('\n') {
+        if !in_test && line.contains("#[cfg(test)]") {
+            in_test = true;
+            depth = 0;
+            entered = false;
+        }
+        if !in_test {
+            out.push_str(line);
+            continue;
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    entered = true;
+                }
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        for c in line.chars() {
+            out.push(if c == '\n' { '\n' } else { ' ' });
+        }
+        if entered && depth <= 0 {
+            in_test = false; // region closed on this line
+        } else if !entered && line.trim_end().ends_with(';') {
+            in_test = false; // `#[cfg(test)] mod x;` — out-of-line module
+        }
+    }
+    out
+}
+
+/// 1-based line number of byte offset `idx`.
+pub(crate) fn line_of(text: &str, idx: usize) -> usize {
+    text.as_bytes()[..idx.min(text.len())].iter().filter(|&&b| b == b'\n').count() + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extracts_fns_and_bodies() {
+        let src = "impl Foo {\n    fn one(&self) -> u32 {\n        1\n    }\n    fn two(&self, x: Vec<u8>) {\n        if x.is_empty() {\n            return;\n        }\n    }\n    fn decl_only(&self);\n}\n";
+        let fns = extract_fns(src);
+        let names: Vec<&str> = fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["one", "two"]);
+        assert!(src[fns[1].body.0..fns[1].body.1].contains("is_empty"));
+    }
+
+    #[test]
+    fn splits_statements_with_blocks() {
+        let src = "{ let a = 1; if a > 0 { b(); } else { c(); } match a { 1 => {} _ => {} } d(); }";
+        let stmts = split_stmts(src, (1, src.len() - 1));
+        assert_eq!(stmts.len(), 4, "{:?}", stmts.iter().map(|s| s.head()).collect::<Vec<_>>());
+        assert!(stmts[1].head().starts_with("if"));
+        assert_eq!(stmts[1].blocks.len(), 2);
+        assert!(stmts[2].head().starts_with("match"));
+        assert!(stmts[3].head().starts_with("d()"));
+    }
+
+    #[test]
+    fn closure_braces_in_call_args_are_opaque() {
+        let src = "{ spawn(move || { inner(); }); after(); }";
+        let stmts = split_stmts(src, (1, src.len() - 1));
+        assert_eq!(stmts.len(), 2);
+        assert!(stmts[0].blocks.is_empty(), "closure body leaked as a block");
+    }
+
+    #[test]
+    fn let_with_tail_match_waits_for_semicolon() {
+        let src = "{ let x = match y { A => 1, B => 2 }; z(); }";
+        let stmts = split_stmts(src, (1, src.len() - 1));
+        assert_eq!(stmts.len(), 2);
+        assert_eq!(stmts[0].blocks.len(), 1);
+        assert!(stmts[0].head().starts_with("let x"));
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert_eq!(find_word("x; return;", "return"), Some(3));
+        assert_eq!(find_word("returns;", "return"), None);
+        assert_eq!(find_word("my_return", "return"), None);
+    }
+}

@@ -15,15 +15,29 @@
 //!    justified by `// flux-lint: allow(wildcard)`.
 //! 4. **header** — every crate root carries `#![forbid(unsafe_code)]`,
 //!    and every library root additionally `#![deny(missing_docs)]`.
+//! 5. **lock-order** — the cross-crate lock acquisition graph (built
+//!    from `.lock()`/`.read()`/`.write()` sites, propagated through the
+//!    call graph) must be acyclic. See [`DESIGN.md §13`] and
+//!    the [`lockorder`] module docs.
+//! 6. **reply** — every request/response arm of a module dispatch match
+//!    must respond (or park the request) on all paths. See the
+//!    [`reply`] module docs.
+//! 7. **allowlist** — the legacy allowlist must stay empty: the
+//!    burn-down is complete, and any new entry is itself a violation.
 //!
-//! A small allowlist (`crates/flux-lint/allowlist.txt`) can tolerate
-//! legacy violations per (rule, file); an entry that no longer matches
-//! anything is itself reported as a violation, so the list can only
-//! shrink. The linter has no dependencies outside the workspace and
-//! never touches the network.
+//! Rules 1–4 are line rules over *blanked* text (string/char/comment
+//! contents replaced with spaces by [`token::blank`], so a `panic!(`
+//! in an error message can't fire the panic rule). Rules 5–6 are
+//! semantic passes over an AST-lite statement model. The linter has no
+//! dependencies outside the workspace and never touches the network.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+
+mod analysis;
+mod lockorder;
+mod reply;
+pub mod token;
 
 use std::fmt;
 use std::path::{Path, PathBuf};
@@ -41,6 +55,12 @@ pub enum Rule {
     Header,
     /// An allowlist entry that no longer suppresses anything.
     StaleAllow,
+    /// A cycle in the cross-crate lock acquisition graph.
+    LockOrder,
+    /// A request/response dispatch arm that can finish without a reply.
+    ReplyObligation,
+    /// Any entry at all in the (now permanently empty) allowlist.
+    AllowlistEntry,
 }
 
 impl Rule {
@@ -52,6 +72,9 @@ impl Rule {
             Rule::Wildcard => "wildcard",
             Rule::Header => "header",
             Rule::StaleAllow => "stale-allow",
+            Rule::LockOrder => "lock-order",
+            Rule::ReplyObligation => "reply",
+            Rule::AllowlistEntry => "allowlist",
         }
     }
 }
@@ -178,7 +201,8 @@ impl ScanState {
 
 /// Lints one file's content as if it lived at workspace-relative path
 /// `rel`. This is the pure core `lint_tree` applies to every source
-/// file; tests feed it fixture content directly.
+/// file; tests feed it fixture content directly. Covers all rules
+/// except the (inherently cross-file) lock-order analysis.
 pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let services: Vec<&str> = flux_proto::Service::ALL.iter().map(|s| s.name()).collect();
@@ -188,8 +212,11 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
     let wildcard_scope =
         NO_WILDCARD.iter().any(|p| rel.starts_with(p)) && !rel.ends_with("proptests.rs");
 
+    // Token rules run over blanked text (strings and comments can't
+    // fire them); waivers and topic literals are read from raw lines.
+    let blanked = token::blank(content);
     let mut st = ScanState::new();
-    for (idx, line) in content.lines().enumerate() {
+    for (idx, (line, bline)) in content.lines().zip(blanked.lines()).enumerate() {
         let lineno = idx + 1;
         if topic_scope {
             if let Some(svc) = line_has_topic_literal(line, &services) {
@@ -206,7 +233,7 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
         if !(panic_scope || wildcard_scope) {
             continue;
         }
-        let in_test = st.track_test_region(line);
+        let in_test = st.track_test_region(bline);
         let trimmed = line.trim_start();
         if trimmed.starts_with("//") {
             if line.contains("flux-lint: allow(panic)") {
@@ -221,7 +248,7 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
             continue;
         }
         if panic_scope {
-            if let Some(tok) = PANIC_TOKENS.iter().find(|t| line.contains(*t)) {
+            if let Some(tok) = PANIC_TOKENS.iter().find(|t| bline.contains(*t)) {
                 if line.contains("flux-lint: allow(panic)") {
                     // waived inline
                 } else if st.allow_panic.is_some_and(|l| lineno - l <= ALLOW_REACH) {
@@ -240,7 +267,7 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
                 }
             }
         }
-        if wildcard_scope && line.contains("_ =>") {
+        if wildcard_scope && bline.contains("_ =>") {
             if line.contains("flux-lint: allow(wildcard)") {
                 // waived inline
             } else if st.allow_wildcard.is_some_and(|l| lineno - l <= ALLOW_REACH) {
@@ -259,7 +286,40 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
     }
 
     out.extend(check_headers(rel, content));
+    if rel.contains("/src/") {
+        out.extend(reply::check_reply(rel, content, &reply::kind_table()));
+    }
     out
+}
+
+/// Runs the cross-file lock-order analysis over `(relative path, raw
+/// source)` pairs. Exposed separately from [`lint_file`] because the
+/// acquisition graph only means something over the whole workspace.
+pub fn lint_lock_order(files: &[(String, String)]) -> Vec<Violation> {
+    let src: Vec<(String, String)> =
+        files.iter().filter(|(rel, _)| rel.contains("/src/")).cloned().collect();
+    lockorder::check_lock_order(&src)
+}
+
+/// Rule 7: the allowlist burn-down is complete; the empty list is the
+/// enforced steady state. Every non-comment entry is a violation in its
+/// own right (on top of whatever it tried to suppress).
+pub fn check_allowlist_empty(allowlist: &str) -> Vec<Violation> {
+    allowlist
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'))
+        .map(|(lineno, entry)| Violation {
+            file: "crates/flux-lint/allowlist.txt".to_owned(),
+            line: lineno,
+            rule: Rule::AllowlistEntry,
+            message: format!(
+                "entry `{entry}` — the allowlist is permanently empty; fix or waive the \
+                 violation at its site instead"
+            ),
+        })
+        .collect()
 }
 
 /// Rule 4: crate roots must carry the agreed lint headers.
@@ -349,6 +409,7 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
     let mut files = Vec::new();
     collect_rs(&root.join("crates"), &mut files)?;
     files.sort();
+    let mut sources = Vec::new();
     let mut violations = Vec::new();
     for path in &files {
         let rel = path
@@ -358,10 +419,13 @@ pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
             .replace('\\', "/");
         let content = std::fs::read_to_string(path)?;
         violations.extend(lint_file(&rel, &content));
+        sources.push((rel, content));
     }
+    violations.extend(lint_lock_order(&sources));
     let allowlist = std::fs::read_to_string(root.join("crates/flux-lint/allowlist.txt"))
         .unwrap_or_default();
     let mut kept = apply_allowlist(violations, &allowlist);
+    kept.extend(check_allowlist_empty(&allowlist));
     kept.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     Ok(kept)
 }
@@ -380,6 +444,8 @@ mod tests {
     const PANIC_FIXTURE: &str = include_str!("../fixtures/panic_unwrap.rs.bad");
     const WILDCARD_FIXTURE: &str = include_str!("../fixtures/wildcard_match.rs.bad");
     const HEADER_FIXTURE: &str = include_str!("../fixtures/missing_header.rs.bad");
+    const LOCK_FIXTURE: &str = include_str!("../fixtures/lock_order.rs.bad");
+    const REPLY_FIXTURE: &str = include_str!("../fixtures/reply_obligation.rs.bad");
 
     fn rules(v: &[Violation]) -> Vec<Rule> {
         v.iter().map(|x| x.rule).collect()
@@ -450,6 +516,34 @@ mod tests {
         let stale: Vec<_> = kept.iter().filter(|x| x.rule == Rule::StaleAllow).collect();
         assert_eq!(stale.len(), 1, "{kept:?}");
         assert!(stale[0].message.contains("gone.rs"), "{kept:?}");
+    }
+
+    #[test]
+    fn lock_order_fixture_fires() {
+        let files = vec![("crates/fake/src/shared.rs".to_owned(), LOCK_FIXTURE.to_owned())];
+        let v = lint_lock_order(&files);
+        assert_eq!(rules(&v), [Rule::LockOrder], "{v:?}");
+        assert!(v[0].message.contains("alpha") && v[0].message.contains("beta"), "{}", v[0]);
+    }
+
+    #[test]
+    fn reply_obligation_fixture_fires() {
+        let v = lint_file("crates/fake/src/sloppy.rs", REPLY_FIXTURE);
+        let hits: Vec<_> = v.iter().filter(|x| x.rule == Rule::ReplyObligation).collect();
+        // Exactly the three BAD arms: dropped Get, fall-through Put,
+        // early-return Commit. FenceUp (one-way) and None must not fire.
+        assert_eq!(hits.len(), 3, "{v:?}");
+        for (hit, variant) in hits.iter().zip(["Get", "Put", "Commit"]) {
+            assert!(hit.message.contains(variant), "expected {variant}: {hit}");
+        }
+    }
+
+    #[test]
+    fn empty_allowlist_is_enforced() {
+        assert!(check_allowlist_empty("# only comments\n\n# here\n").is_empty());
+        let v = check_allowlist_empty("# c\npanic:crates/kvs/src/module.rs\n");
+        assert_eq!(rules(&v), [Rule::AllowlistEntry], "{v:?}");
+        assert_eq!(v[0].line, 2);
     }
 
     #[test]

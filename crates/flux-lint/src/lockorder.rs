@@ -1,0 +1,349 @@
+//! Cross-crate lock-order analysis.
+//!
+//! Collects every `Mutex`/`RwLock` acquisition site (`.lock()`,
+//! `.read()`, `.write()` with empty argument lists) per function,
+//! propagates acquisition sets through the intra-crate call graph, adds
+//! an edge `held → acquired` for every lock taken while another is
+//! held, and fails on any cycle in the resulting global graph.
+//!
+//! Locks are identified by the final field or binding name of the
+//! receiver expression (`self.readers.lock()` → `readers`). Name reuse
+//! across crates conservatively merges nodes — a false cycle from
+//! merging is a prompt to rename one of the locks, which is cheap and
+//! self-documenting. A binding of the guard (`let g = x.lock()`) holds
+//! the lock for the rest of the enclosing block; guards bound to `_` or
+//! used inline are transient and create edges only for acquisitions in
+//! the same statement.
+
+use crate::analysis::{extract_fns, line_of, split_stmts, FnDef, Stmt};
+use crate::token::blank;
+use crate::{Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The acquisition tokens. Empty parens keep `Read::read(&mut buf)` and
+/// `Write::write(&buf)` out of scope — `RwLock` accessors take no
+/// arguments.
+const ACQUIRE: &[&str] = &[".lock()", ".read()", ".write()"];
+
+/// Where an edge was first observed, for diagnostics.
+type Provenance = (String, usize); // (file, line)
+
+/// A lock-order fact base for one workspace scan.
+#[derive(Default)]
+pub(crate) struct LockGraph {
+    /// `held → acquired-after` edges with first-seen provenance.
+    edges: BTreeMap<String, BTreeMap<String, Provenance>>,
+    /// Per-function set of locks (transitively) acquired inside it,
+    /// keyed by `crate::fn_name`.
+    acquires: BTreeMap<String, BTreeSet<String>>,
+    /// Per-function calls to same-crate functions, keyed like `acquires`.
+    calls: BTreeMap<String, BTreeSet<String>>,
+    /// Deferred `held → callee` obligations resolved after the
+    /// acquisition-set fixpoint.
+    call_edges: Vec<(String, String, Provenance)>, // (held lock, callee key, where)
+}
+
+/// Runs the analysis over `(relative path, raw source)` pairs and
+/// returns one violation per distinct cycle.
+pub(crate) fn check_lock_order(files: &[(String, String)]) -> Vec<Violation> {
+    let mut graph = LockGraph::default();
+    for (rel, raw) in files {
+        let crate_name = crate_of(rel);
+        let blanked = crate::analysis::strip_test_regions(&blank(raw));
+        let fn_names: BTreeSet<String> =
+            extract_fns(&blanked).into_iter().map(|f| f.name).collect();
+        for f in extract_fns(&blanked) {
+            graph.scan_fn(rel, crate_name, &blanked, &f, &fn_names);
+        }
+    }
+    graph.resolve_calls();
+    graph.find_cycles()
+}
+
+/// `crates/<name>/src/...` → `<name>`; anything else gets the path's
+/// second segment or the whole path.
+fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => rel,
+    }
+}
+
+impl LockGraph {
+    fn scan_fn(
+        &mut self,
+        rel: &str,
+        crate_name: &str,
+        blanked: &str,
+        f: &FnDef,
+        fn_names: &BTreeSet<String>,
+    ) {
+        let key = format!("{crate_name}::{}", f.name);
+        let mut held: Vec<String> = Vec::new();
+        self.walk_block(rel, crate_name, blanked, f.body, fn_names, &key, &mut held);
+    }
+
+    /// Walks one block, tracking which locks are held by `let`-bound
+    /// guards. Blocks scope their guards: anything bound inside is
+    /// released on exit.
+    #[allow(clippy::too_many_arguments)]
+    fn walk_block(
+        &mut self,
+        rel: &str,
+        crate_name: &str,
+        blanked: &str,
+        span: (usize, usize),
+        fn_names: &BTreeSet<String>,
+        key: &str,
+        held: &mut Vec<String>,
+    ) {
+        let base = held.len();
+        for stmt in split_stmts(blanked, span) {
+            self.scan_stmt(rel, crate_name, blanked, &stmt, fn_names, key, held);
+            for &block in &stmt.blocks {
+                self.walk_block(rel, crate_name, blanked, block, fn_names, key, held);
+            }
+        }
+        held.truncate(base);
+    }
+
+    /// Handles the statement's head text: acquisition sites (in textual
+    /// order) and calls to same-crate functions.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_stmt(
+        &mut self,
+        rel: &str,
+        crate_name: &str,
+        blanked: &str,
+        stmt: &Stmt,
+        fn_names: &BTreeSet<String>,
+        key: &str,
+        held: &mut Vec<String>,
+    ) {
+        let head = stmt.segs.join(" ");
+        let line = line_of(blanked, stmt.full.0);
+        let bound = binding_of(&head);
+        let mut transient: Vec<String> = Vec::new();
+        let mut search = 0usize;
+        while let Some((pos, tok)) = ACQUIRE
+            .iter()
+            .filter_map(|t| head[search..].find(t).map(|p| (search + p, *t)))
+            .min()
+        {
+            if let Some(lock) = receiver_name(&head[..pos]) {
+                self.acquires.entry(key.to_owned()).or_default().insert(lock.clone());
+                for h in held.iter().chain(transient.iter()) {
+                    if *h != lock {
+                        self.add_edge(h.clone(), lock.clone(), (rel.to_owned(), line));
+                    }
+                }
+                if bound.is_some() {
+                    held.push(lock);
+                } else {
+                    transient.push(lock);
+                }
+            }
+            search = pos + tok.len();
+        }
+        // Same-crate calls made while locks are held extend the order
+        // through the callee's (transitive) acquisition set.
+        for callee in calls_in(&head, fn_names) {
+            let callee_key = format!("{crate_name}::{callee}");
+            self.calls.entry(key.to_owned()).or_default().insert(callee_key.clone());
+            for h in held.iter().chain(transient.iter()) {
+                self.call_edges.push((h.clone(), callee_key.clone(), (rel.to_owned(), line)));
+            }
+        }
+    }
+
+    fn add_edge(&mut self, from: String, to: String, at: Provenance) {
+        self.edges.entry(from).or_default().entry(to).or_insert(at);
+    }
+
+    /// Fixpoint over the call graph: each function's acquisition set
+    /// absorbs its callees', then deferred held→callee obligations
+    /// become held→lock edges.
+    fn resolve_calls(&mut self) {
+        loop {
+            let mut changed = false;
+            let keys: Vec<String> = self.calls.keys().cloned().collect();
+            for key in keys {
+                let callees = self.calls[&key].clone();
+                let mut add: BTreeSet<String> = BTreeSet::new();
+                for callee in &callees {
+                    if let Some(set) = self.acquires.get(callee) {
+                        add.extend(set.iter().cloned());
+                    }
+                }
+                let mine = self.acquires.entry(key).or_default();
+                for lock in add {
+                    changed |= mine.insert(lock);
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        for (held, callee, at) in std::mem::take(&mut self.call_edges) {
+            if let Some(set) = self.acquires.get(&callee) {
+                for lock in set.clone() {
+                    if lock != held {
+                        self.add_edge(held.clone(), lock, at.clone());
+                    }
+                }
+            }
+        }
+    }
+
+    /// DFS three-color cycle detection; one violation per back edge,
+    /// reported at the provenance of the edge closing the cycle.
+    fn find_cycles(&self) -> Vec<Violation> {
+        let mut color: BTreeMap<&str, u8> = BTreeMap::new(); // 0 new, 1 on path, 2 done
+        let mut path: Vec<&str> = Vec::new();
+        let mut out = Vec::new();
+        for start in self.edges.keys() {
+            self.dfs(start, &mut color, &mut path, &mut out);
+        }
+        out
+    }
+
+    fn dfs<'a>(
+        &'a self,
+        node: &'a str,
+        color: &mut BTreeMap<&'a str, u8>,
+        path: &mut Vec<&'a str>,
+        out: &mut Vec<Violation>,
+    ) {
+        match color.get(node) {
+            Some(1) | Some(2) => return,
+            _ => {}
+        }
+        color.insert(node, 1);
+        path.push(node);
+        if let Some(succs) = self.edges.get(node) {
+            for (succ, at) in succs {
+                match color.get(succ.as_str()).copied().unwrap_or(0) {
+                    0 => self.dfs(succ, color, path, out),
+                    1 => {
+                        // Back edge: the path from `succ` to `node` plus
+                        // this edge is a cycle.
+                        let pos = path.iter().position(|n| *n == succ).unwrap_or(0);
+                        out.push(Violation {
+                            file: at.0.clone(),
+                            line: at.1,
+                            rule: Rule::LockOrder,
+                            message: format!(
+                                "lock-order cycle: {} -> {succ}",
+                                path[pos..].join(" -> ")
+                            ),
+                        });
+                    }
+                    _ => {}
+                }
+            }
+        }
+        path.pop();
+        color.insert(node, 2);
+    }
+}
+
+/// `let g = ...` → `Some("g")`; `let _ = ...` and non-let heads → `None`.
+fn binding_of(head: &str) -> Option<&str> {
+    let t = head.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let name = rest.split(['=', ':']).next()?.trim().trim_start_matches("mut ").trim();
+    (!name.is_empty() && name != "_" && !name.starts_with('_') && !name.contains('('))
+        .then_some(name)
+}
+
+/// The last field/binding identifier of the receiver expression that
+/// `text` ends with: `self.inner.readers` → `readers`.
+fn receiver_name(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut end = bytes.len();
+    while end > 0 && !(bytes[end - 1].is_ascii_alphanumeric() || bytes[end - 1] == b'_') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    let name = &text[start..end];
+    (!name.is_empty() && name != "self" && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| name.to_owned())
+}
+
+/// Names from `fn_names` that `text` calls (`name(`, `self.name(`,
+/// `Self::name(`).
+fn calls_in(text: &str, fn_names: &BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in fn_names {
+        let pat = format!("{name}(");
+        let mut from = 0;
+        while let Some(p) = text[from..].find(&pat) {
+            let abs = from + p;
+            let before_ok = abs == 0 || {
+                let b = text.as_bytes()[abs - 1];
+                !(b.is_ascii_alphanumeric() || b == b'_')
+            };
+            // Skip definitions (`fn name(`) — only call sites count.
+            let is_def = text[..abs].trim_end().ends_with("fn");
+            if before_ok && !is_def {
+                out.push(name.clone());
+                break;
+            }
+            from = abs + pat.len();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn files(src: &str) -> Vec<(String, String)> {
+        vec![("crates/demo/src/lib.rs".to_owned(), src.to_owned())]
+    }
+
+    #[test]
+    fn consistent_order_is_clean() {
+        let src = "impl S {\n fn a(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); use_(g, h); }\n fn b(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); use_(g, h); }\n}\n";
+        assert!(check_lock_order(&files(src)).is_empty());
+    }
+
+    #[test]
+    fn direct_inversion_is_a_cycle() {
+        let src = "impl S {\n fn a(&self) { let g = self.alpha.lock(); let h = self.beta.lock(); use_(g, h); }\n fn b(&self) { let g = self.beta.lock(); let h = self.alpha.lock(); use_(g, h); }\n}\n";
+        let v = check_lock_order(&files(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("alpha") && v[0].message.contains("beta"), "{}", v[0]);
+    }
+
+    #[test]
+    fn inversion_through_a_callee_is_caught() {
+        let src = "impl S {\n fn outer(&self) { let g = self.alpha.lock(); self.inner(); drop(g); }\n fn inner(&self) { let b = self.beta.lock(); touch(b); }\n fn rev(&self) { let b = self.beta.lock(); let a = self.alpha.lock(); use_(a, b); }\n}\n";
+        let v = check_lock_order(&files(src));
+        assert_eq!(v.len(), 1, "{v:?}");
+    }
+
+    #[test]
+    fn block_scope_releases_guards() {
+        let src = "impl S {\n fn a(&self) { { let g = self.alpha.lock(); touch(g); } let h = self.beta.lock(); touch(h); }\n fn b(&self) { { let g = self.beta.lock(); touch(g); } let h = self.alpha.lock(); touch(h); }\n}\n";
+        assert!(check_lock_order(&files(src)).is_empty(), "scoped guards must not order");
+    }
+
+    #[test]
+    fn single_lock_tree_is_clean() {
+        let src =
+            "fn spawn(&self) { self.readers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(h); }\n";
+        assert!(check_lock_order(&files(src)).is_empty());
+    }
+
+    #[test]
+    fn io_read_write_are_not_locks() {
+        let src = "fn f(s: &mut TcpStream) { let n = s.read(&mut buf); s.write(&buf[..n]); }\n";
+        assert!(check_lock_order(&files(src)).is_empty());
+    }
+}

@@ -1,0 +1,224 @@
+//! Checkable scenarios: a session topology, module set, and scripts,
+//! plus the oracle data the invariant checks need.
+
+use flux_broker::CommsModule;
+use flux_kvs::{KvsConfig, KvsModule};
+use flux_modules::BarrierModule;
+use flux_rt::script::Op;
+use flux_rt::sim::SimSession;
+use flux_sim::NetParams;
+use flux_value::Value;
+use flux_wire::Rank;
+use std::collections::BTreeMap;
+
+/// Which modules every broker in the scenario loads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModuleSet {
+    /// The KVS module only. `dedup: false` re-introduces the historical
+    /// fence/push double-apply bug (the mutation smoke-test target).
+    Kvs {
+        /// Duplicate-frame dedup at the KVS master (production: `true`).
+        dedup: bool,
+    },
+    /// KVS plus the barrier module.
+    KvsBarrier {
+        /// Duplicate-frame dedup at the KVS master (production: `true`).
+        dedup: bool,
+    },
+}
+
+impl ModuleSet {
+    fn build(self) -> Vec<Box<dyn CommsModule>> {
+        match self {
+            ModuleSet::Kvs { dedup } => {
+                vec![Box::new(KvsModule::with_config(KvsConfig { dedup, ..KvsConfig::default() }))]
+            }
+            ModuleSet::KvsBarrier { dedup } => vec![
+                Box::new(KvsModule::with_config(KvsConfig { dedup, ..KvsConfig::default() })),
+                Box::new(BarrierModule::new()),
+            ],
+        }
+    }
+}
+
+/// One model-checking scenario: a fixed session plus its correctness
+/// oracle. Scenarios are small on purpose — the explorer multiplies
+/// every visible step into a branching point, so a handful of clients
+/// already yields tens of thousands of distinct schedules.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    /// Stable name, embedded in traces for replay lookup.
+    pub name: &'static str,
+    /// Broker count.
+    pub size: u32,
+    /// Tree arity.
+    pub arity: u32,
+    /// Modules loaded on every broker.
+    pub modules: ModuleSet,
+    /// Scripted clients: `(home rank, ops)`.
+    pub scripts: Vec<(Rank, Vec<Op>)>,
+    /// Total KVS root commits the scenario performs when every fence and
+    /// commit applies exactly once (0 = skip the version-overrun check).
+    pub expected_applies: u64,
+    /// Key → value that any successful post-fence `Get` must observe
+    /// (the fence barrier guarantees visibility of all participants'
+    /// write-back sets).
+    pub post_fence: BTreeMap<String, Value>,
+}
+
+impl Scenario {
+    /// Builds a fresh session for one schedule run. `NetParams::default`
+    /// keeps latencies deterministic; the explorer owns all reordering.
+    pub fn build(&self) -> SimSession {
+        let modules = self.modules;
+        SimSession::new(self.size, self.arity, NetParams::default(), move |_rank| modules.build())
+    }
+
+    /// Looks a scenario up by its trace name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        match name {
+            "kvs_fence" => Some(Self::kvs_fence()),
+            "kvs_fence_mutant" => Some(Self::kvs_fence_mutant()),
+            "kvs_commit" => Some(Self::kvs_commit()),
+            "kvs_commit_mutant" => Some(Self::kvs_commit_mutant()),
+            "barrier" => Some(Self::barrier()),
+            _ => None,
+        }
+    }
+
+    /// Names of all scenarios expected to be violation-free on the live
+    /// tree (the mutants are deliberately excluded).
+    pub fn clean_names() -> &'static [&'static str] {
+        &["kvs_fence", "kvs_commit", "barrier"]
+    }
+
+    /// The flagship scenario: a 3-broker tree where two clients on
+    /// different leaf ranks each put one key, synchronize on a fence,
+    /// then read *each other's* key. Exercises put staging, fence
+    /// contribution relay, root apply, setroot event propagation, and
+    /// the get/load walk — every KVS interleaving class at once.
+    pub fn kvs_fence() -> Scenario {
+        Self::fence_scenario("kvs_fence", true)
+    }
+
+    /// [`Scenario::kvs_fence`] with master-side dedup disabled: the
+    /// mutation smoke-test target. Duplicated fence contributions apply
+    /// twice, so some schedule must violate an invariant.
+    pub fn kvs_fence_mutant() -> Scenario {
+        Self::fence_scenario("kvs_fence_mutant", false)
+    }
+
+    fn fence_scenario(name: &'static str, dedup: bool) -> Scenario {
+        // Four participants, two per leaf broker: concurrent clients on
+        // one broker interleave locally, the two leaf subtrees
+        // interleave globally, and every participant reads its
+        // neighbours' keys afterwards. This is the densest interleaving
+        // space per event of any scenario here.
+        const NPROCS: u64 = 4;
+        let key = |i: usize| format!("mc.k{i}");
+        let script = |i: usize| {
+            vec![
+                Op::Put { key: key(i), val: Value::from(1i64) },
+                Op::Fence { name: "mc.fence".into(), nprocs: NPROCS },
+                Op::Get { key: key((i + 1) % NPROCS as usize) },
+                Op::Get { key: key(i) },
+                Op::GetVersion,
+            ]
+        };
+        let mut post_fence = BTreeMap::new();
+        for i in 0..NPROCS as usize {
+            post_fence.insert(key(i), Value::from(1i64));
+        }
+        Scenario {
+            name,
+            size: 3,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup },
+            scripts: (0..NPROCS as usize).map(|i| (Rank(1 + (i as u32 % 2)), script(i))).collect(),
+            // One fence = one root apply covering all write-back sets.
+            expected_applies: 1,
+            post_fence,
+        }
+    }
+
+    /// Independent commits from two leaf ranks: exercises the push relay
+    /// path (commit → push → master apply → response unwind).
+    pub fn kvs_commit() -> Scenario {
+        Self::commit_scenario("kvs_commit", true)
+    }
+
+    /// [`Scenario::kvs_commit`] with master-side dedup disabled: a
+    /// duplicated push frame applies twice and overruns the version.
+    pub fn kvs_commit_mutant() -> Scenario {
+        Self::commit_scenario("kvs_commit_mutant", false)
+    }
+
+    fn commit_scenario(name: &'static str, dedup: bool) -> Scenario {
+        let c1 = vec![
+            Op::Put { key: "mc.x".into(), val: Value::from(1i64) },
+            Op::Commit,
+            Op::Get { key: "mc.x".into() },
+            Op::GetVersion,
+        ];
+        let c2 = vec![
+            Op::Put { key: "mc.y".into(), val: Value::from(1i64) },
+            Op::Commit,
+            Op::Get { key: "mc.y".into() },
+            Op::GetVersion,
+        ];
+        Scenario {
+            name,
+            size: 3,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup },
+            scripts: vec![(Rank(1), c1), (Rank(2), c2)],
+            expected_applies: 2,
+            post_fence: BTreeMap::new(),
+        }
+    }
+
+    /// Two clients entering one barrier across the tree: checks barrier
+    /// completion (every entrant released exactly once) under reordered
+    /// and duplicated `barrier.up` aggregation frames.
+    pub fn barrier() -> Scenario {
+        let ops = |_| {
+            vec![
+                Op::Barrier { name: "mc.bar".into(), nprocs: 2 },
+                Op::Barrier { name: "mc.bar2".into(), nprocs: 2 },
+            ]
+        };
+        Scenario {
+            name: "barrier",
+            size: 3,
+            arity: 2,
+            modules: ModuleSet::KvsBarrier { dedup: true },
+            scripts: vec![(Rank(1), ops(1)), (Rank(2), ops(2))],
+            expected_applies: 0,
+            post_fence: BTreeMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_finds_every_builder() {
+        for name in ["kvs_fence", "kvs_fence_mutant", "kvs_commit", "kvs_commit_mutant", "barrier"]
+        {
+            let s = Scenario::by_name(name).expect("known scenario");
+            assert_eq!(s.name, name);
+            assert!(!s.scripts.is_empty());
+        }
+        assert!(Scenario::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn clean_names_resolve_and_exclude_mutants() {
+        for name in Scenario::clean_names() {
+            assert!(Scenario::by_name(name).is_some());
+            assert!(!name.contains("mutant"));
+        }
+    }
+}

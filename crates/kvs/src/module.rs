@@ -38,11 +38,17 @@ pub struct KvsConfig {
     /// Fence aggregation window: contributions arriving within this
     /// window merge into one upstream message (the tree reduction).
     pub window_ns: u64,
+    /// At-most-once dedup of transport-duplicated `kvs.push` requests and
+    /// `kvs.fence.up` batches. Always `true` in production configurations;
+    /// the model checker's mutation smoke-test sets it to `false` to
+    /// re-introduce the historical fence/push double-apply bug and prove
+    /// the explorer still catches that bug class.
+    pub dedup: bool,
 }
 
 impl Default for KvsConfig {
     fn default() -> Self {
-        KvsConfig { expiry_epochs: 16, window_ns: 20_000 }
+        KvsConfig { expiry_epochs: 16, window_ns: 20_000, dedup: true }
     }
 }
 
@@ -366,12 +372,16 @@ impl KvsModule {
     }
 
     fn handle_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
-        if !self.note_push(msg.header.id) {
+        if self.cfg.dedup && !self.note_push(msg.header.id) {
             if self.master {
                 // Re-answer with the current version: the response to the
                 // first copy may itself have been lost in transit.
                 self.respond_version(ctx, msg);
             }
+            // A duplicate at a relay is dropped without a reply on
+            // purpose: the first copy's forwarded request already
+            // carries the response obligation.
+            // flux-lint: allow(reply)
             return;
         }
         if self.master {
@@ -524,7 +534,8 @@ impl KvsModule {
         }
         // Idempotence under duplicated frames: each flushed batch is
         // stamped (src, batch); merge any given batch at most once.
-        if let (Some(src), Some(batch)) = (
+        if let (true, Some(src), Some(batch)) = (
+            self.cfg.dedup,
             msg.payload.get("src").and_then(Value::as_uint),
             msg.payload.get("batch").and_then(Value::as_uint),
         ) {

@@ -12,7 +12,7 @@ use flux_broker::{CommsModule, ModuleCtx};
 use flux_proto::{BarrierMethod, Event};
 use flux_value::Value;
 use flux_wire::{errnum, Message};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Per-barrier accumulation state.
 #[derive(Default)]
@@ -22,6 +22,12 @@ struct BarrierAcc {
     unflushed: u64,
     waiters: Vec<Message>,
     window_armed: bool,
+    /// `(source rank, batch id)` of child batches already merged here: a
+    /// transport-duplicated `barrier.up` frame must not double-count its
+    /// contributions and release the barrier early (the same at-most-once
+    /// hazard the KVS fence dedups — found by flux-mc duplicate-delivery
+    /// exploration).
+    seen_batches: HashSet<(u32, u64)>,
 }
 
 /// Tuning for the aggregation window.
@@ -44,6 +50,9 @@ pub struct BarrierModule {
     barriers: HashMap<String, BarrierAcc>,
     tokens: HashMap<u64, String>,
     next_token: u64,
+    /// Monotonic id stamped on every flushed batch, so parents can
+    /// recognise (and discard) transport-duplicated batches.
+    next_batch: u64,
     /// Completed barriers (root only; for tests/tools).
     completed: u64,
 }
@@ -61,6 +70,7 @@ impl BarrierModule {
             barriers: HashMap::new(),
             tokens: HashMap::new(),
             next_token: 0,
+            next_batch: 0,
             completed: 0,
         }
     }
@@ -109,6 +119,9 @@ impl BarrierModule {
     }
 
     fn flush(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
+        self.next_batch += 1;
+        let batch = self.next_batch;
+        let src = ctx.rank().0;
         let Some(acc) = self.barriers.get_mut(name) else { return };
         acc.window_armed = false;
         if acc.unflushed == 0 {
@@ -119,6 +132,8 @@ impl BarrierModule {
             ("name", Value::from(name)),
             ("nprocs", Value::from(acc.nprocs as i64)),
             ("count", Value::from(count as i64)),
+            ("src", Value::from(src)),
+            ("batch", Value::from(batch as i64)),
         ]);
         let _ = ctx.notify_upstream(BarrierMethod::Up.topic(), payload);
     }
@@ -163,6 +178,17 @@ impl CommsModule for BarrierModule {
                 ) else {
                     return; // one-way
                 };
+                // Idempotence under duplicated frames: merge any given
+                // child batch at most once.
+                if let (Some(src), Some(batch)) = (
+                    msg.payload.get("src").and_then(Value::as_uint),
+                    msg.payload.get("batch").and_then(Value::as_uint),
+                ) {
+                    let acc = self.barriers.entry(name.clone()).or_default();
+                    if !acc.seen_batches.insert((src as u32, batch)) {
+                        return; // already merged this batch
+                    }
+                }
                 self.contribute(ctx, &name, nprocs, count, None);
             }
             None => ctx.respond_err(msg, errnum::ENOSYS),

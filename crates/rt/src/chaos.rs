@@ -22,7 +22,7 @@
 
 use crate::faults::FaultPlan;
 use crate::script::Op;
-use crate::transport::{ScriptReport, ScriptTransport, SimTransport};
+use crate::transport::{ScriptOutcome, ScriptReport, ScriptTransport, SimTransport};
 use flux_core::rng::Rng;
 use flux_kvs::history::{ClientHistory, Event};
 use flux_sim::NetParams;
@@ -191,9 +191,19 @@ pub fn run_sim(w: &ChaosWorkload) -> ScriptReport {
 /// record ends is conservative — every put staged since the previous
 /// commit becomes [`Event::StagedOnly`].
 pub fn histories(w: &ChaosWorkload, report: &ScriptReport) -> Vec<ClientHistory> {
-    let mut out = Vec::with_capacity(w.scripts.len());
-    for (si, (rank, ops)) in w.scripts.iter().enumerate() {
-        let outcome = &report.outcomes[si];
+    histories_for(&w.scripts, &report.outcomes)
+}
+
+/// The script-to-history mapping behind [`histories`], usable by any
+/// driver that ran `scripts` and recorded `outcomes` in the same order
+/// (the chaos suites and the flux-mc model checker share it).
+pub fn histories_for(
+    scripts: &[(Rank, Vec<Op>)],
+    outcomes: &[ScriptOutcome],
+) -> Vec<ClientHistory> {
+    let mut out = Vec::with_capacity(scripts.len());
+    for (si, (rank, ops)) in scripts.iter().enumerate() {
+        let outcome = &outcomes[si];
         let mut events = Vec::new();
         let mut staged: Vec<(String, u64)> = Vec::new();
         for (i, op) in ops.iter().enumerate() {
@@ -232,9 +242,34 @@ pub fn histories(w: &ChaosWorkload, report: &ScriptReport) -> Vec<ClientHistory>
                         _ => break,
                     }
                 }
-                Op::GetVersion | Op::Fence { .. } if recorded && outcome.op_err[i] == 0 => {
+                Op::GetVersion if recorded && outcome.op_err[i] == 0 => {
                     if let Some(v) = outcome.replies[i].get("version").and_then(Value::as_uint) {
                         events.push(Event::Version { v });
+                    }
+                }
+                Op::Fence { .. } => {
+                    // A successful fence commits the caller's staged
+                    // write-back set (its contribution applied at the
+                    // master before the completion event); an unanswered
+                    // fence leaves its fate unknown. A rejected fence
+                    // (EINVAL) never consumed the set — it stays staged
+                    // for a later commit.
+                    if !recorded {
+                        for (key, gen) in staged.drain(..) {
+                            events.push(Event::StagedOnly { key, gen });
+                        }
+                    } else if outcome.op_err[i] == 0 {
+                        let version =
+                            outcome.replies[i].get("version").and_then(Value::as_uint);
+                        for (key, gen) in staged.drain(..) {
+                            events.push(match version {
+                                Some(v) => Event::Committed { key, gen, version: v },
+                                None => Event::StagedOnly { key, gen },
+                            });
+                        }
+                        if let Some(v) = version {
+                            events.push(Event::Version { v });
+                        }
                     }
                 }
                 _ => {}

@@ -36,6 +36,24 @@ fn plane_of(msg: &Message) -> Plane {
     }
 }
 
+/// A bounded [`SimSession::run_until_quiet`] run exhausted its event
+/// budget with events still pending: the schedule livelocked.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Livelock {
+    /// Virtual time when the budget ran out.
+    pub at: SimTime,
+    /// The budget that was exhausted.
+    pub budget: u64,
+}
+
+impl std::fmt::Display for Livelock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event budget {} exhausted at t={} with events still pending", self.budget, self.at)
+    }
+}
+
+impl std::error::Error for Livelock {}
+
 /// The actor hosting one broker.
 struct BrokerActor {
     broker: Broker,
@@ -146,7 +164,7 @@ impl Actor for BrokerActor {
 /// let mut session = SimSession::new(8, 2, NetParams::default(), |_rank| {
 ///     vec![Box::new(flux_kvs::KvsModule::new()) as Box<dyn flux_broker::CommsModule>]
 /// });
-/// session.run_until_quiet();
+/// session.run_until_quiet(None).expect("unbounded runs cannot livelock");
 /// assert!(session.engine().stats().messages_delivered > 0 || true);
 /// ```
 pub struct SimSession {
@@ -255,6 +273,14 @@ impl SimSession {
         self.book.borrow().broker_of_rank[&rank]
     }
 
+    /// True if `actor` is one of the session's broker actors (as opposed
+    /// to an attached client process). Controlled-scheduling drivers use
+    /// this to restrict fault-style choices (e.g. frame duplication) to
+    /// broker-to-broker links, matching the fault layer's model.
+    pub fn is_broker_actor(&self, actor: ActorId) -> bool {
+        matches!(self.book.borrow().by_actor.get(&actor), Some(PeerKind::Broker(_)))
+    }
+
     /// Attaches a client-process actor to `rank`'s broker, placed on the
     /// broker's node (IPC-class links). The factory receives
     /// `(broker_actor, client_id)`; the actor it returns talks to the
@@ -289,8 +315,24 @@ impl SimSession {
     }
 
     /// Runs until the event heap drains; returns the final virtual time.
-    pub fn run_until_quiet(&mut self) -> SimTime {
-        self.engine.run()
+    ///
+    /// With `budget = Some(n)` at most `n` further events are processed;
+    /// if the session still has pending events after that, the run is
+    /// livelocked (a protocol ping-pong or a runaway schedule) and a
+    /// [`Livelock`] error is returned instead of spinning forever. With
+    /// `budget = None` the call cannot fail.
+    pub fn run_until_quiet(&mut self, budget: Option<u64>) -> Result<SimTime, Livelock> {
+        match budget {
+            None => Ok(self.engine.run()),
+            Some(n) => {
+                let (at, quiet) = self.engine.run_budgeted(n);
+                if quiet {
+                    Ok(at)
+                } else {
+                    Err(Livelock { at, budget: n })
+                }
+            }
+        }
     }
 
     /// Runs until the given virtual deadline.

@@ -27,9 +27,10 @@ use flux_wire::{frame, Message, Rank};
 use std::collections::BinaryHeap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use flux_core::OrderedMutex;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Tuning for TCP links.
@@ -192,7 +193,7 @@ fn accept_loop(
     tx: Sender<Event>,
     config: TcpConfig,
     stopping: Arc<AtomicBool>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    readers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
 ) {
     loop {
         let Ok((mut stream, _)) = listener.accept() else { break };
@@ -220,9 +221,9 @@ fn accept_loop(
                 }
             });
         let Ok(handle) = handle else { continue }; // thread limit hit; drop the link
-        // A poisoned registry only means another reader panicked while
-        // registering; the list itself is still usable.
-        readers.lock().unwrap_or_else(std::sync::PoisonError::into_inner).push(handle);
+        // OrderedMutex absorbs poisoning: another reader panicking
+        // while registering leaves the list itself usable.
+        readers.lock().push(handle);
     }
 }
 
@@ -238,7 +239,7 @@ pub struct TcpSession {
     senders: Vec<Sender<Event>>,
     broker_handles: Vec<std::thread::JoinHandle<()>>,
     acceptor_handles: Vec<std::thread::JoinHandle<()>>,
-    readers: Arc<Mutex<Vec<std::thread::JoinHandle<()>>>>,
+    readers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
     stopping: Arc<AtomicBool>,
 }
 
@@ -312,9 +313,7 @@ impl TcpSession {
             let _ = h.join();
         }
         // 3. Reader threads: already at EOF from step 1.
-        let readers = std::mem::take(
-            &mut *self.readers.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
-        );
+        let readers = std::mem::take(&mut *self.readers.lock());
         for h in readers {
             let _ = h.join();
         }
@@ -370,7 +369,9 @@ impl TcpSessionBuilder {
             listeners.iter().map(|l| l.local_addr().expect("listener addr")).collect();
 
         let stopping = Arc::new(AtomicBool::new(false));
-        let readers = Arc::new(Mutex::new(Vec::new()));
+        // Level 100: the only lock in the transport layer today; the
+        // next subsystem lock should take 200 (see flux_core::ordered_lock).
+        let readers = Arc::new(OrderedMutex::new("tcp.readers", 100, Vec::new()));
         let acceptor_handles: Vec<_> = listeners
             .into_iter()
             .enumerate()

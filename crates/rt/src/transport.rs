@@ -321,7 +321,13 @@ impl ScriptTransport for SimTransport {
             .collect();
         let end = match self.deadline_ns {
             Some(ns) => session.run_until(SimTime::from_nanos(ns)),
-            None => session.run_until_quiet(),
+            // Unbudgeted quiescence runs cannot livelock-error; fall back
+            // to the error's timestamp rather than panicking if they ever
+            // could.
+            None => match session.run_until_quiet(None) {
+                Ok(t) => t,
+                Err(e) => e.at,
+            },
         };
         let stats = session.engine().stats();
         let outcomes = handles

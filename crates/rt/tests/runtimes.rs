@@ -29,14 +29,14 @@ fn sim_put_commit_get_across_session() {
             Op::Commit,
         ],
     );
-    let end = s.run_until_quiet();
+    let end = s.run_until_quiet(Some(5_000_000)).expect("no livelock");
     assert!(writer.borrow().finished);
     assert!(writer.borrow().op_err.iter().all(|&e| e == 0));
     assert!(end > SimTime::ZERO);
 
     // A reader at another leaf, in a second phase.
     let reader = ScriptClient::spawn(&mut s, Rank(33), vec![Op::Get { key: "sim.x".into() }]);
-    s.run_until_quiet();
+    s.run_until_quiet(Some(5_000_000)).expect("no livelock");
     let out = reader.borrow();
     assert!(out.finished);
     assert_eq!(out.op_err, [0]);
@@ -60,7 +60,7 @@ fn sim_fence_synchronizes_all_writers() {
             )
         })
         .collect();
-    s.run_until_quiet();
+    s.run_until_quiet(Some(5_000_000)).expect("no livelock");
     for (r, o) in outcomes.iter().enumerate() {
         let o = o.borrow();
         assert!(o.finished, "rank {r}");
@@ -89,7 +89,7 @@ fn sim_is_deterministic() {
                 )
             })
             .collect();
-        let end = s.run_until_quiet();
+        let end = s.run_until_quiet(Some(5_000_000)).expect("no livelock");
         let times: Vec<Vec<u64>> = outs
             .iter()
             .map(|o| o.borrow().op_done.iter().map(|t| t.as_nanos()).collect())
@@ -120,7 +120,7 @@ fn sim_sixteen_clients_per_node_like_the_paper() {
             ));
         }
     }
-    s.run_until_quiet();
+    s.run_until_quiet(Some(5_000_000)).expect("no livelock");
     for (i, o) in outcomes.iter().enumerate() {
         let o = o.borrow();
         assert!(o.finished, "proc {i}");

@@ -3,7 +3,7 @@
 use crate::actor::{Action, Actor, ActorId, Ctx, NodeId};
 use crate::net::NetParams;
 use crate::time::{SimDuration, SimTime};
-use flux_wire::Message;
+use flux_wire::{Message, MsgId, MsgType};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -39,6 +39,50 @@ struct Slot {
     dead: bool,
     tx_free: SimTime,
     rx_free: SimTime,
+}
+
+/// What a pending heap entry will do when dispatched, summarized for
+/// controlled-scheduling drivers (the flux-mc model checker). The
+/// payload itself stays inside the engine; the summary carries enough to
+/// classify the event and decide delivery order.
+#[derive(Clone, Debug)]
+pub enum PendingKind {
+    /// An actor's `on_start` call.
+    Start,
+    /// A timer firing with this token.
+    Timer {
+        /// The token the actor armed the timer with.
+        token: u64,
+    },
+    /// A message in flight. `handle == false` is the propagation leg
+    /// (wire transfer completing); `handle == true` is the delivery leg
+    /// (the receiver's handler will run).
+    Message {
+        /// Sending actor.
+        from: ActorId,
+        /// True for the delivery (handler) leg.
+        handle: bool,
+        /// Wire message type.
+        msg_type: MsgType,
+        /// Topic string.
+        topic: String,
+        /// Message id.
+        id: MsgId,
+    },
+}
+
+/// One pending heap entry, summarized for controlled scheduling.
+#[derive(Clone, Debug)]
+pub struct PendingEvent {
+    /// Scheduled virtual dispatch time (the default order's primary key).
+    pub at: SimTime,
+    /// Insertion sequence number: the default order's tie-break, and the
+    /// stable handle [`Engine::dispatch_pending`] accepts.
+    pub seq: u64,
+    /// Target actor.
+    pub to: ActorId,
+    /// Event classification.
+    pub kind: PendingKind,
 }
 
 /// The discrete-event engine: owns actors, the clock, and the event heap.
@@ -164,15 +208,131 @@ impl Engine {
                 self.now = deadline;
                 return self.now;
             }
-            let Reverse((t, _, idx)) = self.heap.pop().expect("peeked");
-            let kind = self.pending[idx].take().expect("event payload present");
-            self.free_pending.push(idx);
-            self.now = t;
-            self.stats.events += 1;
-            assert!(self.stats.events <= self.event_limit, "event limit exceeded: livelock?");
-            self.dispatch(kind);
+            self.pop_dispatch();
         }
         self.now
+    }
+
+    /// Like [`Engine::run`], but processes at most `budget` further
+    /// events. Returns the current virtual time and whether the run went
+    /// quiescent (heap drained or an actor stopped the simulation) within
+    /// the budget; `false` means events were still pending — a protocol
+    /// livelock if the caller expected quiescence.
+    pub fn run_budgeted(&mut self, budget: u64) -> (SimTime, bool) {
+        let mut left = budget;
+        while !self.stopped {
+            if self.heap.peek().is_none() {
+                return (self.now, true);
+            }
+            if left == 0 {
+                return (self.now, false);
+            }
+            left -= 1;
+            self.pop_dispatch();
+        }
+        (self.now, true)
+    }
+
+    /// Pops and dispatches the earliest pending event.
+    fn pop_dispatch(&mut self) {
+        let Some(Reverse((t, _, idx))) = self.heap.pop() else { return };
+        let Some(kind) = self.pending[idx].take() else { return };
+        self.free_pending.push(idx);
+        self.now = t;
+        self.stats.events += 1;
+        assert!(self.stats.events <= self.event_limit, "event limit exceeded: livelock?");
+        self.dispatch(kind);
+    }
+
+    // ----- controlled scheduling (model checking) --------------------------
+
+    /// Summarizes every pending heap entry in default dispatch order
+    /// (time, then insertion sequence). A controlled-scheduling driver
+    /// picks one and dispatches it with [`Engine::dispatch_pending`]; the
+    /// default schedule is always index 0.
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        let mut entries: Vec<(SimTime, u64, usize)> =
+            self.heap.iter().map(|&Reverse(e)| e).collect();
+        entries.sort_unstable();
+        entries
+            .into_iter()
+            .filter_map(|(at, seq, idx)| {
+                let kind = match self.pending.get(idx).and_then(Option::as_ref)? {
+                    EventKind::Start { .. } => PendingKind::Start,
+                    EventKind::Timer { token, .. } => PendingKind::Timer { token: *token },
+                    EventKind::Arrive { from, msg, .. } => PendingKind::Message {
+                        from: *from,
+                        handle: false,
+                        msg_type: msg.header.msg_type,
+                        topic: msg.header.topic.as_str().to_owned(),
+                        id: msg.header.id,
+                    },
+                    EventKind::Handle { from, msg, .. } => PendingKind::Message {
+                        from: *from,
+                        handle: true,
+                        msg_type: msg.header.msg_type,
+                        topic: msg.header.topic.as_str().to_owned(),
+                        id: msg.header.id,
+                    },
+                };
+                let to = match self.pending.get(idx).and_then(Option::as_ref)? {
+                    EventKind::Start { actor } | EventKind::Timer { actor, .. } => *actor,
+                    EventKind::Arrive { to, .. } | EventKind::Handle { to, .. } => *to,
+                };
+                Some(PendingEvent { at, seq, to, kind })
+            })
+            .collect()
+    }
+
+    /// Dispatches the pending entry with insertion sequence `seq` (from
+    /// [`Engine::pending_events`]) out of default order, clamping the
+    /// clock forward monotonically (virtual time never runs backwards,
+    /// so actor-visible timestamps stay sane under reordering). Returns
+    /// false if no such entry exists.
+    pub fn dispatch_pending(&mut self, seq: u64) -> bool {
+        let mut rest = Vec::with_capacity(self.heap.len());
+        let mut found = None;
+        while let Some(Reverse(entry)) = self.heap.pop() {
+            if entry.1 == seq {
+                found = Some(entry);
+                break;
+            }
+            rest.push(entry);
+        }
+        for e in rest {
+            self.heap.push(Reverse(e));
+        }
+        let Some((t, _, idx)) = found else { return false };
+        let Some(kind) = self.pending[idx].take() else { return false };
+        self.free_pending.push(idx);
+        self.now = self.now.max(t);
+        self.stats.events += 1;
+        self.dispatch(kind);
+        true
+    }
+
+    /// Duplicates a pending message entry (either leg), modelling a
+    /// transport-duplicated frame: the copy is re-enqueued at the same
+    /// time with a fresh sequence number, so the original still
+    /// dispatches first under the default order. Returns false if `seq`
+    /// is unknown or not a message event.
+    pub fn duplicate_pending(&mut self, seq: u64) -> bool {
+        let Some(&Reverse((t, _, idx))) =
+            self.heap.iter().find(|Reverse((_, s, _))| *s == seq)
+        else {
+            return false;
+        };
+        let dup = match self.pending.get(idx).and_then(Option::as_ref) {
+            Some(EventKind::Arrive { to, from, msg, bytes }) => {
+                EventKind::Arrive { to: *to, from: *from, msg: msg.clone(), bytes: *bytes }
+            }
+            Some(EventKind::Handle { to, from, msg, bytes }) => {
+                EventKind::Handle { to: *to, from: *from, msg: msg.clone(), bytes: *bytes }
+            }
+            _ => return false,
+        };
+        self.push_event(t, dup);
+        true
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -477,6 +637,75 @@ mod tests {
         let _b = eng.add_actor(n, Box::new(PingPong { peer: a }));
         eng.set_event_limit(1000);
         eng.run();
+    }
+
+    #[test]
+    fn controlled_dispatch_reorders_and_duplicates() {
+        let (mut eng, log) = two_node_setup(vec![64; 3]);
+        // Drain Start and propagation legs in default order; stop when
+        // only delivery (Handle) legs remain.
+        loop {
+            let pend = eng.pending_events();
+            let Some(next) = pend
+                .iter()
+                .find(|e| !matches!(e.kind, PendingKind::Message { handle: true, .. }))
+            else {
+                break;
+            };
+            assert!(eng.dispatch_pending(next.seq));
+        }
+        let handles = eng.pending_events();
+        assert_eq!(handles.len(), 3, "{handles:?}");
+        // Duplicate the middle delivery, then dispatch everything in
+        // reverse order: the recorder must see the reversed sequence
+        // with the duplicate in place.
+        assert!(eng.duplicate_pending(handles[1].seq));
+        for e in eng.pending_events().iter().rev() {
+            assert!(eng.dispatch_pending(e.seq));
+        }
+        let got: Vec<u64> = log.borrow().iter().map(|&(s, _)| s).collect();
+        assert_eq!(got, vec![2, 1, 1, 0]);
+        // Unknown seqs are rejected; timers/starts cannot be duplicated.
+        assert!(!eng.dispatch_pending(u64::MAX));
+        assert!(!eng.duplicate_pending(u64::MAX));
+    }
+
+    #[test]
+    fn controlled_dispatch_keeps_time_monotonic() {
+        let (mut eng, _log) = two_node_setup(vec![64; 2]);
+        // Dispatch the latest pending event first: the clock advances to
+        // its time and must not rewind when earlier events follow.
+        while let Some(last) = eng.pending_events().last().cloned() {
+            let before = eng.now();
+            assert!(eng.dispatch_pending(last.seq));
+            assert!(eng.now() >= before);
+        }
+    }
+
+    #[test]
+    fn run_budgeted_reports_livelock() {
+        struct PingPong {
+            peer: ActorId,
+        }
+        impl Actor for PingPong {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.send(self.peer, msg(0, 8));
+            }
+            fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ActorId, m: Message) {
+                ctx.send(from, m);
+            }
+        }
+        let mut eng = Engine::new(NetParams::default());
+        let n = eng.add_node();
+        let a = eng.add_actor(n, Box::new(PingPong { peer: 1 }));
+        let _b = eng.add_actor(n, Box::new(PingPong { peer: a }));
+        let (_, quiet) = eng.run_budgeted(500);
+        assert!(!quiet, "ping-pong never quiesces");
+
+        let (mut eng2, log) = two_node_setup(vec![64; 3]);
+        let (_, quiet) = eng2.run_budgeted(10_000);
+        assert!(quiet);
+        assert_eq!(log.borrow().len(), 3);
     }
 
     #[test]

@@ -79,6 +79,6 @@ mod net;
 mod time;
 
 pub use actor::{Actor, ActorId, Ctx, NodeId};
-pub use engine::{Engine, EngineStats};
+pub use engine::{Engine, EngineStats, PendingEvent, PendingKind};
 pub use net::NetParams;
 pub use time::{SimDuration, SimTime};

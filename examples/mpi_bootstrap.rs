@@ -47,7 +47,7 @@ fn main() {
         })
         .collect();
 
-    let end = session.run_until_quiet();
+    let end = session.run_until_quiet(None).expect("unbounded");
 
     let mut fence_done_max = 0u64;
     let mut wireup_done_max = 0u64;

@@ -37,7 +37,7 @@ fn sim_bootstrap_128_processes() {
             ScriptClient::spawn(&mut session, node, to_script(bootstrap_ops("it", g, procs, fanout)))
         })
         .collect();
-    session.run_until_quiet();
+    session.run_until_quiet(Some(20_000_000)).expect("no livelock");
     for (g, o) in outcomes.iter().enumerate() {
         let o = o.borrow();
         assert!(o.finished, "rank {g}");
