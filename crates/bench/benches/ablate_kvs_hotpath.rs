@@ -1,0 +1,42 @@
+//! Ablation A4 — the PR-5 KVS hot-path optimizations, measured in
+//! virtual time on the bench harness's margin workload: per-producer
+//! commits with redundant values and repeat consumer reads.
+//!
+//! Four configurations isolate each optimization's contribution:
+//! neither, batching only, lookup memo only, both (the shipped
+//! defaults). `BENCH_kap.json`'s `optimization` section records the
+//! committed neither-vs-both margin; this ablation maps the space.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flux_bench::{virtual_phase, Phase};
+use flux_kap::bench::{baseline_kvs, margin_params};
+use flux_kvs::KvsConfig;
+use std::time::Duration;
+
+fn ablate_kvs_hotpath(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablate_kvs_hotpath");
+    g.sample_size(10);
+    let variants: [(&str, KvsConfig); 4] = [
+        ("neither", baseline_kvs()),
+        ("batching", KvsConfig { lookup_cache: false, ..KvsConfig::default() }),
+        ("memo", KvsConfig { batch_window_ns: 0, ..KvsConfig::default() }),
+        ("both", KvsConfig::default()),
+    ];
+    for (name, kvs) in variants {
+        let p = margin_params(kvs);
+        let id = BenchmarkId::new("makespan", name);
+        g.bench_function(id, |b| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += virtual_phase(&p, Phase::Makespan);
+                }
+                total
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, ablate_kvs_hotpath);
+criterion_main!(benches);

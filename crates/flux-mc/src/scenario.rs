@@ -19,22 +19,38 @@ pub enum ModuleSet {
     Kvs {
         /// Duplicate-frame dedup at the KVS master (production: `true`).
         dedup: bool,
+        /// Master-side push batching. Legacy scenarios pin this `false`
+        /// so per-push version counts stay exact — a duplicated push
+        /// parked in the *same* batch as its original coalesces into one
+        /// version bump, which would hide the mutants' double-apply from
+        /// the version-overrun oracle.
+        batch: bool,
     },
     /// KVS plus the barrier module.
     KvsBarrier {
         /// Duplicate-frame dedup at the KVS master (production: `true`).
         dedup: bool,
+        /// Master-side push batching (see [`ModuleSet::Kvs`]).
+        batch: bool,
     },
 }
 
 impl ModuleSet {
+    fn kvs_config(dedup: bool, batch: bool) -> KvsConfig {
+        KvsConfig {
+            dedup,
+            batch_window_ns: if batch { KvsConfig::default().batch_window_ns } else { 0 },
+            ..KvsConfig::default()
+        }
+    }
+
     fn build(self) -> Vec<Box<dyn CommsModule>> {
         match self {
-            ModuleSet::Kvs { dedup } => {
-                vec![Box::new(KvsModule::with_config(KvsConfig { dedup, ..KvsConfig::default() }))]
+            ModuleSet::Kvs { dedup, batch } => {
+                vec![Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch)))]
             }
-            ModuleSet::KvsBarrier { dedup } => vec![
-                Box::new(KvsModule::with_config(KvsConfig { dedup, ..KvsConfig::default() })),
+            ModuleSet::KvsBarrier { dedup, batch } => vec![
+                Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch))),
                 Box::new(BarrierModule::new()),
             ],
         }
@@ -81,6 +97,7 @@ impl Scenario {
             "kvs_fence_mutant" => Some(Self::kvs_fence_mutant()),
             "kvs_commit" => Some(Self::kvs_commit()),
             "kvs_commit_mutant" => Some(Self::kvs_commit_mutant()),
+            "kvs_batch" => Some(Self::kvs_batch()),
             "barrier" => Some(Self::barrier()),
             _ => None,
         }
@@ -89,7 +106,7 @@ impl Scenario {
     /// Names of all scenarios expected to be violation-free on the live
     /// tree (the mutants are deliberately excluded).
     pub fn clean_names() -> &'static [&'static str] {
-        &["kvs_fence", "kvs_commit", "barrier"]
+        &["kvs_fence", "kvs_commit", "kvs_batch", "barrier"]
     }
 
     /// The flagship scenario: a 3-broker tree where two clients on
@@ -133,7 +150,7 @@ impl Scenario {
             name,
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup },
+            modules: ModuleSet::Kvs { dedup, batch: false },
             scripts: (0..NPROCS as usize).map(|i| (Rank(1 + (i as u32 % 2)), script(i))).collect(),
             // One fence = one root apply covering all write-back sets.
             expected_applies: 1,
@@ -170,7 +187,37 @@ impl Scenario {
             name,
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup },
+            modules: ModuleSet::Kvs { dedup, batch: false },
+            scripts: vec![(Rank(1), c1), (Rank(2), c2)],
+            expected_applies: 2,
+            post_fence: BTreeMap::new(),
+        }
+    }
+
+    /// [`Scenario::kvs_commit`] with master-side push batching enabled:
+    /// explores every interleaving of push arrival against the batch
+    /// window timer. The oracle bounds (version ≤ 2 applies,
+    /// read-your-writes in the history check) must hold whether the two
+    /// pushes coalesce into one walk or flush separately — and a batch
+    /// applied twice would still overrun the version bound.
+    pub fn kvs_batch() -> Scenario {
+        let c1 = vec![
+            Op::Put { key: "mc.bx".into(), val: Value::from(1i64) },
+            Op::Commit,
+            Op::Get { key: "mc.bx".into() },
+            Op::GetVersion,
+        ];
+        let c2 = vec![
+            Op::Put { key: "mc.by".into(), val: Value::from(2i64) },
+            Op::Commit,
+            Op::Get { key: "mc.by".into() },
+            Op::GetVersion,
+        ];
+        Scenario {
+            name: "kvs_batch",
+            size: 3,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup: true, batch: true },
             scripts: vec![(Rank(1), c1), (Rank(2), c2)],
             expected_applies: 2,
             post_fence: BTreeMap::new(),
@@ -191,7 +238,7 @@ impl Scenario {
             name: "barrier",
             size: 3,
             arity: 2,
-            modules: ModuleSet::KvsBarrier { dedup: true },
+            modules: ModuleSet::KvsBarrier { dedup: true, batch: false },
             scripts: vec![(Rank(1), ops(1)), (Rank(2), ops(2))],
             expected_applies: 0,
             post_fence: BTreeMap::new(),
@@ -205,8 +252,14 @@ mod tests {
 
     #[test]
     fn by_name_finds_every_builder() {
-        for name in ["kvs_fence", "kvs_fence_mutant", "kvs_commit", "kvs_commit_mutant", "barrier"]
-        {
+        for name in [
+            "kvs_fence",
+            "kvs_fence_mutant",
+            "kvs_commit",
+            "kvs_commit_mutant",
+            "kvs_batch",
+            "barrier",
+        ] {
             let s = Scenario::by_name(name).expect("known scenario");
             assert_eq!(s.name, name);
             assert!(!s.scripts.is_empty());

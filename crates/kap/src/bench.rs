@@ -1,0 +1,445 @@
+//! The KAP evaluation harness: a deterministic cell matrix over
+//! (value size × redundancy × transport), per-phase latency percentiles,
+//! commit throughput, and bytes-on-wire, emitted as the machine-readable
+//! `BENCH_kap.json` document CI smokes against.
+//!
+//! Simulator cells run in virtual time and are bit-for-bit reproducible:
+//! the same parameters always produce the same JSON. Live cells
+//! (`threads`, `tcp`) measure wall-clock latencies and vary run to run;
+//! regression checks therefore only compare `sim` cells.
+//!
+//! The harness also measures the KVS hot-path optimizations directly:
+//! [`optimization_report`] runs the redundant-consumer cell twice — once
+//! with master-side push batching and the slave lookup memo disabled
+//! (the pre-optimization KVS), once with the shipped defaults — and
+//! records the margin.
+
+use crate::runner::{run_kap_full, KapParams, KapRun, ProducerMode, SyncMode};
+use flux_kvs::KvsConfig;
+use flux_rt::transport::{SimTransport, TcpTransport, ThreadTransport};
+use flux_value::{Map, Value};
+
+/// Schema tag stamped into every document; bump on breaking layout
+/// changes so the CI smoke fails loudly instead of misreading fields.
+pub const SCHEMA: &str = "flux-kap-bench/v1";
+
+/// Which comms runtime a cell runs on.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TransportKind {
+    /// Discrete-event simulator: virtual time, deterministic.
+    Sim,
+    /// In-process OS threads, wall-clock.
+    Threads,
+    /// Loopback TCP sockets, wall-clock.
+    Tcp,
+}
+
+impl TransportKind {
+    /// Stable name used in cell ids and the JSON.
+    pub fn name(self) -> &'static str {
+        match self {
+            TransportKind::Sim => "sim",
+            TransportKind::Threads => "threads",
+            TransportKind::Tcp => "tcp",
+        }
+    }
+
+    /// Whether results are deterministic across runs.
+    pub fn deterministic(self) -> bool {
+        self == TransportKind::Sim
+    }
+
+    fn run(self, p: &KapParams) -> KapRun {
+        match self {
+            TransportKind::Sim => {
+                run_kap_full(p, &SimTransport { net: p.net, ..SimTransport::default() })
+            }
+            TransportKind::Threads => run_kap_full(p, &ThreadTransport),
+            TransportKind::Tcp => run_kap_full(p, &TcpTransport::default()),
+        }
+    }
+}
+
+/// One benchmark cell: a named KAP configuration on one transport.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Stable id, e.g. `sim/v512/redundant`.
+    pub name: String,
+    /// Runtime the cell runs on.
+    pub transport: TransportKind,
+    /// The full KAP configuration.
+    pub params: KapParams,
+}
+
+/// Nearest-rank percentile of a sorted slice.
+fn pct(sorted: &[u64], p: usize) -> u64 {
+    sorted[(sorted.len() - 1) * p / 100]
+}
+
+fn phase_value(mut lats: Vec<u64>) -> Value {
+    lats.sort_unstable();
+    Value::from_pairs([
+        ("p50_ns", Value::from(pct(&lats, 50) as i64)),
+        ("p99_ns", Value::from(pct(&lats, 99) as i64)),
+        ("max_ns", Value::from(*lats.last().expect("nonempty") as i64)),
+    ])
+}
+
+/// Runs one cell and renders its JSON record.
+pub fn run_cell(cell: &Cell) -> Value {
+    let run = cell.transport.run(&cell.params);
+    cell_value(cell, &run)
+}
+
+fn cell_value(cell: &Cell, run: &KapRun) -> Value {
+    let p = &cell.params;
+    let producer: Vec<u64> = run.phases.iter().map(|ph| ph.producer_ns).collect();
+    let sync: Vec<u64> = run.phases.iter().map(|ph| ph.sync_ns).collect();
+    let consumer: Vec<u64> = run.phases.iter().map(|ph| ph.consumer_ns).collect();
+    // Commit throughput: every producer's write-back set lands exactly
+    // once (one commit or one fence contribution); the denominator is
+    // the critical path from barrier exit to sync completion.
+    let commit_window_ns = pct(&{
+        let mut v: Vec<u64> = run
+            .phases
+            .iter()
+            .map(|ph| ph.producer_ns + ph.sync_ns)
+            .collect();
+        v.sort_unstable();
+        v
+    }, 100)
+    .max(1);
+    let throughput = p.producers as f64 * 1e9 / commit_window_ns as f64;
+    Value::from_pairs([
+        ("name", Value::from(cell.name.as_str())),
+        ("transport", Value::from(cell.transport.name())),
+        ("deterministic", Value::from(cell.transport.deterministic())),
+        ("value_size", Value::from(p.value_size)),
+        ("redundant", Value::from(p.redundant)),
+        ("nodes", Value::from(p.nodes)),
+        ("procs_per_node", Value::from(p.procs_per_node)),
+        ("producers", Value::from(p.producers as i64)),
+        ("consumers", Value::from(p.consumers as i64)),
+        ("nputs", Value::from(p.nputs as i64)),
+        ("naccess", Value::from(p.naccess as i64)),
+        (
+            "sync",
+            Value::from(match p.sync_mode {
+                SyncMode::Fence => "fence",
+                SyncMode::WaitVersion => "wait_version",
+            }),
+        ),
+        (
+            "producer_mode",
+            Value::from(match p.producer_mode {
+                ProducerMode::Fence => "fence",
+                ProducerMode::Commit => "commit",
+            }),
+        ),
+        (
+            "phases",
+            Value::from_pairs([
+                ("producer", phase_value(producer)),
+                ("sync", phase_value(sync)),
+                ("consumer", phase_value(consumer)),
+            ]),
+        ),
+        ("makespan_ns", Value::from(run.makespan_ns as i64)),
+        ("commit_throughput_per_s", Value::Float(throughput)),
+        ("bytes_on_wire", Value::from(run.bytes as i64)),
+        ("events", Value::from(run.events as i64)),
+    ])
+}
+
+fn base_params(value_size: usize, redundant: bool) -> KapParams {
+    let mut p = KapParams::fully_populated(4);
+    p.procs_per_node = 4;
+    p.producers = p.total_procs();
+    p.consumers = p.total_procs();
+    p.value_size = value_size;
+    p.redundant = redundant;
+    p.nputs = 2;
+    p.naccess = 4;
+    p
+}
+
+/// The benchmark matrix: (value size × redundancy × transport) cells,
+/// plus one wait_version-sync cell per transport. `quick` restricts to
+/// the deterministic simulator cells — the CI smoke matrix.
+pub fn matrix_cells(quick: bool) -> Vec<Cell> {
+    let transports = if quick {
+        vec![TransportKind::Sim]
+    } else {
+        vec![TransportKind::Sim, TransportKind::Threads, TransportKind::Tcp]
+    };
+    let mut cells = Vec::new();
+    for &t in &transports {
+        for &value_size in &[8usize, 512, 8192] {
+            for &redundant in &[false, true] {
+                let tag = if redundant { "redundant" } else { "unique" };
+                cells.push(Cell {
+                    name: format!("{}/v{value_size}/{tag}", t.name()),
+                    transport: t,
+                    params: base_params(value_size, redundant),
+                });
+            }
+        }
+        // A causal-sync cell: single producer commits, every consumer
+        // wait_versions then reads — the KVS commit/wait hot path with
+        // no collective.
+        let mut p = base_params(512, false);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        p.producers = 1;
+        p.nputs = 8;
+        p.naccess = 4;
+        cells.push(Cell {
+            name: format!("{}/wait_version/v512", t.name()),
+            transport: t,
+            params: p,
+        });
+    }
+    cells
+}
+
+/// The redundant-consumer margin cell: concurrent per-producer commits
+/// (the push-batching hot path) with redundant values and repeat
+/// consumer reads (the lookup-memo hot path).
+pub fn margin_params(kvs: KvsConfig) -> KapParams {
+    let mut p = KapParams::fully_populated(8);
+    p.procs_per_node = 4;
+    p.producers = p.total_procs();
+    p.consumers = p.total_procs();
+    p.value_size = 4096;
+    p.redundant = true;
+    p.nputs = 2;
+    p.naccess = 8;
+    p.producer_mode = ProducerMode::Commit;
+    p.kvs = kvs;
+    p
+}
+
+/// The pre-optimization KVS: no master-side push batching, no slave
+/// lookup memo — exactly the pre-PR hot path.
+pub fn baseline_kvs() -> KvsConfig {
+    KvsConfig { batch_window_ns: 0, lookup_cache: false, ..KvsConfig::default() }
+}
+
+fn margin_side(kvs: KvsConfig) -> (KapRun, Value) {
+    let p = margin_params(kvs);
+    let run = TransportKind::Sim.run(&p);
+    let v = Value::from_pairs([
+        ("makespan_ns", Value::from(run.makespan_ns as i64)),
+        ("bytes_on_wire", Value::from(run.bytes as i64)),
+        ("events", Value::from(run.events as i64)),
+        (
+            "producer_max_ns",
+            Value::from(run.phases.iter().map(|ph| ph.producer_ns).max().unwrap_or(0) as i64),
+        ),
+        (
+            "consumer_max_ns",
+            Value::from(run.phases.iter().map(|ph| ph.consumer_ns).max().unwrap_or(0) as i64),
+        ),
+    ]);
+    (run, v)
+}
+
+/// Runs the redundant-consumer cell against both KVS configurations and
+/// reports the measured optimization margin (deterministic: sim only).
+pub fn optimization_report() -> Value {
+    let (base_run, base_v) = margin_side(baseline_kvs());
+    let (opt_run, opt_v) = margin_side(KvsConfig::default());
+    let speedup = base_run.makespan_ns as f64 / opt_run.makespan_ns.max(1) as f64;
+    let bytes_saved = base_run.bytes.saturating_sub(opt_run.bytes);
+    Value::from_pairs([
+        ("cell", Value::from("sim/v4096/redundant-consumers")),
+        ("baseline", base_v),
+        ("optimized", opt_v),
+        ("makespan_speedup", Value::Float(speedup)),
+        ("bytes_saved", Value::from(bytes_saved as i64)),
+        (
+            "events_saved",
+            Value::from(base_run.events.saturating_sub(opt_run.events) as i64),
+        ),
+    ])
+}
+
+/// Runs the whole matrix and assembles the `BENCH_kap.json` document.
+pub fn run_matrix(quick: bool) -> Value {
+    let cells = matrix_cells(quick);
+    let mut rendered = Vec::with_capacity(cells.len());
+    for c in &cells {
+        rendered.push(run_cell(c));
+    }
+    let mut doc = Map::new();
+    doc.insert("schema".into(), Value::from(SCHEMA));
+    doc.insert("quick".into(), Value::from(quick));
+    doc.insert(
+        "matrix".into(),
+        Value::from_pairs([
+            ("value_sizes", Value::Array(vec![Value::from(8), Value::from(512), Value::from(8192)])),
+            ("redundancy", Value::Array(vec![Value::from(false), Value::from(true)])),
+            (
+                "transports",
+                Value::Array(if quick {
+                    vec![Value::from("sim")]
+                } else {
+                    vec![Value::from("sim"), Value::from("threads"), Value::from("tcp")]
+                }),
+            ),
+        ]),
+    );
+    doc.insert("cells".into(), Value::Array(rendered));
+    doc.insert("optimization".into(), optimization_report());
+    Value::Object(doc)
+}
+
+/// Validates the shape of a `BENCH_kap.json` document. Returns a list
+/// of problems; empty means the schema holds.
+pub fn check_schema(doc: &Value) -> Vec<String> {
+    let mut errs = Vec::new();
+    if doc.get("schema").and_then(Value::as_str) != Some(SCHEMA) {
+        errs.push(format!("schema tag is not {SCHEMA:?}"));
+    }
+    let Some(cells) = doc.get("cells").and_then(Value::as_array) else {
+        errs.push("missing cells array".into());
+        return errs;
+    };
+    if cells.is_empty() {
+        errs.push("cells array is empty".into());
+    }
+    for (i, c) in cells.iter().enumerate() {
+        for key in [
+            "name",
+            "transport",
+            "value_size",
+            "redundant",
+            "phases",
+            "makespan_ns",
+            "commit_throughput_per_s",
+            "bytes_on_wire",
+        ] {
+            if c.get(key).is_none() {
+                errs.push(format!("cell {i}: missing {key}"));
+            }
+        }
+        let Some(phases) = c.get("phases") else { continue };
+        for phase in ["producer", "sync", "consumer"] {
+            let Some(p) = phases.get(phase) else {
+                errs.push(format!("cell {i}: missing phase {phase}"));
+                continue;
+            };
+            for stat in ["p50_ns", "p99_ns", "max_ns"] {
+                if p.get(stat).and_then(Value::as_int).is_none() {
+                    errs.push(format!("cell {i}: phase {phase} missing {stat}"));
+                }
+            }
+        }
+    }
+    let Some(opt) = doc.get("optimization") else {
+        errs.push("missing optimization report".into());
+        return errs;
+    };
+    for key in ["cell", "baseline", "optimized", "makespan_speedup", "bytes_saved"] {
+        if opt.get(key).is_none() {
+            errs.push(format!("optimization: missing {key}"));
+        }
+    }
+    errs
+}
+
+/// Compares deterministic (sim) cells of a fresh run against a reference
+/// document. Returns problems; empty means every matched cell is within
+/// `factor`× of the reference makespan (and no sim cell disappeared).
+pub fn check_regression(current: &Value, reference: &Value, factor: f64) -> Vec<String> {
+    let mut errs = Vec::new();
+    let empty = Vec::new();
+    let cur = current.get("cells").and_then(Value::as_array).unwrap_or(&empty);
+    let refs = reference.get("cells").and_then(Value::as_array).unwrap_or(&empty);
+    for r in refs {
+        if r.get("deterministic").and_then(Value::as_bool) != Some(true) {
+            continue;
+        }
+        let Some(name) = r.get("name").and_then(Value::as_str) else { continue };
+        let Some(c) = cur
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+        else {
+            errs.push(format!("reference cell {name} missing from current run"));
+            continue;
+        };
+        let r_ms = r.get("makespan_ns").and_then(Value::as_int).unwrap_or(0).max(1) as f64;
+        let c_ms = c.get("makespan_ns").and_then(Value::as_int).unwrap_or(0) as f64;
+        if c_ms > r_ms * factor {
+            errs.push(format!(
+                "cell {name}: makespan {c_ms} > {factor}x reference {r_ms}"
+            ));
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_matrix_is_deterministic_and_well_formed() {
+        let a = run_matrix(true);
+        let b = run_matrix(true);
+        assert_eq!(a.to_json(), b.to_json(), "sim matrix must be reproducible");
+        assert!(check_schema(&a).is_empty(), "{:?}", check_schema(&a));
+    }
+
+    #[test]
+    fn quick_matrix_covers_the_parameter_space() {
+        let cells = matrix_cells(true);
+        // 3 value sizes x 2 redundancy + 1 wait_version cell, sim only.
+        assert_eq!(cells.len(), 7);
+        assert!(cells.iter().all(|c| c.transport == TransportKind::Sim));
+        let full = matrix_cells(false);
+        assert_eq!(full.len(), 21, "3 transports x 7 cells");
+    }
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let v = phase_value(vec![10, 20, 30, 40]);
+        assert_eq!(v.get("p50_ns").and_then(Value::as_int), Some(20));
+        assert_eq!(v.get("max_ns").and_then(Value::as_int), Some(40));
+    }
+
+    #[test]
+    fn regression_check_flags_slowdowns_only() {
+        let reference = run_matrix(true);
+        assert!(check_regression(&reference, &reference, 2.0).is_empty());
+        // A fabricated 3x slower "current" run must trip the check.
+        let mut slow = reference.clone();
+        if let Value::Object(doc) = &mut slow {
+            if let Some(Value::Array(cells)) = doc.get_mut("cells") {
+                if let Some(Value::Object(cell)) = cells.first_mut() {
+                    let ms = cell.get("makespan_ns").and_then(Value::as_int).unwrap();
+                    cell.insert("makespan_ns".into(), Value::from(ms * 3));
+                }
+            }
+        }
+        assert!(!check_regression(&slow, &reference, 2.0).is_empty());
+    }
+
+    #[test]
+    fn optimization_margin_is_measured_and_positive() {
+        let report = optimization_report();
+        let speedup = match report.get("makespan_speedup") {
+            Some(Value::Float(f)) => *f,
+            other => panic!("{other:?}"),
+        };
+        let bytes_saved = report.get("bytes_saved").and_then(Value::as_int).unwrap();
+        assert!(
+            bytes_saved > 0,
+            "batching must cut setroot broadcast bytes (saved {bytes_saved})"
+        );
+        assert!(
+            speedup > 1.0,
+            "optimized path must beat the pre-PR baseline (speedup {speedup})"
+        );
+    }
+}

@@ -2,14 +2,23 @@
 //!
 //! ```text
 //! kap [--quick] [fig2|fig3|fig4a|fig4b|model|table1|all]
+//! kap bench [--quick] [--out FILE] [--check REF]
 //! ```
 //!
 //! Full mode sweeps the paper's scales (64–512 nodes × 16 processes =
 //! 1024–8192 testers). `--quick` runs a reduced sweep for smoke testing.
 //! Output is markdown; EXPERIMENTS.md embeds it.
+//!
+//! `bench` runs the evaluation-harness matrix instead and emits the
+//! machine-readable `BENCH_kap.json` document (schema
+//! `flux-kap-bench/v1`). `--quick` restricts to the deterministic
+//! simulator cells; `--check REF` validates the fresh run against a
+//! committed reference (schema + ≤2× makespan on sim cells) and exits
+//! non-zero on failure — the CI bench-smoke job.
 
 #![forbid(unsafe_code)]
 
+use flux_kap::bench;
 use flux_kap::layout::DirLayout;
 use flux_kap::model;
 use flux_kap::report::{ms, Table};
@@ -258,8 +267,60 @@ fn table1() {
     println!("{}", t.render());
 }
 
+/// The `bench` subcommand: run the matrix, write/print the JSON, and
+/// optionally gate against a reference document.
+fn bench_cmd(args: &[String]) {
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    eprintln!("KAP bench: running {} matrix…", if quick { "quick (sim-only)" } else { "full" });
+    let doc = bench::run_matrix(quick);
+    let schema_errs = bench::check_schema(&doc);
+    if !schema_errs.is_empty() {
+        for e in &schema_errs {
+            eprintln!("schema: {e}");
+        }
+        std::process::exit(1);
+    }
+    let json = doc.to_json_pretty();
+    match flag_value("--out") {
+        Some(path) => {
+            std::fs::write(path, format!("{json}\n")).expect("write bench output");
+            eprintln!("KAP bench: wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    if let Some(ref_path) = flag_value("--check") {
+        let text = std::fs::read_to_string(ref_path).expect("read reference");
+        let reference = match flux_value::Value::parse(&text) {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("check: reference {ref_path} is not valid JSON: {e:?}");
+                std::process::exit(1);
+            }
+        };
+        let mut errs = bench::check_schema(&reference);
+        errs.extend(bench::check_regression(&doc, &reference, 2.0));
+        if !errs.is_empty() {
+            for e in &errs {
+                eprintln!("check: {e}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("KAP bench: within 2x of {ref_path} on all deterministic cells");
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("bench") {
+        bench_cmd(&args[1..]);
+        return;
+    }
     let quick = args.iter().any(|a| a == "--quick");
     let what = args.iter().find(|a| !a.starts_with("--")).map(String::as_str).unwrap_or("all");
     let cfg = Cfg::new(quick);

@@ -27,9 +27,13 @@
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
+pub mod bench;
 pub mod layout;
 pub mod model;
 pub mod report;
 mod runner;
 
-pub use runner::{run_kap, run_kap_on, KapParams, KapResult, Role};
+pub use runner::{
+    run_kap, run_kap_full, run_kap_on, KapParams, KapResult, KapRun, ProcPhases, ProducerMode,
+    Role, SyncMode,
+};

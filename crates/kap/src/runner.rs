@@ -28,6 +28,30 @@ pub enum Role {
     Idle,
 }
 
+/// How producers make their writes durable.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ProducerMode {
+    /// Writes ride the collective fence (the paper's KAP shape): puts
+    /// stage locally and travel as merged fence contributions.
+    Fence,
+    /// Each producer issues an explicit `kvs.commit` after its puts:
+    /// independent commits travel as concurrent `kvs.push` requests —
+    /// the master-side batching hot path.
+    Commit,
+}
+
+/// How consumers learn the producers' writes are visible.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SyncMode {
+    /// Everyone enters `kvs.fence` (collective commit + barrier in one).
+    Fence,
+    /// Consumers `kvs.wait_version` for the producer's commit (causal
+    /// consistency, no collective). Requires [`ProducerMode::Commit`]
+    /// and a single producer, so the target version is exact even when
+    /// the master coalesces pushes.
+    WaitVersion,
+}
+
 /// One KAP configuration (paper §V-A parameter space).
 #[derive(Clone, Debug)]
 pub struct KapParams {
@@ -56,6 +80,14 @@ pub struct KapParams {
     pub arity: u32,
     /// Simulated network parameters.
     pub net: NetParams,
+    /// How producers persist their writes.
+    pub producer_mode: ProducerMode,
+    /// How consumers synchronize with the producers.
+    pub sync_mode: SyncMode,
+    /// KVS tuning for every broker in the session (batching, lookup
+    /// memo, fence window) — the knob the optimization margin cell
+    /// flips between baseline and optimized.
+    pub kvs: KvsConfig,
 }
 
 impl KapParams {
@@ -77,6 +109,9 @@ impl KapParams {
             layout: DirLayout::Single,
             arity: 2,
             net: NetParams::default(),
+            producer_mode: ProducerMode::Fence,
+            sync_mode: SyncMode::Fence,
+            kvs: KvsConfig::default(),
         }
     }
 
@@ -114,6 +149,19 @@ impl KapParams {
         assert!(self.producers > 0, "need at least one producer");
         assert!(self.value_size >= 8, "values are at least 8 bytes (gid prefix)");
         assert!(self.nputs > 0, "producers must put");
+        if self.sync_mode == SyncMode::WaitVersion {
+            assert_eq!(
+                self.producer_mode,
+                ProducerMode::Commit,
+                "wait_version sync needs explicit commits"
+            );
+            assert_eq!(
+                self.producers, 1,
+                "wait_version sync needs a single producer: with more, the \
+                 master may coalesce pushes and the target version is not \
+                 knowable in advance"
+            );
+        }
     }
 }
 
@@ -134,8 +182,18 @@ pub struct KapResult {
     pub bytes: u64,
 }
 
-/// The ops for one tester process.
-fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
+/// Where one process's phase boundaries sit in its op list.
+#[derive(Clone, Copy, Debug)]
+struct OpLayout {
+    /// Index of the last producer-phase op (0 = no producer ops; the
+    /// setup barrier sits at index 0).
+    produce_end: usize,
+    /// Index of the synchronization op, if this process has one.
+    sync_at: Option<usize>,
+}
+
+/// The ops for one tester process, plus its phase layout.
+fn script_for(p: &KapParams, gid: u64) -> (Vec<Op>, OpLayout) {
     let procs = p.total_procs();
     let mut ops = vec![Op::Barrier { name: "kap.setup".into(), nprocs: procs }];
     let role = p.role_of(gid);
@@ -147,10 +205,28 @@ fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
                 val: value_for(obj, p.value_size, p.redundant),
             });
         }
+        if p.producer_mode == ProducerMode::Commit {
+            ops.push(Op::Commit);
+        }
     }
-    // Everyone participates in the consistency protocol (paper: "all of
-    // the producers and consumers enter the synchronization phase").
-    ops.push(Op::Fence { name: "kap.sync".into(), nprocs: procs });
+    let produce_end = ops.len() - 1;
+    let sync_at = match p.sync_mode {
+        // Everyone participates in the collective (paper: "all of the
+        // producers and consumers enter the synchronization phase").
+        SyncMode::Fence => {
+            ops.push(Op::Fence { name: "kap.sync".into(), nprocs: procs });
+            Some(ops.len() - 1)
+        }
+        // Only readers wait; the producer's own commit ack is its sync
+        // point (read-your-writes).
+        SyncMode::WaitVersion if matches!(role, Role::Consumer | Role::Both) => {
+            // One commit per producer; `validate` pins producers == 1 so
+            // this target is exact even under master-side batching.
+            ops.push(Op::WaitVersion(p.producers));
+            Some(ops.len() - 1)
+        }
+        SyncMode::WaitVersion => None,
+    };
     if matches!(role, Role::Consumer | Role::Both) {
         let total = p.total_objects();
         let start = gid.wrapping_mul(p.stride) % total;
@@ -159,7 +235,36 @@ fn script_for(p: &KapParams, gid: u64) -> Vec<Op> {
             ops.push(Op::Get { key: key_for(p.layout, obj) });
         }
     }
-    ops
+    (ops, OpLayout { produce_end, sync_at })
+}
+
+/// One process's observed phase latencies (ns).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcPhases {
+    /// Producer phase: setup-barrier exit → last put/commit ack. Zero
+    /// for pure consumers.
+    pub producer_ns: u64,
+    /// Synchronization phase: producer end → fence/wait_version done.
+    /// Zero for processes with no sync op (producers in wait_version
+    /// mode — their commit ack is the sync point).
+    pub sync_ns: u64,
+    /// Consumer phase: sync done → last get done. Zero for pure
+    /// producers.
+    pub consumer_ns: u64,
+}
+
+/// A full KAP run: per-process phase latencies plus transport totals —
+/// the input the bench harness aggregates into percentiles.
+#[derive(Clone, Debug)]
+pub struct KapRun {
+    /// Per-process phases, indexed by global process id.
+    pub phases: Vec<ProcPhases>,
+    /// Virtual (sim) or wall-clock (live) time for the whole run, ns.
+    pub makespan_ns: u64,
+    /// Engine events processed (sim only; 0 on live transports).
+    pub events: u64,
+    /// Bytes moved over all links (sim only; 0 on live transports).
+    pub bytes: u64,
 }
 
 /// Runs one KAP configuration to completion on the simulator (the
@@ -168,34 +273,59 @@ pub fn run_kap(params: &KapParams) -> KapResult {
     run_kap_on(params, &SimTransport { net: params.net, ..SimTransport::default() })
 }
 
-/// Runs one KAP configuration on any script-capable transport: the
-/// simulator, OS threads, or loopback TCP. Live transports report
-/// wall-clock phase latencies and zero engine events/bytes.
+/// Runs one KAP configuration on any script-capable transport and
+/// reduces to the paper's metric: maximum phase latency across
+/// processes.
 pub fn run_kap_on(params: &KapParams, transport: &dyn ScriptTransport) -> KapResult {
+    let run = run_kap_full(params, transport);
+    let mut producer_ns = 0u64;
+    let mut sync_ns = 0u64;
+    let mut consumer_ns = 0u64;
+    for p in &run.phases {
+        producer_ns = producer_ns.max(p.producer_ns);
+        sync_ns = sync_ns.max(p.sync_ns);
+        consumer_ns = consumer_ns.max(p.consumer_ns);
+    }
+    KapResult {
+        producer_ns,
+        sync_ns,
+        consumer_ns,
+        makespan_ns: run.makespan_ns,
+        events: run.events,
+        bytes: run.bytes,
+    }
+}
+
+/// Runs one KAP configuration on any script-capable transport — the
+/// simulator, OS threads, or loopback TCP — and reports every process's
+/// phase latencies. Live transports report wall-clock latencies and zero
+/// engine events/bytes.
+pub fn run_kap_full(params: &KapParams, transport: &dyn ScriptTransport) -> KapRun {
     params.validate();
 
     // Launch testers: consecutive global ranks on consecutive nodes
     // ("consecutive rank processes are distributed to consecutive
     // nodes"), i.e. round-robin placement.
     let procs = params.total_procs();
+    let mut layouts = Vec::with_capacity(procs as usize);
     let scripts: Vec<(Rank, Vec<Op>)> = (0..procs)
         .map(|gid| {
             let node = Rank((gid % u64::from(params.nodes)) as u32);
-            (node, script_for(params, gid))
+            let (ops, layout) = script_for(params, gid);
+            layouts.push(layout);
+            (node, ops)
         })
         .collect();
 
-    let report = transport.run_scripts(params.nodes, params.arity, &|_| {
+    let kvs = params.kvs;
+    let report = transport.run_scripts(params.nodes, params.arity, &move |_| {
         vec![
-            Box::new(KvsModule::with_config(KvsConfig::default())) as Box<dyn CommsModule>,
+            Box::new(KvsModule::with_config(kvs)) as Box<dyn CommsModule>,
             Box::new(BarrierModule::new()),
         ]
     }, scripts);
 
-    // Aggregate phase maxima.
-    let mut producer_ns = 0u64;
-    let mut sync_ns = 0u64;
-    let mut consumer_ns = 0u64;
+    let mut phases = Vec::with_capacity(procs as usize);
     for (gid, out) in report.outcomes.iter().enumerate() {
         assert!(out.finished, "process {gid} did not finish its script");
         assert!(
@@ -203,31 +333,20 @@ pub fn run_kap_on(params: &KapParams, transport: &dyn ScriptTransport) -> KapRes
             "process {gid} had op errors: {:?}",
             out.op_err
         );
-        let role = params.role_of(gid as u64);
-        let n_puts = if matches!(role, Role::Producer | Role::Both) { params.nputs } else { 0 };
-        // Op order: [barrier, puts.., fence, gets..].
+        let layout = layouts[gid];
         let barrier_done = out.op_done_ns[0];
-        let put_end = out.op_done_ns[n_puts as usize];
-        let fence_idx = 1 + n_puts as usize;
-        let fence_done = out.op_done_ns[fence_idx];
-        if n_puts > 0 {
-            producer_ns = producer_ns.max(put_end - barrier_done);
-        }
-        sync_ns = sync_ns.max(fence_done - put_end);
-        if out.op_done_ns.len() > fence_idx + 1 {
-            let last_get = *out.op_done_ns.last().expect("nonempty");
-            consumer_ns = consumer_ns.max(last_get - fence_done);
-        }
+        let produce_end = out.op_done_ns[layout.produce_end];
+        let sync_done = layout.sync_at.map(|i| out.op_done_ns[i]).unwrap_or(produce_end);
+        let consumer_end = *out.op_done_ns.last().expect("nonempty");
+        let has_gets = out.op_done_ns.len() - 1 > layout.sync_at.unwrap_or(layout.produce_end);
+        phases.push(ProcPhases {
+            producer_ns: produce_end - barrier_done,
+            sync_ns: sync_done - produce_end,
+            consumer_ns: if has_gets { consumer_end - sync_done } else { 0 },
+        });
     }
 
-    KapResult {
-        producer_ns,
-        sync_ns,
-        consumer_ns,
-        makespan_ns: report.makespan_ns,
-        events: report.events,
-        bytes: report.bytes,
-    }
+    KapRun { phases, makespan_ns: report.makespan_ns, events: report.events, bytes: report.bytes }
 }
 
 #[cfg(test)]
@@ -259,12 +378,69 @@ mod tests {
     #[test]
     fn script_shape_matches_phases() {
         let p = quick(2);
-        let ops = script_for(&p, 0);
+        let (ops, layout) = script_for(&p, 0);
         assert!(matches!(ops[0], Op::Barrier { .. }));
         assert!(matches!(ops[1], Op::Put { .. }));
         assert!(matches!(ops[2], Op::Fence { .. }));
         assert!(matches!(ops[3], Op::Get { .. }));
         assert_eq!(ops.len(), 4);
+        assert_eq!(layout.produce_end, 1);
+        assert_eq!(layout.sync_at, Some(2));
+    }
+
+    #[test]
+    fn commit_mode_appends_a_commit_per_producer() {
+        let mut p = quick(2);
+        p.producer_mode = ProducerMode::Commit;
+        let (ops, layout) = script_for(&p, 0);
+        assert!(matches!(ops[1], Op::Put { .. }));
+        assert!(matches!(ops[2], Op::Commit));
+        assert!(matches!(ops[3], Op::Fence { .. }));
+        assert_eq!(layout.produce_end, 2);
+        assert_eq!(layout.sync_at, Some(3));
+    }
+
+    #[test]
+    fn wait_version_sync_replaces_the_fence_for_consumers() {
+        let mut p = quick(2);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        p.producers = 1;
+        // gid 0 is Both: put, commit, wait, get.
+        let (ops, layout) = script_for(&p, 0);
+        assert!(matches!(ops[2], Op::Commit));
+        assert!(matches!(ops[3], Op::WaitVersion(1)));
+        assert_eq!(layout.sync_at, Some(3));
+        // gid 1 is a pure consumer: barrier, wait, get.
+        let (ops, layout) = script_for(&p, 1);
+        assert!(matches!(ops[1], Op::WaitVersion(1)));
+        assert!(matches!(ops[2], Op::Get { .. }));
+        assert_eq!(layout.sync_at, Some(1));
+    }
+
+    #[test]
+    fn wait_version_run_completes_and_reads_latest() {
+        let mut p = quick(4);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        p.producers = 1;
+        p.nputs = 4;
+        p.naccess = 2;
+        let run = run_kap_full(&p, &SimTransport { net: p.net, ..SimTransport::default() });
+        assert_eq!(run.phases.len(), p.total_procs() as usize);
+        // Consumers waited and read: their sync + consumer phases cost time.
+        let consumer = run.phases[(p.total_procs() - 1) as usize];
+        assert!(consumer.sync_ns > 0, "wait_version costs time");
+        assert!(consumer.consumer_ns > 0, "gets cost time");
+    }
+
+    #[test]
+    #[should_panic(expected = "single producer")]
+    fn wait_version_rejects_multiple_producers() {
+        let mut p = quick(2);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        run_kap(&p);
     }
 
     #[test]

@@ -1,0 +1,74 @@
+//! Harness-level guarantees for the KAP bench matrix:
+//!
+//! * determinism — the sim-only matrix is byte-identical run to run;
+//! * schema — the committed `BENCH_kap.json` golden file validates, and
+//!   a fresh run matches its deterministic cells' exact numbers;
+//! * regression — a fresh quick run stays within 2× of the golden file
+//!   (the same gate the CI bench-smoke job applies).
+
+use flux_kap::bench;
+use flux_value::Value;
+
+fn golden() -> Value {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kap.json");
+    let text = std::fs::read_to_string(path).expect("committed BENCH_kap.json");
+    Value::parse(&text).expect("BENCH_kap.json parses")
+}
+
+#[test]
+fn sim_matrix_is_byte_identical_across_runs() {
+    let a = bench::run_matrix(true).to_json_pretty();
+    let b = bench::run_matrix(true).to_json_pretty();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn golden_file_passes_the_schema_check() {
+    let doc = golden();
+    let errs = bench::check_schema(&doc);
+    assert!(errs.is_empty(), "{errs:?}");
+    // The acceptance floor: at least 12 (value size x redundancy x
+    // transport) cells.
+    let cells = doc.get("cells").and_then(Value::as_array).unwrap();
+    assert!(cells.len() >= 12, "only {} cells committed", cells.len());
+    // And the optimization margin is recorded and positive.
+    let opt = doc.get("optimization").unwrap();
+    assert!(opt.get("makespan_speedup").and_then(Value::as_float).unwrap() > 1.0);
+    assert!(opt.get("bytes_saved").and_then(Value::as_int).unwrap() > 0);
+}
+
+#[test]
+fn fresh_quick_run_is_within_2x_of_the_golden_file() {
+    let current = bench::run_matrix(true);
+    let mut errs = bench::check_schema(&current);
+    errs.extend(bench::check_regression(&current, &golden(), 2.0));
+    assert!(errs.is_empty(), "{errs:?}");
+}
+
+/// Deterministic cells of the golden file reproduce *exactly*, not just
+/// within the regression factor — any sim-visible change to the KVS hot
+/// path must regenerate `BENCH_kap.json` (`kap bench --out BENCH_kap.json`).
+#[test]
+fn golden_sim_cells_reproduce_exactly() {
+    let current = bench::run_matrix(true);
+    let cur = current.get("cells").and_then(Value::as_array).unwrap();
+    let doc = golden();
+    let refs = doc.get("cells").and_then(Value::as_array).unwrap();
+    for r in refs {
+        if r.get("deterministic").and_then(Value::as_bool) != Some(true) {
+            continue;
+        }
+        let name = r.get("name").and_then(Value::as_str).unwrap();
+        let c = cur
+            .iter()
+            .find(|c| c.get("name").and_then(Value::as_str) == Some(name))
+            .unwrap_or_else(|| panic!("cell {name} missing from fresh run"));
+        for field in ["makespan_ns", "bytes_on_wire", "events", "phases"] {
+            assert_eq!(
+                c.get(field),
+                r.get(field),
+                "cell {name}: {field} drifted — regenerate BENCH_kap.json"
+            );
+        }
+    }
+}

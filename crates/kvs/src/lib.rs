@@ -47,7 +47,7 @@ mod store;
 pub use master::{apply_tuples, resolve};
 pub use module::{KvsConfig, KvsModule};
 pub use object::{KvsObject, ObjectError};
-pub use path::{key_components, validate_key, KeyError, MAX_KEY_LEN};
+pub use path::{key_components, validate_key, KeyError, MAX_KEY_DEPTH, MAX_KEY_LEN};
 pub use store::{CacheStats, ObjectCache};
 
 #[cfg(test)]

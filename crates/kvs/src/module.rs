@@ -44,17 +44,45 @@ pub struct KvsConfig {
     /// re-introduce the historical fence/push double-apply bug and prove
     /// the explorer still catches that bug class.
     pub dedup: bool,
+    /// Master-side commit batching window: concurrent `kvs.push`
+    /// requests arriving within this window coalesce into **one**
+    /// hash-tree walk, one version bump, and one `kvs.setroot`
+    /// broadcast (tuples concatenate in arrival order, so the result
+    /// equals applying them sequentially; content-addressed objects
+    /// dedup in the merge). `0` disables batching — every push applies
+    /// immediately, the pre-batching behaviour.
+    pub batch_window_ns: u64,
+    /// Pushes parked in the batch before it flushes without waiting for
+    /// the window timer.
+    pub batch_max: usize,
+    /// Slave-side key→object lookup memo: a successful `kvs.get`
+    /// resolution is remembered and served directly (no tree walk)
+    /// until the root changes. Invalidated on every root switch — the
+    /// same `apply_root` path that wakes `wait_version` waiters, so a
+    /// get after `wait_version` can never see a stale memo.
+    pub lookup_cache: bool,
 }
 
 impl Default for KvsConfig {
     fn default() -> Self {
-        KvsConfig { expiry_epochs: 16, window_ns: 20_000, dedup: true }
+        KvsConfig {
+            expiry_epochs: 16,
+            window_ns: 20_000,
+            dedup: true,
+            batch_window_ns: 5_000,
+            batch_max: 64,
+            lookup_cache: true,
+        }
     }
 }
 
 /// A requester identity local to this broker: the bottom hop entry
 /// (client hop for local clients, absent for module-local requests).
 type Requester = Option<flux_wire::Rank>;
+
+/// One `kvs.push` parked at the master awaiting a coalesced apply:
+/// the request to answer, its tuples, and its value objects.
+type ParkedPush = (Message, Vec<Tuple>, BTreeMap<ObjectId, Arc<KvsObject>>);
 
 fn requester_of(msg: &Message) -> Requester {
     msg.header.hops.first().copied()
@@ -77,6 +105,10 @@ struct Walk {
     cur: ObjectId,
     /// Directory listing requested instead of a value.
     want_dir: bool,
+    /// Store version the walk started under. A walk can park on a
+    /// fault-in and resume after a root switch; its (correct, but old)
+    /// resolution must then not poison the lookup memo.
+    version: u64,
 }
 
 enum WalkKind {
@@ -155,8 +187,28 @@ pub struct KvsModule {
     version_waiters: Vec<(u64, Message)>,
     watchers: HashMap<u64, Watcher>,
     next_watcher: u64,
-    /// Commits applied at the master (for stats/tests).
+    /// Commits applied at the master (for stats/tests). With batching,
+    /// one application may cover many coalesced pushes.
     commits_applied: u64,
+    /// Master-side push batch: parked `(request, tuples, objects)`
+    /// entries awaiting one coalesced hash-tree walk.
+    batch: Vec<ParkedPush>,
+    /// Request ids currently parked in `batch`: a transport-duplicated
+    /// push whose original is still parked must be dropped (the parked
+    /// copy carries the reply obligation) rather than answered with the
+    /// current — pre-apply — version.
+    batch_ids: HashSet<MsgId>,
+    /// A batch flush window timer is pending.
+    batch_armed: bool,
+    /// Timer tokens that mean "flush the push batch".
+    batch_tokens: HashSet<u64>,
+    /// Pushes that went through the batch path (stats/tests).
+    pushes_batched: u64,
+    /// Slave-side lookup memo: `(key, want_dir)` → resolved object id,
+    /// valid for the current root only (cleared on every root switch).
+    lookup: HashMap<(String, bool), ObjectId>,
+    /// Lookup-memo hits (stats/tests).
+    lookup_hits: u64,
 }
 
 impl KvsModule {
@@ -191,6 +243,13 @@ impl KvsModule {
             watchers: HashMap::new(),
             next_watcher: 0,
             commits_applied: 0,
+            batch: Vec::new(),
+            batch_ids: HashSet::new(),
+            batch_armed: false,
+            batch_tokens: HashSet::new(),
+            pushes_batched: 0,
+            lookup: HashMap::new(),
+            lookup_hits: 0,
         }
     }
 
@@ -262,6 +321,10 @@ impl KvsModule {
         }
         self.version = version;
         self.root = root;
+        // Root switch invalidates the key→object memo *before* any
+        // wait_version waiter wakes below: a get issued after a
+        // satisfied wait_version can never observe a stale memo entry.
+        self.lookup.clear();
         // Causal consistency: wake wait_version callers.
         let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.version_waiters)
             .into_iter()
@@ -316,8 +379,10 @@ impl KvsModule {
             ctx.respond_err(msg, errnum::EINVAL);
             return;
         };
-        if validate_key(key).is_err() {
-            ctx.respond_err(msg, errnum::EINVAL);
+        if let Err(e) = validate_key(key) {
+            // Registry-aligned rejection: size/depth violations are
+            // ENAMETOOLONG, shape violations EINVAL.
+            ctx.respond_err(msg, e.errnum());
             return;
         }
         let requester = requester_of(msg);
@@ -374,6 +439,14 @@ impl KvsModule {
     fn handle_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if self.cfg.dedup && !self.note_push(msg.header.id) {
             if self.master {
+                if self.batch_ids.contains(&msg.header.id) {
+                    // The original is still parked in the push batch; its
+                    // reply comes with the batch flush. Answering the
+                    // duplicate now would expose the pre-apply version
+                    // (a read-your-writes violation for the committer).
+                    // flux-lint: allow(reply)
+                    return;
+                }
                 // Re-answer with the current version: the response to the
                 // first copy may itself have been lost in transit.
                 self.respond_version(ctx, msg);
@@ -392,8 +465,30 @@ impl KvsModule {
                 ctx.respond_err(msg, errnum::EINVAL);
                 return;
             };
-            self.master_apply(ctx, &tuples, objects, Vec::new());
-            self.respond_version(ctx, msg);
+            if self.cfg.batch_window_ns == 0 {
+                // Batching disabled: apply immediately (the pre-batching
+                // behaviour, and what the model checker's legacy
+                // scenarios pin to keep per-push version counts exact).
+                self.master_apply(ctx, &tuples, objects, Vec::new());
+                self.respond_version(ctx, msg);
+                return;
+            }
+            // Park the push: concurrent pushes inside the window share
+            // one hash-tree walk, one version bump, and one setroot
+            // broadcast. Tuples later concatenate in arrival order, so
+            // the merged application equals applying them sequentially.
+            self.pushes_batched += 1;
+            self.batch_ids.insert(msg.header.id);
+            self.batch.push((msg.clone(), tuples, objects));
+            if self.batch.len() >= self.cfg.batch_max {
+                self.flush_batch(ctx);
+            } else if !self.batch_armed {
+                self.batch_armed = true;
+                self.next_token += 1;
+                let token = self.next_token;
+                self.batch_tokens.insert(token);
+                ctx.set_timer(self.cfg.batch_window_ns, token);
+            }
             return;
         }
         // Interior: relay upstream; the response's root is applied here
@@ -404,6 +499,32 @@ impl KvsModule {
                 self.push_relays.insert(id, msg.clone());
             }
             Err(e) => ctx.respond_err(msg, e),
+        }
+    }
+
+    /// Master only: apply every parked push in one hash-tree walk and
+    /// answer each committer with the single resulting version.
+    fn flush_batch(&mut self, ctx: &mut ModuleCtx<'_>) {
+        debug_assert!(self.master);
+        self.batch_armed = false;
+        if self.batch.is_empty() {
+            return;
+        }
+        let parked = std::mem::take(&mut self.batch);
+        self.batch_ids.clear();
+        let mut tuples = Vec::new();
+        let mut objects: BTreeMap<ObjectId, Arc<KvsObject>> = BTreeMap::new();
+        let mut reqs = Vec::with_capacity(parked.len());
+        for (req, t, o) in parked {
+            tuples.extend(t);
+            // Content-addressed objects: identical values across pushes
+            // merge to one entry, exactly like the fence-side dedup.
+            objects.extend(o);
+            reqs.push(req);
+        }
+        self.master_apply(ctx, &tuples, objects, Vec::new());
+        for req in reqs {
+            self.respond_version(ctx, &req);
         }
     }
 
@@ -552,16 +673,19 @@ impl KvsModule {
     fn start_walk(&mut self, ctx: &mut ModuleCtx<'_>, kind: WalkKind, key: &str, want_dir: bool) {
         let components = match crate::path::key_components(key) {
             Ok(c) => c,
-            Err(_) => {
+            Err(e) => {
                 if let WalkKind::Get(req) = kind {
-                    ctx.respond_err(&req, errnum::EINVAL);
+                    ctx.respond_err(&req, e.errnum());
                 }
                 return;
             }
         };
         self.next_walk += 1;
         let id = self.next_walk;
-        self.walks.insert(id, Walk { kind, components, idx: 0, cur: self.root, want_dir });
+        self.walks.insert(
+            id,
+            Walk { kind, components, idx: 0, cur: self.root, want_dir, version: self.version },
+        );
         self.step_walk(ctx, id);
     }
 
@@ -593,6 +717,22 @@ impl KvsModule {
                         WalkEnd::DirListing(Value::Object(listing))
                     }
                 };
+                // Memoize successful get resolutions under the current
+                // root: repeat gets of the same key skip the walk. A walk
+                // that parked across a root switch resolved against the
+                // old tree — its answer is legal for the caller (the get
+                // predates the switch) but must not enter the memo, or a
+                // get issued *after* a satisfied wait_version could read
+                // the stale object.
+                let memo = (self.cfg.lookup_cache
+                    && !self.master
+                    && walk.version == self.version
+                    && matches!(walk.kind, WalkKind::Get(_))
+                    && matches!(end, WalkEnd::Value(_) | WalkEnd::DirListing(_)))
+                .then(|| (walk.components.join("."), walk.want_dir));
+                if let Some(memo) = memo {
+                    self.lookup.insert(memo, cur);
+                }
                 self.finish_walk(ctx, walk_id, end);
                 return;
             }
@@ -709,6 +849,37 @@ impl KvsModule {
             return;
         };
         let want_dir = msg.payload.get("dir").and_then(Value::as_bool).unwrap_or(false);
+        // Memo fast path: a prior resolution under the current root maps
+        // the key straight to its object — no per-component tree walk.
+        if self.cfg.lookup_cache && !self.master {
+            let memo = (key.clone(), want_dir);
+            if let Some(&id) = self.lookup.get(&memo) {
+                if let Some(obj) = self.cache.get(id) {
+                    let payload = match (&*obj, want_dir) {
+                        (KvsObject::Val(v), false) => {
+                            Some(Value::from_pairs([("v", v.clone())]))
+                        }
+                        (KvsObject::Dir(entries), true) => {
+                            let mut listing = Map::new();
+                            for (name, child) in entries {
+                                listing.insert(name.clone(), Value::from(child.to_hex()));
+                            }
+                            Some(Value::from_pairs([("dir", Value::Object(listing))]))
+                        }
+                        _ => None,
+                    };
+                    if let Some(p) = payload {
+                        self.lookup_hits += 1;
+                        ctx.respond(msg, p);
+                        return;
+                    }
+                }
+                // The memoized object expired from the cache (or shape
+                // mismatch): drop the entry and fault it back in through
+                // the normal walk.
+                self.lookup.remove(&memo);
+            }
+        }
         self.start_walk(ctx, WalkKind::Get(msg.clone()), &key, want_dir);
     }
 
@@ -788,6 +959,22 @@ impl KvsModule {
     pub fn cache_stats(&self) -> crate::store::CacheStats {
         self.cache.stats()
     }
+
+    /// Pushes that went through the master batch path (for tests).
+    pub fn pushes_batched(&self) -> u64 {
+        self.pushes_batched
+    }
+
+    /// Gets served from the slave lookup memo (for tests).
+    pub fn lookup_hits(&self) -> u64 {
+        self.lookup_hits
+    }
+
+    /// Commits applied at the master; with batching one application may
+    /// cover many pushes (for tests).
+    pub fn commits_applied(&self) -> u64 {
+        self.commits_applied
+    }
 }
 
 impl Default for KvsModule {
@@ -845,6 +1032,8 @@ impl CommsModule for KvsModule {
                         ("expired", Value::from(s.expired as i64)),
                         ("version", Value::from(self.version as i64)),
                         ("commits", Value::from(self.commits_applied as i64)),
+                        ("pushes_batched", Value::from(self.pushes_batched as i64)),
+                        ("lookup_hits", Value::from(self.lookup_hits as i64)),
                     ]),
                 );
             }
@@ -920,6 +1109,10 @@ impl CommsModule for KvsModule {
     }
 
     fn on_timer(&mut self, ctx: &mut ModuleCtx<'_>, token: u64) {
+        if self.batch_tokens.remove(&token) {
+            self.flush_batch(ctx);
+            return;
+        }
         if let Some(name) = self.fence_tokens.remove(&token) {
             self.flush_fence(ctx, &name);
         }

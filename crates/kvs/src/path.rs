@@ -3,11 +3,22 @@
 //! Keys look like `a.b.c`: dot-separated non-empty components, resolved
 //! through directory objects exactly like the paper's worked example
 //! (`a.b.c = 42`).
+//!
+//! Bounds exist for robustness, not taste: key length is capped so a
+//! single entry cannot bloat its directory object (every entry rides in
+//! every copy of the directory on the wire), and component depth is
+//! capped because the master rebuilds one directory object per path
+//! component on every commit touching the key — unbounded depth would
+//! let one key turn each commit into an arbitrarily long hash-tree walk.
 
+use flux_wire::errnum;
 use std::fmt;
 
 /// Maximum key length in bytes.
 pub const MAX_KEY_LEN: usize = 1024;
+
+/// Maximum path components in a key (directory nesting depth).
+pub const MAX_KEY_DEPTH: usize = 64;
 
 /// Why a key was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -19,6 +30,21 @@ pub enum KeyError {
     /// Keys longer than [`MAX_KEY_LEN`] are rejected to bound directory
     /// entry sizes.
     TooLong(usize),
+    /// Keys with more than [`MAX_KEY_DEPTH`] components are rejected to
+    /// bound the per-commit hash-tree rebuild walk.
+    TooDeep(usize),
+}
+
+impl KeyError {
+    /// The wire error number a module reports for this rejection,
+    /// aligned with the proto registry's declared error sets
+    /// (`flux_proto::KvsMethod::declared_errors`).
+    pub fn errnum(&self) -> u32 {
+        match self {
+            KeyError::Empty | KeyError::EmptyComponent => errnum::EINVAL,
+            KeyError::TooLong(_) | KeyError::TooDeep(_) => errnum::ENAMETOOLONG,
+        }
+    }
 }
 
 impl fmt::Display for KeyError {
@@ -27,6 +53,7 @@ impl fmt::Display for KeyError {
             KeyError::Empty => write!(f, "key is empty"),
             KeyError::EmptyComponent => write!(f, "key has an empty component"),
             KeyError::TooLong(n) => write!(f, "key length {n} exceeds {MAX_KEY_LEN}"),
+            KeyError::TooDeep(n) => write!(f, "key depth {n} exceeds {MAX_KEY_DEPTH}"),
         }
     }
 }
@@ -41,8 +68,15 @@ pub fn validate_key(key: &str) -> Result<(), KeyError> {
     if key.len() > MAX_KEY_LEN {
         return Err(KeyError::TooLong(key.len()));
     }
-    if key.split('.').any(str::is_empty) {
-        return Err(KeyError::EmptyComponent);
+    let mut depth = 0usize;
+    for component in key.split('.') {
+        if component.is_empty() {
+            return Err(KeyError::EmptyComponent);
+        }
+        depth += 1;
+    }
+    if depth > MAX_KEY_DEPTH {
+        return Err(KeyError::TooDeep(depth));
     }
     Ok(())
 }
@@ -70,12 +104,45 @@ mod tests {
         assert_eq!(validate_key(".a"), Err(KeyError::EmptyComponent));
         assert_eq!(validate_key("a."), Err(KeyError::EmptyComponent));
         assert_eq!(validate_key("a..b"), Err(KeyError::EmptyComponent));
+        assert_eq!(validate_key("."), Err(KeyError::EmptyComponent));
+        assert_eq!(validate_key(".."), Err(KeyError::EmptyComponent));
         assert!(matches!(validate_key(&"x".repeat(2000)), Err(KeyError::TooLong(2000))));
+    }
+
+    #[test]
+    fn boundary_lengths() {
+        // Exactly at the cap is fine; one past is not.
+        assert!(validate_key(&"x".repeat(MAX_KEY_LEN)).is_ok());
+        assert!(matches!(
+            validate_key(&"x".repeat(MAX_KEY_LEN + 1)),
+            Err(KeyError::TooLong(_))
+        ));
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let deep_ok = vec!["a"; MAX_KEY_DEPTH].join(".");
+        assert!(validate_key(&deep_ok).is_ok());
+        let too_deep = vec!["a"; MAX_KEY_DEPTH + 1].join(".");
+        assert_eq!(validate_key(&too_deep), Err(KeyError::TooDeep(MAX_KEY_DEPTH + 1)));
+        // An oversized key made entirely of single-char components trips
+        // the length cap first (length is the cheaper check).
+        let huge = vec!["a"; 600].join(".");
+        assert!(matches!(validate_key(&huge), Err(KeyError::TooLong(_))));
+    }
+
+    #[test]
+    fn errnum_mapping_distinguishes_shape_from_size() {
+        assert_eq!(KeyError::Empty.errnum(), errnum::EINVAL);
+        assert_eq!(KeyError::EmptyComponent.errnum(), errnum::EINVAL);
+        assert_eq!(KeyError::TooLong(9999).errnum(), errnum::ENAMETOOLONG);
+        assert_eq!(KeyError::TooDeep(65).errnum(), errnum::ENAMETOOLONG);
     }
 
     #[test]
     fn error_display() {
         assert!(KeyError::Empty.to_string().contains("empty"));
         assert!(KeyError::TooLong(9).to_string().contains('9'));
+        assert!(KeyError::TooDeep(70).to_string().contains("depth"));
     }
 }

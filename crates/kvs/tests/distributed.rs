@@ -474,9 +474,11 @@ fn concurrent_commits_from_many_ranks_all_land() {
         let commit = clients[r as usize].commit(2);
         net.client_send(Rank(r), 0, commit);
     }
-    let mut net = net; // run to quiescence happened in client_send
+    // Concurrent pushes park in the master's batch window; pump timers
+    // until every rank has its put ack + commit reply.
     for r in 0..size {
-        let msgs = net.take_client_msgs(Rank(r), 0);
+        let mut msgs = Vec::new();
+        pump_for(&mut net, Rank(r), 0, 2, &mut msgs);
         assert_eq!(msgs.len(), 2, "rank {r}: put ack + commit reply");
     }
     // All keys visible at an arbitrary rank.
@@ -488,6 +490,97 @@ fn concurrent_commits_from_many_ranks_all_land() {
             KvsReply::Value(Value::Int(i64::from(k)))
         );
     }
+}
+
+#[test]
+fn concurrent_pushes_coalesce_into_one_apply() {
+    let size = 9u32;
+    let mut net = net(size);
+    let mut clients: Vec<KvsClient> =
+        (0..size).map(|r| KvsClient::new(Rank(r), 0)).collect();
+    // Ranks 1..size commit concurrently (rank 0's commits are local to the
+    // master and never travel as kvs.push).
+    for r in 1..size {
+        let put = clients[r as usize].put(&format!("co.k{r}"), Value::Int(i64::from(r)), 1);
+        net.client_send(Rank(r), 0, put);
+        let commit = clients[r as usize].commit(2);
+        net.client_send(Rank(r), 0, commit);
+    }
+    for r in 1..size {
+        let mut msgs = Vec::new();
+        pump_for(&mut net, Rank(r), 0, 2, &mut msgs);
+        assert_eq!(msgs.len(), 2, "rank {r}: put ack + commit reply");
+    }
+    // All eight pushes parked inside one batch window: one hash-tree
+    // walk, one version bump, one setroot broadcast.
+    let mut m = KvsClient::new(Rank(0), 0);
+    let KvsReply::Stats(s) = rpc(&mut net, Rank(0), 0, &mut m, |c| c.stats(1)) else {
+        panic!()
+    };
+    assert_eq!(s.get("pushes_batched").and_then(Value::as_int).unwrap(), 8);
+    let commits = s.get("commits").and_then(Value::as_int).unwrap();
+    assert!(commits < 8, "coalesced: {commits} applies for 8 pushes");
+    assert_eq!(s.get("version").and_then(Value::as_int).unwrap(), commits);
+    // Coalescing loses no data.
+    let mut reader = KvsClient::new(Rank(5), 1);
+    for k in 1..size {
+        let key = format!("co.k{k}");
+        assert_eq!(
+            rpc(&mut net, Rank(5), 1, &mut reader, |c| c.get(&key, 3)),
+            KvsReply::Value(Value::Int(i64::from(k)))
+        );
+    }
+}
+
+#[test]
+fn batch_max_flushes_without_waiting_for_the_window_timer() {
+    let mut net = TestNet::new(5, 2, |_| {
+        vec![Box::new(KvsModule::with_config(KvsConfig {
+            batch_max: 2,
+            ..KvsConfig::default()
+        })) as Box<dyn CommsModule>]
+    });
+    let mut a = KvsClient::new(Rank(1), 0);
+    let mut b = KvsClient::new(Rank(2), 0);
+    net.client_send(Rank(1), 0, a.put("bm.a", Value::Int(1), 1));
+    net.client_send(Rank(1), 0, a.commit(2));
+    net.client_send(Rank(2), 0, b.put("bm.b", Value::Int(2), 1));
+    net.client_send(Rank(2), 0, b.commit(2));
+    // The second push hit batch_max: both commit replies must already be
+    // delivered with no timer fired.
+    assert_eq!(net.take_client_msgs(Rank(1), 0).len(), 2, "rank 1 done sans timer");
+    assert_eq!(net.take_client_msgs(Rank(2), 0).len(), 2, "rank 2 done sans timer");
+}
+
+#[test]
+fn lookup_memo_hits_and_invalidates_on_root_switch() {
+    let mut net = net(5);
+    let mut w = KvsClient::new(Rank(3), 0);
+    let _ = rpc(&mut net, Rank(3), 0, &mut w, |c| c.put("lm.k", Value::Int(1), 1));
+    let _ = rpc(&mut net, Rank(3), 0, &mut w, |c| c.commit(2));
+    let mut r = KvsClient::new(Rank(4), 0);
+    // First get walks (and faults in); second is a pure memo hit.
+    assert_eq!(
+        rpc(&mut net, Rank(4), 0, &mut r, |c| c.get("lm.k", 3)),
+        KvsReply::Value(Value::Int(1))
+    );
+    assert_eq!(
+        rpc(&mut net, Rank(4), 0, &mut r, |c| c.get("lm.k", 4)),
+        KvsReply::Value(Value::Int(1))
+    );
+    let KvsReply::Stats(s) = rpc(&mut net, Rank(4), 0, &mut r, |c| c.stats(5)) else {
+        panic!()
+    };
+    assert!(s.get("lookup_hits").and_then(Value::as_int).unwrap() >= 1, "memo served a get");
+    // A new commit switches the root: the memo must not serve the stale
+    // object (apply_root clears it before waking anyone).
+    let _ = rpc(&mut net, Rank(3), 0, &mut w, |c| c.put("lm.k", Value::Int(2), 1));
+    let _ = rpc(&mut net, Rank(3), 0, &mut w, |c| c.commit(6));
+    assert_eq!(
+        rpc(&mut net, Rank(4), 0, &mut r, |c| c.get("lm.k", 7)),
+        KvsReply::Value(Value::Int(2)),
+        "root switch invalidated the memo"
+    );
 }
 
 #[test]

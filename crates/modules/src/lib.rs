@@ -42,6 +42,13 @@ use flux_broker::CommsModule;
 
 /// The full Table I module set for one broker, in load order.
 pub fn standard_modules() -> Vec<Box<dyn CommsModule>> {
+    standard_modules_with_kvs(flux_kvs::KvsConfig::default())
+}
+
+/// The standard module set with an explicit KVS configuration — the
+/// chaos suites use this to sweep batching/lookup-memo settings under
+/// faults without forking the rest of the stack.
+pub fn standard_modules_with_kvs(kvs: flux_kvs::KvsConfig) -> Vec<Box<dyn CommsModule>> {
     vec![
         Box::new(HbModule::new()),
         Box::new(LiveModule::new()),
@@ -49,7 +56,7 @@ pub fn standard_modules() -> Vec<Box<dyn CommsModule>> {
         Box::new(MonModule::new()),
         Box::new(GroupModule::new()),
         Box::new(BarrierModule::new()),
-        Box::new(flux_kvs::KvsModule::new()),
+        Box::new(flux_kvs::KvsModule::with_config(kvs)),
         Box::new(WexecModule::new()),
         Box::new(ResvcModule::new()),
     ]

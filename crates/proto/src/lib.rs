@@ -310,6 +310,37 @@ methods! {
     }
 }
 
+impl KvsMethod {
+    /// The error numbers this method's handler may put in a response
+    /// header, beyond transport-level failures (`EIO`, `ETIMEDOUT`,
+    /// `EHOSTDOWN`) which any RPC can surface. This is the registry
+    /// side of the module/proto error-code alignment: the KVS module's
+    /// rejection paths are tested to stay inside these sets.
+    pub const fn declared_errors(self) -> &'static [u32] {
+        use flux_wire::errnum::{EINVAL, EISDIR, ENAMETOOLONG, ENOENT, ENOTDIR};
+        match self {
+            // Put/Unlink reject malformed payloads and bad keys.
+            KvsMethod::Put | KvsMethod::Unlink => &[EINVAL, ENAMETOOLONG],
+            // Commit/Push can only fail on malformed batches (and
+            // upstream transport errors relayed verbatim).
+            KvsMethod::Commit | KvsMethod::Push => &[EINVAL],
+            // Fence rejects malformed, zero-proc, mismatched-count, and
+            // duplicate contributions.
+            KvsMethod::Fence => &[EINVAL],
+            // One-way: never answered, so never errs.
+            KvsMethod::FenceUp => &[],
+            // Get distinguishes key shape/size errors from tree-shape
+            // mismatches and absent keys.
+            KvsMethod::Get => &[EINVAL, ENAMETOOLONG, ENOENT, ENOTDIR, EISDIR],
+            KvsMethod::Load => &[EINVAL, ENOENT],
+            KvsMethod::GetVersion => &[],
+            KvsMethod::WaitVersion => &[EINVAL],
+            KvsMethod::Watch | KvsMethod::Unwatch => &[EINVAL],
+            KvsMethod::Stats => &[],
+        }
+    }
+}
+
 methods! {
     /// `wexec` service methods.
     WexecMethod : Wexec / "wexec" {
@@ -578,6 +609,36 @@ mod tests {
             if spec.topic.ends_with(".up") {
                 assert_eq!(spec.kind, MethodKind::OneWay, "{}", spec.topic);
             }
+        }
+    }
+
+    #[test]
+    fn declared_error_sets_are_well_formed() {
+        for m in KvsMethod::ALL {
+            let errs = m.declared_errors();
+            // Every declared code is a real, named errnum...
+            for &e in errs {
+                assert_ne!(e, 0, "{:?} declares success as an error", m);
+                assert_ne!(
+                    flux_wire::errnum::strerror(e),
+                    "unknown error",
+                    "{:?} declares an unregistered errnum {e}",
+                    m
+                );
+            }
+            // ...listed at most once.
+            let mut sorted = errs.to_vec();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), errs.len(), "{:?} repeats an errnum", m);
+            // One-way methods have no response header to carry an error.
+            if m.kind() == MethodKind::OneWay {
+                assert!(errs.is_empty(), "{:?} is one-way but declares errors", m);
+            }
+        }
+        // Key-validating methods must declare the key-size rejection.
+        for m in [KvsMethod::Put, KvsMethod::Unlink, KvsMethod::Get] {
+            assert!(m.declared_errors().contains(&flux_wire::errnum::ENAMETOOLONG), "{:?}", m);
         }
     }
 

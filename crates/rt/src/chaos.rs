@@ -175,12 +175,25 @@ pub fn workload(seed: u64, time_scale_ns: u64, with_kill: bool) -> ChaosWorkload
 /// Runs the workload on the discrete-event simulator with the standard
 /// module set, faults wired natively into the engine.
 pub fn run_sim(w: &ChaosWorkload) -> ScriptReport {
+    run_sim_kvs(w, flux_kvs::KvsConfig::default())
+}
+
+/// Runs the workload like [`run_sim`] but with an explicit KVS
+/// configuration on every broker — the sweep slice that pits the
+/// commit-batching window and the slave lookup memo against drops,
+/// duplicates, and blackout windows.
+pub fn run_sim_kvs(w: &ChaosWorkload, kvs: flux_kvs::KvsConfig) -> ScriptReport {
     let transport = SimTransport {
         net: NetParams::default(),
         faults: Some(w.plan.clone()),
         deadline_ns: Some(w.deadline_ns),
     };
-    transport.run_scripts(w.size, w.arity, &|_| flux_modules::standard_modules(), w.scripts.clone())
+    transport.run_scripts(
+        w.size,
+        w.arity,
+        &move |_| flux_modules::standard_modules_with_kvs(kvs),
+        w.scripts.clone(),
+    )
 }
 
 /// Maps a run's per-op results back onto consistency-checker events.

@@ -134,6 +134,9 @@ struct TcpPeers {
     addrs: Vec<SocketAddr>,
     links: Vec<Option<TcpStream>>,
     config: TcpConfig,
+    /// Encode scratch reused across every outbound frame on this
+    /// broker's links (allocation-lean framing).
+    scratch: Vec<u8>,
 }
 
 impl TcpPeers {
@@ -151,7 +154,9 @@ impl TcpPeers {
             self.links[to.index()] = Some(link);
         }
         match self.links[to.index()].as_mut() {
-            Some(stream) => frame::write_frame(stream, msg, self.config.max_frame),
+            Some(stream) => {
+                frame::write_frame_into(stream, msg, self.config.max_frame, &mut self.scratch)
+            }
             None => Err(io::Error::new(io::ErrorKind::NotConnected, "peer link missing")),
         }
     }
@@ -212,9 +217,12 @@ fn accept_loop(
             .name(format!("flux-tcp-read-{}", from.0))
             .spawn(move || {
                 let mut stream = stream;
+                // One body buffer serves every frame on this link.
+                let mut body = Vec::new();
                 // Clean EOF, a malformed frame, or a dead socket all end
                 // this link; the peer reconnects if it has more to say.
-                while let Ok(Some(msg)) = frame::read_frame(&mut stream, max_frame) {
+                while let Ok(Some(msg)) = frame::read_frame_into(&mut stream, max_frame, &mut body)
+                {
                     if tx.send(Event::FromBroker { from, msg }).is_err() {
                         break; // broker gone
                     }
@@ -405,6 +413,7 @@ impl TcpSessionBuilder {
                     addrs: addrs.clone(),
                     links: (0..size).map(|_| None).collect(),
                     config: self.config.clone(),
+                    scratch: Vec::with_capacity(256),
                 },
                 clients: std::mem::take(&mut self.clients[idx]),
                 epoch,

@@ -88,9 +88,18 @@ impl Message {
     /// Encodes to the framed binary form.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(64 + self.payload.approx_size());
-        encode_header(&self.header, &mut out);
-        self.payload.encode_canonical_into(&mut out);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Encodes into `out`, clearing it first but keeping its allocation.
+    /// The hot-path form for senders that frame many messages: one
+    /// scratch buffer amortizes across every message on a link instead
+    /// of a fresh heap allocation per frame.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        encode_header(&self.header, out);
+        self.payload.encode_canonical_into(out);
     }
 
     /// Decodes one message from the front of `bytes`, returning it and the

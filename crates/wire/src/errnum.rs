@@ -17,6 +17,8 @@ pub const EAGAIN: u32 = 11;
 pub const ENOMEM: u32 = 12;
 /// Invalid argument (malformed payload).
 pub const EINVAL: u32 = 22;
+/// Name too long (KVS key exceeds the length or depth bound).
+pub const ENAMETOOLONG: u32 = 36;
 /// Function not implemented (no module matched the topic).
 pub const ENOSYS: u32 = 38;
 /// Not a directory (KVS path component is a value).
@@ -41,6 +43,7 @@ pub fn strerror(errnum: u32) -> &'static str {
         EAGAIN => "resource temporarily unavailable",
         ENOMEM => "out of memory",
         EINVAL => "invalid argument",
+        ENAMETOOLONG => "name too long",
         ENOTDIR => "not a directory",
         EISDIR => "is a directory",
         ENOSYS => "function not implemented",
@@ -68,8 +71,8 @@ mod tests {
     #[test]
     fn codes_are_distinct() {
         let codes = [
-            EPERM, ENOENT, EINTR, EIO, EAGAIN, ENOMEM, EINVAL, ENOSYS, ENOTDIR, EISDIR,
-            ETIMEDOUT, EHOSTDOWN, ESTALE,
+            EPERM, ENOENT, EINTR, EIO, EAGAIN, ENOMEM, EINVAL, ENAMETOOLONG, ENOSYS, ENOTDIR,
+            EISDIR, ETIMEDOUT, EHOSTDOWN, ESTALE,
         ];
         let mut sorted = codes.to_vec();
         sorted.sort_unstable();

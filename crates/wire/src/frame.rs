@@ -28,15 +28,33 @@ pub const MAX_FRAME: usize = 16 * 1024 * 1024;
 /// Returns any underlying I/O error; `InvalidData` if the encoded
 /// message exceeds `max_frame`.
 pub fn write_frame<W: Write>(w: &mut W, msg: &Message, max_frame: usize) -> io::Result<()> {
-    let body = msg.encode();
-    if body.len() > max_frame {
+    let mut scratch = Vec::with_capacity(64);
+    write_frame_into(w, msg, max_frame, &mut scratch)
+}
+
+/// Writes `msg` as one length-prefixed frame, encoding into the
+/// caller-held `scratch` buffer. The allocation-lean form: a sender that
+/// frames many messages reuses one buffer instead of allocating per
+/// frame. `scratch` is cleared first; its capacity persists.
+///
+/// # Errors
+/// Returns any underlying I/O error; `InvalidData` if the encoded
+/// message exceeds `max_frame` (nothing is written in that case).
+pub fn write_frame_into<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    max_frame: usize,
+    scratch: &mut Vec<u8>,
+) -> io::Result<()> {
+    msg.encode_into(scratch);
+    if scratch.len() > max_frame {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("outgoing frame of {} bytes exceeds cap {max_frame}", body.len()),
+            format!("outgoing frame of {} bytes exceeds cap {max_frame}", scratch.len()),
         ));
     }
-    w.write_all(&(body.len() as u32).to_le_bytes())?;
-    w.write_all(&body)
+    w.write_all(&(scratch.len() as u32).to_le_bytes())?;
+    w.write_all(scratch)
 }
 
 /// Reads one length-prefixed frame, returning `None` on a clean EOF at a
@@ -47,6 +65,22 @@ pub fn write_frame<W: Write>(w: &mut W, msg: &Message, max_frame: usize) -> io::
 /// [`Message::decode`]; `UnexpectedEof` if the stream ends mid-frame;
 /// otherwise the underlying I/O error.
 pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> io::Result<Option<Message>> {
+    let mut body = Vec::new();
+    read_frame_into(r, max_frame, &mut body)
+}
+
+/// Reads one length-prefixed frame using the caller-held `body` buffer
+/// for the frame bytes, returning `None` on a clean EOF at a frame
+/// boundary. The allocation-lean form of [`read_frame`]: a reader loop
+/// reuses one buffer across frames instead of allocating per frame.
+///
+/// # Errors
+/// Same contract as [`read_frame`].
+pub fn read_frame_into<R: Read>(
+    r: &mut R,
+    max_frame: usize,
+    body: &mut Vec<u8>,
+) -> io::Result<Option<Message>> {
     let mut len_raw = [0u8; 4];
     // A clean EOF before any length byte means the peer closed between
     // frames — a normal shutdown, not an error.
@@ -65,9 +99,10 @@ pub fn read_frame<R: Read>(r: &mut R, max_frame: usize) -> io::Result<Option<Mes
             format!("incoming frame of {len} bytes exceeds cap {max_frame}"),
         ));
     }
-    let mut body = vec![0u8; len];
-    r.read_exact(&mut body)?;
-    let (msg, used) = Message::decode(&body)
+    body.clear();
+    body.resize(len, 0);
+    r.read_exact(body)?;
+    let (msg, used) = Message::decode(body)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
     if used != body.len() {
         return Err(io::Error::new(
@@ -145,6 +180,34 @@ mod tests {
         buf.extend_from_slice(&body);
         let err = read_frame(&mut &buf[..], MAX_FRAME).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn buffer_reuse_forms_match_the_allocating_forms() {
+        let mut buf = Vec::new();
+        let mut scratch = Vec::new();
+        for seq in 0..8 {
+            write_frame_into(&mut buf, &sample(seq), MAX_FRAME, &mut scratch).unwrap();
+        }
+        // One scratch allocation serves every frame on the link.
+        let cap = scratch.capacity();
+        write_frame_into(&mut buf, &sample(8), MAX_FRAME, &mut scratch).unwrap();
+        assert_eq!(scratch.capacity(), cap, "scratch must not reallocate for same-size frames");
+        let mut r = &buf[..];
+        let mut body = Vec::new();
+        for seq in 0..9 {
+            let m = read_frame_into(&mut r, MAX_FRAME, &mut body).unwrap().expect("frame");
+            assert_eq!(m, sample(seq));
+        }
+        assert!(read_frame_into(&mut r, MAX_FRAME, &mut body).unwrap().is_none());
+    }
+
+    #[test]
+    fn encode_into_reuses_and_matches_encode() {
+        let m = sample(7);
+        let mut buf = vec![0xFFu8; 3]; // stale content must be cleared
+        m.encode_into(&mut buf);
+        assert_eq!(buf, m.encode());
     }
 
     #[test]
