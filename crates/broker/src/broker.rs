@@ -7,7 +7,7 @@ use crate::module::{CommsModule, ModuleCtx};
 use flux_proto::{Event, Service};
 use flux_topo::{LiveSet, Ring, Tree};
 use flux_value::Value;
-use flux_wire::{errnum, Message, MsgId, MsgType, Plane, Rank, Topic};
+use flux_wire::{errnum, Message, MsgId, MsgType, Payload, Plane, Rank, Topic};
 use std::collections::{HashMap, VecDeque};
 
 /// Timer-token namespace: the top 16 bits identify the owner (0 = broker
@@ -170,7 +170,7 @@ impl Core {
     }
 
     /// Publishes an event: root-sequenced, total-ordered session-wide.
-    pub(crate) fn publish(&mut self, topic: Topic, payload: Value) {
+    pub(crate) fn publish(&mut self, topic: Topic, payload: impl Into<Payload>) {
         let id = self.next_msg_id();
         let msg = Message::event(topic, id, self.config.rank, payload);
         if self.config.rank.is_root() {
@@ -329,7 +329,7 @@ impl Broker {
     /// Publishes an event as if a local module had: runtimes and tests use
     /// this to inject session events (e.g. administrative liveness
     /// updates) without going through a module.
-    pub fn publish(&mut self, now_ns: u64, topic: Topic, payload: Value) -> Vec<Output> {
+    pub fn publish(&mut self, now_ns: u64, topic: Topic, payload: impl Into<Payload>) -> Vec<Output> {
         assert!(self.started, "broker not started");
         self.core.now_ns = now_ns;
         self.core.publish(topic, payload);

@@ -18,7 +18,7 @@ pub(crate) fn handle(broker: &mut Broker, msg: Message) {
     match CmbMethod::from_method(msg.header.topic.method()) {
         Some(CmbMethod::Ping) => {
             let rank = broker.core().rank();
-            let mut payload = msg.payload.clone();
+            let mut payload = msg.payload.value().clone();
             if payload.is_null() {
                 payload = Value::object();
             }

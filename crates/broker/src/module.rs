@@ -8,8 +8,7 @@
 //! path where the module is loaded.
 
 use crate::broker::Core;
-use flux_value::Value;
-use flux_wire::{errnum, Message, MsgId, Rank, Topic};
+use flux_wire::{errnum, Message, MsgId, Payload, Rank, Topic};
 
 /// A service plugin loaded into a broker.
 ///
@@ -112,7 +111,7 @@ impl<'a> ModuleCtx<'a> {
     ///
     /// May be called more than once for the same request — `kvs.watch`
     /// uses repeated responses to stream updates to a client.
-    pub fn respond(&mut self, req: &Message, payload: Value) {
+    pub fn respond(&mut self, req: &Message, payload: impl Into<Payload>) {
         let resp = Message::response_to(req, payload);
         self.core.route_response(resp);
     }
@@ -130,7 +129,7 @@ impl<'a> ModuleCtx<'a> {
     ///
     /// Returns the request id for correlating the response, or an
     /// `Err(errnum)` at the root where there is no upstream.
-    pub fn request_upstream(&mut self, topic: Topic, payload: Value) -> Result<MsgId, u32> {
+    pub fn request_upstream(&mut self, topic: Topic, payload: impl Into<Payload>) -> Result<MsgId, u32> {
         let Some(parent) = self.core.effective_parent() else {
             return Err(errnum::ENOENT);
         };
@@ -147,7 +146,7 @@ impl<'a> ModuleCtx<'a> {
     /// arrives as the `kvs.setroot` event.
     ///
     /// Returns `Err(errnum)` at the root where there is no upstream.
-    pub fn notify_upstream(&mut self, topic: Topic, payload: Value) -> Result<(), u32> {
+    pub fn notify_upstream(&mut self, topic: Topic, payload: impl Into<Payload>) -> Result<(), u32> {
         let Some(parent) = self.core.effective_parent() else {
             return Err(errnum::ENOENT);
         };
@@ -159,7 +158,7 @@ impl<'a> ModuleCtx<'a> {
 
     /// Issues a rank-addressed RPC over the ring plane. The response is
     /// delivered to [`CommsModule::handle_response`].
-    pub fn request_to_rank(&mut self, to: Rank, topic: Topic, payload: Value) -> MsgId {
+    pub fn request_to_rank(&mut self, to: Rank, topic: Topic, payload: impl Into<Payload>) -> MsgId {
         let id = self.core.next_msg_id();
         let msg = Message::request_to(topic, id, self.core.rank(), to, payload);
         self.core.register_pending(id, self.module_idx);
@@ -169,7 +168,7 @@ impl<'a> ModuleCtx<'a> {
 
     /// Publishes an event session-wide. Events are sequenced through the
     /// root, so all brokers observe all events in one total order.
-    pub fn publish(&mut self, topic: Topic, payload: Value) {
+    pub fn publish(&mut self, topic: Topic, payload: impl Into<Payload>) {
         self.core.publish(topic, payload);
     }
 
@@ -200,7 +199,7 @@ impl<'a> ModuleCtx<'a> {
     /// (e.g. the `wexec` module storing output via `kvs.put`). Dispatched
     /// after the current handler returns; any response is routed to this
     /// module's [`CommsModule::handle_response`].
-    pub fn local_request(&mut self, topic: Topic, payload: Value) -> MsgId {
+    pub fn local_request(&mut self, topic: Topic, payload: impl Into<Payload>) -> MsgId {
         let id = self.core.next_msg_id();
         let msg = Message::request(topic, id, self.core.rank(), payload);
         self.core.register_pending(id, self.module_idx);

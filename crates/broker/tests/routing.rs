@@ -17,7 +17,7 @@ impl CommsModule for Echo {
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         let payload = Value::from_pairs([
             ("rank", Value::from(ctx.rank().0)),
-            ("echo", msg.payload.clone()),
+            ("echo", msg.payload.value().clone()),
         ]);
         ctx.respond(msg, payload);
     }

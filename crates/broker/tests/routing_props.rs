@@ -129,7 +129,7 @@ proptest! {
             let _ = net.take_client_msgs(rank, 9);
         }
         let seq_of = |msgs: &[Message]| -> Vec<(u64, Value)> {
-            msgs.iter().map(|m| (m.header.id.seq, m.payload.clone())).collect()
+            msgs.iter().map(|m| (m.header.id.seq, m.payload.value().clone())).collect()
         };
         let a = seq_of(&net.take_client_msgs(Rank(0), 0));
         let b = seq_of(&net.take_client_msgs(Rank(size - 1), 1));

@@ -215,6 +215,36 @@ mod tests {
     }
 
     #[test]
+    fn killing_a_broker_shrinks_the_explored_state_space() {
+        // With max_devs = 1 the explorer enumerates every single-
+        // deviation schedule, so the schedule count directly measures the
+        // number of branching points. Killing the idle leaf broker must
+        // shrink that space: deliveries destined for the dead actor are
+        // no longer listed as pending, so they stop being pickable (and
+        // the exploration stays violation-free — the surviving branch is
+        // unaffected under every remaining interleaving).
+        let cfg = ExploreConfig {
+            max_schedules: 100_000,
+            max_devs: 1,
+            ..ExploreConfig::default()
+        };
+        let with_kill = Scenario::kvs_commit_kill();
+        let mut without_kill = with_kill.clone();
+        without_kill.kill = None;
+        let base = explore(&without_kill, &cfg);
+        let killed = explore(&with_kill, &cfg);
+        assert!(killed.violations.is_empty(), "{:?}", killed.violations);
+        assert!(base.violations.is_empty(), "{:?}", base.violations);
+        assert!(
+            killed.stats.schedules < base.stats.schedules,
+            "dead-target filtering must shrink the schedule space: \
+             {} (kill) vs {} (no kill)",
+            killed.stats.schedules,
+            base.stats.schedules,
+        );
+    }
+
+    #[test]
     fn replay_of_default_trace_runs() {
         let out = replay_trace("flux-mc:v1:kvs_commit:-", &RunConfig::default())
             .expect("replayable");

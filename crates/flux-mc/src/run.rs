@@ -244,8 +244,17 @@ pub fn run_schedule(scenario: &Scenario, schedule: &Schedule, cfg: &RunConfig) -
     let mut events: u64 = 0;
     let mut step: u32 = 0;
     let mut violation: Option<Violation> = None;
+    let mut killed = false;
 
     'run: loop {
+        // Failure injection happens before the snapshot, so the frontier
+        // at this step already excludes deliveries to the dead broker.
+        if let Some((rank, at)) = scenario.kill {
+            if !killed && step >= at {
+                session.kill_broker(rank);
+                killed = true;
+            }
+        }
         // Auto-phase: drain invisible events in default order. Dispatching
         // from a snapshot is safe (pending seqs stay valid until
         // dispatched); newly created invisible events surface on the next

@@ -73,6 +73,11 @@ pub struct Scenario {
     pub modules: ModuleSet,
     /// Scripted clients: `(home rank, ops)`.
     pub scripts: Vec<(Rank, Vec<Op>)>,
+    /// Failure injection: kill this rank's broker once the runner reaches
+    /// the given visible step. The schedule's step counter makes the kill
+    /// point deterministic across replays. The victim must host no
+    /// scripts (its clients could never finish) and must not be the root.
+    pub kill: Option<(Rank, u32)>,
     /// Total KVS root commits the scenario performs when every fence and
     /// commit applies exactly once (0 = skip the version-overrun check).
     pub expected_applies: u64,
@@ -97,6 +102,7 @@ impl Scenario {
             "kvs_fence_mutant" => Some(Self::kvs_fence_mutant()),
             "kvs_commit" => Some(Self::kvs_commit()),
             "kvs_commit_mutant" => Some(Self::kvs_commit_mutant()),
+            "kvs_commit_kill" => Some(Self::kvs_commit_kill()),
             "kvs_batch" => Some(Self::kvs_batch()),
             "barrier" => Some(Self::barrier()),
             _ => None,
@@ -106,7 +112,7 @@ impl Scenario {
     /// Names of all scenarios expected to be violation-free on the live
     /// tree (the mutants are deliberately excluded).
     pub fn clean_names() -> &'static [&'static str] {
-        &["kvs_fence", "kvs_commit", "kvs_batch", "barrier"]
+        &["kvs_fence", "kvs_commit", "kvs_commit_kill", "kvs_batch", "barrier"]
     }
 
     /// The flagship scenario: a 3-broker tree where two clients on
@@ -155,6 +161,7 @@ impl Scenario {
             // One fence = one root apply covering all write-back sets.
             expected_applies: 1,
             post_fence,
+            kill: None,
         }
     }
 
@@ -191,6 +198,32 @@ impl Scenario {
             scripts: vec![(Rank(1), c1), (Rank(2), c2)],
             expected_applies: 2,
             post_fence: BTreeMap::new(),
+            kill: None,
+        }
+    }
+
+    /// A commit from rank 1 while the idle leaf broker (rank 2) dies a
+    /// few visible steps in. The rank-2 subtree stops being a branching
+    /// source the moment it dies — events already destined for it leave
+    /// the eligible frontier — so schedules only interleave the work that
+    /// can still affect the outcome, and the client on the surviving
+    /// branch must finish untouched under every remaining interleaving.
+    pub fn kvs_commit_kill() -> Scenario {
+        let c1 = vec![
+            Op::Put { key: "mc.kx".into(), val: Value::from(1i64) },
+            Op::Commit,
+            Op::Get { key: "mc.kx".into() },
+            Op::GetVersion,
+        ];
+        Scenario {
+            name: "kvs_commit_kill",
+            size: 3,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup: true, batch: false },
+            scripts: vec![(Rank(1), c1)],
+            kill: Some((Rank(2), 2)),
+            expected_applies: 1,
+            post_fence: BTreeMap::new(),
         }
     }
 
@@ -221,6 +254,7 @@ impl Scenario {
             scripts: vec![(Rank(1), c1), (Rank(2), c2)],
             expected_applies: 2,
             post_fence: BTreeMap::new(),
+            kill: None,
         }
     }
 
@@ -242,6 +276,7 @@ impl Scenario {
             scripts: vec![(Rank(1), ops(1)), (Rank(2), ops(2))],
             expected_applies: 0,
             post_fence: BTreeMap::new(),
+            kill: None,
         }
     }
 }
@@ -257,6 +292,7 @@ mod tests {
             "kvs_fence_mutant",
             "kvs_commit",
             "kvs_commit_mutant",
+            "kvs_commit_kill",
             "kvs_batch",
             "barrier",
         ] {

@@ -202,6 +202,70 @@ pub fn matrix_cells(quick: bool) -> Vec<Cell> {
     cells
 }
 
+/// Rank counts of the paper-scale sweep: 16 processes per node, 8 → 512
+/// nodes. The top entry is the paper's full evaluation scale.
+pub const SWEEP_RANKS: [u32; 4] = [128, 512, 2048, 8192];
+
+fn sweep_base(ranks: u32) -> KapParams {
+    let mut p = KapParams::fully_populated(ranks / 16);
+    p.producers = p.total_procs();
+    p.consumers = p.total_procs();
+    p.value_size = 512;
+    p
+}
+
+/// The scale-sweep cells: at each [`SWEEP_RANKS`] scale, a fence cell
+/// with unique values, a fence cell with redundant values, and a
+/// single-producer `wait_version` cell. All sim (deterministic). The
+/// trio pins the paper's scaling shapes:
+///
+/// * fence consumer phase ~linear in rank count (the object space grows
+///   with the producers, so collective reads move ever-larger
+///   directories);
+/// * `wait_version` consumer phase sub-linear (a fixed object set read
+///   through the log-depth cache tree);
+/// * unique vs redundant divergence: content dedup flattens the
+///   redundant series while the unique one keeps growing.
+pub fn scale_sweep_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for &ranks in &SWEEP_RANKS {
+        for &redundant in &[false, true] {
+            let tag = if redundant { "redundant" } else { "unique" };
+            cells.push(Cell {
+                name: format!("scale/fence/{tag}/r{ranks}"),
+                transport: TransportKind::Sim,
+                params: { let mut p = sweep_base(ranks); p.redundant = redundant; p },
+            });
+        }
+        let mut p = sweep_base(ranks);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        p.producers = 1;
+        p.nputs = 8;
+        p.naccess = 4;
+        cells.push(Cell {
+            name: format!("scale/wait_version/r{ranks}"),
+            transport: TransportKind::Sim,
+            params: p,
+        });
+    }
+    cells
+}
+
+/// Runs the paper-scale sweep and renders its JSON section. Only in the
+/// full (non-quick) document: the 8192-rank cells are seconds each in
+/// release builds but would dominate debug test time.
+pub fn run_scale_sweep() -> Value {
+    let cells: Vec<Value> = scale_sweep_cells().iter().map(run_cell).collect();
+    Value::from_pairs([
+        (
+            "ranks",
+            Value::Array(SWEEP_RANKS.iter().map(|&r| Value::from(i64::from(r))).collect()),
+        ),
+        ("cells", Value::Array(cells)),
+    ])
+}
+
 /// The redundant-consumer margin cell: concurrent per-producer commits
 /// (the push-batching hot path) with redundant values and repeat
 /// consumer reads (the lookup-memo hot path).
@@ -291,6 +355,9 @@ pub fn run_matrix(quick: bool) -> Value {
     );
     doc.insert("cells".into(), Value::Array(rendered));
     doc.insert("optimization".into(), optimization_report());
+    if !quick {
+        doc.insert("scale_sweep".into(), run_scale_sweep());
+    }
     Value::Object(doc)
 }
 
@@ -343,6 +410,21 @@ pub fn check_schema(doc: &Value) -> Vec<String> {
     for key in ["cell", "baseline", "optimized", "makespan_speedup", "bytes_saved"] {
         if opt.get(key).is_none() {
             errs.push(format!("optimization: missing {key}"));
+        }
+    }
+    // Full documents must carry the paper-scale sweep, one record per
+    // (scale × {fence-unique, fence-redundant, wait_version}) cell.
+    if doc.get("quick").and_then(Value::as_bool) == Some(false) {
+        match doc.get("scale_sweep").and_then(|s| s.get("cells")).and_then(Value::as_array) {
+            Some(cells) if cells.len() == 3 * SWEEP_RANKS.len() => {}
+            Some(cells) => {
+                errs.push(format!(
+                    "scale_sweep has {} cells, want {}",
+                    cells.len(),
+                    3 * SWEEP_RANKS.len()
+                ));
+            }
+            None => errs.push("full document missing scale_sweep.cells".into()),
         }
     }
     errs

@@ -1,8 +1,9 @@
 //! The KAP driver: regenerates every figure of the paper's evaluation.
 //!
 //! ```text
-//! kap [--quick] [fig2|fig3|fig4a|fig4b|model|table1|all]
+//! kap [--quick] [fig2|fig3|fig4a|fig4b|model|table1|scaling|all]
 //! kap bench [--quick] [--out FILE] [--check REF]
+//! kap scale-smoke [--ranks N] [--budget-secs S]
 //! ```
 //!
 //! Full mode sweeps the paper's scales (64–512 nodes × 16 processes =
@@ -23,6 +24,7 @@ use flux_kap::layout::DirLayout;
 use flux_kap::model;
 use flux_kap::report::{ms, Table};
 use flux_kap::{run_kap, KapParams};
+use flux_rt::transport::SimTransport;
 use flux_sim::NetParams;
 
 /// The value sizes of the paper's sweeps (bytes).
@@ -183,6 +185,69 @@ fn model_check(cfg: &Cfg) {
     );
 }
 
+/// Scaling shapes: runs the `flux-kap-bench/v1` scale sweep
+/// (128→8192 ranks) and renders the three shape claims the harness
+/// tests pin — fence consumer latency ~linear in ranks, `wait_version`
+/// consumer latency ~flat, and the unique/redundant fence ratio
+/// widening with scale.
+fn scaling() {
+    let cells = bench::scale_sweep_cells();
+    let run_max = |name: &str| -> (u64, u64) {
+        let cell = cells
+            .iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("sweep cell {name} missing"));
+        let run = flux_kap::run_kap_full(
+            &cell.params,
+            &SimTransport { net: cell.params.net, ..SimTransport::default() },
+        );
+        let sync = run.phases.iter().map(|ph| ph.sync_ns).max().unwrap_or(0);
+        let consumer = run.phases.iter().map(|ph| ph.consumer_ns).max().unwrap_or(0);
+        (sync, consumer)
+    };
+    let mut t = Table::new(
+        "Scaling shapes — flux-kap-bench/v1 scale sweep (sim, max latency)",
+        &[
+            "ranks",
+            "fence sync unique (ms)",
+            "fence sync redundant (ms)",
+            "unique/redundant",
+            "fence consumer (ms)",
+            "wait_version consumer (ms)",
+        ],
+    );
+    let mut fence_consumer = Vec::new();
+    let mut waitv_consumer = Vec::new();
+    for &ranks in &bench::SWEEP_RANKS {
+        let (u_sync, u_cons) = run_max(&format!("scale/fence/unique/r{ranks}"));
+        let (r_sync, _) = run_max(&format!("scale/fence/redundant/r{ranks}"));
+        let (_, w_cons) = run_max(&format!("scale/wait_version/r{ranks}"));
+        fence_consumer.push((ranks as f64, u_cons as f64));
+        waitv_consumer.push((ranks as f64, w_cons as f64));
+        t.row(vec![
+            ranks.to_string(),
+            ms(u_sync),
+            ms(r_sync),
+            format!("{:.2}", u_sync as f64 / r_sync.max(1) as f64),
+            ms(u_cons),
+            ms(w_cons),
+        ]);
+        eprintln!("scaling: {ranks} ranks done");
+    }
+    println!("{}", t.render());
+    let slope = |s: &[(f64, f64)]| {
+        let (x0, y0) = s[0];
+        let (x1, y1) = *s.last().expect("nonempty sweep");
+        (y1 / y0).ln() / (x1 / x0).ln()
+    };
+    println!(
+        "Shape check (log-log endpoint slopes): fence consumer {:.2} (~1 = linear), \
+         wait_version consumer {:.2} (~0 = flat).\n",
+        slope(&fence_consumer),
+        slope(&waitv_consumer)
+    );
+}
+
 /// Table I: the module inventory, each exercised in-process.
 fn table1() {
     use flux_broker::client::ClientCore;
@@ -315,10 +380,53 @@ fn bench_cmd(args: &[String]) {
     }
 }
 
+/// The `scale-smoke` subcommand: run one mid-scale sweep cell and fail
+/// if it misses its wall-clock budget — the CI guard that paper-scale
+/// DES cells keep completing in seconds, with the engine's own
+/// events/sec self-report alongside.
+fn scale_smoke_cmd(args: &[String]) {
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str)
+    };
+    let ranks: u32 = flag_value("--ranks").map_or(2048, |s| s.parse().expect("--ranks N"));
+    let budget_secs: u64 =
+        flag_value("--budget-secs").map_or(60, |s| s.parse().expect("--budget-secs S"));
+    let name = format!("scale/fence/unique/r{ranks}");
+    let cell = bench::scale_sweep_cells()
+        .into_iter()
+        .find(|c| c.name == name)
+        .unwrap_or_else(|| panic!("--ranks must be one of {:?}", bench::SWEEP_RANKS));
+    let start = std::time::Instant::now();
+    let run = flux_kap::run_kap_full(
+        &cell.params,
+        &SimTransport { net: cell.params.net, ..SimTransport::default() },
+    );
+    let wall = start.elapsed();
+    eprintln!(
+        "scale-smoke {name}: wall {wall:.2?} (engine {:.2?}), {} events, \
+         {:.0} events/s, makespan {:.1} ms",
+        std::time::Duration::from_nanos(run.wall_ns),
+        run.events,
+        run.events_per_sec,
+        run.makespan_ns as f64 / 1e6,
+    );
+    if wall.as_secs() >= budget_secs {
+        eprintln!("scale-smoke: {wall:.2?} exceeds the {budget_secs}s budget");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("bench") {
         bench_cmd(&args[1..]);
+        return;
+    }
+    if args.first().map(String::as_str) == Some("scale-smoke") {
+        scale_smoke_cmd(&args[1..]);
         return;
     }
     let quick = args.iter().any(|a| a == "--quick");
@@ -337,6 +445,7 @@ fn main() {
         "fig4b" => fig4(&cfg, DirLayout::Split128, "Fig. 4b — consumer phase max latency (kvs_get), directories of ≤128 objects"),
         "model" => model_check(&cfg),
         "table1" => table1(),
+        "scaling" => scaling(),
         "all" => {
             table1();
             fig2(&cfg);
@@ -344,9 +453,10 @@ fn main() {
             fig4(&cfg, DirLayout::Single, "Fig. 4a — consumer phase max latency (kvs_get), single directory");
             fig4(&cfg, DirLayout::Split128, "Fig. 4b — consumer phase max latency (kvs_get), directories of ≤128 objects");
             model_check(&cfg);
+            scaling();
         }
         other => {
-            eprintln!("unknown sub-command {other}; use fig2|fig3|fig4a|fig4b|model|table1|all");
+            eprintln!("unknown sub-command {other}; use fig2|fig3|fig4a|fig4b|model|table1|scaling|all");
             std::process::exit(2);
         }
     }

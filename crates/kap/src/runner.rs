@@ -265,6 +265,12 @@ pub struct KapRun {
     pub events: u64,
     /// Bytes moved over all links (sim only; 0 on live transports).
     pub bytes: u64,
+    /// Host wall-clock the engine spent dispatching, ns (sim only).
+    pub wall_ns: u64,
+    /// Engine self-reported dispatch rate, events per wall second (sim
+    /// only). Diagnostic for "does paper scale run in seconds" checks;
+    /// never folded into the deterministic bench records.
+    pub events_per_sec: f64,
 }
 
 /// Runs one KAP configuration to completion on the simulator (the
@@ -346,7 +352,14 @@ pub fn run_kap_full(params: &KapParams, transport: &dyn ScriptTransport) -> KapR
         });
     }
 
-    KapRun { phases, makespan_ns: report.makespan_ns, events: report.events, bytes: report.bytes }
+    KapRun {
+        phases,
+        makespan_ns: report.makespan_ns,
+        events: report.events,
+        bytes: report.bytes,
+        wall_ns: report.wall_ns,
+        events_per_sec: report.events_per_sec,
+    }
 }
 
 #[cfg(test)]

@@ -7,6 +7,8 @@
 //!   (the same gate the CI bench-smoke job applies).
 
 use flux_kap::bench;
+use flux_kap::{run_kap_full, KapParams};
+use flux_rt::transport::SimTransport;
 use flux_value::Value;
 
 fn golden() -> Value {
@@ -43,6 +45,113 @@ fn fresh_quick_run_is_within_2x_of_the_golden_file() {
     let mut errs = bench::check_schema(&current);
     errs.extend(bench::check_regression(&current, &golden(), 2.0));
     assert!(errs.is_empty(), "{errs:?}");
+}
+
+/// Pulls `(ranks, <metric>)` series for one scale-sweep cell family out
+/// of the committed golden file.
+fn sweep_series(doc: &Value, prefix: &str, phase: &str) -> Vec<(f64, f64)> {
+    let ranks = doc
+        .get("scale_sweep")
+        .and_then(|s| s.get("ranks"))
+        .and_then(Value::as_array)
+        .expect("golden scale_sweep.ranks");
+    let cells = doc
+        .get("scale_sweep")
+        .and_then(|s| s.get("cells"))
+        .and_then(Value::as_array)
+        .expect("golden scale_sweep.cells");
+    ranks
+        .iter()
+        .map(|r| {
+            let r = r.as_int().unwrap();
+            let name = format!("{prefix}/r{r}");
+            let cell = cells
+                .iter()
+                .find(|c| c.get("name").and_then(Value::as_str) == Some(name.as_str()))
+                .unwrap_or_else(|| panic!("sweep cell {name} missing"));
+            let v = cell
+                .get("phases")
+                .and_then(|p| p.get(phase))
+                .and_then(|p| p.get("max_ns"))
+                .and_then(Value::as_int)
+                .unwrap_or_else(|| panic!("sweep cell {name}: no {phase} max_ns"));
+            (r as f64, v as f64)
+        })
+        .collect()
+}
+
+/// Log-log endpoint slope: ~1 means latency grows linearly with ranks,
+/// ~0 means it is flat.
+fn loglog_slope(series: &[(f64, f64)]) -> f64 {
+    let (x0, y0) = series[0];
+    let (x1, y1) = *series.last().unwrap();
+    (y1 / y0).ln() / (x1 / x0).ln()
+}
+
+/// The paper's scaling shapes, pinned against the committed sweep:
+/// collective (fence) consumer reads grow ~linearly with rank count,
+/// while `wait_version` consumers reading a fixed object set through the
+/// cache tree stay ~flat (sub-linear).
+#[test]
+fn sweep_consumer_slopes_fence_linear_wait_version_sublinear() {
+    let doc = golden();
+    let fence = sweep_series(&doc, "scale/fence/unique", "consumer");
+    let waitv = sweep_series(&doc, "scale/wait_version", "consumer");
+    let fence_slope = loglog_slope(&fence);
+    let waitv_slope = loglog_slope(&waitv);
+    assert!(
+        (0.8..=1.4).contains(&fence_slope),
+        "fence consumer slope {fence_slope:.3} is not ~linear ({fence:?})"
+    );
+    assert!(
+        waitv_slope < 0.3,
+        "wait_version consumer slope {waitv_slope:.3} is not sub-linear ({waitv:?})"
+    );
+    assert!(waitv_slope < fence_slope / 2.0);
+    // Both series must also grow monotonically — a slope fit alone would
+    // accept a zig-zag.
+    for s in [&fence, &waitv] {
+        assert!(s.windows(2).all(|w| w[1].1 >= w[0].1), "non-monotone series {s:?}");
+    }
+}
+
+/// Unique vs redundant values diverge with scale (the paper's Fig. 3
+/// shape): at small scale the fence costs are comparable, at full scale
+/// content dedup leaves the redundant series far behind the unique one.
+#[test]
+fn sweep_unique_redundant_divergence_grows_with_scale() {
+    let doc = golden();
+    let unique = sweep_series(&doc, "scale/fence/unique", "sync");
+    let redundant = sweep_series(&doc, "scale/fence/redundant", "sync");
+    let ratios: Vec<f64> =
+        unique.iter().zip(&redundant).map(|(u, r)| u.1 / r.1).collect();
+    assert!(
+        ratios.windows(2).all(|w| w[1] > w[0]),
+        "unique/redundant fence ratio must widen with scale: {ratios:?}"
+    );
+    assert!(ratios[0] < 1.5, "comparable at the smallest scale: {ratios:?}");
+    assert!(
+        *ratios.last().unwrap() > 2.0,
+        "dedup must win clearly at full scale: {ratios:?}"
+    );
+}
+
+/// Determinism at mid scale: the same 1024-rank cell run twice produces
+/// identical engine statistics and virtual-time results. (Wall-clock
+/// fields are excluded — they are the only nondeterministic outputs.)
+#[test]
+fn kap_1024_rank_cell_is_deterministic() {
+    let mut p = KapParams::fully_populated(64);
+    p.producers = p.total_procs();
+    p.consumers = p.total_procs();
+    assert_eq!(p.total_procs(), 1024);
+    let transport = SimTransport { net: p.net, ..SimTransport::default() };
+    let a = run_kap_full(&p, &transport);
+    let b = run_kap_full(&p, &transport);
+    assert_eq!(a.makespan_ns, b.makespan_ns);
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.bytes, b.bytes);
+    assert_eq!(a.phases, b.phases, "per-process phase latencies must match exactly");
 }
 
 /// Deterministic cells of the golden file reproduce *exactly*, not just

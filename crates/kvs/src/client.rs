@@ -208,7 +208,7 @@ pub fn decode_reply(msg: &Message) -> KvsReply {
         },
         // Internal transfers carry their payload through raw.
         Some(KvsMethod::Stats | KvsMethod::Load | KvsMethod::FenceUp) => {
-            KvsReply::Stats(msg.payload.clone())
+            KvsReply::Stats(msg.payload.value().clone())
         }
         // Not a declared KVS method: nothing this client could have sent.
         None => KvsReply::Err(flux_wire::errnum::ENOSYS),

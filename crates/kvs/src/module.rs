@@ -26,7 +26,7 @@ use flux_broker::{CommsModule, ModuleCtx};
 use flux_hash::ObjectId;
 use flux_proto::{Event, KvsMethod};
 use flux_value::{Map, Value};
-use flux_wire::{errnum, Message, MsgId};
+use flux_wire::{errnum, Message, MsgId, Payload};
 use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
 use std::sync::Arc;
 
@@ -209,6 +209,13 @@ pub struct KvsModule {
     lookup: HashMap<(String, bool), ObjectId>,
     /// Lookup-memo hits (stats/tests).
     lookup_hits: u64,
+    /// Serialized `kvs.load` reply payloads by object id. Objects are
+    /// content-addressed and immutable, so a reply built once is valid
+    /// forever; memoizing it turns the per-child re-serialization of a
+    /// fan-out (each level of the cache chain answering every child with
+    /// a fresh `to_value` of the same directory) into one build plus
+    /// refcount bumps. Capped to bound memory on long-lived brokers.
+    load_replies: HashMap<ObjectId, Payload>,
 }
 
 impl KvsModule {
@@ -250,7 +257,24 @@ impl KvsModule {
             pushes_batched: 0,
             lookup: HashMap::new(),
             lookup_hits: 0,
+            load_replies: HashMap::new(),
         }
+    }
+
+    /// Builds (or reuses) the shared `kvs.load` reply payload for `id`.
+    fn load_reply(&mut self, id: ObjectId, obj: &KvsObject) -> Payload {
+        if self.load_replies.len() > 8192 {
+            self.load_replies.clear();
+        }
+        self.load_replies
+            .entry(id)
+            .or_insert_with(|| {
+                Payload::from(Value::from_pairs([
+                    ("id", Value::from(id.to_hex())),
+                    ("obj", obj.to_value()),
+                ]))
+            })
+            .clone()
     }
 
     // ----- payload helpers -------------------------------------------------
@@ -793,17 +817,12 @@ impl KvsModule {
         }
         let Some((walks, requests)) = self.load_waiters.remove(&id) else { return };
         let available = self.cache.contains(id);
+        // One shared reply payload answers every child waiting on this id.
+        let reply = self.cache.get(id).map(|obj| self.load_reply(id, &obj));
         for req in requests {
-            if let Some(obj) = self.cache.get(id) {
-                ctx.respond(
-                    &req,
-                    Value::from_pairs([
-                        ("id", Value::from(id.to_hex())),
-                        ("obj", obj.to_value()),
-                    ]),
-                );
-            } else {
-                ctx.respond_err(&req, errnum::ENOENT);
+            match &reply {
+                Some(payload) => ctx.respond(&req, payload.clone()),
+                None => ctx.respond_err(&req, errnum::ENOENT),
             }
         }
         for walk_id in walks {
@@ -894,13 +913,8 @@ impl KvsModule {
             return;
         };
         if let Some(obj) = self.cache.get(id) {
-            ctx.respond(
-                msg,
-                Value::from_pairs([
-                    ("id", Value::from(id.to_hex())),
-                    ("obj", obj.to_value()),
-                ]),
-            );
+            let payload = self.load_reply(id, &obj);
+            ctx.respond(msg, payload);
             return;
         }
         if self.master {
@@ -1051,6 +1065,13 @@ impl CommsModule for KvsModule {
             };
             // Verify the content address before trusting a loaded object.
             let obj = obj.filter(|o| o.id() == obj_id);
+            if obj.is_some() {
+                // The upstream reply payload is exactly the reply this
+                // broker would build for its own children — seed the memo
+                // with it so the object is serialized once session-wide
+                // (at the master), not once per level of the cache chain.
+                self.load_replies.entry(obj_id).or_insert_with(|| msg.payload.clone());
+            }
             self.complete_load(ctx, obj_id, obj);
             return;
         }

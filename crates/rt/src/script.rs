@@ -192,7 +192,7 @@ impl Actor for ScriptClient {
                 if tag as usize != self.next {
                     return;
                 }
-                self.record(ctx.now(), msg.header.errnum, msg.payload);
+                self.record(ctx.now(), msg.header.errnum, msg.payload.into_value());
                 self.next += 1;
                 self.issue_next(ctx);
             }

@@ -16,12 +16,70 @@ enum PeerKind {
 }
 
 /// Shared address book mapping actor ids to session roles.
+///
+/// Routing is dense: actor ids and ranks are small consecutive integers
+/// (engine slab indices / session ranks), so every per-delivery lookup is
+/// a `Vec` index instead of a hash — at 8192-rank KAP scale the routing
+/// table is consulted on every one of hundreds of thousands of hops.
 #[derive(Default)]
 struct AddressBook {
-    by_actor: HashMap<ActorId, PeerKind>,
-    broker_of_rank: HashMap<Rank, ActorId>,
-    /// (broker actor, broker-local client id) → client actor.
-    client_actor: HashMap<(ActorId, ClientId), ActorId>,
+    /// Peer role, indexed by actor id. `None` = unknown or unregistered
+    /// (e.g. a killed broker).
+    by_actor: Vec<Option<PeerKind>>,
+    /// Broker actor, indexed by rank. `None` after the rank was killed.
+    broker_of_rank: Vec<Option<ActorId>>,
+    /// Client actor, indexed by broker actor id then broker-local client
+    /// id (clients per broker are few and consecutive).
+    client_actor: Vec<Vec<Option<ActorId>>>,
+}
+
+impl AddressBook {
+    fn slot<T>(v: &mut Vec<Option<T>>, i: usize) -> &mut Option<T> {
+        if v.len() <= i {
+            v.resize_with(i + 1, || None);
+        }
+        &mut v[i]
+    }
+
+    fn register_broker(&mut self, actor: ActorId, rank: Rank) {
+        *Self::slot(&mut self.by_actor, actor) = Some(PeerKind::Broker(rank));
+        *Self::slot(&mut self.broker_of_rank, rank.0 as usize) = Some(actor);
+    }
+
+    fn register_client(&mut self, broker_actor: ActorId, client: ClientId, actor: ActorId) {
+        *Self::slot(&mut self.by_actor, actor) = Some(PeerKind::Client(client));
+        if self.client_actor.len() <= broker_actor {
+            self.client_actor.resize_with(broker_actor + 1, Vec::new);
+        }
+        *Self::slot(&mut self.client_actor[broker_actor], client as usize) = Some(actor);
+    }
+
+    /// Forgets a killed broker: it stops being a routable destination and
+    /// a recognized sender.
+    fn unregister_broker(&mut self, actor: ActorId, rank: Rank) {
+        if let Some(s) = self.by_actor.get_mut(actor) {
+            *s = None;
+        }
+        if let Some(s) = self.broker_of_rank.get_mut(rank.0 as usize) {
+            *s = None;
+        }
+    }
+
+    fn peer_of(&self, actor: ActorId) -> Option<PeerKind> {
+        self.by_actor.get(actor).copied().flatten()
+    }
+
+    fn broker_of(&self, rank: Rank) -> Option<ActorId> {
+        self.broker_of_rank.get(rank.0 as usize).copied().flatten()
+    }
+
+    fn client_of(&self, broker_actor: ActorId, client: ClientId) -> Option<ActorId> {
+        self.client_actor
+            .get(broker_actor)
+            .and_then(|v| v.get(client as usize))
+            .copied()
+            .flatten()
+    }
 }
 
 /// Infers the plane a message travelled on from its shape: events use the
@@ -70,7 +128,7 @@ impl BrokerActor {
         for out in outs {
             match out {
                 Output::ToBroker { plane, to, msg } => {
-                    let target = self.book.borrow().broker_of_rank.get(&to).copied();
+                    let target = self.book.borrow().broker_of(to);
                     let Some(target) = target else { continue };
                     match &mut self.faults {
                         None => ctx.send(target, msg),
@@ -98,8 +156,7 @@ impl BrokerActor {
                     if self.faults.as_ref().is_some_and(|f| f.silenced(now_ns)) {
                         continue;
                     }
-                    let target =
-                        self.book.borrow().client_actor.get(&(ctx.self_id(), client)).copied();
+                    let target = self.book.borrow().client_of(ctx.self_id(), client);
                     if let Some(target) = target {
                         ctx.send(target, msg);
                     }
@@ -131,7 +188,7 @@ impl Actor for BrokerActor {
         if self.silenced(ctx.now().as_nanos()) {
             return;
         }
-        let kind = self.book.borrow().by_actor.get(&from).copied();
+        let kind = self.book.borrow().peer_of(from);
         let input = match kind {
             Some(PeerKind::Broker(rank)) => {
                 Input::FromBroker { plane: plane_of(&msg), from: rank, msg }
@@ -246,9 +303,7 @@ impl SimSession {
                     started: false,
                 }),
             );
-            let mut b = book.borrow_mut();
-            b.by_actor.insert(actor, PeerKind::Broker(rank));
-            b.broker_of_rank.insert(rank, actor);
+            book.borrow_mut().register_broker(actor, rank);
         }
         SimSession { engine, book, size, next_client: HashMap::new() }
     }
@@ -269,8 +324,14 @@ impl SimSession {
     }
 
     /// The actor id of a rank's broker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the session or its broker was killed.
     pub fn broker_actor(&self, rank: Rank) -> ActorId {
-        self.book.borrow().broker_of_rank[&rank]
+        // flux-lint: allow(panic) — an out-of-session or killed rank is
+        // caller error; drivers check `is_broker_actor` first.
+        self.book.borrow().broker_of(rank).expect("no live broker for rank")
     }
 
     /// True if `actor` is one of the session's broker actors (as opposed
@@ -278,7 +339,7 @@ impl SimSession {
     /// this to restrict fault-style choices (e.g. frame duplication) to
     /// broker-to-broker links, matching the fault layer's model.
     pub fn is_broker_actor(&self, actor: ActorId) -> bool {
-        matches!(self.book.borrow().by_actor.get(&actor), Some(PeerKind::Broker(_)))
+        matches!(self.book.borrow().peer_of(actor), Some(PeerKind::Broker(_)))
     }
 
     /// Attaches a client-process actor to `rank`'s broker, placed on the
@@ -298,10 +359,7 @@ impl SimSession {
             id
         };
         let actor = self.engine.add_actor(node, make(broker_actor, client_id));
-        let mut book = self.book.borrow_mut();
-        book.by_actor.insert(actor, PeerKind::Client(client_id));
-        book.client_actor.insert((broker_actor, client_id), actor);
-        drop(book);
+        self.book.borrow_mut().register_client(broker_actor, client_id, actor);
         actor
     }
 
@@ -312,6 +370,11 @@ impl SimSession {
         assert!(!rank.is_root(), "root failure ends the session");
         let actor = self.broker_actor(rank);
         self.engine.kill(actor);
+        // Forget the dead broker so survivors neither route to it nor
+        // accept its in-flight traffic: a message already on the wire
+        // from the victim now hits the unknown-sender path and is
+        // ignored, as on a real node failure.
+        self.book.borrow_mut().unregister_broker(actor, rank);
     }
 
     /// Runs until the event heap drains; returns the final virtual time.

@@ -256,7 +256,12 @@ pub struct ScriptOutcome {
 }
 
 /// What a scripted run produced, across all scripts.
-#[derive(Debug, Default, Clone, PartialEq)]
+///
+/// Equality compares the *observable* results (outcomes, virtual-time
+/// makespan, event and byte counts). The wall-clock diagnostics
+/// (`wall_ns`, `events_per_sec`) are excluded — they vary run to run on
+/// the same input, and determinism tests compare whole reports.
+#[derive(Debug, Default, Clone)]
 pub struct ScriptReport {
     /// One outcome per submitted script, in submission order.
     pub outcomes: Vec<ScriptOutcome>,
@@ -267,6 +272,21 @@ pub struct ScriptReport {
     pub events: u64,
     /// Bytes moved over all links (simulator only; 0 on live transports).
     pub bytes: u64,
+    /// Host wall-clock the engine spent dispatching, ns (simulator only;
+    /// live transports' makespan *is* wall time, so this stays 0).
+    pub wall_ns: u64,
+    /// The engine's self-reported dispatch rate, events per wall-clock
+    /// second (simulator only). Diagnostic — never compare across hosts.
+    pub events_per_sec: f64,
+}
+
+impl PartialEq for ScriptReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.outcomes == other.outcomes
+            && self.makespan_ns == other.makespan_ns
+            && self.events == other.events
+            && self.bytes == other.bytes
+    }
 }
 
 /// Runs batches of scripted clients to completion. The abstraction the
@@ -342,11 +362,14 @@ impl ScriptTransport for SimTransport {
                 }
             })
             .collect();
+        let throughput = session.engine().throughput();
         ScriptReport {
             outcomes,
             makespan_ns: end.as_nanos(),
             events: stats.events,
             bytes: stats.bytes_delivered,
+            wall_ns: throughput.wall.as_nanos() as u64,
+            events_per_sec: throughput.events_per_sec,
         }
     }
 }
@@ -392,7 +415,7 @@ pub fn drive_script(
             Some(msg) => {
                 out.op_done_ns.push(epoch.elapsed().as_nanos() as u64);
                 out.op_err.push(msg.header.errnum);
-                out.replies.push(msg.payload);
+                out.replies.push(msg.payload.into_value());
             }
             None => {
                 out.op_done_ns.push(epoch.elapsed().as_nanos() as u64);
@@ -443,6 +466,6 @@ impl<T: Transport + ?Sized> ScriptTransport for T {
             drivers.into_iter().map(|d| d.join().expect("script driver panicked")).collect();
         let makespan_ns = epoch.elapsed().as_nanos() as u64;
         session.shutdown();
-        ScriptReport { outcomes, makespan_ns, events: 0, bytes: 0 }
+        ScriptReport { outcomes, makespan_ns, ..ScriptReport::default() }
     }
 }

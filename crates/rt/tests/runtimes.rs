@@ -6,7 +6,7 @@ use flux_modules::standard_modules;
 use flux_rt::script::{Op, ScriptClient};
 use flux_rt::sim::SimSession;
 use flux_rt::threads::ThreadSession;
-use flux_sim::{NetParams, SimTime};
+use flux_sim::{NetParams, PendingKind, SimTime};
 use flux_value::Value;
 use flux_wire::{Rank, Topic};
 use std::time::Duration;
@@ -152,6 +152,59 @@ fn sim_failure_detection_and_selfheal_in_virtual_time() {
     assert!(o.finished, "orphaned rank finished its script");
     assert_eq!(o.op_err, [0, 0, 0]);
     assert_eq!(o.replies[2].get("v"), Some(&Value::from("alive")));
+}
+
+#[test]
+fn sim_kill_broker_forgets_victim_and_drops_its_ghost_traffic() {
+    // Regression: `kill_broker` used to leave the victim registered in
+    // the address book, so a message already on the wire from the dead
+    // broker was still attributed to it and processed by the receiver —
+    // here, a ghost `kvs.push` would advance the master's version on
+    // behalf of a broker that died before its commit arrived.
+    let mut s = SimSession::new(2, 2, NetParams::default(), kvs_only);
+    let victim = s.broker_actor(Rank(1));
+    let root = s.broker_actor(Rank(0));
+    let committer = ScriptClient::spawn(
+        &mut s,
+        Rank(1),
+        vec![Op::Put { key: "ghost.k".into(), val: Value::Int(1) }, Op::Commit],
+    );
+
+    // Step one event at a time until rank 1's commit batch is in flight
+    // to the root, then kill the sender mid-wire.
+    let mut steps = 0;
+    loop {
+        let pend = s.engine().pending_events();
+        let push_on_wire = pend.iter().any(|e| {
+            e.to == root
+                && matches!(&e.kind,
+                    PendingKind::Message { from, topic, .. }
+                        if *from == victim && topic.as_str() == "kvs.push")
+        });
+        if push_on_wire {
+            break;
+        }
+        let next = pend.first().expect("commit batch never left rank 1").seq;
+        assert!(s.engine_mut().dispatch_pending(next));
+        steps += 1;
+        assert!(steps < 10_000, "runaway schedule before the push appeared");
+    }
+    s.kill_broker(Rank(1));
+    assert!(!s.is_broker_actor(victim), "killed broker must be forgotten");
+    s.run_until_quiet(None).expect("unbounded runs cannot livelock");
+    assert!(!committer.borrow().finished, "the dead broker's client never hears back");
+
+    // The ghost push was ignored at the root: the master never committed.
+    let check = ScriptClient::spawn(&mut s, Rank(0), vec![Op::GetVersion]);
+    s.run_until_quiet(None).expect("unbounded runs cannot livelock");
+    let o = check.borrow();
+    assert!(o.finished);
+    assert_eq!(o.op_err, [0]);
+    assert_eq!(
+        o.replies[0].get("version").and_then(Value::as_uint),
+        Some(0),
+        "a commit from a dead broker must not advance the master"
+    );
 }
 
 #[test]

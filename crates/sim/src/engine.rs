@@ -1,13 +1,17 @@
 //! The discrete-event engine.
 
 use crate::actor::{Action, Actor, ActorId, Ctx, NodeId};
+use crate::arena::EventArena;
 use crate::net::NetParams;
+use crate::queue::CalendarQueue;
 use crate::time::{SimDuration, SimTime};
-use flux_wire::{Message, MsgId, MsgType};
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use flux_wire::{Message, MsgId, MsgType, Topic};
 
 /// Aggregate counters maintained by the engine.
+///
+/// Deliberately *virtual-only*: two runs of the same seeded simulation
+/// must compare equal field for field (determinism tests rely on it), so
+/// wall-clock measurements live in the separate [`Throughput`] report.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Events processed (delivery, handling, timers).
@@ -20,8 +24,23 @@ pub struct EngineStats {
     pub messages_dropped: u64,
 }
 
-/// Heap entries. `seq` breaks time ties deterministically in insertion
-/// order, which makes whole simulations bit-reproducible.
+/// Wall-clock self-report: how fast the engine is chewing through its
+/// virtual workload. Backed by [`EngineStats::events`] and the real time
+/// accumulated inside `run*` calls; kept out of [`EngineStats`] so stats
+/// stay bit-comparable across identical runs.
+#[derive(Clone, Copy, Debug)]
+pub struct Throughput {
+    /// Events processed so far (mirrors [`EngineStats::events`]).
+    pub events: u64,
+    /// Real time spent inside `run`/`run_until`/`run_budgeted`.
+    pub wall: std::time::Duration,
+    /// Events per wall-clock second (0 when no time has been measured).
+    pub events_per_sec: f64,
+}
+
+/// Event payloads held in the arena. `seq` breaks time ties
+/// deterministically in insertion order, which makes whole simulations
+/// bit-reproducible.
 enum EventKind {
     /// A message finished propagating and reached `to`'s receive queue.
     Arrive { to: ActorId, from: ActorId, msg: Message, bytes: usize },
@@ -31,6 +50,16 @@ enum EventKind {
     Timer { actor: ActorId, token: u64 },
     /// Run `on_start` for a newly added actor.
     Start { actor: ActorId },
+}
+
+impl EventKind {
+    /// The actor this event will act on when dispatched.
+    fn target(&self) -> ActorId {
+        match self {
+            EventKind::Start { actor } | EventKind::Timer { actor, .. } => *actor,
+            EventKind::Arrive { to, .. } | EventKind::Handle { to, .. } => *to,
+        }
+    }
 }
 
 struct Slot {
@@ -64,8 +93,9 @@ pub enum PendingKind {
         handle: bool,
         /// Wire message type.
         msg_type: MsgType,
-        /// Topic string.
-        topic: String,
+        /// Topic (shared; cloning it is a refcount bump, so summarizing
+        /// the pending set allocates nothing per event).
+        topic: Topic,
         /// Message id.
         id: MsgId,
     },
@@ -85,22 +115,27 @@ pub struct PendingEvent {
     pub kind: PendingKind,
 }
 
-/// The discrete-event engine: owns actors, the clock, and the event heap.
+/// The discrete-event engine: owns actors, the clock, and the event queue
+/// (a flat [`EventArena`] for payloads plus a [`CalendarQueue`] ordering
+/// `(time, seq, index)` triples).
 pub struct Engine {
     params: NetParams,
     slots: Vec<Slot>,
     node_count: usize,
-    heap: BinaryHeap<Reverse<(SimTime, u64, usize)>>,
-    /// Event payloads, indexed by the heap entry's third field. Slots are
-    /// taken (replaced with None) when popped.
-    pending: Vec<Option<EventKind>>,
-    free_pending: Vec<usize>,
+    /// Pending event payloads, indexed by queue entries.
+    arena: EventArena<EventKind>,
+    /// Dispatch order over arena indices.
+    queue: CalendarQueue,
     seq: u64,
     now: SimTime,
     stopped: bool,
     stats: EngineStats,
     event_limit: u64,
+    /// Action buffer handed to actor contexts; kept on the engine so its
+    /// allocation is reused across every handler invocation.
     actions: Vec<Action>,
+    /// Real time accumulated inside `run*` calls (see [`Throughput`]).
+    run_wall: std::time::Duration,
 }
 
 impl Engine {
@@ -110,15 +145,15 @@ impl Engine {
             params,
             slots: Vec::new(),
             node_count: 0,
-            heap: BinaryHeap::new(),
-            pending: Vec::new(),
-            free_pending: Vec::new(),
+            arena: EventArena::new(),
+            queue: CalendarQueue::new(),
             seq: 0,
             now: SimTime::ZERO,
             stopped: false,
             stats: EngineStats::default(),
             event_limit: u64::MAX,
             actions: Vec::new(),
+            run_wall: std::time::Duration::ZERO,
         }
     }
 
@@ -163,6 +198,16 @@ impl Engine {
         self.stats
     }
 
+    /// Events-per-wall-second self-report across all `run*` calls so far.
+    pub fn throughput(&self) -> Throughput {
+        let secs = self.run_wall.as_secs_f64();
+        Throughput {
+            events: self.stats.events,
+            wall: self.run_wall,
+            events_per_sec: if secs > 0.0 { self.stats.events as f64 / secs } else { 0.0 },
+        }
+    }
+
     /// The node an actor is placed on.
     pub fn node_of(&self, a: ActorId) -> NodeId {
         self.slots[a].node
@@ -191,97 +236,129 @@ impl Engine {
         &mut *self.slots[a].actor
     }
 
-    /// Runs until the event heap drains or an actor calls [`Ctx::stop`].
+    /// Runs until the event queue drains or an actor calls [`Ctx::stop`].
     /// Returns the final virtual time.
     pub fn run(&mut self) -> SimTime {
-        self.run_until(SimTime::from_nanos(u64::MAX))
+        self.run_inner(None)
     }
 
-    /// Runs until `deadline` (inclusive), the heap drains, or an actor
-    /// stops the simulation. Returns the current virtual time.
+    /// Runs until `deadline` (inclusive), the queue drains, or an actor
+    /// stops the simulation. Returns the current virtual time, which on a
+    /// deadline-bounded run is clamped forward to the deadline whether
+    /// the run hit a later event *or drained early* — either way the
+    /// simulated interval up to the deadline has fully elapsed, and
+    /// repeated bounded runs make forward progress.
     pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        self.run_inner(Some(deadline))
+    }
+
+    fn run_inner(&mut self, deadline: Option<SimTime>) -> SimTime {
+        let wall = std::time::Instant::now();
         while !self.stopped {
-            let Some(&Reverse((t, _, _))) = self.heap.peek() else { break };
-            if t > deadline {
-                // Advance the clock to the deadline so repeated bounded
-                // runs make forward progress even with a far-future event.
-                self.now = deadline;
-                return self.now;
+            let Some((t, _, _)) = self.queue.peek_min() else {
+                // Drained: a bounded run still accounts for the idle tail
+                // up to its deadline (an unbounded run keeps the time of
+                // the last event).
+                if let Some(d) = deadline {
+                    self.now = self.now.max(d);
+                }
+                break;
+            };
+            if let Some(d) = deadline {
+                if t > d {
+                    self.now = self.now.max(d);
+                    break;
+                }
             }
             self.pop_dispatch();
         }
+        self.run_wall += wall.elapsed();
         self.now
     }
 
     /// Like [`Engine::run`], but processes at most `budget` further
     /// events. Returns the current virtual time and whether the run went
-    /// quiescent (heap drained or an actor stopped the simulation) within
+    /// quiescent (queue drained or an actor stopped the simulation) within
     /// the budget; `false` means events were still pending — a protocol
     /// livelock if the caller expected quiescence.
     pub fn run_budgeted(&mut self, budget: u64) -> (SimTime, bool) {
+        let wall = std::time::Instant::now();
         let mut left = budget;
-        while !self.stopped {
-            if self.heap.peek().is_none() {
-                return (self.now, true);
+        let quiet = loop {
+            if self.stopped || self.arena.live() == 0 {
+                break true;
             }
             if left == 0 {
-                return (self.now, false);
+                break false;
             }
             left -= 1;
             self.pop_dispatch();
-        }
-        (self.now, true)
+        };
+        self.run_wall += wall.elapsed();
+        (self.now, quiet)
     }
 
     /// Pops and dispatches the earliest pending event.
     fn pop_dispatch(&mut self) {
-        let Some(Reverse((t, _, idx))) = self.heap.pop() else { return };
-        let Some(kind) = self.pending[idx].take() else { return };
-        self.free_pending.push(idx);
+        let Some((t, _, idx)) = self.queue.pop_min() else { return };
+        let Some(kind) = self.arena.take(idx) else { return };
         self.now = t;
+        self.count_event();
+        self.dispatch(kind);
+    }
+
+    /// Counts one dispatched event against the livelock limit. Every
+    /// dispatch path (default order *and* controlled scheduling) must go
+    /// through this, so the limit cannot be bypassed.
+    fn count_event(&mut self) {
         self.stats.events += 1;
         assert!(self.stats.events <= self.event_limit, "event limit exceeded: livelock?");
-        self.dispatch(kind);
     }
 
     // ----- controlled scheduling (model checking) --------------------------
 
-    /// Summarizes every pending heap entry in default dispatch order
+    /// Summarizes every pending queue entry in default dispatch order
     /// (time, then insertion sequence). A controlled-scheduling driver
     /// picks one and dispatches it with [`Engine::dispatch_pending`]; the
     /// default schedule is always index 0.
+    ///
+    /// Events destined for dead actors are omitted: they can only be
+    /// dropped, so they are not schedulable choices — listing them would
+    /// multiply a model checker's state space by interleavings that all
+    /// collapse to the same drop. (The default-order runner still
+    /// processes and counts them as drops.)
     pub fn pending_events(&self) -> Vec<PendingEvent> {
-        let mut entries: Vec<(SimTime, u64, usize)> =
-            self.heap.iter().map(|&Reverse(e)| e).collect();
-        entries.sort_unstable();
-        entries
-            .into_iter()
-            .filter_map(|(at, seq, idx)| {
-                let kind = match self.pending.get(idx).and_then(Option::as_ref)? {
+        let mut entries: Vec<PendingEvent> = self
+            .arena
+            .iter_live()
+            .filter_map(|(at, seq, _idx, kind)| {
+                let to = kind.target();
+                if self.slots[to].dead {
+                    return None;
+                }
+                let kind = match kind {
                     EventKind::Start { .. } => PendingKind::Start,
                     EventKind::Timer { token, .. } => PendingKind::Timer { token: *token },
                     EventKind::Arrive { from, msg, .. } => PendingKind::Message {
                         from: *from,
                         handle: false,
                         msg_type: msg.header.msg_type,
-                        topic: msg.header.topic.as_str().to_owned(),
+                        topic: msg.header.topic.clone(),
                         id: msg.header.id,
                     },
                     EventKind::Handle { from, msg, .. } => PendingKind::Message {
                         from: *from,
                         handle: true,
                         msg_type: msg.header.msg_type,
-                        topic: msg.header.topic.as_str().to_owned(),
+                        topic: msg.header.topic.clone(),
                         id: msg.header.id,
                     },
                 };
-                let to = match self.pending.get(idx).and_then(Option::as_ref)? {
-                    EventKind::Start { actor } | EventKind::Timer { actor, .. } => *actor,
-                    EventKind::Arrive { to, .. } | EventKind::Handle { to, .. } => *to,
-                };
                 Some(PendingEvent { at, seq, to, kind })
             })
-            .collect()
+            .collect();
+        entries.sort_unstable_by_key(|e| (e.at, e.seq));
+        entries
     }
 
     /// Dispatches the pending entry with insertion sequence `seq` (from
@@ -289,24 +366,14 @@ impl Engine {
     /// clock forward monotonically (virtual time never runs backwards,
     /// so actor-visible timestamps stay sane under reordering). Returns
     /// false if no such entry exists.
+    ///
+    /// Counts against the event limit exactly like default-order
+    /// dispatch, so a controlled schedule cannot livelock past it.
     pub fn dispatch_pending(&mut self, seq: u64) -> bool {
-        let mut rest = Vec::with_capacity(self.heap.len());
-        let mut found = None;
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if entry.1 == seq {
-                found = Some(entry);
-                break;
-            }
-            rest.push(entry);
-        }
-        for e in rest {
-            self.heap.push(Reverse(e));
-        }
-        let Some((t, _, idx)) = found else { return false };
-        let Some(kind) = self.pending[idx].take() else { return false };
-        self.free_pending.push(idx);
+        let Some((t, idx)) = self.queue.remove_seq(seq) else { return false };
+        let Some(kind) = self.arena.take(idx) else { return false };
         self.now = self.now.max(t);
-        self.stats.events += 1;
+        self.count_event();
         self.dispatch(kind);
         true
     }
@@ -317,12 +384,8 @@ impl Engine {
     /// dispatches first under the default order. Returns false if `seq`
     /// is unknown or not a message event.
     pub fn duplicate_pending(&mut self, seq: u64) -> bool {
-        let Some(&Reverse((t, _, idx))) =
-            self.heap.iter().find(|Reverse((_, s, _))| *s == seq)
-        else {
-            return false;
-        };
-        let dup = match self.pending.get(idx).and_then(Option::as_ref) {
+        let Some(idx) = self.arena.find_seq(seq) else { return false };
+        let dup = match self.arena.get(idx) {
             Some(EventKind::Arrive { to, from, msg, bytes }) => {
                 EventKind::Arrive { to: *to, from: *from, msg: msg.clone(), bytes: *bytes }
             }
@@ -331,6 +394,7 @@ impl Engine {
             }
             _ => return false,
         };
+        let t = self.arena.at(idx);
         self.push_event(t, dup);
         true
     }
@@ -393,9 +457,10 @@ impl Engine {
 
     fn drain_actions(&mut self, origin: ActorId) {
         // Actions may enqueue further actions only via events, so a single
-        // pass suffices.
-        let actions = std::mem::take(&mut self.actions);
-        for action in actions {
+        // pass suffices. The buffer is drained (not consumed) and handed
+        // back, so one allocation serves every handler invocation.
+        let mut actions = std::mem::take(&mut self.actions);
+        for action in actions.drain(..) {
             match action {
                 Action::Send { to, msg, extra_delay } => {
                     self.do_send(origin, to, msg, extra_delay)
@@ -414,6 +479,8 @@ impl Engine {
                 Action::Stop => self.stopped = true,
             }
         }
+        debug_assert!(self.actions.is_empty(), "actions queued outside a handler");
+        self.actions = actions;
     }
 
     fn do_send(&mut self, from: ActorId, to: ActorId, msg: Message, extra_delay: SimDuration) {
@@ -433,18 +500,12 @@ impl Engine {
     }
 
     fn push_event(&mut self, at: SimTime, kind: EventKind) {
-        let idx = match self.free_pending.pop() {
-            Some(i) => {
-                self.pending[i] = Some(kind);
-                i
-            }
-            None => {
-                self.pending.push(Some(kind));
-                self.pending.len() - 1
-            }
-        };
         self.seq += 1;
-        self.heap.push(Reverse((at, self.seq, idx)));
+        let idx = self.arena.insert(at, self.seq, kind);
+        self.queue.push(at, self.seq, idx);
+        // Every queue entry has a live arena slot and vice versa: both
+        // sides remove eagerly (no lazy tombstones).
+        debug_assert_eq!(self.queue.len(), self.arena.live());
     }
 }
 
@@ -614,6 +675,88 @@ mod tests {
         // Remaining events still processed by a full run.
         eng.run();
         assert_eq!(eng.stats().messages_delivered, 3);
+    }
+
+    #[test]
+    fn run_until_clamps_clock_on_both_paths() {
+        // Path 1: the queue drains before the deadline. The clock must
+        // still land on the deadline — the simulated interval elapsed —
+        // instead of sticking at the last event.
+        let (mut eng, log) = two_node_setup(vec![64; 2]);
+        let deadline = SimTime::from_nanos(5_000_000_000);
+        let t = eng.run_until(deadline);
+        assert_eq!(log.borrow().len(), 2, "all traffic done well before 5s");
+        assert_eq!(t, deadline, "drained run must account the idle tail");
+        assert_eq!(eng.now(), deadline);
+
+        // Path 2: a pending event beyond the deadline also clamps to the
+        // deadline (pre-existing behaviour, kept).
+        struct FarTimer;
+        impl Actor for FarTimer {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(SimDuration::from_secs(60), 0);
+            }
+            fn on_message(&mut self, _: &mut Ctx<'_>, _: ActorId, _: Message) {}
+        }
+        let mut eng2 = Engine::new(NetParams::default());
+        let n = eng2.add_node();
+        eng2.add_actor(n, Box::new(FarTimer));
+        let d2 = SimTime::from_nanos(1_000_000_000);
+        assert_eq!(eng2.run_until(d2), d2);
+        // An unbounded run never clamps: it ends at the last event time.
+        let end = eng2.run();
+        assert_eq!(end, SimTime::from_nanos(60_000_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn event_limit_applies_to_controlled_dispatch() {
+        // Regression: dispatch_pending used to count events without
+        // checking the limit, so a controlled schedule could livelock
+        // straight past it.
+        let (mut eng, _log) = two_node_setup(vec![64; 3]);
+        eng.set_event_limit(2);
+        while let Some(e) = eng.pending_events().first().cloned() {
+            assert!(eng.dispatch_pending(e.seq));
+        }
+    }
+
+    #[test]
+    fn pending_events_excludes_dead_targets() {
+        let (mut eng, _log) = two_node_setup(vec![64; 4]);
+        // Let the burst get its sends in flight.
+        let before = loop {
+            let pend = eng.pending_events();
+            if pend.iter().any(|e| matches!(e.kind, PendingKind::Message { .. })) {
+                break pend.len();
+            }
+            let first = pend.first().cloned().expect("events pending");
+            assert!(eng.dispatch_pending(first.seq));
+        };
+        assert!(before > 0);
+        // Killing the recorder (actor 0) hides every event aimed at it:
+        // they are not schedulable choices, only drops.
+        eng.kill(0);
+        let after = eng.pending_events();
+        assert!(after.len() < before, "{before} -> {}", after.len());
+        assert!(after.iter().all(|e| e.to != 0));
+        // The default-order runner still processes the hidden events as
+        // drops — accounting is unchanged.
+        eng.run();
+        assert_eq!(eng.stats().messages_dropped, 4);
+    }
+
+    #[test]
+    fn throughput_reports_wall_rate() {
+        let (mut eng, _log) = two_node_setup(vec![64; 8]);
+        assert_eq!(eng.throughput().events, 0);
+        assert_eq!(eng.throughput().events_per_sec, 0.0);
+        eng.run();
+        let tp = eng.throughput();
+        assert_eq!(tp.events, eng.stats().events);
+        assert!(tp.events > 0);
+        assert!(tp.events_per_sec > 0.0);
+        assert!(tp.wall > std::time::Duration::ZERO);
     }
 
     #[test]

@@ -74,11 +74,13 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 mod actor;
+mod arena;
 mod engine;
 mod net;
+mod queue;
 mod time;
 
 pub use actor::{Actor, ActorId, Ctx, NodeId};
-pub use engine::{Engine, EngineStats, PendingEvent, PendingKind};
+pub use engine::{Engine, EngineStats, PendingEvent, PendingKind, Throughput};
 pub use net::NetParams;
 pub use time::{SimDuration, SimTime};

@@ -60,6 +60,35 @@ impl fmt::Display for WireError {
 
 impl std::error::Error for WireError {}
 
+/// Number of bytes [`encode_header`] will write for `h`, computed without
+/// touching an output buffer. The simulator's cost model calls this on
+/// every send; keeping it arithmetic (no allocation, no byte writes)
+/// keeps the hot path flat. Consistency with [`encode_header`] is pinned
+/// by tests.
+pub(crate) fn header_wire_len(h: &Header) -> usize {
+    let mut n = 4 // magic, version, type, flags
+        + 4 // id.origin
+        + varint_len(h.id.seq)
+        + 4; // src
+    if h.dst.is_some() {
+        n += 4;
+    }
+    n += varint_len(u64::from(h.errnum));
+    n += varint_len(h.topic.as_str().len() as u64) + h.topic.as_str().len();
+    n += varint_len(h.hops.len() as u64) + 4 * h.hops.len();
+    n
+}
+
+/// Encoded length of a LEB128 varint (mirrors `flux_value::write_varint`).
+fn varint_len(mut v: u64) -> usize {
+    let mut n = 1;
+    while v >= 0x80 {
+        v >>= 7;
+        n += 1;
+    }
+    n
+}
+
 pub(crate) fn encode_header(h: &Header, out: &mut Vec<u8>) {
     out.push(MAGIC);
     out.push(VERSION);
@@ -149,7 +178,7 @@ impl Message {
                     errnum,
                     hops,
                 },
-                payload,
+                payload: payload.into(),
             },
             total,
         ))
@@ -207,6 +236,24 @@ mod tests {
         );
         m.header.hops = vec![Rank(7), Rank(3), Rank(1)];
         m
+    }
+
+    #[test]
+    fn header_wire_len_matches_encoder() {
+        let t = Topic::new("x.y").unwrap();
+        let id = MsgId { origin: Rank(0), seq: u64::MAX };
+        let mut hopped = Message::request(t.clone(), id, Rank(0), Value::Null);
+        hopped.header.hops = (0..300).map(Rank).collect();
+        for m in [
+            sample(),
+            hopped,
+            Message::request_to(t.clone(), id, Rank(0), Rank(9), Value::Null),
+            Message::error_response_to(&Message::request(t, id, Rank(0), Value::Null), 200),
+        ] {
+            let mut out = Vec::new();
+            encode_header(&m.header, &mut out);
+            assert_eq!(header_wire_len(&m.header), out.len(), "{m:?}");
+        }
     }
 
     #[test]

@@ -53,7 +53,7 @@ mod rank;
 mod topic;
 
 pub use codec::WireError;
-pub use message::{Header, Message, MsgId, MsgType, Plane};
+pub use message::{Header, Message, MsgId, MsgType, Payload, Plane};
 pub use rank::Rank;
 pub use topic::{Topic, TopicError};
 

@@ -4,6 +4,8 @@ use crate::errnum;
 use crate::{Rank, Topic};
 use flux_value::Value;
 use std::fmt;
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock};
 
 /// Which overlay plane carries a message (paper §IV-A, Fig. 1).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
@@ -90,18 +92,97 @@ pub struct Header {
     pub hops: Vec<Rank>,
 }
 
+/// A message's JSON payload frame, shared by reference.
+///
+/// Payloads are immutable once attached to a message. Sharing them lets a
+/// broker fan a large event out to many children — and the simulator
+/// duplicate in-flight frames — without deep-copying the value tree at
+/// every hop, and lets the cost model read the payload's wire size once
+/// instead of re-traversing it per send. Reads go through `Deref`, so a
+/// `Payload` is used exactly like a [`Value`]; to mutate, clone the inner
+/// value out ([`Payload::into_value`] or `value().clone()`) and build a
+/// fresh payload.
+#[derive(Clone)]
+pub struct Payload {
+    inner: Arc<PayloadInner>,
+}
+
+struct PayloadInner {
+    value: Value,
+    size: OnceLock<usize>,
+}
+
+impl Payload {
+    /// The payload value.
+    pub fn value(&self) -> &Value {
+        &self.inner.value
+    }
+
+    /// Unwraps into the inner [`Value`], cloning only if the payload is
+    /// still shared with another message.
+    pub fn into_value(self) -> Value {
+        match Arc::try_unwrap(self.inner) {
+            Ok(inner) => inner.value,
+            Err(shared) => shared.value.clone(),
+        }
+    }
+
+    /// The approximate encoded size of the payload, computed once per
+    /// payload and cached — every hop of a fan-out reads the same number.
+    pub fn approx_size(&self) -> usize {
+        *self.inner.size.get_or_init(|| self.inner.value.approx_size())
+    }
+}
+
+impl From<Value> for Payload {
+    fn from(value: Value) -> Payload {
+        Payload { inner: Arc::new(PayloadInner { value, size: OnceLock::new() }) }
+    }
+}
+
+impl Deref for Payload {
+    type Target = Value;
+    fn deref(&self) -> &Value {
+        &self.inner.value
+    }
+}
+
+impl PartialEq for Payload {
+    fn eq(&self, other: &Payload) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner) || self.inner.value == other.inner.value
+    }
+}
+
+impl PartialEq<Value> for Payload {
+    fn eq(&self, other: &Value) -> bool {
+        self.inner.value == *other
+    }
+}
+
+impl PartialEq<Payload> for Value {
+    fn eq(&self, other: &Payload) -> bool {
+        *self == other.inner.value
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.value.fmt(f)
+    }
+}
+
 /// A complete message: header frame + JSON payload frame.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Message {
     /// The header frame.
     pub header: Header,
-    /// The JSON payload frame.
-    pub payload: Value,
+    /// The JSON payload frame, shared by reference across clones.
+    pub payload: Payload,
 }
 
 impl Message {
     /// Builds an RPC request.
-    pub fn request(topic: Topic, id: MsgId, src: Rank, payload: Value) -> Message {
+    pub fn request(topic: Topic, id: MsgId, src: Rank, payload: impl Into<Payload>) -> Message {
         Message {
             header: Header {
                 msg_type: MsgType::Request,
@@ -112,12 +193,18 @@ impl Message {
                 errnum: 0,
                 hops: Vec::new(),
             },
-            payload,
+            payload: payload.into(),
         }
     }
 
     /// Builds a rank-addressed request (carried on the ring plane).
-    pub fn request_to(topic: Topic, id: MsgId, src: Rank, dst: Rank, payload: Value) -> Message {
+    pub fn request_to(
+        topic: Topic,
+        id: MsgId,
+        src: Rank,
+        dst: Rank,
+        payload: impl Into<Payload>,
+    ) -> Message {
         let mut m = Message::request(topic, id, src, payload);
         m.header.dst = Some(dst);
         m
@@ -125,7 +212,7 @@ impl Message {
 
     /// Builds the successful response to `req`, preserving its id, topic
     /// and hop stack (ready for reverse routing).
-    pub fn response_to(req: &Message, payload: Value) -> Message {
+    pub fn response_to(req: &Message, payload: impl Into<Payload>) -> Message {
         Message {
             header: Header {
                 msg_type: MsgType::Response,
@@ -136,7 +223,7 @@ impl Message {
                 errnum: 0,
                 hops: req.header.hops.clone(),
             },
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -151,7 +238,7 @@ impl Message {
     }
 
     /// Builds a published event.
-    pub fn event(topic: Topic, id: MsgId, src: Rank, payload: Value) -> Message {
+    pub fn event(topic: Topic, id: MsgId, src: Rank, payload: impl Into<Payload>) -> Message {
         Message {
             header: Header {
                 msg_type: MsgType::Event,
@@ -162,7 +249,7 @@ impl Message {
                 errnum: 0,
                 hops: Vec::new(),
             },
-            payload,
+            payload: payload.into(),
         }
     }
 
@@ -173,15 +260,11 @@ impl Message {
 
     /// The size this message occupies on the wire, in bytes. Used by the
     /// simulator's transfer-cost model; kept consistent with
-    /// [`Message::encode`] by construction (tested).
+    /// [`Message::encode`] by construction (tested). Computed without
+    /// allocating: the header length is summed arithmetically and the
+    /// payload size is cached inside the shared [`Payload`].
     pub fn wire_size(&self) -> usize {
-        self.encode_header_only().len() + self.payload.approx_size()
-    }
-
-    fn encode_header_only(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(32 + self.header.topic.wire_len());
-        crate::codec::encode_header(&self.header, &mut out);
-        out
+        crate::codec::header_wire_len(&self.header) + self.payload.approx_size()
     }
 }
 

@@ -46,7 +46,7 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 errnum: u32::from(errnum),
                 hops: hops.into_iter().map(Rank).collect(),
             },
-            payload,
+            payload: payload.into(),
         })
 }
 

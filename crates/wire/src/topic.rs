@@ -7,10 +7,15 @@
 //! subscription prefixes the prototype used.
 
 use std::fmt;
+use std::sync::Arc;
 
 /// A validated, hierarchical topic string.
+///
+/// Backed by a shared `Arc<str>`: cloning a topic (every response, every
+/// event fan-out hop, every pending-event summary) is a reference-count
+/// bump, not a heap allocation.
 #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Topic(String);
+pub struct Topic(Arc<str>);
 
 /// Why a topic string was rejected.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -61,7 +66,7 @@ impl Topic {
                 }
             }
         }
-        Ok(Topic(s))
+        Ok(Topic(s.into()))
     }
 
     /// Constructs a topic, panicking on invalid input. For string literals.
