@@ -165,6 +165,9 @@ impl Core {
                     }
                 }
             }
+            // Liveness was checked above; the destination is reachable
+            // in one hop on the fully connected overlay.
+            crate::RankOverlay::Full => dst,
         };
         self.outputs.push(Output::ToBroker { plane: Plane::Ring, to: next, msg });
     }

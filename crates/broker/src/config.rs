@@ -16,6 +16,13 @@ pub enum RankOverlay {
     /// Tree-edge routing (up to the common ancestor, then down): O(log N)
     /// paths at the cost of one subtree test per hop.
     Tree,
+    /// Fully connected: a rank-addressed RPC goes straight to its
+    /// destination in one overlay hop. The right topology when
+    /// rank-addressed RPCs are hot-path traffic — sharded-KVS sessions
+    /// route every commit part to a shard master this way, and relaying
+    /// those through tree edges would funnel the whole write stream
+    /// through the root broker.
+    Full,
 }
 
 /// Static configuration for one broker in a comms session.

@@ -58,7 +58,7 @@
 #![forbid(unsafe_code)]
 
 use flux_broker::client::{ClientCore, Delivery};
-use flux_modules::standard_modules;
+use flux_modules::{standard_modules, standard_modules_with_kvs};
 use flux_proto::{
     keys, BarrierMethod, CmbMethod, GroupMethod, KvsMethod, LiveMethod, LogMethod, MonMethod,
     ResvcMethod, WexecMethod,
@@ -178,6 +178,21 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         }
         ["kvs", "commit"] => {
             let m = cli.rpc(KvsMethod::Commit.topic(), Value::object())?;
+            // A sharded session answers with the per-shard frontier
+            // instead of a single version/root pair.
+            if let Some(frontier) = m.payload.get("frontier").and_then(Value::as_array) {
+                let slots: Vec<String> = frontier
+                    .iter()
+                    .map(|s| {
+                        format!(
+                            "shard {} version {}",
+                            s.get("shard").cloned().unwrap_or(Value::Null),
+                            s.get("version").cloned().unwrap_or(Value::Null),
+                        )
+                    })
+                    .collect();
+                return Ok(format!("committed: {}", slots.join(", ")));
+            }
             Ok(format!(
                 "committed: version {} root {}",
                 m.payload.get("version").cloned().unwrap_or(Value::Null),
@@ -349,6 +364,7 @@ fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut size = 8u32;
     let mut arity = 2u32;
+    let mut shards = 1u32;
     let mut transport = TransportKind::Threads;
     let mut faults: Option<String> = None;
     while let Some(flag) = args.first().filter(|a| a.starts_with("--")).cloned() {
@@ -356,6 +372,7 @@ fn main() -> ExitCode {
         match flag.as_str() {
             "--size" => size = args.remove(0).parse().unwrap_or(8),
             "--arity" => arity = args.remove(0).parse().unwrap_or(2),
+            "--shards" => shards = args.remove(0).parse().unwrap_or(1),
             "--transport" => match args.remove(0).parse() {
                 Ok(t) => transport = t,
                 Err(e) => {
@@ -376,7 +393,7 @@ fn main() -> ExitCode {
     }
     if args.is_empty() {
         eprintln!(
-            "usage: flux [--size N] [--arity K] [--transport threads|tcp] \
+            "usage: flux [--size N] [--arity K] [--shards N] [--transport threads|tcp] \
              [--faults SEED:SPEC] <command> [; <command>]..."
         );
         return ExitCode::from(2);
@@ -387,6 +404,10 @@ fn main() -> ExitCode {
     }
     if size == 0 || arity == 0 {
         eprintln!("flux: --size and --arity must be at least 1");
+        return ExitCode::from(2);
+    }
+    if shards == 0 || shards > size {
+        eprintln!("flux: --shards must be 1..=size (shard masters live on ranks 0..shards)");
         return ExitCode::from(2);
     }
 
@@ -408,7 +429,14 @@ fn main() -> ExitCode {
             }
         }
     }
-    let mut builder = live.open(size, arity, &|_| standard_modules());
+    let factory = move |_: Rank| {
+        if shards > 1 {
+            standard_modules_with_kvs(flux_kvs::KvsConfig { shards, ..Default::default() })
+        } else {
+            standard_modules()
+        }
+    };
+    let mut builder = live.open(size, arity, &factory);
     let leaf = Rank(size - 1);
     let conn = builder.attach_client(leaf);
     let session = builder.start();

@@ -25,6 +25,10 @@ pub enum ModuleSet {
         /// version bump, which would hide the mutants' double-apply from
         /// the version-overrun oracle.
         batch: bool,
+        /// Shard-master count (1 = classic single master). Sharded
+        /// scenarios place masters on ranks `0..shards` and scripts on
+        /// slave ranks only.
+        shards: u32,
     },
     /// KVS plus the barrier module.
     KvsBarrier {
@@ -36,21 +40,22 @@ pub enum ModuleSet {
 }
 
 impl ModuleSet {
-    fn kvs_config(dedup: bool, batch: bool) -> KvsConfig {
+    fn kvs_config(dedup: bool, batch: bool, shards: u32) -> KvsConfig {
         KvsConfig {
             dedup,
             batch_window_ns: if batch { KvsConfig::default().batch_window_ns } else { 0 },
+            shards,
             ..KvsConfig::default()
         }
     }
 
     fn build(self) -> Vec<Box<dyn CommsModule>> {
         match self {
-            ModuleSet::Kvs { dedup, batch } => {
-                vec![Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch)))]
+            ModuleSet::Kvs { dedup, batch, shards } => {
+                vec![Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch, shards)))]
             }
             ModuleSet::KvsBarrier { dedup, batch } => vec![
-                Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch))),
+                Box::new(KvsModule::with_config(Self::kvs_config(dedup, batch, 1))),
                 Box::new(BarrierModule::new()),
             ],
         }
@@ -104,6 +109,8 @@ impl Scenario {
             "kvs_commit_mutant" => Some(Self::kvs_commit_mutant()),
             "kvs_commit_kill" => Some(Self::kvs_commit_kill()),
             "kvs_batch" => Some(Self::kvs_batch()),
+            "kvs_shard_fence" => Some(Self::kvs_shard_fence()),
+            "kvs_shard_watch" => Some(Self::kvs_shard_watch()),
             "barrier" => Some(Self::barrier()),
             _ => None,
         }
@@ -112,7 +119,15 @@ impl Scenario {
     /// Names of all scenarios expected to be violation-free on the live
     /// tree (the mutants are deliberately excluded).
     pub fn clean_names() -> &'static [&'static str] {
-        &["kvs_fence", "kvs_commit", "kvs_commit_kill", "kvs_batch", "barrier"]
+        &[
+            "kvs_fence",
+            "kvs_commit",
+            "kvs_commit_kill",
+            "kvs_batch",
+            "kvs_shard_fence",
+            "kvs_shard_watch",
+            "barrier",
+        ]
     }
 
     /// The flagship scenario: a 3-broker tree where two clients on
@@ -156,7 +171,7 @@ impl Scenario {
             name,
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup, batch: false },
+            modules: ModuleSet::Kvs { dedup, batch: false, shards: 1 },
             scripts: (0..NPROCS as usize).map(|i| (Rank(1 + (i as u32 % 2)), script(i))).collect(),
             // One fence = one root apply covering all write-back sets.
             expected_applies: 1,
@@ -194,7 +209,7 @@ impl Scenario {
             name,
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup, batch: false },
+            modules: ModuleSet::Kvs { dedup, batch: false, shards: 1 },
             scripts: vec![(Rank(1), c1), (Rank(2), c2)],
             expected_applies: 2,
             post_fence: BTreeMap::new(),
@@ -219,7 +234,7 @@ impl Scenario {
             name: "kvs_commit_kill",
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup: true, batch: false },
+            modules: ModuleSet::Kvs { dedup: true, batch: false, shards: 1 },
             scripts: vec![(Rank(1), c1)],
             kill: Some((Rank(2), 2)),
             expected_applies: 1,
@@ -250,9 +265,84 @@ impl Scenario {
             name: "kvs_batch",
             size: 3,
             arity: 2,
-            modules: ModuleSet::Kvs { dedup: true, batch: true },
+            modules: ModuleSet::Kvs { dedup: true, batch: true, shards: 1 },
             scripts: vec![(Rank(1), c1), (Rank(2), c2)],
             expected_applies: 2,
+            post_fence: BTreeMap::new(),
+            kill: None,
+        }
+    }
+
+    /// Two shard masters (ranks 0–1), two clients on slave ranks, each
+    /// contributing a key owned by a *different* shard to one fence:
+    /// the root must collect both contributions, push the remote part to
+    /// the shard-1 master, and release one agreed frontier covering both
+    /// shards. Explores every interleaving of fence contribution relay
+    /// against the cross-shard push/ack exchange; the history oracle
+    /// rejects any schedule where the fence releases with a missing
+    /// shard entry or where released clients observe different
+    /// frontiers.
+    pub fn kvs_shard_fence() -> Scenario {
+        const SHARDS: u32 = 2;
+        let key = |s: u32| flux_kvs::shard::key_on_shard("mc.sf.", s, SHARDS);
+        let script = |s: u32| {
+            vec![
+                Op::Put { key: key(s), val: Value::from(1i64) },
+                Op::Fence { name: "mc.sfence".into(), nprocs: 2 },
+                Op::Get { key: key((s + 1) % SHARDS) },
+                Op::Get { key: key(s) },
+            ]
+        };
+        let mut post_fence = BTreeMap::new();
+        for s in 0..SHARDS {
+            post_fence.insert(key(s), Value::from(1i64));
+        }
+        Scenario {
+            name: "kvs_shard_fence",
+            size: 4,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup: true, batch: false, shards: SHARDS },
+            scripts: vec![(Rank(2), script(0)), (Rank(3), script(1))],
+            // Frontier replies carry per-shard versions, not a single
+            // top-level `version`, so the overrun bound does not apply.
+            expected_applies: 0,
+            post_fence,
+            kill: None,
+        }
+    }
+
+    /// A watcher on one slave rank watching a shard-1 key while a writer
+    /// on the other slave commits a cross-shard write set: the watch
+    /// stream's re-check must key off the *owning* shard's root switch,
+    /// and the watcher's `WaitVersion` on shard 0 must release once the
+    /// commit's setroot event reaches its broker. Explores watch
+    /// registration against commit push/setroot ordering across two
+    /// independent shard version streams.
+    pub fn kvs_shard_watch() -> Scenario {
+        const SHARDS: u32 = 2;
+        let k0 = flux_kvs::shard::key_on_shard("mc.sw.", 0, SHARDS);
+        let k1 = flux_kvs::shard::key_on_shard("mc.sw.", 1, SHARDS);
+        let watcher = vec![
+            Op::Request {
+                topic: flux_proto::KvsMethod::Watch.topic(),
+                payload: Value::from_pairs([("k", Value::from(k1.as_str()))]),
+            },
+            Op::WaitVersion(1),
+            Op::Get { key: k0.clone() },
+        ];
+        let writer = vec![
+            Op::Put { key: k0, val: Value::from(1i64) },
+            Op::Put { key: k1.clone(), val: Value::from(2i64) },
+            Op::Commit,
+            Op::Get { key: k1 },
+        ];
+        Scenario {
+            name: "kvs_shard_watch",
+            size: 4,
+            arity: 2,
+            modules: ModuleSet::Kvs { dedup: true, batch: false, shards: SHARDS },
+            scripts: vec![(Rank(2), watcher), (Rank(3), writer)],
+            expected_applies: 0,
             post_fence: BTreeMap::new(),
             kill: None,
         }
@@ -294,6 +384,8 @@ mod tests {
             "kvs_commit_mutant",
             "kvs_commit_kill",
             "kvs_batch",
+            "kvs_shard_fence",
+            "kvs_shard_watch",
             "barrier",
         ] {
             let s = Scenario::by_name(name).expect("known scenario");

@@ -69,6 +69,37 @@ fn barrier_scenario_small_exploration_is_clean() {
     assert!(report.stats.schedules > 50, "swept only {}", report.stats.schedules);
 }
 
+/// The sharded cross-shard fence: every explored interleaving of fence
+/// contribution relay, cross-shard part push, and setroot propagation
+/// must release one agreed frontier covering both contributed shards —
+/// the extended history oracle and the post-fence read check both gate
+/// each schedule.
+#[test]
+fn shard_fence_scenario_exploration_is_clean() {
+    let cfg = ExploreConfig { max_schedules: 4_000, ..ExploreConfig::default() };
+    let report = explore(&Scenario::kvs_shard_fence(), &cfg);
+    for v in &report.violations {
+        eprintln!("violation: {}\n  replay with: FLUX_MC_TRACE='{}'", v.violation, v.trace);
+    }
+    assert!(report.violations.is_empty(), "sharded fence tree violated an invariant");
+    assert!(report.stats.schedules > 50, "swept only {}", report.stats.schedules);
+}
+
+/// Watch registration racing a cross-shard commit: the watcher's
+/// re-check is keyed to the owning shard's root switch and its
+/// `WaitVersion` to the other shard's stream; no interleaving may stall
+/// a script or break per-shard version monotonicity.
+#[test]
+fn shard_watch_scenario_exploration_is_clean() {
+    let cfg = ExploreConfig { max_schedules: 4_000, ..ExploreConfig::default() };
+    let report = explore(&Scenario::kvs_shard_watch(), &cfg);
+    for v in &report.violations {
+        eprintln!("violation: {}\n  replay with: FLUX_MC_TRACE='{}'", v.violation, v.trace);
+    }
+    assert!(report.violations.is_empty(), "sharded watch tree violated an invariant");
+    assert!(report.stats.schedules > 50, "swept only {}", report.stats.schedules);
+}
+
 /// The debugging workflow: `FLUX_MC_TRACE='flux-mc:v1:...' cargo test
 /// -p flux-mc replay_trace_from_env` re-executes exactly the schedule a
 /// violation report named and fails loudly if it no longer reproduces.

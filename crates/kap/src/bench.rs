@@ -15,6 +15,7 @@
 //! records the margin.
 
 use crate::runner::{run_kap_full, KapParams, KapRun, ProducerMode, SyncMode};
+use flux_broker::RankOverlay;
 use flux_kvs::KvsConfig;
 use flux_rt::transport::{SimTransport, TcpTransport, ThreadTransport};
 use flux_value::{Map, Value};
@@ -49,10 +50,17 @@ impl TransportKind {
         self == TransportKind::Sim
     }
 
-    fn run(self, p: &KapParams) -> KapRun {
+    /// Runs one configuration on this transport. Sim sessions pick the
+    /// rank-addressed overlay to match the workload: sharded cells route
+    /// commit parts rank-addressed on the hot path, so they run the
+    /// fully connected overlay instead of the prototype's debugging
+    /// ring — tree-edge relaying would funnel every cross-subtree
+    /// commit part through the root broker's send path.
+    pub fn run(self, p: &KapParams) -> KapRun {
         match self {
             TransportKind::Sim => {
-                run_kap_full(p, &SimTransport { net: p.net, ..SimTransport::default() })
+                let overlay = if p.kvs.shards > 1 { RankOverlay::Full } else { RankOverlay::Ring };
+                run_kap_full(p, &SimTransport { net: p.net, overlay, ..SimTransport::default() })
             }
             TransportKind::Threads => run_kap_full(p, &ThreadTransport),
             TransportKind::Tcp => run_kap_full(p, &TcpTransport::default()),
@@ -93,6 +101,9 @@ pub fn run_cell(cell: &Cell) -> Value {
 
 fn cell_value(cell: &Cell, run: &KapRun) -> Value {
     let p = &cell.params;
+    // Sharded cells carry the shard count; classic cells stay
+    // byte-identical to pre-sharding documents.
+    let shards = p.kvs.shards.max(1);
     let producer: Vec<u64> = run.phases.iter().map(|ph| ph.producer_ns).collect();
     let sync: Vec<u64> = run.phases.iter().map(|ph| ph.sync_ns).collect();
     let consumer: Vec<u64> = run.phases.iter().map(|ph| ph.consumer_ns).collect();
@@ -110,7 +121,7 @@ fn cell_value(cell: &Cell, run: &KapRun) -> Value {
     }, 100)
     .max(1);
     let throughput = p.producers as f64 * 1e9 / commit_window_ns as f64;
-    Value::from_pairs([
+    let mut pairs = vec![
         ("name", Value::from(cell.name.as_str())),
         ("transport", Value::from(cell.transport.name())),
         ("deterministic", Value::from(cell.transport.deterministic())),
@@ -148,7 +159,11 @@ fn cell_value(cell: &Cell, run: &KapRun) -> Value {
         ("commit_throughput_per_s", Value::Float(throughput)),
         ("bytes_on_wire", Value::from(run.bytes as i64)),
         ("events", Value::from(run.events as i64)),
-    ])
+    ];
+    if shards > 1 {
+        pairs.push(("shards", Value::from(i64::from(shards))));
+    }
+    Value::from_pairs(pairs)
 }
 
 fn base_params(value_size: usize, redundant: bool) -> KapParams {
@@ -250,6 +265,61 @@ pub fn scale_sweep_cells() -> Vec<Cell> {
         });
     }
     cells
+}
+
+/// Rank count of the sharded-commit comparison pair: the paper's
+/// mid-sweep scale, large enough that the single master is the
+/// serialization bottleneck.
+pub const SHARD_SCALE_RANKS: u32 = 2048;
+
+/// Shard-master count of the sharded comparison cell.
+pub const SHARD_SCALE_SHARDS: u32 = 4;
+
+/// The sharded-commit comparison pair at [`SHARD_SCALE_RANKS`] ranks:
+/// every producer issues an independent commit, once against the classic
+/// single master and once with the namespace sharded across
+/// [`SHARD_SCALE_SHARDS`] masters. Both cells are sim (deterministic);
+/// the harness pins the sharded cell byte-for-byte and requires its
+/// commit throughput to beat the single-master cell — concurrent pushes
+/// spread across shard masters instead of serializing at the root.
+pub fn shard_scale_cells() -> Vec<Cell> {
+    vec![commit_cell(SHARD_SCALE_RANKS, 1), commit_cell(SHARD_SCALE_RANKS, SHARD_SCALE_SHARDS)]
+}
+
+/// The concurrent-commit cell at `ranks` testers with the namespace
+/// sharded across `shards` masters (1 = the classic single master).
+/// Also the `kap scale-smoke --shards N` workload.
+pub fn commit_cell(ranks: u32, shards: u32) -> Cell {
+    let mut p = sweep_base(ranks);
+    p.producer_mode = ProducerMode::Commit;
+    p.nputs = 1;
+    p.naccess = 1;
+    // Fat values make the cell bandwidth-bound: the interesting
+    // quantity is how the value stream shares master links, not the
+    // per-message software overhead.
+    p.value_size = 4096;
+    // A wide batch window keeps both cells batch_max-bound, so the
+    // flush (and setroot-broadcast) count is identical across shard
+    // counts and the pair isolates the master-spread effect.
+    p.kvs = KvsConfig { shards, batch_window_ns: 50_000, ..KvsConfig::default() };
+    let name = if shards == 1 {
+        format!("scale/commit/r{ranks}")
+    } else {
+        format!("scale/commit/r{ranks}/shards{shards}")
+    };
+    Cell { name, transport: TransportKind::Sim, params: p }
+}
+
+/// Runs the sharded-commit pair and renders its JSON section.
+pub fn run_shard_scale() -> Value {
+    Value::from_pairs([
+        ("ranks", Value::from(i64::from(SHARD_SCALE_RANKS))),
+        ("shards", Value::from(i64::from(SHARD_SCALE_SHARDS))),
+        (
+            "cells",
+            Value::Array(shard_scale_cells().iter().map(run_cell).collect()),
+        ),
+    ])
 }
 
 /// Runs the paper-scale sweep and renders its JSON section. Only in the
@@ -357,6 +427,7 @@ pub fn run_matrix(quick: bool) -> Value {
     doc.insert("optimization".into(), optimization_report());
     if !quick {
         doc.insert("scale_sweep".into(), run_scale_sweep());
+        doc.insert("shard_scale".into(), run_shard_scale());
     }
     Value::Object(doc)
 }
@@ -425,6 +496,20 @@ pub fn check_schema(doc: &Value) -> Vec<String> {
                 ));
             }
             None => errs.push("full document missing scale_sweep.cells".into()),
+        }
+        // And the sharded-commit comparison pair: single-master vs
+        // N-shard commit cells at the same rank count.
+        match doc.get("shard_scale").and_then(|s| s.get("cells")).and_then(Value::as_array) {
+            Some(cells) if cells.len() == 2 => {
+                let second = cells.last().and_then(|c| c.get("shards")).and_then(Value::as_int);
+                if second.is_none_or(|s| s <= 1) {
+                    errs.push("shard_scale: second cell is not sharded".into());
+                }
+            }
+            Some(cells) => {
+                errs.push(format!("shard_scale has {} cells, want 2", cells.len()));
+            }
+            None => errs.push("full document missing shard_scale.cells".into()),
         }
     }
     errs

@@ -3,7 +3,7 @@
 //! ```text
 //! kap [--quick] [fig2|fig3|fig4a|fig4b|model|table1|scaling|all]
 //! kap bench [--quick] [--out FILE] [--check REF]
-//! kap scale-smoke [--ranks N] [--budget-secs S]
+//! kap scale-smoke [--ranks N] [--budget-secs S] [--shards N]
 //! ```
 //!
 //! Full mode sweeps the paper's scales (64–512 nodes × 16 processes =
@@ -394,16 +394,21 @@ fn scale_smoke_cmd(args: &[String]) {
     let ranks: u32 = flag_value("--ranks").map_or(2048, |s| s.parse().expect("--ranks N"));
     let budget_secs: u64 =
         flag_value("--budget-secs").map_or(60, |s| s.parse().expect("--budget-secs S"));
-    let name = format!("scale/fence/unique/r{ranks}");
-    let cell = bench::scale_sweep_cells()
-        .into_iter()
-        .find(|c| c.name == name)
-        .unwrap_or_else(|| panic!("--ranks must be one of {:?}", bench::SWEEP_RANKS));
+    let shards: u32 = flag_value("--shards").map_or(1, |s| s.parse().expect("--shards N"));
+    // With --shards the smoke runs the concurrent-commit cell (the
+    // sharded hot path); without it, the classic collective-fence cell.
+    let cell = if shards > 1 {
+        bench::commit_cell(ranks, shards)
+    } else {
+        let name = format!("scale/fence/unique/r{ranks}");
+        bench::scale_sweep_cells()
+            .into_iter()
+            .find(|c| c.name == name)
+            .unwrap_or_else(|| panic!("--ranks must be one of {:?}", bench::SWEEP_RANKS))
+    };
+    let name = cell.name.clone();
     let start = std::time::Instant::now();
-    let run = flux_kap::run_kap_full(
-        &cell.params,
-        &SimTransport { net: cell.params.net, ..SimTransport::default() },
-    );
+    let run = cell.transport.run(&cell.params);
     let wall = start.elapsed();
     eprintln!(
         "scale-smoke {name}: wall {wall:.2?} (engine {:.2?}), {} events, \

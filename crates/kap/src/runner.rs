@@ -149,7 +149,22 @@ impl KapParams {
         assert!(self.producers > 0, "need at least one producer");
         assert!(self.value_size >= 8, "values are at least 8 bytes (gid prefix)");
         assert!(self.nputs > 0, "producers must put");
+        assert!(
+            self.kvs.shards.max(1) <= self.nodes,
+            "shard masters live on ranks 0..shards: {} shards need at least \
+             {} nodes, session has {}",
+            self.kvs.shards,
+            self.kvs.shards,
+            self.nodes
+        );
         if self.sync_mode == SyncMode::WaitVersion {
+            assert_eq!(
+                self.kvs.shards.max(1),
+                1,
+                "wait_version sync needs a single shard: the target version \
+                 is a shard-0 stream position, which says nothing about the \
+                 other shards' commit visibility"
+            );
             assert_eq!(
                 self.producer_mode,
                 ProducerMode::Commit,
@@ -543,5 +558,36 @@ mod tests {
         let mut p = quick(2);
         p.producers = 1_000_000;
         run_kap(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "shard masters live on ranks")]
+    fn validation_rejects_more_shards_than_nodes() {
+        let mut p = quick(2);
+        p.kvs.shards = 3;
+        run_kap(&p);
+    }
+
+    #[test]
+    #[should_panic(expected = "single shard")]
+    fn wait_version_rejects_sharding() {
+        let mut p = quick(4);
+        p.producer_mode = ProducerMode::Commit;
+        p.sync_mode = SyncMode::WaitVersion;
+        p.producers = 1;
+        p.kvs.shards = 2;
+        run_kap(&p);
+    }
+
+    #[test]
+    fn sharded_commit_run_completes_deterministically() {
+        let mut p = quick(4);
+        p.producer_mode = ProducerMode::Commit;
+        p.kvs.shards = 4;
+        p.nputs = 2;
+        p.naccess = 2;
+        let a = run_kap(&p);
+        assert!(a.makespan_ns > 0 && a.events > 0);
+        assert_eq!(a, run_kap(&p), "sharded sim run must be reproducible");
     }
 }

@@ -154,6 +154,34 @@ fn kap_1024_rank_cell_is_deterministic() {
     assert_eq!(a.phases, b.phases, "per-process phase latencies must match exactly");
 }
 
+/// The sharded-commit pair: the committed `shard_scale` section
+/// reproduces byte-for-byte from a fresh run (both cells are sim-only,
+/// hence deterministic), and the 4-shard cell's commit throughput
+/// strictly beats the single-master cell at the same rank count — the
+/// scaling claim the section exists to pin.
+#[test]
+fn shard_scale_pair_reproduces_exactly_and_sharding_wins() {
+    let fresh = bench::run_shard_scale();
+    let doc = golden();
+    let committed = doc.get("shard_scale").expect("golden shard_scale section");
+    assert_eq!(
+        fresh.to_json_pretty(),
+        committed.to_json_pretty(),
+        "shard_scale drifted — regenerate BENCH_kap.json"
+    );
+    let cells = fresh.get("cells").and_then(Value::as_array).unwrap();
+    let tput =
+        |c: &&Value| c.get("commit_throughput_per_s").and_then(Value::as_float).unwrap();
+    let single = cells.iter().find(|c| c.get("shards").is_none()).expect("single-master cell");
+    let sharded = cells.iter().find(|c| c.get("shards").is_some()).expect("sharded cell");
+    assert!(
+        tput(&sharded) > tput(&single),
+        "sharding must beat the single master: {} vs {}",
+        tput(&sharded),
+        tput(&single)
+    );
+}
+
 /// Deterministic cells of the golden file reproduce *exactly*, not just
 /// within the regression factor — any sim-visible change to the KVS hot
 /// path must regenerate `BENCH_kap.json` (`kap bench --out BENCH_kap.json`).

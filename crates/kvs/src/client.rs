@@ -40,6 +40,15 @@ pub enum KvsReply {
     },
     /// `stats` payload, raw.
     Stats(Value),
+    /// Sharded `commit`/`fence`: the consistent per-shard frontier the
+    /// operation observed.
+    Frontier {
+        /// Total shard count of the session.
+        shards: u32,
+        /// `(shard, version, root hex)` per shard the operation touched,
+        /// in shard order.
+        entries: Vec<(u32, u64, String)>,
+    },
     /// The operation failed with this error number.
     Err(u32),
 }
@@ -129,9 +138,24 @@ impl KvsClient {
         self.core.request(KvsMethod::GetVersion.topic(), Value::object(), tag)
     }
 
+    /// `kvs_get_version` against one shard's version stream.
+    pub fn get_version_shard(&mut self, shard: u32, tag: u64) -> Message {
+        let payload = Value::from_pairs([("shard", Value::from(shard as i64))]);
+        self.core.request(KvsMethod::GetVersion.topic(), payload, tag)
+    }
+
     /// `kvs_wait_version(v)` — replies once the store reaches version `v`.
     pub fn wait_version(&mut self, version: u64, tag: u64) -> Message {
         let payload = Value::from_pairs([("version", Value::from(version as i64))]);
+        self.core.request(KvsMethod::WaitVersion.topic(), payload, tag)
+    }
+
+    /// `kvs_wait_version(v)` against one shard's version stream.
+    pub fn wait_version_shard(&mut self, version: u64, shard: u32, tag: u64) -> Message {
+        let payload = Value::from_pairs([
+            ("version", Value::from(version as i64)),
+            ("shard", Value::from(shard as i64)),
+        ]);
         self.core.request(KvsMethod::WaitVersion.topic(), payload, tag)
     }
 
@@ -185,16 +209,39 @@ pub fn decode_reply(msg: &Message) -> KvsReply {
             | KvsMethod::Fence
             | KvsMethod::GetVersion
             | KvsMethod::WaitVersion
-            | KvsMethod::Push,
-        ) => KvsReply::Version {
-            version: msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0),
-            root: msg
-                .payload
-                .get("root")
-                .and_then(Value::as_str)
-                .unwrap_or_default()
-                .to_owned(),
-        },
+            | KvsMethod::Push
+            | KvsMethod::ShardPush,
+        ) => {
+            // Sharded commits and fences answer with a per-shard
+            // frontier instead of one version.
+            if let Some(entries) = msg.payload.get("frontier").and_then(Value::as_array) {
+                let shards =
+                    msg.payload.get("shards").and_then(Value::as_uint).unwrap_or(0) as u32;
+                let entries = entries
+                    .iter()
+                    .map(|e| {
+                        (
+                            e.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32,
+                            e.get("version").and_then(Value::as_uint).unwrap_or(0),
+                            e.get("root")
+                                .and_then(Value::as_str)
+                                .unwrap_or_default()
+                                .to_owned(),
+                        )
+                    })
+                    .collect();
+                return KvsReply::Frontier { shards, entries };
+            }
+            KvsReply::Version {
+                version: msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0),
+                root: msg
+                    .payload
+                    .get("root")
+                    .and_then(Value::as_str)
+                    .unwrap_or_default()
+                    .to_owned(),
+            }
+        }
         Some(KvsMethod::Get) => {
             if let Some(dir) = msg.payload.get("dir") {
                 KvsReply::Dir(dir.clone())

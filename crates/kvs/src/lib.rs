@@ -42,6 +42,7 @@ mod master;
 mod module;
 mod object;
 mod path;
+pub mod shard;
 mod store;
 
 pub use master::{apply_tuples, resolve};

@@ -8,6 +8,7 @@
 //! | `kvs.unlink`       | `{k}`                                 | queue an unlink tuple |
 //! | `kvs.commit`       | `{}`                                  | flush the caller's tuples+objects to the master; response carries the new `(version, root)`, applied locally before the caller is answered (read-your-writes) |
 //! | `kvs.push`         | `{tuples, objects}`                   | internal: a commit batch travelling up the tree |
+//! | `kvs.shard.push`   | `{shard, tuples, objects[, fence]}`   | internal: a rank-addressed commit batch for one shard master (sharded sessions route writes directly, not up the tree) |
 //! | `kvs.fence`        | `{name, nprocs}`                      | collective commit: contributions merge upstream (objects dedup, tuples concatenate); completion is the `kvs.setroot` event naming the fence |
 //! | `kvs.fence.up`     | `{name, nprocs, count, tuples, objects}` | internal: merged fence contributions travelling up |
 //! | `kvs.get`          | `{k}` / `{k, dir:true}`               | recursive lookup with fault-in through the cache chain |
@@ -17,10 +18,20 @@
 //! | `kvs.watch`        | `{k}`                                 | respond now and on every change of `k` (streaming) |
 //! | `kvs.unwatch`      | `{k}`                                 | cancel this requester's watch |
 //! | `kvs.stats`        | `{}`                                  | cache statistics (tooling) |
+//!
+//! With `shards = N > 1` the namespace splits across N masters (ranks
+//! `0..N`, one hash-tree root / version stream / batching window each;
+//! see [`crate::shard`]). Commits partition by key hash and go
+//! rank-addressed to the owning masters; the response is a **frontier**
+//! (`{shards, frontier: [{shard, version, root}…]}`). Fences still
+//! reduce up the tree, but the root then fans the merged batch out to
+//! every contributing shard master and only releases waiters once all
+//! contributions committed — the cross-shard fence frontier protocol.
 
 use crate::master::{apply_tuples, Tuple};
 use crate::object::KvsObject;
 use crate::path::validate_key;
+use crate::shard;
 use crate::store::ObjectCache;
 use flux_broker::{CommsModule, ModuleCtx};
 use flux_hash::ObjectId;
@@ -61,6 +72,22 @@ pub struct KvsConfig {
     /// same `apply_root` path that wakes `wait_version` waiters, so a
     /// get after `wait_version` can never see a stale memo.
     pub lookup_cache: bool,
+    /// Number of namespace shards. `1` (the default) is the classic
+    /// single-master KVS and takes exactly the legacy code paths.
+    /// `N > 1` splits the namespace by key hash across masters on ranks
+    /// `0..N` (the session must be at least `N` brokers wide; the value
+    /// is clamped to the session size on start).
+    pub shards: u32,
+    /// Maximum concurrent per-shard pushes one commit fans out
+    /// (`0` = unbounded). Lower values trade commit latency for bounded
+    /// burst load on the shard masters.
+    pub write_fanout: usize,
+    /// Layered read path: `true` (default) faults objects up the tree —
+    /// every ancestor is an L1 cache tier, and the root forwards
+    /// rank-addressed to the owning shard master. `false` makes slaves
+    /// fault straight from the shard master (read–write separated, no
+    /// intermediate tiers).
+    pub read_through_tree: bool,
 }
 
 impl Default for KvsConfig {
@@ -72,6 +99,9 @@ impl Default for KvsConfig {
             batch_window_ns: 5_000,
             batch_max: 64,
             lookup_cache: true,
+            shards: 1,
+            write_fanout: 0,
+            read_through_tree: true,
         }
     }
 }
@@ -95,6 +125,53 @@ struct PendingWrites {
     objects: BTreeMap<ObjectId, Arc<KvsObject>>,
 }
 
+/// Per-shard replicated state: one independent root, version stream,
+/// `wait_version` parking lot, and lookup memo. Slot 0 doubles as the
+/// classic single-master state when `shards == 1`.
+struct ShardSlot {
+    version: u64,
+    root: ObjectId,
+    version_waiters: Vec<(u64, Message)>,
+    /// `(key, want_dir)` → resolved object id, valid for this slot's
+    /// current root only (cleared on every root switch).
+    lookup: HashMap<(String, bool), ObjectId>,
+}
+
+impl ShardSlot {
+    fn new(root: ObjectId) -> ShardSlot {
+        ShardSlot { version: 0, root, version_waiters: Vec::new(), lookup: HashMap::new() }
+    }
+}
+
+/// One sharded commit in flight: per-shard pushes fan out (bounded by
+/// `write_fanout`) and the committer is answered with the assembled
+/// frontier once every shard acknowledged.
+struct CommitJoin {
+    req: Message,
+    /// shard → `(version, root hex)` acknowledged so far.
+    frontier: BTreeMap<u32, (u64, String)>,
+    /// shard → (push payload, in-flight request id). `None` means not
+    /// yet sent (write fan-out throttle) or transiently failed; the
+    /// pump and the heartbeat (re-)send. Applying an identical tuple
+    /// batch twice yields the same root, so a retried push whose first
+    /// copy actually landed is harmless.
+    outstanding: BTreeMap<u32, (Value, Option<MsgId>)>,
+}
+
+/// One cross-shard fence at the root coordinator: the merged batch,
+/// partitioned per shard, fans out to the shard masters; waiters are
+/// released only when **all** contributing shards committed (the
+/// frontier is complete). Keyed deterministically (BTreeMap) because
+/// the heartbeat retry loop iterates it.
+struct FenceJoin {
+    waiters: Vec<Message>,
+    /// shard → `(version, root hex)` committed so far.
+    frontier: BTreeMap<u32, (u64, String)>,
+    /// shard → (push payload, in-flight request id). `None` after an
+    /// error (e.g. the master is blacked out); the heartbeat re-sends.
+    outstanding: BTreeMap<u32, (Value, Option<MsgId>)>,
+}
+
 /// One parked lookup walking the hash tree.
 struct Walk {
     kind: WalkKind,
@@ -109,6 +186,8 @@ struct Walk {
     /// fault-in and resume after a root switch; its (correct, but old)
     /// resolution must then not poison the lookup memo.
     version: u64,
+    /// Shard whose tree this walk descends (0 when unsharded).
+    shard: u32,
 }
 
 enum WalkKind {
@@ -130,6 +209,9 @@ struct Watcher {
     key: String,
     requester: Requester,
     last: Option<Value>,
+    /// Shard owning the watched key: only that slot's root switches
+    /// re-walk this watcher.
+    shard: u32,
 }
 
 /// Fence accumulation state at one broker.
@@ -161,18 +243,44 @@ pub struct KvsModule {
     cfg: KvsConfig,
     cache: ObjectCache,
     master: bool,
-    version: u64,
-    root: ObjectId,
+    /// The shard this broker masters (`rank < shards`), if any. In an
+    /// unsharded session the root holds `Some(0)`.
+    master_shard: Option<u32>,
+    /// Per-shard root/version/waiter/memo state; exactly one slot when
+    /// unsharded.
+    slots: Vec<ShardSlot>,
     pending: HashMap<Requester, PendingWrites>,
     walks: HashMap<u64, Walk>,
     next_walk: u64,
     /// Object id → (walks parked on it, child `kvs.load` requests for it).
     load_waiters: HashMap<ObjectId, (Vec<u64>, Vec<Message>)>,
-    /// Outstanding upstream load RPCs: response id → object id.
-    inflight_loads: HashMap<MsgId, ObjectId>,
+    /// Outstanding upstream load RPCs: response id → (object id, shard
+    /// whose tree wants it).
+    inflight_loads: HashMap<MsgId, (ObjectId, u32)>,
+    /// Sharded loads that failed transiently (e.g. the shard master is
+    /// blacked out): retried on the next heartbeat instead of reporting
+    /// a false ENOENT, preserving monotonic reads across restarts.
+    load_retries: Vec<(ObjectId, u32)>,
     /// Outstanding relayed pushes: our upstream request id → the original
     /// request to answer when the response unwinds.
     push_relays: HashMap<MsgId, Message>,
+    /// Sharded commits awaiting their per-shard acknowledgements.
+    commit_joins: BTreeMap<u64, CommitJoin>,
+    next_join: u64,
+    /// Outstanding `kvs.shard.push` requests of commits: response id →
+    /// (commit join, shard).
+    push_joins: HashMap<MsgId, (u64, u32)>,
+    /// Cross-shard fences fanning out at the root coordinator.
+    fence_joins: BTreeMap<String, FenceJoin>,
+    /// Outstanding fence `kvs.shard.push` requests: response id →
+    /// (fence name, shard).
+    fence_push_joins: HashMap<MsgId, (String, u32)>,
+    /// Shard-master memo of applied fence batches: fence name →
+    /// (version, root hex). A root-side retry (its first push or our
+    /// reply was lost in a blackout window) is answered from here
+    /// instead of double-applying. Bounded FIFO.
+    fence_applied: HashMap<String, (u64, String)>,
+    fence_applied_order: VecDeque<String>,
     fences: HashMap<String, FenceAcc>,
     /// Fence window timer tokens.
     fence_tokens: HashMap<u64, String>,
@@ -184,8 +292,9 @@ pub struct KvsModule {
     seen_pushes: HashSet<MsgId>,
     seen_push_order: VecDeque<MsgId>,
     next_token: u64,
-    version_waiters: Vec<(u64, Message)>,
-    watchers: HashMap<u64, Watcher>,
+    /// Watchers in a deterministic (BTreeMap) order: root switches
+    /// re-walk them in insertion-id order, never HashMap order.
+    watchers: BTreeMap<u64, Watcher>,
     next_watcher: u64,
     /// Commits applied at the master (for stats/tests). With batching,
     /// one application may cover many coalesced pushes.
@@ -204,10 +313,7 @@ pub struct KvsModule {
     batch_tokens: HashSet<u64>,
     /// Pushes that went through the batch path (stats/tests).
     pushes_batched: u64,
-    /// Slave-side lookup memo: `(key, want_dir)` → resolved object id,
-    /// valid for the current root only (cleared on every root switch).
-    lookup: HashMap<(String, bool), ObjectId>,
-    /// Lookup-memo hits (stats/tests).
+    /// Lookup-memo hits (stats/tests; the memos live in the slots).
     lookup_hits: u64,
     /// Serialized `kvs.load` reply payloads by object id. Objects are
     /// content-addressed and immutable, so a reply built once is valid
@@ -228,26 +334,34 @@ impl KvsModule {
     pub fn with_config(cfg: KvsConfig) -> KvsModule {
         let cache = ObjectCache::new();
         let root = KvsObject::empty_dir().id();
+        let slots = (0..cfg.shards.max(1)).map(|_| ShardSlot::new(root)).collect();
         KvsModule {
             cfg,
             cache,
             master: false,
-            version: 0,
-            root,
+            master_shard: None,
+            slots,
             pending: HashMap::new(),
             walks: HashMap::new(),
             next_walk: 0,
             load_waiters: HashMap::new(),
             inflight_loads: HashMap::new(),
+            load_retries: Vec::new(),
             push_relays: HashMap::new(),
+            commit_joins: BTreeMap::new(),
+            next_join: 0,
+            push_joins: HashMap::new(),
+            fence_joins: BTreeMap::new(),
+            fence_push_joins: HashMap::new(),
+            fence_applied: HashMap::new(),
+            fence_applied_order: VecDeque::new(),
             fences: HashMap::new(),
             fence_tokens: HashMap::new(),
             next_fence_batch: 0,
             seen_pushes: HashSet::new(),
             seen_push_order: VecDeque::new(),
             next_token: 0,
-            version_waiters: Vec::new(),
-            watchers: HashMap::new(),
+            watchers: BTreeMap::new(),
             next_watcher: 0,
             commits_applied: 0,
             batch: Vec::new(),
@@ -255,9 +369,44 @@ impl KvsModule {
             batch_armed: false,
             batch_tokens: HashSet::new(),
             pushes_batched: 0,
-            lookup: HashMap::new(),
             lookup_hits: 0,
             load_replies: HashMap::new(),
+        }
+    }
+
+    // ----- shard helpers ---------------------------------------------------
+
+    fn sharded(&self) -> bool {
+        self.cfg.shards > 1
+    }
+
+    /// Whether this broker is the authoritative store for `shard` (the
+    /// shard master, or the classic master when unsharded).
+    fn is_authoritative(&self, shard: u32) -> bool {
+        if self.sharded() {
+            self.master_shard == Some(shard)
+        } else {
+            self.master
+        }
+    }
+
+    /// Shard owning `key` (0 when unsharded or for keys validation will
+    /// reject anyway — those error out before touching shard state).
+    fn shard_of(&self, key: &str) -> u32 {
+        if !self.sharded() {
+            return 0;
+        }
+        shard::shard_of_key(key, self.cfg.shards).unwrap_or(0)
+    }
+
+    /// Parses an optional `shard` request parameter (absent → 0).
+    fn shard_param(&self, msg: &Message) -> Result<u32, ()> {
+        match msg.payload.get("shard") {
+            None => Ok(0),
+            Some(v) => match v.as_uint() {
+                Some(s) if s < u64::from(self.cfg.shards.max(1)) => Ok(s as u32),
+                _ => Err(()),
+            },
         }
     }
 
@@ -331,34 +480,42 @@ impl KvsModule {
 
     fn setroot_payload(&self, fences: Vec<String>) -> Value {
         Value::from_pairs([
-            ("version", Value::from(self.version as i64)),
-            ("root", Value::from(self.root.to_hex())),
+            ("version", Value::from(self.slots[0].version as i64)),
+            ("root", Value::from(self.slots[0].root.to_hex())),
             ("fences", Value::Array(fences.into_iter().map(Value::from).collect())),
         ])
     }
 
-    /// Applies a newer root reference; stale/duplicate versions are
-    /// ignored, which (with the total event order) gives monotonic reads.
-    fn apply_root(&mut self, ctx: &mut ModuleCtx<'_>, version: u64, root: ObjectId) {
-        if version <= self.version {
+    /// Applies a newer root reference for `shard`; stale/duplicate
+    /// versions are ignored, which (with the total event order) gives
+    /// per-shard monotonic reads.
+    fn apply_root_shard(&mut self, ctx: &mut ModuleCtx<'_>, shard: u32, version: u64, root: ObjectId) {
+        let Some(slot) = self.slots.get_mut(shard as usize) else { return };
+        if version <= slot.version {
             return;
         }
-        self.version = version;
-        self.root = root;
+        slot.version = version;
+        slot.root = root;
         // Root switch invalidates the key→object memo *before* any
         // wait_version waiter wakes below: a get issued after a
         // satisfied wait_version can never observe a stale memo entry.
-        self.lookup.clear();
-        // Causal consistency: wake wait_version callers.
-        let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut self.version_waiters)
+        slot.lookup.clear();
+        // Causal consistency: wake wait_version callers on this slot.
+        let (ready, rest): (Vec<_>, Vec<_>) = std::mem::take(&mut slot.version_waiters)
             .into_iter()
             .partition(|(v, _)| *v <= version);
-        self.version_waiters = rest;
+        slot.version_waiters = rest;
         for (_, req) in ready {
-            self.respond_version(ctx, &req);
+            self.respond_slot_version(ctx, shard, &req);
         }
-        // Re-check watchers against the new tree.
-        let ids: Vec<u64> = self.watchers.keys().copied().collect();
+        // Re-check this shard's watchers against the new tree
+        // (deterministic insertion-id order).
+        let ids: Vec<u64> = self
+            .watchers
+            .iter()
+            .filter(|(_, w)| w.shard == shard)
+            .map(|(id, _)| *id)
+            .collect();
         for w in ids {
             let key = match self.watchers.get(&w) {
                 Some(watcher) => watcher.key.clone(),
@@ -368,12 +525,53 @@ impl KvsModule {
         }
     }
 
+    /// Legacy single-slot root switch (slot 0).
+    fn apply_root(&mut self, ctx: &mut ModuleCtx<'_>, version: u64, root: ObjectId) {
+        self.apply_root_shard(ctx, 0, version, root);
+    }
+
+    fn respond_slot_version(&mut self, ctx: &mut ModuleCtx<'_>, shard: u32, req: &Message) {
+        // Shard indices are validated before they reach here; clamping
+        // (slots is never empty) keeps this total — a reply is always
+        // produced.
+        let si = (shard as usize).min(self.slots.len() - 1);
+        let slot = &self.slots[si];
+        let mut pairs = vec![
+            ("version", Value::from(slot.version as i64)),
+            ("root", Value::from(slot.root.to_hex())),
+        ];
+        if self.sharded() {
+            pairs.push(("shard", Value::from(shard as i64)));
+        }
+        ctx.respond(req, Value::from_pairs(pairs));
+    }
+
     fn respond_version(&mut self, ctx: &mut ModuleCtx<'_>, req: &Message) {
-        let payload = Value::from_pairs([
-            ("version", Value::from(self.version as i64)),
-            ("root", Value::from(self.root.to_hex())),
-        ]);
-        ctx.respond(req, payload);
+        self.respond_slot_version(ctx, 0, req);
+    }
+
+    /// Builds the frontier response payload: the consistent per-shard
+    /// `(version, root)` cut a commit or fence observed.
+    fn frontier_payload(&self, frontier: &BTreeMap<u32, (u64, String)>) -> Value {
+        Value::from_pairs([
+            ("shards", Value::from(self.cfg.shards as i64)),
+            ("frontier", Self::frontier_entries(frontier)),
+        ])
+    }
+
+    fn frontier_entries(frontier: &BTreeMap<u32, (u64, String)>) -> Value {
+        Value::Array(
+            frontier
+                .iter()
+                .map(|(s, (v, r))| {
+                    Value::from_pairs([
+                        ("shard", Value::from(*s as i64)),
+                        ("version", Value::from(*v as i64)),
+                        ("root", Value::from(r.as_str())),
+                    ])
+                })
+                .collect(),
+        )
     }
 
     /// Master only: apply a batch and announce the new root.
@@ -388,12 +586,60 @@ impl KvsModule {
         for (id, obj) in objects {
             self.cache.insert_with_id(id, (*obj).clone());
         }
-        let new_root = apply_tuples(&mut self.cache, self.root, tuples);
-        let new_version = self.version + 1;
+        let new_root = apply_tuples(&mut self.cache, self.slots[0].root, tuples);
+        let new_version = self.slots[0].version + 1;
         self.commits_applied += 1;
         // apply_root handles waiter/watcher wake-up uniformly.
         self.apply_root(ctx, new_version, new_root);
         ctx.publish(Event::KvsSetroot.topic(), self.setroot_payload(fences));
+    }
+
+    /// Shard master only: apply a batch to the owned slot. Quiet fence
+    /// applies (`publish = false`) surface through the root's combined
+    /// frontier event instead of a per-shard setroot.
+    fn shard_apply(
+        &mut self,
+        ctx: &mut ModuleCtx<'_>,
+        tuples: &[Tuple],
+        objects: BTreeMap<ObjectId, Arc<KvsObject>>,
+        fence: Option<&str>,
+        publish: bool,
+    ) -> (u64, ObjectId) {
+        let shard = self.master_shard.unwrap_or(0);
+        for (id, obj) in objects {
+            self.cache.insert_with_id(id, (*obj).clone());
+        }
+        let si = shard as usize;
+        let new_root = apply_tuples(&mut self.cache, self.slots[si].root, tuples);
+        let new_version = self.slots[si].version + 1;
+        self.commits_applied += 1;
+        self.apply_root_shard(ctx, shard, new_version, new_root);
+        if let Some(name) = fence {
+            self.note_fence_applied(name, new_version, new_root.to_hex());
+        }
+        if publish {
+            ctx.publish(
+                Event::KvsSetroot.topic(),
+                Value::from_pairs([
+                    ("version", Value::from(new_version as i64)),
+                    ("root", Value::from(new_root.to_hex())),
+                    ("shard", Value::from(shard as i64)),
+                    ("fences", Value::Array(Vec::new())),
+                ]),
+            );
+        }
+        (new_version, new_root)
+    }
+
+    fn note_fence_applied(&mut self, name: &str, version: u64, root_hex: String) {
+        if self.fence_applied.insert(name.to_owned(), (version, root_hex)).is_none() {
+            self.fence_applied_order.push_back(name.to_owned());
+            if self.fence_applied_order.len() > 64 {
+                if let Some(old) = self.fence_applied_order.pop_front() {
+                    self.fence_applied.remove(&old);
+                }
+            }
+        }
     }
 
     // ----- put / commit ----------------------------------------------------
@@ -426,6 +672,10 @@ impl KvsModule {
     fn handle_commit(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         let requester = requester_of(msg);
         let pend = self.pending.remove(&requester).unwrap_or_default();
+        if self.sharded() {
+            self.commit_sharded(ctx, msg, pend);
+            return;
+        }
         if self.master {
             self.master_apply(ctx, &pend.tuples, pend.objects, Vec::new());
             self.respond_version(ctx, msg);
@@ -441,6 +691,99 @@ impl KvsModule {
             }
             Err(e) => ctx.respond_err(msg, e),
         }
+    }
+
+    /// Sharded commit: partition the write set by key hash and push each
+    /// part rank-addressed to its owning master — writes never funnel
+    /// through one root. The local shard (if this broker masters one)
+    /// applies inline; the committer is answered with the assembled
+    /// per-shard frontier once every part acknowledged.
+    fn commit_sharded(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message, pend: PendingWrites) {
+        let parts = shard::partition_tuples(pend.tuples, self.cfg.shards);
+        let any = parts.iter().any(|p| !p.is_empty());
+        let mut frontier = BTreeMap::new();
+        let mut outstanding: BTreeMap<u32, (Value, Option<MsgId>)> = BTreeMap::new();
+        for (s, part) in parts.into_iter().enumerate() {
+            let s32 = s as u32;
+            // An all-empty commit still bumps shard 0 — parity with the
+            // unsharded no-op commit, which bumps the single version.
+            if part.is_empty() && (any || s32 != 0) {
+                continue;
+            }
+            let ids: HashSet<ObjectId> = part.iter().filter_map(|(_, id)| *id).collect();
+            let objs: BTreeMap<ObjectId, Arc<KvsObject>> = pend
+                .objects
+                .iter()
+                .filter(|(id, _)| ids.contains(id))
+                .map(|(id, obj)| (*id, obj.clone()))
+                .collect();
+            if self.is_authoritative(s32) {
+                let (v, root) = self.shard_apply(ctx, &part, objs, None, true);
+                frontier.insert(s32, (v, root.to_hex()));
+            } else {
+                let payload = Value::from_pairs([
+                    ("shard", Value::from(s32 as i64)),
+                    ("tuples", Self::tuples_to_value(&part)),
+                    ("objects", Self::objects_to_value(&objs)),
+                ]);
+                outstanding.insert(s32, (payload, None));
+            }
+        }
+        self.next_join += 1;
+        let join_id = self.next_join;
+        self.commit_joins
+            .insert(join_id, CommitJoin { req: msg.clone(), frontier, outstanding });
+        self.pump_commit_join(ctx, join_id);
+    }
+
+    /// Sends unsent per-shard pushes while the write fan-out allows and
+    /// answers the committer once the frontier is complete.
+    fn pump_commit_join(&mut self, ctx: &mut ModuleCtx<'_>, join_id: u64) {
+        let limit = if self.cfg.write_fanout == 0 { usize::MAX } else { self.cfg.write_fanout };
+        loop {
+            let Some(join) = self.commit_joins.get_mut(&join_id) else { return };
+            let inflight = join.outstanding.values().filter(|(_, id)| id.is_some()).count();
+            if inflight >= limit {
+                break;
+            }
+            let next = join
+                .outstanding
+                .iter()
+                .find(|(_, (_, id))| id.is_none())
+                .map(|(s, (p, _))| (*s, p.clone()));
+            let Some((s, payload)) = next else { break };
+            let id = ctx.request_to_rank(shard::master_of(s), KvsMethod::ShardPush.topic(), payload);
+            self.push_joins.insert(id, (join_id, s));
+            if let Some(join) = self.commit_joins.get_mut(&join_id) {
+                if let Some(ent) = join.outstanding.get_mut(&s) {
+                    ent.1 = Some(id);
+                }
+            }
+        }
+        let Some(join) = self.commit_joins.get(&join_id) else { return };
+        if join.outstanding.is_empty() {
+            let Some(join) = self.commit_joins.remove(&join_id) else { return };
+            let payload = self.frontier_payload(&join.frontier);
+            ctx.respond(&join.req, payload);
+        }
+    }
+
+    /// Heartbeat retry for a pending sharded commit: in-flight parts are
+    /// forgotten and re-issued (bounded by the fan-out), so a commit
+    /// caught in a shard-master blackout completes once the master is
+    /// back instead of stalling forever. Safe to call repeatedly — a
+    /// duplicate push re-applies an identical batch onto the same tree,
+    /// producing the same root.
+    fn retry_commit_pushes(&mut self, ctx: &mut ModuleCtx<'_>, join_id: u64) {
+        let olds: Vec<MsgId> = match self.commit_joins.get_mut(&join_id) {
+            Some(join) => join.outstanding.values_mut().filter_map(|ent| ent.1.take()).collect(),
+            None => return,
+        };
+        for old in olds {
+            ctx.forget_request(old);
+            self.push_joins.remove(&old);
+        }
+        self.pump_commit_join(ctx, join_id);
     }
 
     /// Records a push request id; returns false if it was already seen
@@ -526,10 +869,80 @@ impl KvsModule {
         }
     }
 
+    /// A rank-addressed commit batch for one shard this broker masters.
+    fn handle_shard_push(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        let shard = msg.payload.get("shard").and_then(Value::as_uint).map(|s| s as u32);
+        let Some(shard) = shard else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if !self.sharded() || self.master_shard != Some(shard) {
+            // Batches addressed to a non-master rank are rejected, not
+            // silently applied to the wrong tree.
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        }
+        let fence = msg.payload.get("fence").and_then(Value::as_str).map(str::to_owned);
+        if let Some(name) = &fence {
+            if let Some((v, root_hex)) = self.fence_applied.get(name).cloned() {
+                // A coordinator retry of an already-applied fence batch
+                // (our reply, or its first push, was lost to a blackout):
+                // re-answer the recorded result, never double-apply.
+                ctx.respond(
+                    msg,
+                    Value::from_pairs([
+                        ("version", Value::from(v as i64)),
+                        ("root", Value::from(root_hex)),
+                        ("shard", Value::from(shard as i64)),
+                    ]),
+                );
+                return;
+            }
+        }
+        if self.cfg.dedup && !self.note_push(msg.header.id) {
+            if self.batch_ids.contains(&msg.header.id) {
+                // Original still parked in the batch; its reply comes
+                // with the flush. flux-lint: allow(reply)
+                return;
+            }
+            self.respond_slot_version(ctx, shard, msg);
+            return;
+        }
+        let (Some(tuples), Some(objects)) = (
+            Self::tuples_from_value(msg.payload.get("tuples")),
+            Self::objects_from_value(msg.payload.get("objects")),
+        ) else {
+            ctx.respond_err(msg, errnum::EINVAL);
+            return;
+        };
+        if fence.is_some() || self.cfg.batch_window_ns == 0 {
+            // Fence parts apply immediately and quietly: the root's
+            // combined frontier event is the one announcement, so a
+            // fence can never be released against a half-applied cut.
+            let quiet = fence.is_some();
+            self.shard_apply(ctx, &tuples, objects, fence.as_deref(), !quiet);
+            self.respond_slot_version(ctx, shard, msg);
+            return;
+        }
+        // Ordinary commit batches coalesce exactly like legacy pushes.
+        self.pushes_batched += 1;
+        self.batch_ids.insert(msg.header.id);
+        self.batch.push((msg.clone(), tuples, objects));
+        if self.batch.len() >= self.cfg.batch_max {
+            self.flush_batch(ctx);
+        } else if !self.batch_armed {
+            self.batch_armed = true;
+            self.next_token += 1;
+            let token = self.next_token;
+            self.batch_tokens.insert(token);
+            ctx.set_timer(self.cfg.batch_window_ns, token);
+        }
+    }
+
     /// Master only: apply every parked push in one hash-tree walk and
     /// answer each committer with the single resulting version.
     fn flush_batch(&mut self, ctx: &mut ModuleCtx<'_>) {
-        debug_assert!(self.master);
+        debug_assert!(self.master || self.master_shard.is_some());
         self.batch_armed = false;
         if self.batch.is_empty() {
             return;
@@ -545,6 +958,14 @@ impl KvsModule {
             // merge to one entry, exactly like the fence-side dedup.
             objects.extend(o);
             reqs.push(req);
+        }
+        if self.sharded() {
+            let shard = self.master_shard.unwrap_or(0);
+            self.shard_apply(ctx, &tuples, objects, None, true);
+            for req in reqs {
+                self.respond_slot_version(ctx, shard, &req);
+            }
+            return;
         }
         self.master_apply(ctx, &tuples, objects, Vec::new());
         for req in reqs {
@@ -600,11 +1021,104 @@ impl KvsModule {
             return;
         }
         let Some(acc) = self.fences.remove(name) else { return };
+        if self.sharded() {
+            self.fence_join_start(ctx, name, acc);
+            return;
+        }
         self.master_apply(ctx, &acc.tuples, acc.objects, vec![name.to_owned()]);
         // Local waiters at the master complete immediately.
         for req in acc.waiters {
             self.respond_version(ctx, &req);
         }
+    }
+
+    /// Root coordinator, sharded: fan the merged fence batch out to the
+    /// contributing shard masters. Waiters release only when every
+    /// contribution committed — a fence can never be released with a
+    /// missing shard contribution, even across master blackouts (the
+    /// heartbeat re-sends unacknowledged parts; masters dedup retries
+    /// through the `fence_applied` memo).
+    fn fence_join_start(&mut self, ctx: &mut ModuleCtx<'_>, name: &str, acc: FenceAcc) {
+        let parts = shard::partition_tuples(acc.tuples, self.cfg.shards);
+        let any = parts.iter().any(|p| !p.is_empty());
+        let mut frontier = BTreeMap::new();
+        let mut outstanding: BTreeMap<u32, (Value, Option<MsgId>)> = BTreeMap::new();
+        for (s, part) in parts.into_iter().enumerate() {
+            let s32 = s as u32;
+            // A contribution-free fence still bumps shard 0, matching
+            // the unsharded fence's unconditional version bump.
+            if part.is_empty() && (any || s32 != 0) {
+                continue;
+            }
+            let ids: HashSet<ObjectId> = part.iter().filter_map(|(_, id)| *id).collect();
+            let objs: BTreeMap<ObjectId, Arc<KvsObject>> = acc
+                .objects
+                .iter()
+                .filter(|(id, _)| ids.contains(id))
+                .map(|(id, obj)| (*id, obj.clone()))
+                .collect();
+            if self.is_authoritative(s32) {
+                let (v, root) = self.shard_apply(ctx, &part, objs, Some(name), false);
+                frontier.insert(s32, (v, root.to_hex()));
+            } else {
+                let payload = Value::from_pairs([
+                    ("shard", Value::from(s32 as i64)),
+                    ("fence", Value::from(name)),
+                    ("tuples", Self::tuples_to_value(&part)),
+                    ("objects", Self::objects_to_value(&objs)),
+                ]);
+                outstanding.insert(s32, (payload, None));
+            }
+        }
+        let done = outstanding.is_empty();
+        self.fence_joins
+            .insert(name.to_owned(), FenceJoin { waiters: acc.waiters, frontier, outstanding });
+        if done {
+            self.finish_fence_join(ctx, name);
+        } else {
+            self.send_fence_pushes(ctx, name);
+        }
+    }
+
+    /// (Re-)sends every unacknowledged per-shard part of a fence join.
+    /// Safe to call repeatedly: in-flight requests are forgotten and
+    /// re-issued, and shard masters answer duplicates from the
+    /// `fence_applied` memo.
+    fn send_fence_pushes(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
+        let Some(join) = self.fence_joins.get(name) else { return };
+        let sends: Vec<(u32, Value, Option<MsgId>)> =
+            join.outstanding.iter().map(|(s, (p, old))| (*s, p.clone(), *old)).collect();
+        for (s, payload, old) in sends {
+            if let Some(old) = old {
+                ctx.forget_request(old);
+                self.fence_push_joins.remove(&old);
+            }
+            let id = ctx.request_to_rank(shard::master_of(s), KvsMethod::ShardPush.topic(), payload);
+            self.fence_push_joins.insert(id, (name.to_owned(), s));
+            if let Some(join) = self.fence_joins.get_mut(name) {
+                if let Some(ent) = join.outstanding.get_mut(&s) {
+                    ent.1 = Some(id);
+                }
+            }
+        }
+    }
+
+    /// All shard contributions committed: answer waiters with the
+    /// frontier and broadcast it as one combined setroot event (slaves
+    /// adopt every slot and release their local waiters atomically).
+    fn finish_fence_join(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
+        let Some(join) = self.fence_joins.remove(name) else { return };
+        let reply = self.frontier_payload(&join.frontier);
+        for req in join.waiters {
+            ctx.respond(&req, reply.clone());
+        }
+        ctx.publish(
+            Event::KvsSetroot.topic(),
+            Value::from_pairs([
+                ("shards", Self::frontier_entries(&join.frontier)),
+                ("fences", Value::Array(vec![Value::from(name)])),
+            ]),
+        );
     }
 
     fn flush_fence(&mut self, ctx: &mut ModuleCtx<'_>, name: &str) {
@@ -704,12 +1218,14 @@ impl KvsModule {
                 return;
             }
         };
+        let shard = self.shard_of(key);
+        let (cur, version) = match self.slots.get(shard as usize) {
+            Some(slot) => (slot.root, slot.version),
+            None => return,
+        };
         self.next_walk += 1;
         let id = self.next_walk;
-        self.walks.insert(
-            id,
-            Walk { kind, components, idx: 0, cur: self.root, want_dir, version: self.version },
-        );
+        self.walks.insert(id, Walk { kind, components, idx: 0, cur, want_dir, version, shard });
         self.step_walk(ctx, id);
     }
 
@@ -748,14 +1264,22 @@ impl KvsModule {
                 // predates the switch) but must not enter the memo, or a
                 // get issued *after* a satisfied wait_version could read
                 // the stale object.
-                let memo = (self.cfg.lookup_cache
-                    && !self.master
-                    && walk.version == self.version
-                    && matches!(walk.kind, WalkKind::Get(_))
+                let shard = walk.shard;
+                let walk_version = walk.version;
+                let memo_key = (matches!(walk.kind, WalkKind::Get(_))
                     && matches!(end, WalkEnd::Value(_) | WalkEnd::DirListing(_)))
                 .then(|| (walk.components.join("."), walk.want_dir));
-                if let Some(memo) = memo {
-                    self.lookup.insert(memo, cur);
+                let slot_version =
+                    self.slots.get(shard as usize).map(|s| s.version).unwrap_or(0);
+                if let Some(memo) = memo_key {
+                    if self.cfg.lookup_cache
+                        && !self.is_authoritative(shard)
+                        && walk_version == slot_version
+                    {
+                        if let Some(slot) = self.slots.get_mut(shard as usize) {
+                            slot.lookup.insert(memo, cur);
+                        }
+                    }
                 }
                 self.finish_walk(ctx, walk_id, end);
                 return;
@@ -783,7 +1307,11 @@ impl KvsModule {
     }
 
     fn park_walk(&mut self, ctx: &mut ModuleCtx<'_>, walk_id: u64, missing: ObjectId) {
-        if self.master {
+        let shard = match self.walks.get(&walk_id) {
+            Some(w) => w.shard,
+            None => return,
+        };
+        if self.is_authoritative(shard) {
             // Authoritative store: a miss is a hard ENOENT.
             self.finish_walk(ctx, walk_id, WalkEnd::Err(errnum::ENOENT));
             return;
@@ -792,20 +1320,46 @@ impl KvsModule {
         entry.0.push(walk_id);
         let need_request = entry.0.len() == 1 && entry.1.is_empty();
         if need_request {
-            self.request_load(ctx, missing);
+            self.request_load(ctx, missing, shard);
         }
     }
 
-    fn request_load(&mut self, ctx: &mut ModuleCtx<'_>, id: ObjectId) {
-        let payload = Value::from_pairs([("id", Value::from(id.to_hex()))]);
-        match ctx.request_upstream(KvsMethod::Load.topic(), payload) {
-            Ok(req_id) => {
-                self.inflight_loads.insert(req_id, id);
+    /// Faults one object in through the layered read path. Unsharded:
+    /// always up the tree (legacy bytes). Sharded with
+    /// `read_through_tree`: up the tree — ancestors are L1 tiers — and
+    /// the root forwards rank-addressed to the owning master; without
+    /// it, straight to the shard master.
+    fn request_load(&mut self, ctx: &mut ModuleCtx<'_>, id: ObjectId, shard: u32) {
+        if !self.sharded() {
+            let payload = Value::from_pairs([("id", Value::from(id.to_hex()))]);
+            match ctx.request_upstream(KvsMethod::Load.topic(), payload) {
+                Ok(req_id) => {
+                    self.inflight_loads.insert(req_id, (id, 0));
+                }
+                Err(_) => {
+                    self.complete_load(ctx, id, None);
+                }
             }
-            Err(_) => {
-                self.complete_load(ctx, id, None);
-            }
+            return;
         }
+        let payload = Value::from_pairs([
+            ("id", Value::from(id.to_hex())),
+            ("shard", Value::from(shard as i64)),
+        ]);
+        if self.cfg.read_through_tree {
+            if let Ok(req_id) = ctx.request_upstream(KvsMethod::Load.topic(), payload.clone()) {
+                self.inflight_loads.insert(req_id, (id, shard));
+                return;
+            }
+            // No parent (we are the root): fall through to the direct
+            // rank-addressed tier below.
+        }
+        if self.is_authoritative(shard) {
+            self.complete_load(ctx, id, None);
+            return;
+        }
+        let req_id = ctx.request_to_rank(shard::master_of(shard), KvsMethod::Load.topic(), payload);
+        self.inflight_loads.insert(req_id, (id, shard));
     }
 
     /// Resolves a load: `obj = None` means the object does not exist.
@@ -868,11 +1422,13 @@ impl KvsModule {
             return;
         };
         let want_dir = msg.payload.get("dir").and_then(Value::as_bool).unwrap_or(false);
+        let shard = self.shard_of(&key);
         // Memo fast path: a prior resolution under the current root maps
         // the key straight to its object — no per-component tree walk.
-        if self.cfg.lookup_cache && !self.master {
+        if self.cfg.lookup_cache && !self.is_authoritative(shard) {
             let memo = (key.clone(), want_dir);
-            if let Some(&id) = self.lookup.get(&memo) {
+            let hit = self.slots.get(shard as usize).and_then(|s| s.lookup.get(&memo).copied());
+            if let Some(id) = hit {
                 if let Some(obj) = self.cache.get(id) {
                     let payload = match (&*obj, want_dir) {
                         (KvsObject::Val(v), false) => {
@@ -896,7 +1452,9 @@ impl KvsModule {
                 // The memoized object expired from the cache (or shape
                 // mismatch): drop the entry and fault it back in through
                 // the normal walk.
-                self.lookup.remove(&memo);
+                if let Some(slot) = self.slots.get_mut(shard as usize) {
+                    slot.lookup.remove(&memo);
+                }
             }
         }
         self.start_walk(ctx, WalkKind::Get(msg.clone()), &key, want_dir);
@@ -917,7 +1475,8 @@ impl KvsModule {
             ctx.respond(msg, payload);
             return;
         }
-        if self.master {
+        let shard = msg.payload.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32;
+        if self.is_authoritative(shard) {
             ctx.respond_err(msg, errnum::ENOENT);
             return;
         }
@@ -925,7 +1484,7 @@ impl KvsModule {
         entry.1.push(msg.clone());
         let need_request = entry.0.is_empty() && entry.1.len() == 1;
         if need_request {
-            self.request_load(ctx, id);
+            self.request_load(ctx, id, shard);
         }
     }
 
@@ -938,6 +1497,7 @@ impl KvsModule {
         };
         self.next_watcher += 1;
         let id = self.next_watcher;
+        let shard = self.shard_of(&key);
         self.watchers.insert(
             id,
             Watcher {
@@ -947,6 +1507,7 @@ impl KvsModule {
                 // Sentinel distinct from any real state so the initial
                 // check always responds (even for a missing key -> null).
                 last: Some(Value::from("\u{0}__kvs_unset__")),
+                shard,
             },
         );
         self.start_walk(ctx, WalkKind::WatchCheck(id), &key, false);
@@ -964,9 +1525,19 @@ impl KvsModule {
 
     // ----- introspection ---------------------------------------------------
 
-    /// Current root version (for tests and tools).
+    /// Current root version of shard 0 (for tests and tools).
     pub fn version(&self) -> u64 {
-        self.version
+        self.slots[0].version
+    }
+
+    /// Current root version of one shard (for tests and tools).
+    pub fn shard_version(&self, shard: u32) -> u64 {
+        self.slots.get(shard as usize).map(|s| s.version).unwrap_or(0)
+    }
+
+    /// Number of namespace shards this module is configured for.
+    pub fn shards(&self) -> u32 {
+        self.cfg.shards.max(1)
     }
 
     /// Cache statistics (for tests and tools).
@@ -1007,7 +1578,20 @@ impl CommsModule for KvsModule {
     }
 
     fn on_start(&mut self, ctx: &mut ModuleCtx<'_>) {
+        // A session narrower than the shard count degrades gracefully:
+        // clamp, so every shard master actually exists.
+        self.cfg.shards = self.cfg.shards.max(1).min(ctx.size());
+        if self.slots.len() != self.cfg.shards as usize {
+            let root = KvsObject::empty_dir().id();
+            self.slots = (0..self.cfg.shards).map(|_| ShardSlot::new(root)).collect();
+        }
         self.master = ctx.is_root();
+        self.master_shard = if self.sharded() {
+            let rank = ctx.rank().0;
+            (rank < self.cfg.shards).then_some(rank)
+        } else {
+            self.master.then_some(0)
+        };
     }
 
     fn handle_request(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
@@ -1016,40 +1600,53 @@ impl CommsModule for KvsModule {
             Some(KvsMethod::Unlink) => self.handle_put(ctx, msg, true),
             Some(KvsMethod::Commit) => self.handle_commit(ctx, msg),
             Some(KvsMethod::Push) => self.handle_push(ctx, msg),
+            Some(KvsMethod::ShardPush) => self.handle_shard_push(ctx, msg),
             Some(KvsMethod::Fence) => self.handle_fence(ctx, msg),
             Some(KvsMethod::FenceUp) => self.handle_fence_up(ctx, msg),
             Some(KvsMethod::Get) => self.handle_get(ctx, msg),
             Some(KvsMethod::Load) => self.handle_load(ctx, msg),
-            Some(KvsMethod::GetVersion) => self.respond_version(ctx, msg),
+            Some(KvsMethod::GetVersion) => match self.shard_param(msg) {
+                Ok(shard) => self.respond_slot_version(ctx, shard, msg),
+                Err(()) => ctx.respond_err(msg, errnum::EINVAL),
+            },
             Some(KvsMethod::WaitVersion) => {
                 let Some(v) = msg.payload.get("version").and_then(Value::as_uint) else {
                     ctx.respond_err(msg, errnum::EINVAL);
                     return;
                 };
-                if self.version >= v {
-                    self.respond_version(ctx, msg);
+                let Ok(shard) = self.shard_param(msg) else {
+                    ctx.respond_err(msg, errnum::EINVAL);
+                    return;
+                };
+                let Some(slot) = self.slots.get_mut(shard as usize) else {
+                    ctx.respond_err(msg, errnum::EINVAL);
+                    return;
+                };
+                if slot.version >= v {
+                    self.respond_slot_version(ctx, shard, msg);
                 } else {
-                    self.version_waiters.push((v, msg.clone()));
+                    slot.version_waiters.push((v, msg.clone()));
                 }
             }
             Some(KvsMethod::Watch) => self.handle_watch(ctx, msg),
             Some(KvsMethod::Unwatch) => self.handle_unwatch(ctx, msg),
             Some(KvsMethod::Stats) => {
                 let s = self.cache.stats();
-                ctx.respond(
-                    msg,
-                    Value::from_pairs([
-                        ("entries", Value::from(s.entries)),
-                        ("bytes", Value::from(s.bytes)),
-                        ("hits", Value::from(s.hits as i64)),
-                        ("misses", Value::from(s.misses as i64)),
-                        ("expired", Value::from(s.expired as i64)),
-                        ("version", Value::from(self.version as i64)),
-                        ("commits", Value::from(self.commits_applied as i64)),
-                        ("pushes_batched", Value::from(self.pushes_batched as i64)),
-                        ("lookup_hits", Value::from(self.lookup_hits as i64)),
-                    ]),
-                );
+                let mut pairs = vec![
+                    ("entries", Value::from(s.entries)),
+                    ("bytes", Value::from(s.bytes)),
+                    ("hits", Value::from(s.hits as i64)),
+                    ("misses", Value::from(s.misses as i64)),
+                    ("expired", Value::from(s.expired as i64)),
+                    ("version", Value::from(self.slots[0].version as i64)),
+                    ("commits", Value::from(self.commits_applied as i64)),
+                    ("pushes_batched", Value::from(self.pushes_batched as i64)),
+                    ("lookup_hits", Value::from(self.lookup_hits as i64)),
+                ];
+                if self.sharded() {
+                    pairs.push(("shards", Value::from(self.cfg.shards as i64)));
+                }
+                ctx.respond(msg, Value::from_pairs(pairs));
             }
             None => ctx.respond_err(msg, errnum::ENOSYS),
         }
@@ -1057,7 +1654,15 @@ impl CommsModule for KvsModule {
 
     fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         let id = msg.header.id;
-        if let Some(obj_id) = self.inflight_loads.remove(&id) {
+        if let Some((obj_id, shard)) = self.inflight_loads.remove(&id) {
+            if msg.is_error() && self.sharded() && msg.header.errnum != errnum::ENOENT {
+                // Transient failure (e.g. the shard master is blacked
+                // out): a false ENOENT here would violate monotonic
+                // reads, so keep the waiters parked and retry on the
+                // next heartbeat.
+                self.load_retries.push((obj_id, shard));
+                return;
+            }
             let obj = if msg.is_error() {
                 None
             } else {
@@ -1091,11 +1696,120 @@ impl CommsModule for KvsModule {
                 self.apply_root(ctx, version, root);
             }
             ctx.respond(&original, msg.payload.clone());
+            return;
+        }
+        if let Some((join_id, pshard)) = self.push_joins.remove(&id) {
+            if msg.is_error() {
+                if msg.header.errnum == errnum::EINVAL {
+                    // Validation failure: retrying cannot succeed, the
+                    // commit fails as a whole. Parts already applied stay
+                    // applied (the client's history treats an errored
+                    // commit as staged-uncertain).
+                    if let Some(join) = self.commit_joins.remove(&join_id) {
+                        ctx.respond_err(&join.req, msg.header.errnum);
+                    }
+                    return;
+                }
+                // Transient failure (e.g. the shard master is blacked
+                // out): mark the part unacknowledged; the heartbeat
+                // re-sends it.
+                if let Some(join) = self.commit_joins.get_mut(&join_id) {
+                    if let Some(ent) = join.outstanding.get_mut(&pshard) {
+                        ent.1 = None;
+                    }
+                }
+                return;
+            }
+            let shard = msg.payload.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32;
+            let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);
+            let root_hex = msg
+                .payload
+                .get("root")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap_or_default();
+            if let Ok(root) = ObjectId::from_hex(&root_hex) {
+                // Read-your-writes: adopt the shard's new root before the
+                // committer can be answered.
+                self.apply_root_shard(ctx, shard, version, root);
+            }
+            if let Some(join) = self.commit_joins.get_mut(&join_id) {
+                join.outstanding.remove(&pshard);
+                join.frontier.insert(shard, (version, root_hex));
+            }
+            self.pump_commit_join(ctx, join_id);
+            return;
+        }
+        if let Some((name, shard)) = self.fence_push_joins.remove(&id) {
+            if msg.is_error() {
+                // Mark the part unacknowledged; the heartbeat re-sends
+                // it. The fence stays pending — never released with a
+                // missing shard contribution.
+                if let Some(join) = self.fence_joins.get_mut(&name) {
+                    if let Some(ent) = join.outstanding.get_mut(&shard) {
+                        ent.1 = None;
+                    }
+                }
+                return;
+            }
+            let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);
+            let root_hex = msg
+                .payload
+                .get("root")
+                .and_then(Value::as_str)
+                .map(str::to_owned)
+                .unwrap_or_default();
+            if let Ok(root) = ObjectId::from_hex(&root_hex) {
+                self.apply_root_shard(ctx, shard, version, root);
+            }
+            let done = match self.fence_joins.get_mut(&name) {
+                Some(join) => {
+                    join.outstanding.remove(&shard);
+                    join.frontier.insert(shard, (version, root_hex));
+                    join.outstanding.is_empty()
+                }
+                None => false,
+            };
+            if done {
+                self.finish_fence_join(ctx, &name);
+            }
         }
     }
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if msg.header.topic.as_str() != Event::KvsSetroot.topic_str() {
+            return;
+        }
+        // Combined frontier event (cross-shard fence completion): adopt
+        // every listed slot first, then release fence waiters with the
+        // full frontier — waiters always read an applied cut.
+        if let Some(entries) = msg.payload.get("shards").and_then(Value::as_array) {
+            let entries = entries.to_vec();
+            for e in &entries {
+                let shard = e.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32;
+                let version = e.get("version").and_then(Value::as_uint).unwrap_or(0);
+                let root = e
+                    .get("root")
+                    .and_then(Value::as_str)
+                    .and_then(|h| ObjectId::from_hex(h).ok());
+                if let Some(root) = root {
+                    self.apply_root_shard(ctx, shard, version, root);
+                }
+            }
+            if let Some(fences) = msg.payload.get("fences").and_then(Value::as_array) {
+                let reply = Value::from_pairs([
+                    ("shards", Value::from(self.cfg.shards as i64)),
+                    ("frontier", Value::Array(entries.clone())),
+                ]);
+                for f in fences {
+                    let Some(name) = f.as_str() else { continue };
+                    if let Some(acc) = self.fences.remove(name) {
+                        for req in acc.waiters {
+                            ctx.respond(&req, reply.clone());
+                        }
+                    }
+                }
+            }
             return;
         }
         let version = msg.payload.get("version").and_then(Value::as_uint).unwrap_or(0);
@@ -1105,7 +1819,10 @@ impl CommsModule for KvsModule {
             .and_then(Value::as_str)
             .and_then(|h| ObjectId::from_hex(h).ok());
         if let Some(root) = root {
-            self.apply_root(ctx, version, root);
+            // Per-shard commit announcements carry a `shard` field;
+            // legacy events apply to slot 0.
+            let shard = msg.payload.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32;
+            self.apply_root_shard(ctx, shard, version, root);
         }
         // Fence completion: answer local waiters.
         if let Some(fences) = msg.payload.get("fences").and_then(Value::as_array) {
@@ -1122,10 +1839,40 @@ impl CommsModule for KvsModule {
 
     fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
         self.cache.set_epoch(epoch);
-        if !self.master {
-            let pinned = [self.root];
+        // Shard masters are authoritative for their slot's whole tree:
+        // they never expire. Everyone else pins the current roots.
+        let authoritative = if self.sharded() { self.master_shard.is_some() } else { self.master };
+        if !authoritative {
+            let pinned: Vec<ObjectId> = self.slots.iter().map(|s| s.root).collect();
             let expiry = ctx.config().kvs_expiry_epochs.max(self.cfg.expiry_epochs);
             self.cache.expire(expiry, &pinned);
+        }
+        if self.sharded() {
+            // Retry transiently-failed loads (their waiters are still
+            // parked) — deterministic order, they were queued in order.
+            let retries = std::mem::take(&mut self.load_retries);
+            for (id, shard) in retries {
+                if self.load_waiters.contains_key(&id) {
+                    self.request_load(ctx, id, shard);
+                }
+            }
+            // Root coordinator: re-send unacknowledged fence parts, so a
+            // fence pending across a shard-master blackout completes
+            // once the master is back.
+            if self.master && !self.fence_joins.is_empty() {
+                let names: Vec<String> = self.fence_joins.keys().cloned().collect();
+                for name in names {
+                    self.send_fence_pushes(ctx, &name);
+                }
+            }
+            // Likewise for pending sharded commits: a part lost to a
+            // blacked-out master is re-issued until acknowledged.
+            if self.master && !self.commit_joins.is_empty() {
+                let ids: Vec<u64> = self.commit_joins.keys().copied().collect();
+                for jid in ids {
+                    self.retry_commit_pushes(ctx, jid);
+                }
+            }
         }
     }
 

@@ -85,6 +85,54 @@ fn consistency_holds_with_batching_and_lookup_memo_under_blackouts() {
     }
 }
 
+/// The sharded multi-master slice: 4 shard masters, scripted clients on
+/// slave ranks, commits and fences spanning shards — swept with and
+/// without blacking out one shard master mid-run, and checked with the
+/// extended cross-shard oracle (per-shard monotonic versions, fence
+/// frontier agreement, no partial fence release).
+fn sharded_sweep(kill_master: bool) {
+    let shards = 4u32;
+    let cfg = flux_kvs::KvsConfig { shards, ..flux_kvs::KvsConfig::default() };
+    for seed in seed_range() {
+        let w = chaos::shard_workload(seed, shards, 100_000_000, kill_master);
+        let report = chaos::run_sim_kvs(&w, cfg);
+        let violations = chaos::check_run(&w, &report);
+        assert!(
+            violations.is_empty(),
+            "seed {seed} (sharded, kill_master={kill_master}) violated the cross-shard \
+             oracle; repro with `FLUX_CHAOS_SEED={seed} cargo test -p flux-kvs --test \
+             chaos_history`\nplan: {}\nviolations:\n  {}",
+            w.plan,
+            violations.join("\n  ")
+        );
+        let recorded: usize = report.outcomes.iter().map(|o| o.op_err.len()).sum();
+        assert!(recorded > 0, "seed {seed} (sharded) recorded no ops at all");
+        // Without a blackout the base plan is lossless: the cross-shard
+        // fence must release and every script must run to completion.
+        if !kill_master {
+            for (i, o) in report.outcomes.iter().enumerate() {
+                assert!(
+                    o.finished,
+                    "seed {seed}: sharded lossless run left script {i} unfinished \
+                     ({} of {} ops)",
+                    o.op_err.len(),
+                    w.scripts[i].1.len()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn consistency_holds_when_sharded() {
+    sharded_sweep(false);
+}
+
+#[test]
+fn consistency_holds_under_shard_master_kills() {
+    sharded_sweep(true);
+}
+
 /// Loss-free seeds must complete every script: nothing in a dup/delay
 /// plan may lose an op outright.
 #[test]

@@ -289,6 +289,9 @@ methods! {
         Commit = "commit" => Rpc;
         /// Internal: a commit batch climbing the tree to the master.
         Push = "push" => Rpc;
+        /// Internal: a rank-addressed commit batch for one shard master
+        /// (sharded sessions route writes directly, not up the tree).
+        ShardPush = "shard.push" => Rpc;
         /// Collective commit: resolves once `nprocs` have entered.
         Fence = "fence" => Rpc;
         /// Internal: merged fence contributions climbing the tree.
@@ -322,8 +325,10 @@ impl KvsMethod {
             // Put/Unlink reject malformed payloads and bad keys.
             KvsMethod::Put | KvsMethod::Unlink => &[EINVAL, ENAMETOOLONG],
             // Commit/Push can only fail on malformed batches (and
-            // upstream transport errors relayed verbatim).
-            KvsMethod::Commit | KvsMethod::Push => &[EINVAL],
+            // upstream transport errors relayed verbatim). ShardPush
+            // additionally rejects batches addressed to a rank that does
+            // not master the named shard.
+            KvsMethod::Commit | KvsMethod::Push | KvsMethod::ShardPush => &[EINVAL],
             // Fence rejects malformed, zero-proc, mismatched-count, and
             // duplicate contributions.
             KvsMethod::Fence => &[EINVAL],

@@ -25,9 +25,11 @@ use crate::script::Op;
 use crate::transport::{ScriptOutcome, ScriptReport, ScriptTransport, SimTransport};
 use flux_core::rng::Rng;
 use flux_kvs::history::{ClientHistory, Event};
+use flux_kvs::shard::{key_on_shard, shard_of_key};
 use flux_sim::NetParams;
 use flux_value::Value;
 use flux_wire::{errnum, Rank};
+use std::collections::BTreeMap;
 
 /// The heartbeat period the chaos generator assumes when converting
 /// epoch windows to nanoseconds (`BrokerConfig` default).
@@ -172,6 +174,102 @@ pub fn workload(seed: u64, time_scale_ns: u64, with_kill: bool) -> ChaosWorkload
     ChaosWorkload { seed, size, arity, scripts, plan, deadline_ns }
 }
 
+/// Generates a **sharded** chaos experiment: shard masters on ranks
+/// `0..shards`, scripted clients on slave ranks only, keys placed
+/// across shards with [`key_on_shard`], and every run ending in a
+/// cross-shard fence. With `kill_master`, one shard master (never rank
+/// 0, the root coordinator) is blacked out for a few heartbeat epochs
+/// mid-run — commits and the fence caught in the window must complete
+/// after the restart via the coordinator's retry loop, or stay pending;
+/// the history checker rejects any partial release.
+///
+/// Run it with a `KvsConfig` whose `shards` matches, e.g.
+/// `run_sim_kvs(&w, KvsConfig { shards, ..KvsConfig::default() })`.
+pub fn shard_workload(seed: u64, shards: u32, time_scale_ns: u64, kill_master: bool) -> ChaosWorkload {
+    let scale = time_scale_ns.max(2);
+    let shards = shards.max(2);
+    let mut rng = Rng::seeded(
+        seed.wrapping_mul(0x2545_f491_4f6c_dd1d)
+            .wrapping_add(0x9e37u64.wrapping_add(u64::from(shards))),
+    );
+    let size: u32 = shards + rng.gen_range(3u32..=6);
+    let arity: u32 = rng.gen_range(2u32..=3);
+    // Clients live strictly on slave ranks (>= shards): a master kill
+    // never silences a scripted client's own broker.
+    let slave_ranks: Vec<u32> = (shards..size).collect();
+    let nclients = (rng.gen_range(2u32..=4) as usize).min(slave_ranks.len());
+    let client_ranks: Vec<u32> = slave_ranks[..nclients].to_vec();
+
+    // Lossless fault base (delays, sometimes duplicates): the sweep
+    // isolates the blackout as the only source of message loss, so
+    // stalled scripts always indict the retry machinery.
+    let mut plan = FaultPlan::new(seed);
+    plan = if rng.gen_range(0u32..2) == 0 {
+        plan.delay(0.05, scale)
+    } else {
+        plan.duplicate(0.02).delay(0.03, scale)
+    };
+    let mut window_end_ns = 0u64;
+    if kill_master {
+        // Victim: a shard master, never the root coordinator.
+        let victim = rng.gen_range(1u32..shards);
+        let from = u64::from(rng.gen_range(2u32..=4));
+        let until = from + u64::from(rng.gen_range(3u32..=5));
+        plan = plan.kill_epochs(Rank(victim), from..until, HB_PERIOD_NS);
+        window_end_ns = until * HB_PERIOD_NS;
+    }
+
+    let mut scripts = Vec::with_capacity(nclients);
+    let mut max_pause_sum = 0u64;
+    for (ci, &crank) in client_ranks.iter().enumerate() {
+        // Two keys per client on distinct shards, so every commit and
+        // the fence span shard boundaries.
+        let sa = ci as u32 % shards;
+        let sb = (ci as u32 + 1) % shards;
+        let key_a = key_on_shard(&format!("chaos.s.c{ci}a"), sa, shards);
+        let key_b = key_on_shard(&format!("chaos.s.c{ci}b"), sb, shards);
+        let rounds: u64 = rng.gen_range(2u64..=5);
+        let mut ops = Vec::new();
+        let mut pause_sum = 0u64;
+        if rng.gen_range(0u32..2) == 0 {
+            ops.push(Op::Get { key: key_a.clone() });
+        }
+        for gen in 1..=rounds {
+            if rng.gen_range(0u32..100) < 60 {
+                let ns = rng.gen_range(scale / 2..=scale * 2);
+                pause_sum += ns;
+                ops.push(Op::Pause(ns));
+            }
+            ops.push(Op::Put { key: key_a.clone(), val: Value::from(gen as i64) });
+            ops.push(Op::Put { key: key_b.clone(), val: Value::from(gen as i64) });
+            ops.push(Op::Commit);
+            match rng.gen_range(0u32..3) {
+                0 => ops.push(Op::Get { key: key_a.clone() }),
+                1 => ops.push(Op::Get { key: key_b.clone() }),
+                _ => ops.push(Op::GetVersion),
+            }
+        }
+        // The cross-shard fence every run converges on; reads after it
+        // must observe every client's fenced contribution.
+        ops.push(Op::Put { key: key_a.clone(), val: Value::from((rounds + 1) as i64) });
+        ops.push(Op::Put { key: key_b.clone(), val: Value::from((rounds + 1) as i64) });
+        ops.push(Op::Fence { name: format!("chaos.sf{seed:x}"), nprocs: nclients as u64 });
+        ops.push(Op::Get { key: key_a });
+        ops.push(Op::Get { key: key_b });
+        max_pause_sum = max_pause_sum.max(pause_sum);
+        scripts.push((Rank(crank), ops));
+    }
+
+    // Budget like `workload`, plus slack for blackout-window retries
+    // (the coordinator re-sends once per heartbeat epoch).
+    let max_ops = scripts.iter().map(|(_, ops)| ops.len() as u64).max().unwrap_or(0);
+    let deadline_ns = 2 * max_pause_sum
+        + window_end_ns
+        + 40 * HB_PERIOD_NS
+        + max_ops * plan.max_delay_ns.saturating_mul(4);
+    ChaosWorkload { seed, size, arity, scripts, plan, deadline_ns }
+}
+
 /// Runs the workload on the discrete-event simulator with the standard
 /// module set, faults wired natively into the engine.
 pub fn run_sim(w: &ChaosWorkload) -> ScriptReport {
@@ -187,6 +285,7 @@ pub fn run_sim_kvs(w: &ChaosWorkload, kvs: flux_kvs::KvsConfig) -> ScriptReport 
         net: NetParams::default(),
         faults: Some(w.plan.clone()),
         deadline_ns: Some(w.deadline_ns),
+        ..SimTransport::default()
     };
     transport.run_scripts(
         w.size,
@@ -228,16 +327,35 @@ pub fn histories_for(
                 }
                 Op::Commit => {
                     let ok = recorded && outcome.op_err[i] == 0;
-                    let version = if ok {
-                        outcome.replies[i].get("version").and_then(Value::as_uint)
-                    } else {
-                        None
-                    };
+                    let reply = if ok { Some(&outcome.replies[i]) } else { None };
+                    let version = reply.and_then(|r| r.get("version").and_then(Value::as_uint));
+                    let frontier = reply.and_then(parse_frontier);
                     for (key, gen) in staged.drain(..) {
-                        events.push(match version {
-                            Some(v) => Event::Committed { key, gen, version: v },
-                            None => Event::StagedOnly { key, gen },
+                        events.push(match (&frontier, version) {
+                            // Sharded reply: the key committed on its
+                            // shard at that shard's frontier version.
+                            (Some((shards, fmap)), _) => {
+                                match shard_of_key(&key, *shards)
+                                    .ok()
+                                    .and_then(|s| fmap.get(&s).map(|v| (s, *v)))
+                                {
+                                    Some((shard, v)) => Event::CommittedSharded {
+                                        key,
+                                        gen,
+                                        shard,
+                                        version: v,
+                                    },
+                                    None => Event::StagedOnly { key, gen },
+                                }
+                            }
+                            (None, Some(v)) => Event::Committed { key, gen, version: v },
+                            (None, None) => Event::StagedOnly { key, gen },
                         });
+                    }
+                    if let Some((_, fmap)) = &frontier {
+                        for (s, v) in fmap {
+                            events.push(Event::ShardVersion { shard: *s, v: *v });
+                        }
                     }
                 }
                 Op::Get { key } => {
@@ -260,7 +378,7 @@ pub fn histories_for(
                         events.push(Event::Version { v });
                     }
                 }
-                Op::Fence { .. } => {
+                Op::Fence { name, .. } => {
                     // A successful fence commits the caller's staged
                     // write-back set (its contribution applied at the
                     // master before the completion event); an unanswered
@@ -272,16 +390,45 @@ pub fn histories_for(
                             events.push(Event::StagedOnly { key, gen });
                         }
                     } else if outcome.op_err[i] == 0 {
-                        let version =
-                            outcome.replies[i].get("version").and_then(Value::as_uint);
-                        for (key, gen) in staged.drain(..) {
-                            events.push(match version {
-                                Some(v) => Event::Committed { key, gen, version: v },
-                                None => Event::StagedOnly { key, gen },
+                        let reply = &outcome.replies[i];
+                        if let Some((shards, fmap)) = parse_frontier(reply) {
+                            // Cross-shard release: each contribution is
+                            // fenced on its owning shard, and the reply's
+                            // frontier must agree across all clients.
+                            for (key, gen) in staged.drain(..) {
+                                let shard = shard_of_key(&key, shards).unwrap_or(0);
+                                events.push(Event::Fenced {
+                                    name: name.clone(),
+                                    key,
+                                    gen,
+                                    shard,
+                                });
+                            }
+                            events.push(Event::FenceDone {
+                                name: name.clone(),
+                                frontier: fmap.into_iter().collect(),
                             });
-                        }
-                        if let Some(v) = version {
-                            events.push(Event::Version { v });
+                        } else if let Some(v) =
+                            reply.get("version").and_then(Value::as_uint)
+                        {
+                            // Single-master release: everything fenced on
+                            // shard 0 at one version.
+                            for (key, gen) in staged.drain(..) {
+                                events.push(Event::Fenced {
+                                    name: name.clone(),
+                                    key,
+                                    gen,
+                                    shard: 0,
+                                });
+                            }
+                            events.push(Event::FenceDone {
+                                name: name.clone(),
+                                frontier: vec![(0, v)],
+                            });
+                        } else {
+                            for (key, gen) in staged.drain(..) {
+                                events.push(Event::StagedOnly { key, gen });
+                            }
                         }
                     }
                 }
@@ -299,6 +446,22 @@ pub fn histories_for(
         out.push(ClientHistory { client: format!("r{}c{si}", rank.0), events });
     }
     out
+}
+
+/// Decodes a sharded commit/fence reply's per-shard frontier:
+/// `(total shard count, shard → version)`. `None` for unsharded
+/// replies (no `frontier` field).
+fn parse_frontier(reply: &Value) -> Option<(u32, BTreeMap<u32, u64>)> {
+    let entries = reply.get("frontier").and_then(Value::as_array)?;
+    let shards = reply.get("shards").and_then(Value::as_uint)? as u32;
+    let mut fmap = BTreeMap::new();
+    for e in entries {
+        fmap.insert(
+            e.get("shard").and_then(Value::as_uint).unwrap_or(0) as u32,
+            e.get("version").and_then(Value::as_uint).unwrap_or(0),
+        );
+    }
+    Some((shards, fmap))
 }
 
 /// Convenience: run the mapping and the checker in one step.
@@ -344,6 +507,107 @@ mod tests {
             }
             assert!(!w.plan.blackouts.is_empty(), "seed {seed} has no kill");
         }
+    }
+
+    #[test]
+    fn shard_workload_is_deterministic() {
+        let a = shard_workload(42, 4, 1_000_000, true);
+        let b = shard_workload(42, 4, 1_000_000, true);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+
+    #[test]
+    fn shard_workload_kills_only_non_root_masters() {
+        for seed in 0..32u64 {
+            let w = shard_workload(seed, 4, 1_000_000, true);
+            assert!(!w.plan.blackouts.is_empty(), "seed {seed} has no kill");
+            for b in &w.plan.blackouts {
+                assert!(!b.rank.is_root(), "seed {seed} kills the root coordinator");
+                assert!(b.rank.0 < 4, "seed {seed} kills non-master rank {}", b.rank.0);
+                assert!(
+                    w.scripts.iter().all(|(r, _)| *r != b.rank),
+                    "seed {seed} kills client rank {}",
+                    b.rank.0
+                );
+            }
+            // Every script spans shards and ends in fence + reads.
+            for (rank, ops) in &w.scripts {
+                assert!(rank.0 >= 4, "client on a master rank");
+                assert!(ops.iter().any(|o| matches!(o, Op::Fence { .. })));
+            }
+        }
+    }
+
+    #[test]
+    fn histories_map_frontier_replies() {
+        let shards = 4u32;
+        let key_a = key_on_shard("fm.a", 1, shards);
+        let key_b = key_on_shard("fm.b", 2, shards);
+        let w = ChaosWorkload {
+            seed: 0,
+            size: 6,
+            arity: 2,
+            scripts: vec![(
+                Rank(4),
+                vec![
+                    Op::Put { key: key_a.clone(), val: Value::from(1i64) },
+                    Op::Put { key: key_b.clone(), val: Value::from(1i64) },
+                    Op::Commit,
+                    Op::Put { key: key_a.clone(), val: Value::from(2i64) },
+                    Op::Fence { name: "fm.f".into(), nprocs: 1 },
+                ],
+            )],
+            plan: FaultPlan::new(0),
+            deadline_ns: 0,
+        };
+        let frontier = |v1: i64, v2: i64| {
+            Value::from_pairs([
+                ("shards", Value::from(shards as i64)),
+                (
+                    "frontier",
+                    Value::Array(vec![
+                        Value::from_pairs([
+                            ("shard", Value::from(1i64)),
+                            ("version", Value::from(v1)),
+                            ("root", Value::from("aa")),
+                        ]),
+                        Value::from_pairs([
+                            ("shard", Value::from(2i64)),
+                            ("version", Value::from(v2)),
+                            ("root", Value::from("bb")),
+                        ]),
+                    ]),
+                ),
+            ])
+        };
+        let report = ScriptReport {
+            outcomes: vec![ScriptOutcome {
+                op_done_ns: vec![1, 2, 3, 4, 5],
+                op_err: vec![0, 0, 0, 0, 0],
+                replies: vec![
+                    Value::Null,
+                    Value::Null,
+                    frontier(3, 5),
+                    Value::Null,
+                    frontier(4, 5),
+                ],
+                finished: true,
+            }],
+            ..ScriptReport::default()
+        };
+        let h = histories(&w, &report);
+        assert_eq!(
+            h[0].events,
+            vec![
+                Event::CommittedSharded { key: key_a.clone(), gen: 1, shard: 1, version: 3 },
+                Event::CommittedSharded { key: key_b.clone(), gen: 1, shard: 2, version: 5 },
+                Event::ShardVersion { shard: 1, v: 3 },
+                Event::ShardVersion { shard: 2, v: 5 },
+                Event::Fenced { name: "fm.f".into(), key: key_a, gen: 2, shard: 1 },
+                Event::FenceDone { name: "fm.f".into(), frontier: vec![(1, 4), (2, 5)] },
+            ]
+        );
+        assert!(check_run(&w, &report).is_empty());
     }
 
     #[test]

@@ -268,6 +268,23 @@ impl SimSession {
         )
     }
 
+    /// Like [`SimSession::with_config`] with a [`FaultPlan`] applied to
+    /// every broker's links — full per-rank config control (overlay,
+    /// heartbeat, arity) under a deterministic fault schedule.
+    pub fn with_config_and_faults<C, F>(
+        size: u32,
+        params: NetParams,
+        config: C,
+        factory: F,
+        plan: &FaultPlan,
+    ) -> SimSession
+    where
+        C: Fn(Rank) -> BrokerConfig,
+        F: Fn(Rank) -> Vec<Box<dyn CommsModule>>,
+    {
+        Self::build(size, params, config, factory, Some(plan))
+    }
+
     /// Like [`SimSession::new`] with full per-rank config control.
     pub fn with_config<C, F>(size: u32, params: NetParams, config: C, factory: F) -> SimSession
     where

@@ -21,7 +21,7 @@ use crate::sim::SimSession;
 use crate::tcp::{TcpConfig, TcpSession};
 use crate::threads::ThreadSession;
 use flux_broker::client::{ClientCore, Delivery};
-use flux_broker::CommsModule;
+use flux_broker::{BrokerConfig, CommsModule, RankOverlay};
 use flux_sim::{NetParams, SimTime};
 use flux_wire::{errnum, Rank};
 use std::fmt;
@@ -317,6 +317,11 @@ pub struct SimTransport {
     /// generates periodic traffic forever (e.g. heartbeats), since the
     /// event heap never drains on its own then.
     pub deadline_ns: Option<u64>,
+    /// Topology of the rank-addressed RPC overlay. The default ring is
+    /// the paper prototype's debugging choice; sharded KVS sessions
+    /// route commit parts rank-addressed on the hot path and should run
+    /// the O(log N) tree overlay instead.
+    pub overlay: RankOverlay,
 }
 
 impl ScriptTransport for SimTransport {
@@ -331,9 +336,14 @@ impl ScriptTransport for SimTransport {
         factory: ModuleFactory<'_>,
         scripts: Vec<(Rank, Vec<Op>)>,
     ) -> ScriptReport {
+        let overlay = self.overlay;
+        let config =
+            move |r: Rank| BrokerConfig::new(r, size).with_arity(arity).with_rank_overlay(overlay);
         let mut session = match &self.faults {
-            Some(plan) => SimSession::new_with_faults(size, arity, self.net, plan, factory),
-            None => SimSession::new(size, arity, self.net, factory),
+            Some(plan) => {
+                SimSession::with_config_and_faults(size, self.net, config, factory, plan)
+            }
+            None => SimSession::with_config(size, self.net, config, factory),
         };
         let handles: Vec<_> = scripts
             .into_iter()

@@ -47,6 +47,51 @@ fn sim_chaos_runs_are_deterministic() {
     }
 }
 
+/// A shard master blacked out while a cross-shard fence is in flight:
+/// the fence must either complete once the master restarts (the root
+/// coordinator re-sends unacknowledged parts every heartbeat) or stay
+/// pending — it must never release with a missing shard contribution,
+/// and all released clients must observe one agreed frontier. The
+/// extended history oracle rejects both failure modes; the run itself
+/// must be byte-deterministic.
+#[test]
+fn sim_shard_master_blackout_during_fence() {
+    let shards = 4u32;
+    let cfg = flux_kvs::KvsConfig { shards, ..flux_kvs::KvsConfig::default() };
+    for seed in seed_range() {
+        let w = chaos::shard_workload(seed, shards, 100_000_000, true);
+        let report = chaos::run_sim_kvs(&w, cfg);
+        let violations = chaos::check_run(&w, &report);
+        assert!(
+            violations.is_empty(),
+            "seed {seed}: shard-master blackout broke the fence oracle; repro with \
+             `FLUX_CHAOS_SEED={seed} cargo test -p flux-bench --test chaos_kvs`\n\
+             plan: {}\nviolations:\n  {}",
+            w.plan,
+            violations.join("\n  ")
+        );
+        // Any two clients whose fence released must have received the
+        // byte-identical frontier reply.
+        let fence_replies: Vec<&flux_value::Value> = w
+            .scripts
+            .iter()
+            .zip(&report.outcomes)
+            .filter_map(|((_, ops), o)| {
+                ops.iter().position(|op| matches!(op, flux_rt::script::Op::Fence { .. }))
+                    .filter(|&fi| fi < o.op_err.len() && o.op_err[fi] == 0)
+                    .map(|fi| &o.replies[fi])
+            })
+            .collect();
+        for pair in fence_replies.windows(2) {
+            assert_eq!(pair[0], pair[1], "seed {seed}: fence replies diverged");
+        }
+        if seed < 4 {
+            let again = chaos::run_sim_kvs(&w, cfg);
+            assert_eq!(report, again, "seed {seed}: sharded blackout run nondeterministic");
+        }
+    }
+}
+
 /// The threads runtime under the same seeded fault plans: every client
 /// history must pass the consistency checker.
 #[test]
