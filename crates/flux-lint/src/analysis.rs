@@ -10,6 +10,120 @@
 //! positives: anything the scaffolding cannot classify is treated as
 //! plain text.
 
+/// One source file, parsed once and shared by every pass. The tree
+/// walk builds one `ParsedFile` per `.rs` file; all passes (token
+/// rules, lock-order, reply, taint, error-codes, shard-safety) read
+/// from this cache instead of re-blanking and re-extracting per rule.
+pub(crate) struct ParsedFile {
+    /// Workspace-relative path with `/` separators.
+    pub rel: String,
+    /// Raw source text (waivers and topic literals are read from here).
+    pub raw: String,
+    /// Blanked text (string/comment contents replaced with spaces) with
+    /// `#[cfg(test)]` regions additionally blanked.
+    pub stripped: String,
+    /// Functions extracted from the stripped text (semantic passes skip
+    /// test code).
+    pub fns: Vec<FnDef>,
+}
+
+impl ParsedFile {
+    /// Parses one file's content as if it lived at workspace-relative
+    /// path `rel`.
+    pub fn parse(rel: &str, raw: &str) -> ParsedFile {
+        let blanked = crate::token::blank(raw);
+        let stripped = strip_test_regions(&blanked);
+        let fns = extract_fns(&stripped);
+        ParsedFile { rel: rel.to_owned(), raw: raw.to_owned(), stripped, fns }
+    }
+
+    /// The crate this file belongs to (`crates/<name>/src/…` → `<name>`).
+    pub fn crate_name(&self) -> &str {
+        crate_of(&self.rel)
+    }
+}
+
+/// `crates/<name>/src/...` → `<name>`; anything else gets the path's
+/// second segment or the whole path.
+pub(crate) fn crate_of(rel: &str) -> &str {
+    let mut parts = rel.split('/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => name,
+        _ => rel,
+    }
+}
+
+/// `let g = ...` → `Some("g")`; `let _ = ...` and non-let heads → `None`.
+/// Blanked line comments keep their `//` marker, so leading comment
+/// lines are skipped before the `let` is looked for.
+pub(crate) fn binding_of(head: &str) -> Option<&str> {
+    let mut t = head.trim_start();
+    while let Some(rest) = t.strip_prefix("//") {
+        t = rest.trim_start();
+    }
+    let rest = t.strip_prefix("let ")?;
+    let name = rest.split(['=', ':']).next()?.trim().trim_start_matches("mut ").trim();
+    (!name.is_empty() && name != "_" && !name.starts_with('_') && !name.contains('('))
+        .then_some(name)
+}
+
+/// The last field/binding identifier of the receiver expression that
+/// `text` ends with: `self.inner.readers` → `readers`.
+pub(crate) fn receiver_name(text: &str) -> Option<String> {
+    let bytes = text.as_bytes();
+    let mut end = bytes.len();
+    while end > 0 && !(bytes[end - 1].is_ascii_alphanumeric() || bytes[end - 1] == b'_') {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
+        start -= 1;
+    }
+    let name = &text[start..end];
+    (!name.is_empty() && name != "self" && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        .then(|| name.to_owned())
+}
+
+/// Names from `fn_names` that `text` calls (`name(`, `self.name(`,
+/// `Self::name(`).
+pub(crate) fn calls_in(text: &str, fn_names: &std::collections::BTreeSet<String>) -> Vec<String> {
+    let mut out = Vec::new();
+    for name in fn_names {
+        let pat = format!("{name}(");
+        let mut from = 0;
+        while let Some(p) = text[from..].find(&pat) {
+            let abs = from + p;
+            let bytes = text.as_bytes();
+            let before_ok = abs == 0 || {
+                let b = bytes[abs - 1];
+                !(b.is_ascii_alphanumeric() || b == b'_')
+            };
+            // A dotted call must be on `self`: `engine.run()` is some
+            // *other* type's method that happens to share a name with a
+            // function in this crate, not a call edge to it.
+            let self_ok = abs == 0 || bytes[abs - 1] != b'.' || {
+                let owner_end = abs - 1;
+                let mut owner_start = owner_end;
+                while owner_start > 0
+                    && (bytes[owner_start - 1].is_ascii_alphanumeric()
+                        || bytes[owner_start - 1] == b'_')
+                {
+                    owner_start -= 1;
+                }
+                &text[owner_start..owner_end] == "self"
+            };
+            // Skip definitions (`fn name(`) — only call sites count.
+            let is_def = text[..abs].trim_end().ends_with("fn");
+            if before_ok && self_ok && !is_def {
+                out.push(name.clone());
+                break;
+            }
+            from = abs + pat.len();
+        }
+    }
+    out
+}
+
 /// One function found in a file.
 pub(crate) struct FnDef {
     /// The function's name.

@@ -25,22 +25,42 @@
 //! 7. **allowlist** — the legacy allowlist must stay empty: the
 //!    burn-down is complete, and any new entry is itself a violation.
 //!
+//! 8. **nondet** — determinism-taint analysis: nondeterminism sources
+//!    (hash iteration, wall clock, thread ids, address ordering) may not
+//!    reach the deterministic crates, directly or through the call
+//!    graph, without a justified `allow(nondet)` waiver. See [`taint`].
+//! 9. **error-codes** — each dispatch arm's reachable error codes must
+//!    match the `declared_errors` sets in the flux-proto registry, in
+//!    both directions. See [`errors`].
+//! 10. **shard-safety** — rank-addressed sends must register a retry
+//!     join, handle the EINVAL wrong-master reply, and be reachable from
+//!     the heartbeat-driven retry pump. See [`shard_safety`].
+//!
 //! Rules 1–4 are line rules over *blanked* text (string/char/comment
 //! contents replaced with spaces by [`token::blank`], so a `panic!(`
-//! in an error message can't fire the panic rule). Rules 5–6 are
-//! semantic passes over an AST-lite statement model. The linter has no
+//! in an error message can't fire the panic rule). Rules 5–6 and 8–10
+//! are semantic passes over an AST-lite statement model, sharing one
+//! [`analysis::ParsedFile`] cache per tree walk. The linter has no
 //! dependencies outside the workspace and never touches the network.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 mod analysis;
+mod errors;
 mod lockorder;
 mod reply;
+mod selfmutate;
+mod shard_safety;
+mod taint;
 pub mod token;
 
+use analysis::ParsedFile;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+pub use selfmutate::self_mutate;
 
 /// Which lint rule a violation belongs to.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +79,12 @@ pub enum Rule {
     LockOrder,
     /// A request/response dispatch arm that can finish without a reply.
     ReplyObligation,
+    /// Nondeterminism reaching deterministic code without a waiver.
+    Nondet,
+    /// Error codes out of conformance with the proto registry.
+    ErrorCodes,
+    /// A rank-addressed send outside the retry/EINVAL discipline.
+    ShardSafety,
     /// Any entry at all in the (now permanently empty) allowlist.
     AllowlistEntry,
 }
@@ -74,6 +100,9 @@ impl Rule {
             Rule::StaleAllow => "stale-allow",
             Rule::LockOrder => "lock-order",
             Rule::ReplyObligation => "reply",
+            Rule::Nondet => "nondet",
+            Rule::ErrorCodes => "error-codes",
+            Rule::ShardSafety => "shard-safety",
             Rule::AllowlistEntry => "allowlist",
         }
     }
@@ -200,10 +229,20 @@ impl ScanState {
 }
 
 /// Lints one file's content as if it lived at workspace-relative path
-/// `rel`. This is the pure core `lint_tree` applies to every source
-/// file; tests feed it fixture content directly. Covers all rules
-/// except the (inherently cross-file) lock-order analysis.
+/// `rel`: the per-file rules (1–4, 6) only. Tests feed it fixture
+/// content directly; the whole-workspace passes (lock-order, nondet,
+/// error-codes, shard-safety) need the full tree — see [`lint_sources`].
 pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
+    let mut out = lint_file_local(rel, content);
+    if rel.contains("/src/") {
+        let pf = ParsedFile::parse(rel, content);
+        out.extend(reply::check_reply(&pf, &reply::kind_table()));
+    }
+    out
+}
+
+/// The token rules and header checks (no parsing needed).
+fn lint_file_local(rel: &str, content: &str) -> Vec<Violation> {
     let mut out = Vec::new();
     let services: Vec<&str> = flux_proto::Service::ALL.iter().map(|s| s.name()).collect();
     let topic_scope = topic_rule_applies(rel);
@@ -286,9 +325,6 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
     }
 
     out.extend(check_headers(rel, content));
-    if rel.contains("/src/") {
-        out.extend(reply::check_reply(rel, content, &reply::kind_table()));
-    }
     out
 }
 
@@ -296,9 +332,74 @@ pub fn lint_file(rel: &str, content: &str) -> Vec<Violation> {
 /// source)` pairs. Exposed separately from [`lint_file`] because the
 /// acquisition graph only means something over the whole workspace.
 pub fn lint_lock_order(files: &[(String, String)]) -> Vec<Violation> {
-    let src: Vec<(String, String)> =
-        files.iter().filter(|(rel, _)| rel.contains("/src/")).cloned().collect();
-    lockorder::check_lock_order(&src)
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .filter(|(rel, _)| rel.contains("/src/"))
+        .map(|(rel, content)| ParsedFile::parse(rel, content))
+        .collect();
+    lockorder::check_lock_order(&parsed)
+}
+
+/// The outcome of one whole-workspace lint: the surviving violations
+/// plus wall time per pass (for `flux-lint --timings`).
+pub struct LintReport {
+    /// Violations after allowlist application, sorted by file and line.
+    pub violations: Vec<Violation>,
+    /// `(pass name, wall time)` in execution order.
+    pub timings: Vec<(&'static str, Duration)>,
+}
+
+/// Lints a whole workspace already read into memory as `(relative
+/// path, raw source)` pairs. All passes share one parsed-file cache:
+/// every source file is blanked, test-stripped, and function-indexed
+/// exactly once, then the per-file rules and the four interprocedural
+/// passes run over the cache. This is the engine behind [`lint_tree`]
+/// and the `--self-mutate` smoke check.
+pub fn lint_sources(files: &[(String, String)], allowlist: &str) -> LintReport {
+    let mut timings = Vec::new();
+    let mut violations = Vec::new();
+
+    let t0 = std::time::Instant::now();
+    let parsed: Vec<ParsedFile> = files
+        .iter()
+        .filter(|(rel, _)| rel.contains("/src/"))
+        .map(|(rel, content)| ParsedFile::parse(rel, content))
+        .collect();
+    timings.push(("parse", t0.elapsed()));
+
+    let t = std::time::Instant::now();
+    for (rel, content) in files {
+        violations.extend(lint_file_local(rel, content));
+    }
+    timings.push(("tokens+headers", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    let kinds = reply::kind_table();
+    for pf in &parsed {
+        violations.extend(reply::check_reply(pf, &kinds));
+    }
+    timings.push(("reply", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    violations.extend(lockorder::check_lock_order(&parsed));
+    timings.push(("lock-order", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    violations.extend(taint::check_taint(&parsed));
+    timings.push(("nondet", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    violations.extend(errors::check_error_codes(&parsed));
+    timings.push(("error-codes", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    violations.extend(shard_safety::check_shard_safety(&parsed));
+    timings.push(("shard-safety", t.elapsed()));
+
+    let mut kept = apply_allowlist(violations, allowlist);
+    kept.extend(check_allowlist_empty(allowlist));
+    kept.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    LintReport { violations: kept, timings }
 }
 
 /// Rule 7: the allowlist burn-down is complete; the empty list is the
@@ -402,32 +503,37 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lints the whole workspace rooted at `root` (the directory holding
-/// `crates/`), applying the allowlist if present. Returns the surviving
-/// violations, sorted by file and line.
-pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+/// Reads the workspace rooted at `root` into `(relative path, raw
+/// source)` pairs, sorted by path.
+pub fn read_sources(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     collect_rs(&root.join("crates"), &mut files)?;
     files.sort();
     let mut sources = Vec::new();
-    let mut violations = Vec::new();
     for path in &files {
         let rel = path
             .strip_prefix(root)
             .unwrap_or(path)
             .to_string_lossy()
             .replace('\\', "/");
-        let content = std::fs::read_to_string(path)?;
-        violations.extend(lint_file(&rel, &content));
-        sources.push((rel, content));
+        sources.push((rel, std::fs::read_to_string(path)?));
     }
-    violations.extend(lint_lock_order(&sources));
+    Ok(sources)
+}
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// `crates/`), applying the allowlist if present. Returns the full
+/// report including per-pass timings.
+pub fn lint_tree_report(root: &Path) -> std::io::Result<LintReport> {
+    let sources = read_sources(root)?;
     let allowlist = std::fs::read_to_string(root.join("crates/flux-lint/allowlist.txt"))
         .unwrap_or_default();
-    let mut kept = apply_allowlist(violations, &allowlist);
-    kept.extend(check_allowlist_empty(&allowlist));
-    kept.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
-    Ok(kept)
+    Ok(lint_sources(&sources, &allowlist))
+}
+
+/// Like [`lint_tree_report`], returning the surviving violations only.
+pub fn lint_tree(root: &Path) -> std::io::Result<Vec<Violation>> {
+    Ok(lint_tree_report(root)?.violations)
 }
 
 /// The workspace root this linter was built in, for the self-check test

@@ -15,8 +15,9 @@
 //! used inline are transient and create edges only for acquisitions in
 //! the same statement.
 
-use crate::analysis::{extract_fns, line_of, split_stmts, FnDef, Stmt};
-use crate::token::blank;
+use crate::analysis::{
+    binding_of, calls_in, line_of, receiver_name, split_stmts, FnDef, ParsedFile, Stmt,
+};
 use crate::{Rule, Violation};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -43,31 +44,19 @@ pub(crate) struct LockGraph {
     call_edges: Vec<(String, String, Provenance)>, // (held lock, callee key, where)
 }
 
-/// Runs the analysis over `(relative path, raw source)` pairs and
-/// returns one violation per distinct cycle.
-pub(crate) fn check_lock_order(files: &[(String, String)]) -> Vec<Violation> {
+/// Runs the analysis over the shared parsed-file cache and returns one
+/// violation per distinct cycle.
+pub(crate) fn check_lock_order(files: &[ParsedFile]) -> Vec<Violation> {
     let mut graph = LockGraph::default();
-    for (rel, raw) in files {
-        let crate_name = crate_of(rel);
-        let blanked = crate::analysis::strip_test_regions(&blank(raw));
-        let fn_names: BTreeSet<String> =
-            extract_fns(&blanked).into_iter().map(|f| f.name).collect();
-        for f in extract_fns(&blanked) {
-            graph.scan_fn(rel, crate_name, &blanked, &f, &fn_names);
+    for pf in files {
+        let crate_name = pf.crate_name();
+        let fn_names: BTreeSet<String> = pf.fns.iter().map(|f| f.name.clone()).collect();
+        for f in &pf.fns {
+            graph.scan_fn(&pf.rel, crate_name, &pf.stripped, f, &fn_names);
         }
     }
     graph.resolve_calls();
     graph.find_cycles()
-}
-
-/// `crates/<name>/src/...` → `<name>`; anything else gets the path's
-/// second segment or the whole path.
-fn crate_of(rel: &str) -> &str {
-    let mut parts = rel.split('/');
-    match (parts.next(), parts.next()) {
-        (Some("crates"), Some(name)) => name,
-        _ => rel,
-    }
 }
 
 impl LockGraph {
@@ -248,63 +237,12 @@ impl LockGraph {
     }
 }
 
-/// `let g = ...` → `Some("g")`; `let _ = ...` and non-let heads → `None`.
-fn binding_of(head: &str) -> Option<&str> {
-    let t = head.trim_start();
-    let rest = t.strip_prefix("let ")?;
-    let name = rest.split(['=', ':']).next()?.trim().trim_start_matches("mut ").trim();
-    (!name.is_empty() && name != "_" && !name.starts_with('_') && !name.contains('('))
-        .then_some(name)
-}
-
-/// The last field/binding identifier of the receiver expression that
-/// `text` ends with: `self.inner.readers` → `readers`.
-fn receiver_name(text: &str) -> Option<String> {
-    let bytes = text.as_bytes();
-    let mut end = bytes.len();
-    while end > 0 && !(bytes[end - 1].is_ascii_alphanumeric() || bytes[end - 1] == b'_') {
-        end -= 1;
-    }
-    let mut start = end;
-    while start > 0 && (bytes[start - 1].is_ascii_alphanumeric() || bytes[start - 1] == b'_') {
-        start -= 1;
-    }
-    let name = &text[start..end];
-    (!name.is_empty() && name != "self" && !name.chars().next().is_some_and(|c| c.is_ascii_digit()))
-        .then(|| name.to_owned())
-}
-
-/// Names from `fn_names` that `text` calls (`name(`, `self.name(`,
-/// `Self::name(`).
-fn calls_in(text: &str, fn_names: &BTreeSet<String>) -> Vec<String> {
-    let mut out = Vec::new();
-    for name in fn_names {
-        let pat = format!("{name}(");
-        let mut from = 0;
-        while let Some(p) = text[from..].find(&pat) {
-            let abs = from + p;
-            let before_ok = abs == 0 || {
-                let b = text.as_bytes()[abs - 1];
-                !(b.is_ascii_alphanumeric() || b == b'_')
-            };
-            // Skip definitions (`fn name(`) — only call sites count.
-            let is_def = text[..abs].trim_end().ends_with("fn");
-            if before_ok && !is_def {
-                out.push(name.clone());
-                break;
-            }
-            from = abs + pat.len();
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn files(src: &str) -> Vec<(String, String)> {
-        vec![("crates/demo/src/lib.rs".to_owned(), src.to_owned())]
+    fn files(src: &str) -> Vec<ParsedFile> {
+        vec![ParsedFile::parse("crates/demo/src/lib.rs", src)]
     }
 
     #[test]

@@ -5,6 +5,14 @@
 //! root defaults to the directory containing this crate's `crates/`
 //! parent and can be overridden with the `FLUX_LINT_ROOT` environment
 //! variable.
+//!
+//! Flags:
+//!
+//! * `--timings` — print wall time per pass after the lint result.
+//! * `--self-mutate` — run the mutation smoke check instead of the
+//!   lint: seed one known violation per semantic pass into an
+//!   in-memory copy of the tree and fail (exit 2) unless every seeded
+//!   violation is caught. Guards CI against the linter itself rotting.
 
 #![forbid(unsafe_code)]
 
@@ -15,20 +23,54 @@ fn main() -> ExitCode {
     let root = std::env::var_os("FLUX_LINT_ROOT")
         .map(PathBuf::from)
         .unwrap_or_else(flux_lint::workspace_root);
-    let violations = match flux_lint::lint_tree(&root) {
-        Ok(v) => v,
+    let mut timings = false;
+    let mut mutate = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--timings" => timings = true,
+            "--self-mutate" => mutate = true,
+            other => {
+                eprintln!("flux-lint: unknown flag `{other}` (try --timings, --self-mutate)");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if mutate {
+        return match flux_lint::self_mutate(&root) {
+            Ok(report) => {
+                for line in report {
+                    println!("flux-lint: {line}");
+                }
+                println!("flux-lint: self-mutate ok");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("flux-lint: self-mutate FAILED: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    let report = match flux_lint::lint_tree_report(&root) {
+        Ok(r) => r,
         Err(e) => {
             eprintln!("flux-lint: cannot walk {}: {e}", root.display());
             return ExitCode::from(2);
         }
     };
-    if violations.is_empty() {
+    if timings {
+        for (pass, took) in &report.timings {
+            println!("flux-lint: {pass:>15} {:>8.1?}", took);
+        }
+    }
+    if report.violations.is_empty() {
         println!("flux-lint: clean");
         return ExitCode::SUCCESS;
     }
-    for v in &violations {
+    for v in &report.violations {
         eprintln!("{v}");
     }
-    eprintln!("flux-lint: {} violation(s)", violations.len());
+    eprintln!("flux-lint: {} violation(s)", report.violations.len());
     ExitCode::FAILURE
 }

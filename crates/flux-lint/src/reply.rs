@@ -23,8 +23,7 @@
 //! parameter) are analyzed — pure decoders that match on
 //! `from_method` to translate replies are out of scope.
 
-use crate::analysis::{extract_fns, find_word, line_of, match_delim, split_stmts, FnDef, Stmt};
-use crate::token::blank;
+use crate::analysis::{find_word, line_of, match_delim, split_stmts, FnDef, ParsedFile, Stmt};
 use crate::{Rule, Violation};
 use flux_proto::MethodKind;
 use std::collections::{BTreeMap, BTreeSet};
@@ -75,36 +74,33 @@ pub(crate) fn kind_table() -> BTreeMap<(String, String), MethodKind> {
 
 /// Lowercases and strips separators so variant names and topic method
 /// parts meet in the middle (`FenceUp` == `fence.up` == `fenceup`).
-fn normalize(s: &str) -> String {
+pub(crate) fn normalize(s: &str) -> String {
     s.chars().filter(|c| c.is_ascii_alphanumeric()).map(|c| c.to_ascii_lowercase()).collect()
 }
 
-/// Runs the lint over one file.
+/// Runs the lint over one parsed file.
 pub(crate) fn check_reply(
-    rel: &str,
-    raw: &str,
+    pf: &ParsedFile,
     kinds: &BTreeMap<(String, String), MethodKind>,
 ) -> Vec<Violation> {
-    let blanked = crate::analysis::strip_test_regions(&blank(raw));
-    let fns = extract_fns(&blanked);
     let mut ctx = FileCtx {
-        rel,
-        raw_lines: raw.lines().collect(),
-        blanked: &blanked,
+        rel: &pf.rel,
+        raw_lines: pf.raw.lines().collect(),
+        blanked: &pf.stripped,
         kinds,
         discharging: BTreeSet::new(),
     };
-    ctx.helper_fixpoint(&fns);
+    ctx.helper_fixpoint(&pf.fns);
 
     let mut out = Vec::new();
-    for f in &fns {
+    for f in &pf.fns {
         // Only responders: a Ctx/Broker-typed parameter means this
         // function can actually answer. Decoders are skipped.
         if !(f.sig.contains("Ctx") || f.sig.contains("Broker")) {
             continue;
         }
         let msg_param = message_param(&f.sig);
-        for m in find_dispatch_matches(&blanked, f) {
+        for m in find_dispatch_matches(&pf.stripped, f) {
             out.extend(ctx.check_match(&m, &msg_param));
         }
     }
@@ -112,17 +108,17 @@ pub(crate) fn check_reply(
 }
 
 /// One `match <Svc>Method::from_method(..) { .. }` site.
-struct DispatchMatch {
+pub(crate) struct DispatchMatch {
     /// Lowercased service name (`KvsMethod` → `kvs`).
-    service: String,
+    pub service: String,
     /// Enum name (`KvsMethod`), for variant extraction from patterns.
-    enum_name: String,
+    pub enum_name: String,
     /// Interior span of the match block.
-    block: (usize, usize),
+    pub block: (usize, usize),
 }
 
 /// Finds dispatch matches inside one function body.
-fn find_dispatch_matches(blanked: &str, f: &FnDef) -> Vec<DispatchMatch> {
+pub(crate) fn find_dispatch_matches(blanked: &str, f: &FnDef) -> Vec<DispatchMatch> {
     const NEEDLE: &str = "Method::from_method";
     let body = &blanked[f.body.0..f.body.1];
     let bytes = blanked.as_bytes();
@@ -177,19 +173,19 @@ fn find_dispatch_matches(blanked: &str, f: &FnDef) -> Vec<DispatchMatch> {
 
 /// One arm of a match block: pattern text plus either a block body or
 /// an expression body.
-struct Arm {
-    pattern: String,
+pub(crate) struct Arm {
+    pub pattern: String,
     /// Byte offset of the pattern start (for diagnostics).
-    at: usize,
+    pub at: usize,
     /// Block-body interior span, if the body is `{ .. }`.
-    block: Option<(usize, usize)>,
+    pub block: Option<(usize, usize)>,
     /// Expression body text otherwise.
-    expr: String,
+    pub expr: String,
 }
 
 /// Splits a match block interior into arms. Arms are `pattern => body`
 /// where body is a block or an expression ending at a top-level `,`.
-fn split_arms(blanked: &str, span: (usize, usize)) -> Vec<Arm> {
+pub(crate) fn split_arms(blanked: &str, span: (usize, usize)) -> Vec<Arm> {
     let bytes = blanked.as_bytes();
     let mut out = Vec::new();
     let mut i = span.0;
@@ -515,7 +511,7 @@ fn calls(text: &str, name: &str) -> bool {
 }
 
 /// Name of the `&Message` parameter in a signature, or `"msg"`.
-fn message_param(sig: &str) -> String {
+pub(crate) fn message_param(sig: &str) -> String {
     let Some(open) = sig.find('(') else { return "msg".into() };
     let params = &sig[open + 1..sig.rfind(')').unwrap_or(sig.len())];
     for param in params.split(',') {
@@ -551,7 +547,7 @@ mod tests {
     use super::*;
 
     fn run(src: &str) -> Vec<Violation> {
-        check_reply("crates/modules/src/demo.rs", src, &kind_table())
+        check_reply(&ParsedFile::parse("crates/modules/src/demo.rs", src), &kind_table())
     }
 
     const OK: &str = r#"

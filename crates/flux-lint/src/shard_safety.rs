@@ -1,0 +1,409 @@
+//! Shard-safety analysis for rank-addressed sends.
+//!
+//! Since the KVS was sharded across multiple masters, the hot path
+//! sends `kvs.shard.push` / `kvs.load` requests *directly to a rank*
+//! (`ModuleCtx::request_to_rank`), bypassing the TBON's parent-pointer
+//! routing. A rank-addressed request has failure modes upstream routing
+//! never sees: the target can be blacked out (the reply never comes),
+//! or the rank may not be the shard's master anymore and answers EINVAL
+//! (the permanent wrong-master code) — retrying the same payload at the
+//! same rank can never succeed. The repo's discipline is the
+//! *join-table pattern*:
+//!
+//! 1. **Register** (S1): the send's `MsgId` is bound and inserted into
+//!    a join table in the same function (`let id =
+//!    ctx.request_to_rank(..); self.push_joins.insert(id, ..)`), so the
+//!    reply can be matched and the part can be re-sent.
+//! 2. **Discriminate** (S2): every response-path consumption of the
+//!    join (a `.remove(` on the table in a statement that inspects the
+//!    reply) must compare against an `errnum::` code — the permanent
+//!    EINVAL wrong-master reply must be told apart from transient
+//!    blackout failures, or the sender retries a validation failure
+//!    forever (or worse, fails a fence over a blip). A table nobody
+//!    consumes is flagged at its insert site.
+//! 3. **Retry** (S3): some function inserting into the table must be
+//!    reachable (same-crate call graph) from a heartbeat handler — the
+//!    idempotent re-send pump that makes a lost reply a delay instead
+//!    of a deadlock.
+//!
+//! Statement-level granularity on S2 is deliberate: `handle_response`
+//! consumes *all* join tables in one function, so a function-level
+//! check would let one table's EINVAL handling vouch for another's.
+//! Cleanup removes (forgetting an id before re-sending) don't inspect
+//! the reply and carry no obligation.
+//!
+//! Waive with `// flux-lint: allow(shard-safety)` on or just above the
+//! flagged line.
+
+use crate::analysis::{binding_of, calls_in, line_of, receiver_name, split_stmts, ParsedFile};
+use crate::{Rule, Violation};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Waiver comment token (checked on raw lines).
+const WAIVER: &str = "flux-lint: allow(shard-safety)";
+
+/// Method tokens that mark a statement as a shard hot-path send.
+const HOT_METHODS: &[&str] = &["ShardPush", "KvsMethod::Load"];
+
+/// One `request_to_rank` site.
+struct Send {
+    file: usize, // index into `files`
+    line: usize,
+    binding: Option<String>,
+    fn_name: String,
+    fn_idx: usize, // index into that file's fns
+}
+
+/// One `.remove(` on a join table.
+struct Consume {
+    file: usize,
+    line: usize,
+    /// Full text searched for the errnum discrimination (the statement
+    /// plus a few followers in the same block).
+    context: String,
+}
+
+/// Runs the pass over the shared parsed-file cache, one crate at a time.
+pub(crate) fn check_shard_safety(files: &[ParsedFile]) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut by_crate: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, pf) in files.iter().enumerate() {
+        by_crate.entry(pf.crate_name()).or_default().push(i);
+    }
+    for idxs in by_crate.values() {
+        check_crate(files, idxs, &mut out);
+    }
+    out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
+    out
+}
+
+fn check_crate(files: &[ParsedFile], idxs: &[usize], out: &mut Vec<Violation>) {
+    // Find the hot-path sends first; everything else is lazy.
+    let mut sends: Vec<Send> = Vec::new();
+    for &fi in idxs {
+        let pf = &files[fi];
+        if !pf.stripped.contains("request_to_rank") {
+            continue;
+        }
+        for (fni, f) in pf.fns.iter().enumerate() {
+            collect_sends(&pf.stripped, f.body, fi, fni, &f.name, &mut sends);
+        }
+    }
+    if sends.is_empty() {
+        return;
+    }
+
+    // S1: each send binds its id and registers it in a join table.
+    // `tables` maps table name → (insert site, inserting functions).
+    let mut tables: BTreeMap<String, ((usize, usize), BTreeSet<String>)> = BTreeMap::new();
+    for s in &sends {
+        let pf = &files[s.file];
+        let Some(binding) = &s.binding else {
+            push_unless_waived(out, pf, s.line, format!(
+                "rank-addressed send discards its request id — bind it and register it \
+                 in a retry join table"
+            ));
+            continue;
+        };
+        let body = &pf.stripped[pf.fns[s.fn_idx].body.0..pf.fns[s.fn_idx].body.1];
+        match find_insert(body, binding) {
+            Some(table) => {
+                let e = tables
+                    .entry(table)
+                    .or_insert_with(|| ((s.file, s.line), BTreeSet::new()));
+                e.1.insert(s.fn_name.clone());
+            }
+            None => push_unless_waived(out, pf, s.line, format!(
+                "request id `{binding}` from a rank-addressed send is never inserted \
+                 into a join table — the reply cannot be matched or the part re-sent"
+            )),
+        }
+    }
+
+    // Crate-wide call graph for S3, plus consumption sites for S2.
+    let mut fn_names: BTreeSet<String> = BTreeSet::new();
+    for &fi in idxs {
+        fn_names.extend(files[fi].fns.iter().map(|f| f.name.clone()));
+    }
+    let mut calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut heartbeat_roots: Vec<String> = Vec::new();
+    for &fi in idxs {
+        let pf = &files[fi];
+        for f in &pf.fns {
+            let body = &pf.stripped[f.body.0..f.body.1];
+            calls.entry(f.name.clone()).or_default().extend(calls_in(body, &fn_names));
+            if f.name.contains("heartbeat") {
+                heartbeat_roots.push(f.name.clone());
+            }
+        }
+    }
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut stack = heartbeat_roots;
+    while let Some(n) = stack.pop() {
+        if reachable.insert(n.clone()) {
+            if let Some(cs) = calls.get(&n) {
+                stack.extend(cs.iter().cloned());
+            }
+        }
+    }
+
+    for (table, ((sfi, sline), senders)) in &tables {
+        // S2: consumption sites must discriminate on errnum.
+        let mut consumes: Vec<Consume> = Vec::new();
+        for &fi in idxs {
+            let pf = &files[fi];
+            for f in &pf.fns {
+                collect_consumes(&pf.stripped, f.body, fi, table, &mut consumes);
+            }
+        }
+        let reply_consumes: Vec<&Consume> = consumes
+            .iter()
+            .filter(|c| c.context.contains("is_error") || c.context.contains("msg."))
+            .collect();
+        if reply_consumes.is_empty() {
+            push_unless_waived(out, &files[*sfi], *sline, format!(
+                "join table `{table}` registers rank-addressed sends but no response \
+                 path consumes it — the EINVAL wrong-master reply is never handled"
+            ));
+        }
+        for c in &reply_consumes {
+            if !(c.context.contains("== errnum::") || c.context.contains("!= errnum::")) {
+                push_unless_waived(out, &files[c.file], c.line, format!(
+                    "reply join `{table}` is consumed without distinguishing the \
+                     permanent EINVAL wrong-master code from transient failures — \
+                     compare `msg.header.errnum` against `errnum::` before retrying"
+                ));
+            }
+        }
+
+        // S3: a sender must be heartbeat-reachable.
+        if !senders.iter().any(|s| reachable.contains(s)) {
+            push_unless_waived(out, &files[*sfi], *sline, format!(
+                "join table `{table}` has no heartbeat-reachable re-send path — a \
+                 reply lost to a blacked-out master stalls the join forever"
+            ));
+        }
+    }
+}
+
+/// Records hot-path sends in one block (recursively).
+fn collect_sends(
+    blanked: &str,
+    span: (usize, usize),
+    file: usize,
+    fn_idx: usize,
+    fn_name: &str,
+    out: &mut Vec<Send>,
+) {
+    for stmt in split_stmts(blanked, span) {
+        let head = stmt.segs.join(" ");
+        if head.contains("request_to_rank") && HOT_METHODS.iter().any(|m| head.contains(m)) {
+            // Anchor the diagnostic (and its waiver window) on the send
+            // token, not the statement start — the statement span can
+            // open lines earlier, on a leading comment.
+            let full = &blanked[stmt.full.0..stmt.full.1];
+            let at = full.find("request_to_rank").unwrap_or(0);
+            out.push(Send {
+                file,
+                line: line_of(blanked, stmt.full.0 + at),
+                binding: binding_of(&head).map(str::to_owned),
+                fn_name: fn_name.to_owned(),
+                fn_idx,
+            });
+        }
+        for &block in &stmt.blocks {
+            collect_sends(blanked, block, file, fn_idx, fn_name, out);
+        }
+    }
+}
+
+/// Finds `<table>.insert(<binding>…)` in a function body and returns
+/// the table name.
+fn find_insert(body: &str, binding: &str) -> Option<String> {
+    let pat = format!(".insert({binding}");
+    let mut from = 0;
+    while let Some(p) = body[from..].find(&pat) {
+        let abs = from + p;
+        from = abs + pat.len();
+        // The binding must end at a non-identifier char (`id` must not
+        // match `.insert(idx`).
+        if body[abs + pat.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphanumeric() || c == '_')
+        {
+            continue;
+        }
+        if let Some(table) = receiver_name(&body[..abs]) {
+            return Some(table);
+        }
+    }
+    None
+}
+
+/// Records innermost statements whose *head* removes from `table`. The
+/// context searched for the errnum discrimination is the statement's
+/// full span (nested blocks included) plus the next few statements of
+/// the same block, so `let Some(j) = t.remove(&id) …; if msg.header.
+/// errnum == …` patterns pass. The follower window stops at the next
+/// statement containing a `.remove(` of its own: `handle_response`
+/// consumes every join table in sequence, and one table's EINVAL
+/// handling must not vouch for the previous table's.
+fn collect_consumes(
+    blanked: &str,
+    span: (usize, usize),
+    file: usize,
+    table: &str,
+    out: &mut Vec<Consume>,
+) {
+    let pat = format!("{table}.remove(");
+    let stmts = split_stmts(blanked, span);
+    for (i, stmt) in stmts.iter().enumerate() {
+        let head = stmt.segs.join(" ");
+        if head_removes(&head, &pat) {
+            let mut context = blanked[stmt.full.0..stmt.full.1].to_owned();
+            for later in stmts.iter().skip(i + 1).take(6) {
+                let text = &blanked[later.full.0..later.full.1];
+                if text.contains(".remove(") {
+                    break;
+                }
+                context.push_str(text);
+            }
+            out.push(Consume { file, line: line_of(blanked, stmt.full.0), context });
+        }
+        for &block in &stmt.blocks {
+            collect_consumes(blanked, block, file, table, out);
+        }
+    }
+}
+
+/// Does `head` contain `<table>.remove(` with a word boundary before
+/// the table name (`push_joins` must not match `fence_push_joins`)?
+fn head_removes(head: &str, pat: &str) -> bool {
+    let mut from = 0;
+    while let Some(p) = head[from..].find(pat) {
+        let abs = from + p;
+        from = abs + pat.len();
+        let boundary = abs == 0 || {
+            let b = head.as_bytes()[abs - 1];
+            !(b.is_ascii_alphanumeric() || b == b'_')
+        };
+        if boundary {
+            return true;
+        }
+    }
+    false
+}
+
+fn push_unless_waived(out: &mut Vec<Violation>, pf: &ParsedFile, line: usize, message: String) {
+    let raw_lines: Vec<&str> = pf.raw.lines().collect();
+    let lo = line.saturating_sub(4);
+    let waived = (lo..=line)
+        .any(|k| k >= 1 && raw_lines.get(k - 1).is_some_and(|l| l.contains(WAIVER)));
+    if !waived {
+        out.push(Violation { file: pf.rel.clone(), line, rule: Rule::ShardSafety, message });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(src: &str) -> Vec<Violation> {
+        check_shard_safety(&[ParsedFile::parse("crates/kvs/src/demo.rs", src)])
+    }
+
+    const GOOD: &str = r#"
+impl M {
+    fn send_push(&mut self, ctx: &mut ModuleCtx<'_>, s: u32, payload: Value) {
+        let id = ctx.request_to_rank(master_of(s), KvsMethod::ShardPush.topic(), payload);
+        self.push_joins.insert(id, s);
+    }
+    fn handle_response(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
+        if let Some(s) = self.push_joins.remove(&msg.header.id) {
+            if msg.is_error() {
+                if msg.header.errnum == errnum::EINVAL {
+                    self.fail_join(ctx, s);
+                    return;
+                }
+                self.mark_unacked(s);
+                return;
+            }
+            self.complete(ctx, s, msg);
+        }
+    }
+    fn on_heartbeat(&mut self, ctx: &mut ModuleCtx<'_>, epoch: u64) {
+        for s in self.pending() {
+            self.send_push(ctx, s, self.payload_of(s));
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn the_full_discipline_is_clean() {
+        let v = run(GOOD);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn unregistered_send_is_flagged() {
+        let bad = GOOD.replace("        self.push_joins.insert(id, s);\n", "");
+        let v = run(&bad);
+        assert!(
+            v.iter().any(|x| x.message.contains("never inserted")),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn discarded_id_is_flagged() {
+        let bad = GOOD.replace("let id = ctx.request_to_rank", "ctx.request_to_rank");
+        let bad = bad.replace("        self.push_joins.insert(id, s);\n", "");
+        let v = run(&bad);
+        assert!(v.iter().any(|x| x.message.contains("discards")), "{v:?}");
+    }
+
+    #[test]
+    fn missing_einval_discrimination_is_flagged() {
+        // The consumption path checks is_error but retries everything —
+        // the wrong-master EINVAL reply loops forever.
+        let bad = GOOD
+            .replace("                if msg.header.errnum == errnum::EINVAL {\n                    self.fail_join(ctx, s);\n                    return;\n                }\n", "");
+        let v = run(&bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("EINVAL"), "{}", v[0]);
+    }
+
+    #[test]
+    fn missing_heartbeat_retry_is_flagged() {
+        let bad = GOOD.replace("fn on_heartbeat", "fn after_sweep");
+        let v = run(&bad);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert!(v[0].message.contains("heartbeat"), "{}", v[0]);
+    }
+
+    #[test]
+    fn cleanup_removes_carry_no_obligation() {
+        // A forget-before-resend remove never inspects the reply; only
+        // reply-consuming removes must discriminate.
+        let src = GOOD.replace(
+            "        for s in self.pending() {\n",
+            "        for old in self.stale() {\n            self.push_joins.remove(&old);\n        }\n        for s in self.pending() {\n",
+        );
+        let v = run(&src);
+        assert!(v.is_empty(), "{v:?}");
+    }
+
+    #[test]
+    fn waiver_suppresses() {
+        let bad = GOOD.replace("fn on_heartbeat", "fn after_sweep");
+        let waived = bad.replace(
+            "        let id = ctx.request_to_rank",
+            "        // flux-lint: allow(shard-safety) — demo table, retries handled by the caller\n        let id = ctx.request_to_rank",
+        );
+        let v = run(&waived);
+        assert!(v.is_empty(), "{v:?}");
+    }
+}

@@ -43,3 +43,95 @@ fn missing_header_fixture_fails_the_tree() {
     let v = plant_and_lint("missing_header.rs.bad", "crates/fake/src/lib.rs");
     assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 2, "{v:?}");
 }
+
+/// Count of one rule's violations when `fixture` is planted at `rel`.
+fn rule_count(fixture: &str, rel: &str, rule: Rule) -> usize {
+    plant_and_lint(fixture, rel).iter().filter(|x| x.rule == rule).count()
+}
+
+#[test]
+fn taint_bad_fixture_fails_the_tree() {
+    // Field iteration, local iteration, wall clock, and an unjustified
+    // waiver: four distinct holes, each its own finding.
+    let n = rule_count("taint_nondet.rs.bad", "crates/kvs/src/fake.rs", Rule::Nondet);
+    assert_eq!(n, 4, "expected all four seeded nondet holes to fire");
+}
+
+#[test]
+fn taint_good_fixture_is_clean() {
+    let n = rule_count("taint_nondet.rs.good", "crates/kvs/src/fake.rs", Rule::Nondet);
+    assert_eq!(n, 0, "the exonerated/waived patterns must stay silent");
+}
+
+#[test]
+fn error_codes_bad_fixture_fails_the_tree() {
+    // Undeclared EPERM, never-produced EINVAL, and helper-reached
+    // ENOMEM: both directions, direct and one call away.
+    let v = plant_and_lint("error_codes.rs.bad", "crates/modules/src/fake.rs");
+    let hits: Vec<_> = v.iter().filter(|x| x.rule == Rule::ErrorCodes).collect();
+    assert_eq!(hits.len(), 3, "{hits:?}");
+    for code in ["EPERM", "EINVAL", "ENOMEM"] {
+        assert!(hits.iter().any(|x| x.message.contains(code)), "missing {code}: {hits:?}");
+    }
+}
+
+#[test]
+fn error_codes_good_fixture_is_clean() {
+    let n = rule_count("error_codes.rs.good", "crates/modules/src/fake.rs", Rule::ErrorCodes);
+    assert_eq!(n, 0, "conforming handlers for every service must stay silent");
+}
+
+#[test]
+fn shard_safety_bad_fixture_fails_the_tree() {
+    // Discarded id, unregistered id, undiscriminated consume, and no
+    // heartbeat-reachable sender: four distinct holes.
+    let n = rule_count("shard_safety.rs.bad", "crates/kvs/src/fake.rs", Rule::ShardSafety);
+    assert_eq!(n, 4, "expected all four seeded shard-safety holes to fire");
+}
+
+#[test]
+fn shard_safety_good_fixture_is_clean() {
+    let n = rule_count("shard_safety.rs.good", "crates/kvs/src/fake.rs", Rule::ShardSafety);
+    assert_eq!(n, 0, "the full join-table discipline must stay silent");
+}
+
+/// Registry coverage: every Rpc/Stream method of every service must be
+/// exercised by at least one fixture corpus, as a `<Enum>::<Variant>`
+/// token. Adding a method to flux-proto without teaching the fixtures
+/// about it fails here, keeping the corpora and the registry in step.
+#[test]
+fn every_registered_rpc_appears_in_a_fixture_corpus() {
+    let fixtures = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures");
+    let mut corpus = String::new();
+    for entry in std::fs::read_dir(&fixtures).expect("read fixtures dir") {
+        let path = entry.expect("dir entry").path();
+        let name = path.file_name().expect("file name").to_string_lossy().into_owned();
+        if name.ends_with(".rs.good") || name.ends_with(".rs.bad") {
+            corpus.push_str(&std::fs::read_to_string(&path).expect("read fixture"));
+        }
+    }
+    // `get_version` → `GetVersion`, `shard.push` → `ShardPush`.
+    let variant = |method: &str| -> String {
+        method
+            .split(['.', '_'])
+            .map(|seg| {
+                let mut cs = seg.chars();
+                cs.next().map_or_else(String::new, |c| c.to_ascii_uppercase().to_string() + cs.as_str())
+            })
+            .collect()
+    };
+    let mut missing = Vec::new();
+    for spec in flux_proto::methods() {
+        if spec.kind == flux_proto::MethodKind::OneWay {
+            continue; // no reply channel: nothing for the corpora to prove
+        }
+        let (service, method) = spec.topic.split_once('.').expect("topic has a service");
+        let mut enum_name = service.to_owned();
+        enum_name[..1].make_ascii_uppercase();
+        let token = format!("{enum_name}Method::{}", variant(method));
+        if !corpus.contains(&token) {
+            missing.push(token);
+        }
+    }
+    assert!(missing.is_empty(), "registered methods absent from every fixture corpus: {missing:?}");
+}

@@ -32,7 +32,7 @@ use flux_rt::transport::ScriptOutcome;
 use flux_sim::{ActorId, PendingEvent, PendingKind};
 use flux_value::Value;
 use flux_wire::{MsgId, MsgType};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 /// Tuning knobs for a single schedule run (shared with the explorer).
@@ -169,8 +169,10 @@ fn dupable(session: &SimSession, ev: &PendingEvent) -> bool {
 struct ReplyObserver {
     /// Topic → protocol method kind, from the flux-proto registry.
     kinds: HashMap<&'static str, MethodKind>,
-    /// Request id → replies seen, for RPC-kind client requests.
-    replies: HashMap<MsgId, u32>,
+    /// Request id → replies seen, for RPC-kind client requests. Kept
+    /// ordered so the first missing-reply violation reported is stable
+    /// across runs of the same schedule.
+    replies: BTreeMap<MsgId, u32>,
     /// Whether the schedule duplicates frames (dup'd requests can
     /// legitimately produce duplicate replies; the client core drops
     /// them, so the strict `== 1` check only holds dup-free).
@@ -181,7 +183,7 @@ impl ReplyObserver {
     fn new(dups: bool) -> ReplyObserver {
         ReplyObserver {
             kinds: flux_proto::methods().into_iter().map(|s| (s.topic, s.kind)).collect(),
-            replies: HashMap::new(),
+            replies: BTreeMap::new(),
             dups,
         }
     }

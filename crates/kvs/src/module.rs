@@ -1742,9 +1742,35 @@ impl CommsModule for KvsModule {
         }
         if let Some((name, shard)) = self.fence_push_joins.remove(&id) {
             if msg.is_error() {
-                // Mark the part unacknowledged; the heartbeat re-sends
-                // it. The fence stays pending — never released with a
-                // missing shard contribution.
+                if msg.header.errnum == errnum::EINVAL {
+                    // Validation failure from the shard master: re-sending
+                    // the same part can never succeed, so the fence fails
+                    // as a whole instead of retrying forever. Shards
+                    // already applied stay applied, like an errored
+                    // sharded commit. Waiters parked on other ranks are
+                    // failed through the broadcast, mirroring the release
+                    // path in `finish_fence_join`.
+                    if let Some(join) = self.fence_joins.remove(&name) {
+                        for req in join.waiters {
+                            ctx.respond_err(&req, msg.header.errnum);
+                        }
+                        ctx.publish(
+                            Event::KvsSetroot.topic(),
+                            Value::from_pairs([
+                                (
+                                    "fences_failed",
+                                    Value::Array(vec![Value::from(name.as_str())]),
+                                ),
+                                ("errnum", Value::from(msg.header.errnum as i64)),
+                            ]),
+                        );
+                    }
+                    return;
+                }
+                // Transient failure (e.g. the shard master is blacked
+                // out): mark the part unacknowledged; the heartbeat
+                // re-sends it. The fence stays pending — never released
+                // with a missing shard contribution.
                 if let Some(join) = self.fence_joins.get_mut(&name) {
                     if let Some(ent) = join.outstanding.get_mut(&shard) {
                         ent.1 = None;
@@ -1778,6 +1804,25 @@ impl CommsModule for KvsModule {
 
     fn handle_event(&mut self, ctx: &mut ModuleCtx<'_>, msg: &Message) {
         if msg.header.topic.as_str() != Event::KvsSetroot.topic_str() {
+            return;
+        }
+        // Fence failure (a shard master answered a fence push with the
+        // permanent wrong-master EINVAL): fail local waiters with the
+        // coordinator's code instead of leaving them parked forever.
+        if let Some(failed) = msg.payload.get("fences_failed").and_then(Value::as_array) {
+            let code = msg
+                .payload
+                .get("errnum")
+                .and_then(Value::as_uint)
+                .unwrap_or(u64::from(errnum::EINVAL)) as u32;
+            for f in failed {
+                let Some(name) = f.as_str() else { continue };
+                if let Some(acc) = self.fences.remove(name) {
+                    for req in acc.waiters {
+                        ctx.respond_err(&req, code);
+                    }
+                }
+            }
             return;
         }
         // Combined frontier event (cross-shard fence completion): adopt

@@ -319,6 +319,53 @@ fn duplicate_fence_contribution_does_not_double_count() {
 }
 
 #[test]
+fn fence_push_wrong_master_einval_fails_the_fence() {
+    // A shard master that rejects a fence push with EINVAL — here a
+    // rolling-restart misconfiguration: rank 1 (master of shard 1)
+    // believes the store is unsharded — is a *permanent* failure.
+    // Re-sending the same part at the same rank can never succeed, so
+    // the fence must fail fast with EINVAL instead of spinning on the
+    // heartbeat re-send pump forever.
+    let sharded = KvsConfig { shards: 2, ..KvsConfig::default() };
+    let unsharded = KvsConfig::default();
+    let mut net = TestNet::new(6, 2, move |rank| {
+        let cfg = if rank == Rank(1) { unsharded } else { sharded };
+        vec![Box::new(KvsModule::with_config(cfg)) as Box<dyn CommsModule>]
+    });
+    // The writer sits at rank 5 (TBON path 5 → 2 → 0) so its traffic
+    // never routes through the misconfigured rank; only the root
+    // coordinator's rank-addressed fence push reaches rank 1.
+    let mut c = KvsClient::new(Rank(5), 0);
+    let key = (0..64)
+        .map(|j| format!("fe.wrong.k{j}"))
+        .find(|k| flux_kvs::shard::shard_of_key(k, 2) == Ok(1))
+        .expect("some candidate key lands on shard 1");
+    assert_eq!(
+        rpc(&mut net, Rank(5), 0, &mut c, |c| c.put(&key, Value::Int(1), 1)),
+        KvsReply::Ack
+    );
+    // One participant: the fence releases count-wise immediately and the
+    // coordinator pushes the staged shard-1 part to rank 1.
+    let fence = c.fence("fe.wrong", 1, 1);
+    net.client_send(Rank(5), 0, fence);
+    let mut reply = None;
+    for _ in 0..2000 {
+        if let Some(m) = net.take_client_msgs(Rank(5), 0).pop() {
+            reply = Some(m);
+            break;
+        }
+        if !net.fire_next_timer() {
+            break;
+        }
+    }
+    let m = reply.expect("fence must be answered, not retried forever");
+    match c.deliver(m) {
+        KvsDelivery::Reply { reply, .. } => assert_eq!(reply, KvsReply::Err(errnum::EINVAL)),
+        other => panic!("unexpected delivery {other:?}"),
+    }
+}
+
+#[test]
 fn watch_streams_changes_to_remote_rank() {
     let mut net = net(7);
     let mut watcher = KvsClient::new(Rank(6), 0);

@@ -111,6 +111,24 @@ impl Service {
     pub fn from_name(name: &str) -> Option<Service> {
         Service::ALL.iter().copied().find(|s| s.name() == name)
     }
+
+    /// The full declared error surface of one service: the union of its
+    /// methods' [`MethodSpec::declared_errors`] sets plus the
+    /// dispatch-level `ENOSYS` every service answers for an unknown
+    /// method. Sorted and deduplicated — the machine-readable export
+    /// that tools (`flux-lint`'s error-code pass) and conformance tests
+    /// consume.
+    pub fn declared_surface(self) -> Vec<u32> {
+        let mut out = vec![flux_wire::errnum::ENOSYS];
+        for spec in methods() {
+            if spec.service == self {
+                out.extend_from_slice(spec.declared_errors);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
 }
 
 /// One row of the flattened method registry (see [`methods`]).
@@ -122,6 +140,14 @@ pub struct MethodSpec {
     pub topic: &'static str,
     /// Wire behaviour.
     pub kind: MethodKind,
+    /// The error numbers this method's handler may put in a response
+    /// header, beyond transport-level failures (`EIO`, `ETIMEDOUT`,
+    /// `EHOSTDOWN`) that any RPC can surface and the dispatch-level
+    /// `ENOSYS` for unknown methods. This is the registry side of the
+    /// module/proto error-code alignment: `flux-lint`'s error-code
+    /// conformance pass checks every handler's rejection paths against
+    /// these sets, in both directions.
+    pub declared_errors: &'static [u32],
 }
 
 /// One row of the flattened event registry (see [`events`]).
@@ -134,12 +160,15 @@ pub struct EventSpec {
 }
 
 /// Declares one service's method table: the enum, dispatch lookup,
-/// topic construction, and registry rows.
+/// topic construction, declared error sets, and registry rows. An
+/// optional `[ERRNO, ...]` suffix after the kind names the
+/// `flux_wire::errnum` constants the handler's own rejection paths may
+/// produce (omitted = none).
 macro_rules! methods {
     (
         $(#[$emeta:meta])*
         $enum_name:ident : $service:ident / $svc:literal {
-            $($(#[$vmeta:meta])* $variant:ident = $method:literal => $kind:ident;)+
+            $($(#[$vmeta:meta])* $variant:ident = $method:literal => $kind:ident $([$($err:ident),* $(,)?])?;)+
         }
     ) => {
         $(#[$emeta])*
@@ -170,6 +199,15 @@ macro_rules! methods {
                 match self { $($enum_name::$variant => MethodKind::$kind,)+ }
             }
 
+            /// The error numbers this method's handler may put in a
+            /// response header, beyond transport-level failures and the
+            /// dispatch-level `ENOSYS` (see [`MethodSpec::declared_errors`]).
+            pub const fn declared_errors(self) -> &'static [u32] {
+                match self {
+                    $($enum_name::$variant => &[$($(flux_wire::errnum::$err,)*)?],)+
+                }
+            }
+
             /// The validated [`Topic`] for this method.
             pub fn topic(self) -> Topic {
                 // flux-lint: allow(panic) — every topic_str is a declared
@@ -192,6 +230,7 @@ macro_rules! methods {
                     service: Self::SERVICE,
                     topic: m.topic_str(),
                     kind: m.kind(),
+                    declared_errors: m.declared_errors(),
                 })
             }
         }
@@ -206,9 +245,9 @@ methods! {
         /// Rank, size, tree depth, liveness count, loaded modules.
         Info = "info" => Rpc;
         /// Subscribe the requesting client to an event-topic prefix.
-        Sub = "sub" => Rpc;
+        Sub = "sub" => Rpc [EINVAL];
         /// Drop one subscription of the requesting client.
-        Unsub = "unsub" => Rpc;
+        Unsub = "unsub" => Rpc [EINVAL];
     }
 }
 
@@ -234,7 +273,7 @@ methods! {
     /// `log` service methods.
     LogMethod : Log / "log" {
         /// Append one entry to the local ring (and forward by level).
-        Msg = "msg" => Rpc;
+        Msg = "msg" => Rpc [EINVAL];
         /// Merged entries climbing the tree toward the session log.
         Batch = "batch" => OneWay;
         /// The local circular debug buffer (rank-addressable).
@@ -248,7 +287,7 @@ methods! {
     /// `mon` service methods.
     MonMethod : Mon / "mon" {
         /// Register a sampler spec in the KVS.
-        Add = "add" => Rpc;
+        Add = "add" => Rpc [EINVAL];
         /// Partial aggregate climbing the tree.
         Up = "up" => OneWay;
         /// The sampler specs active on this broker.
@@ -260,11 +299,11 @@ methods! {
     /// `group` service methods.
     GroupMethod : Group / "group" {
         /// Record the requester as a member in the KVS.
-        Join = "join" => Rpc;
+        Join = "join" => Rpc [EINVAL];
         /// Remove the requester's membership record.
-        Leave = "leave" => Rpc;
+        Leave = "leave" => Rpc [EINVAL];
         /// Group size and member list.
-        Info = "info" => Rpc;
+        Info = "info" => Rpc [EINVAL];
     }
 }
 
@@ -272,7 +311,7 @@ methods! {
     /// `barrier` service methods.
     BarrierMethod : Barrier / "barrier" {
         /// Enter a named barrier; answered when it completes.
-        Enter = "enter" => Rpc;
+        Enter = "enter" => Rpc [EINVAL];
         /// Merged entry counts climbing the tree.
         Up = "up" => OneWay;
     }
@@ -281,68 +320,46 @@ methods! {
 methods! {
     /// `kvs` service methods.
     KvsMethod : Kvs / "kvs" {
-        /// Stage `key = value` in the local dirty set.
-        Put = "put" => Rpc;
+        /// Stage `key = value` in the local dirty set. Rejects malformed
+        /// payloads and oversize/overdeep keys.
+        Put = "put" => Rpc [EINVAL, ENAMETOOLONG];
         /// Stage a key removal.
-        Unlink = "unlink" => Rpc;
+        Unlink = "unlink" => Rpc [EINVAL, ENAMETOOLONG];
         /// Push staged changes to the master and await the new version.
-        Commit = "commit" => Rpc;
+        /// Fails only on malformed batches (upstream transport errors are
+        /// relayed verbatim).
+        Commit = "commit" => Rpc [EINVAL];
         /// Internal: a commit batch climbing the tree to the master.
-        Push = "push" => Rpc;
+        Push = "push" => Rpc [EINVAL];
         /// Internal: a rank-addressed commit batch for one shard master
         /// (sharded sessions route writes directly, not up the tree).
-        ShardPush = "shard.push" => Rpc;
+        /// Additionally rejects batches addressed to a rank that does not
+        /// master the named shard.
+        ShardPush = "shard.push" => Rpc [EINVAL];
         /// Collective commit: resolves once `nprocs` have entered.
-        Fence = "fence" => Rpc;
+        /// Rejects malformed, zero-proc, mismatched-count, and duplicate
+        /// contributions.
+        Fence = "fence" => Rpc [EINVAL];
         /// Internal: merged fence contributions climbing the tree.
+        /// One-way: never answered, so never errs.
         FenceUp = "fence.up" => OneWay;
         /// Read a key (or directory listing) at the current root.
-        Get = "get" => Rpc;
+        /// Distinguishes key shape/size errors from tree-shape mismatches
+        /// and absent keys.
+        Get = "get" => Rpc [EINVAL, ENAMETOOLONG, ENOENT, ENOTDIR, EISDIR];
         /// Internal: fetch an object by content hash from upstream.
-        Load = "load" => Rpc;
-        /// The root version this broker has applied.
-        GetVersion = "get_version" => Rpc;
+        Load = "load" => Rpc [EINVAL, ENOENT];
+        /// The root version this broker has applied. Rejects a malformed
+        /// shard selector.
+        GetVersion = "get_version" => Rpc [EINVAL];
         /// Answered once the local version reaches the given one.
-        WaitVersion = "wait_version" => Rpc;
+        WaitVersion = "wait_version" => Rpc [EINVAL];
         /// Stream a value on every version that changes the key.
-        Watch = "watch" => Stream;
+        Watch = "watch" => Stream [EINVAL];
         /// Cancel a watch stream.
-        Unwatch = "unwatch" => Rpc;
+        Unwatch = "unwatch" => Rpc [EINVAL];
         /// Object-cache statistics.
         Stats = "stats" => Rpc;
-    }
-}
-
-impl KvsMethod {
-    /// The error numbers this method's handler may put in a response
-    /// header, beyond transport-level failures (`EIO`, `ETIMEDOUT`,
-    /// `EHOSTDOWN`) which any RPC can surface. This is the registry
-    /// side of the module/proto error-code alignment: the KVS module's
-    /// rejection paths are tested to stay inside these sets.
-    pub const fn declared_errors(self) -> &'static [u32] {
-        use flux_wire::errnum::{EINVAL, EISDIR, ENAMETOOLONG, ENOENT, ENOTDIR};
-        match self {
-            // Put/Unlink reject malformed payloads and bad keys.
-            KvsMethod::Put | KvsMethod::Unlink => &[EINVAL, ENAMETOOLONG],
-            // Commit/Push can only fail on malformed batches (and
-            // upstream transport errors relayed verbatim). ShardPush
-            // additionally rejects batches addressed to a rank that does
-            // not master the named shard.
-            KvsMethod::Commit | KvsMethod::Push | KvsMethod::ShardPush => &[EINVAL],
-            // Fence rejects malformed, zero-proc, mismatched-count, and
-            // duplicate contributions.
-            KvsMethod::Fence => &[EINVAL],
-            // One-way: never answered, so never errs.
-            KvsMethod::FenceUp => &[],
-            // Get distinguishes key shape/size errors from tree-shape
-            // mismatches and absent keys.
-            KvsMethod::Get => &[EINVAL, ENAMETOOLONG, ENOENT, ENOTDIR, EISDIR],
-            KvsMethod::Load => &[EINVAL, ENOENT],
-            KvsMethod::GetVersion => &[],
-            KvsMethod::WaitVersion => &[EINVAL],
-            KvsMethod::Watch | KvsMethod::Unwatch => &[EINVAL],
-            KvsMethod::Stats => &[],
-        }
     }
 }
 
@@ -350,9 +367,9 @@ methods! {
     /// `wexec` service methods.
     WexecMethod : Wexec / "wexec" {
         /// Launch a job on the targeted ranks (fans out as an event).
-        Run = "run" => Rpc;
+        Run = "run" => Rpc [EINVAL];
         /// Signal every task of a job (fans out as an event).
-        Kill = "kill" => Rpc;
+        Kill = "kill" => Rpc [EINVAL];
         /// Internal: merged exit-status contributions climbing the tree.
         StatusUp = "status.up" => OneWay;
         /// Locally running tasks.
@@ -363,10 +380,11 @@ methods! {
 methods! {
     /// `resvc` service methods.
     ResvcMethod : Resvc / "resvc" {
-        /// Allocate `nnodes` ranks to a job (root decides).
-        Alloc = "alloc" => Rpc;
+        /// Allocate `nnodes` ranks to a job (root decides). `EAGAIN`
+        /// signals an honest shortage: retry after a `free`.
+        Alloc = "alloc" => Rpc [EINVAL, EAGAIN];
         /// Return a job's ranks to the free set.
-        Free = "free" => Rpc;
+        Free = "free" => Rpc [EINVAL, ENOENT];
         /// Free/total counts and active allocations.
         Status = "status" => Rpc;
     }
@@ -619,32 +637,56 @@ mod tests {
 
     #[test]
     fn declared_error_sets_are_well_formed() {
-        for m in KvsMethod::ALL {
-            let errs = m.declared_errors();
+        for spec in methods() {
+            let errs = spec.declared_errors;
             // Every declared code is a real, named errnum...
             for &e in errs {
-                assert_ne!(e, 0, "{:?} declares success as an error", m);
+                assert_ne!(e, 0, "{} declares success as an error", spec.topic);
                 assert_ne!(
                     flux_wire::errnum::strerror(e),
                     "unknown error",
-                    "{:?} declares an unregistered errnum {e}",
-                    m
+                    "{} declares an unregistered errnum {e}",
+                    spec.topic
                 );
             }
             // ...listed at most once.
             let mut sorted = errs.to_vec();
             sorted.sort_unstable();
             sorted.dedup();
-            assert_eq!(sorted.len(), errs.len(), "{:?} repeats an errnum", m);
+            assert_eq!(sorted.len(), errs.len(), "{} repeats an errnum", spec.topic);
             // One-way methods have no response header to carry an error.
-            if m.kind() == MethodKind::OneWay {
-                assert!(errs.is_empty(), "{:?} is one-way but declares errors", m);
+            if spec.kind == MethodKind::OneWay {
+                assert!(errs.is_empty(), "{} is one-way but declares errors", spec.topic);
             }
         }
         // Key-validating methods must declare the key-size rejection.
         for m in [KvsMethod::Put, KvsMethod::Unlink, KvsMethod::Get] {
             assert!(m.declared_errors().contains(&flux_wire::errnum::ENAMETOOLONG), "{:?}", m);
         }
+    }
+
+    #[test]
+    fn every_service_declares_a_nonempty_error_surface() {
+        for &s in Service::ALL {
+            let surface = s.declared_surface();
+            // Dispatch-level ENOSYS makes every surface nonempty; the
+            // per-method sets only add to it.
+            assert!(!surface.is_empty(), "{} declares no error surface", s.name());
+            assert!(
+                surface.contains(&flux_wire::errnum::ENOSYS),
+                "{} must answer unknown methods with ENOSYS",
+                s.name()
+            );
+            // Sorted + deduplicated: the export is canonical.
+            let mut canon = surface.clone();
+            canon.sort_unstable();
+            canon.dedup();
+            assert_eq!(canon, surface, "{} surface is not canonical", s.name());
+        }
+        // Spot-check the unions against the handler ground truth.
+        use flux_wire::errnum::{EAGAIN, EINVAL, ENOENT, ENOSYS};
+        assert_eq!(Service::Hb.declared_surface(), vec![ENOSYS]);
+        assert_eq!(Service::Resvc.declared_surface(), vec![ENOENT, EAGAIN, EINVAL, ENOSYS]);
     }
 
     #[test]

@@ -253,6 +253,8 @@ impl Engine {
     }
 
     fn run_inner(&mut self, deadline: Option<SimTime>) -> SimTime {
+        // flux-lint: allow(nondet) — run_wall is diagnostics-only accounting,
+        // excluded from record equality and every simulated outcome.
         let wall = std::time::Instant::now();
         while !self.stopped {
             let Some((t, _, _)) = self.queue.peek_min() else {
@@ -282,6 +284,8 @@ impl Engine {
     /// the budget; `false` means events were still pending — a protocol
     /// livelock if the caller expected quiescence.
     pub fn run_budgeted(&mut self, budget: u64) -> (SimTime, bool) {
+        // flux-lint: allow(nondet) — run_wall is diagnostics-only accounting,
+        // excluded from record equality and every simulated outcome.
         let wall = std::time::Instant::now();
         let mut left = budget;
         let quiet = loop {
