@@ -8,7 +8,7 @@ use flux_proto::{Event, Service};
 use flux_topo::{LiveSet, Ring, Tree};
 use flux_value::Value;
 use flux_wire::{errnum, Message, MsgId, MsgType, Payload, Plane, Rank, Topic};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 
 /// Timer-token namespace: the top 16 bits identify the owner (0 = broker
 /// core, `i + 1` = module index `i`); the low 48 bits are owner-private.
@@ -38,7 +38,9 @@ pub(crate) struct Core {
     /// Last event sequence seen (all brokers; delivery-order check).
     last_event_seq: u64,
     /// Per-client event subscriptions: topic prefixes.
-    client_subs: HashMap<ClientId, Vec<String>>,
+    // Ordered map: event fan-out to clients iterates this directly, so
+    // delivery order must be deterministic (ascending client id).
+    client_subs: BTreeMap<ClientId, Vec<String>>,
     /// Module indices matching responses queued in `raised`, FIFO.
     raised_response_module: VecDeque<usize>,
     /// Stamped events awaiting local delivery; `true` = also fan to
@@ -216,6 +218,9 @@ impl Core {
             }
         }
         for child in targets {
+            // flux-lint: allow(hotalloc) — Message clones are
+            // header-shallow (Arc'd topic and payload): the per-child
+            // fan-out copy is two refcount bumps, not a payload copy.
             self.outputs.push(Output::ToBroker {
                 plane: Plane::Event,
                 to: child,
@@ -290,7 +295,7 @@ impl Broker {
                 deliver_queue: VecDeque::new(),
                 event_seq: 0,
                 last_event_seq: 0,
-                client_subs: HashMap::new(),
+                client_subs: BTreeMap::new(),
             },
             modules: modules.into_iter().map(Some).collect(),
             names,
@@ -400,14 +405,33 @@ impl Broker {
     /// or forwards upstream; at the root an unmatched request fails with
     /// ENOSYS.
     fn dispatch_request(&mut self, msg: Message) {
-        let service = msg.header.topic.service().to_owned();
-        if service == Service::Cmb.name() {
-            builtin::handle(self, msg);
-            return;
+        // Resolve the target while borrowing the topic, then release the
+        // borrow before `msg` moves: no owned copy of the service name.
+        enum Target {
+            Builtin,
+            Module(usize),
+            Forward,
         }
-        if let Some(&idx) = self.names.get(service.as_str()) {
-            self.with_module(idx, |m, ctx| m.handle_request(ctx, &msg));
-            return;
+        let target = {
+            let service = msg.header.topic.service();
+            if service == Service::Cmb.name() {
+                Target::Builtin
+            } else if let Some(&idx) = self.names.get(service) {
+                Target::Module(idx)
+            } else {
+                Target::Forward
+            }
+        };
+        match target {
+            Target::Builtin => {
+                builtin::handle(self, msg);
+                return;
+            }
+            Target::Module(idx) => {
+                self.with_module(idx, |m, ctx| m.handle_request(ctx, &msg));
+                return;
+            }
+            Target::Forward => {}
         }
         if msg.header.dst.is_some() {
             // Rank-addressed request reached its target but nothing serves
@@ -454,14 +478,14 @@ impl Broker {
     /// (duplicated frames, delayed copies overtaken by newer events) and
     /// during tree healing, when a broker can briefly hear two parents.
     /// Stale events are dropped without redelivery or re-fanning.
-    fn deliver_event_locally(&mut self, msg: Message) -> bool {
+    fn deliver_event_locally(&mut self, msg: &Message) -> bool {
         let seq = msg.header.id.seq;
         if seq <= self.core.last_event_seq {
             return false;
         }
         self.core.last_event_seq = seq;
 
-        let topic = msg.header.topic.clone();
+        let topic = &msg.header.topic;
 
         // Liveness view: the broker core itself tracks live.down/live.up
         // so routing self-heals no matter which modules are loaded.
@@ -482,7 +506,7 @@ impl Broker {
         for i in 0..self.subs.len() {
             let (idx, ref prefix) = self.subs[i];
             if topic.matches_prefix(prefix) {
-                self.with_module(idx, |m, ctx| m.handle_event(ctx, &msg));
+                self.with_module(idx, |m, ctx| m.handle_event(ctx, msg));
             }
         }
 
@@ -494,16 +518,17 @@ impl Broker {
             }
         }
 
-        // Client subscriptions.
-        let mut to_clients: Vec<ClientId> = Vec::new();
+        // Client subscriptions: `client_subs` is ordered by client id,
+        // so iterating it directly gives deterministic delivery order
+        // with no scratch list or sort on the event path.
         for (&client, prefixes) in &self.core.client_subs {
             if prefixes.iter().any(|p| topic.matches_prefix(p)) {
-                to_clients.push(client);
+                // flux-lint: allow(hotalloc) — Message clones are
+                // header-shallow: the topic is Arc<str>-backed and the
+                // payload holds an Arc, so each fan-out copy is a pair
+                // of refcount bumps, not a payload copy.
+                self.core.outputs.push(Output::ToClient { client, msg: msg.clone() });
             }
-        }
-        to_clients.sort_unstable();
-        for client in to_clients {
-            self.core.outputs.push(Output::ToClient { client, msg: msg.clone() });
         }
         true
     }
@@ -530,7 +555,7 @@ impl Broker {
     fn drain_raised(&mut self) {
         loop {
             if let Some((msg, fan)) = self.core.deliver_queue.pop_front() {
-                let fresh = self.deliver_event_locally(msg.clone());
+                let fresh = self.deliver_event_locally(&msg);
                 if fan && fresh {
                     self.core.fan_children(&msg);
                 }

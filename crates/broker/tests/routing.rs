@@ -2,7 +2,7 @@
 
 use flux_broker::client::{ClientCore, Delivery};
 use flux_broker::testing::TestNet;
-use flux_broker::{CommsModule, ModuleCtx};
+use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule, Input, ModuleCtx, Output};
 use flux_value::Value;
 use flux_wire::{errnum, Message, Rank, Topic};
 
@@ -171,6 +171,35 @@ fn events_reach_all_subscribed_clients_in_order() {
         assert!(evs[0].header.id.seq < evs[1].header.id.seq);
         assert_eq!(evs[0].header.topic.as_str(), "bell.rung");
     }
+}
+
+#[test]
+fn same_broker_client_fanout_is_ordered_by_client_id() {
+    // Regression: client fan-out used to collect matching ids from a
+    // HashMap into a scratch Vec and sort it per event; `client_subs` is
+    // now an ordered map walked directly, so delivery order must come
+    // out in client-id order no matter the subscription order.
+    let mut b = Broker::new(BrokerConfig::new(Rank(0), 1), vec![]);
+    let _ = b.start(0);
+    for cid in [2u32, 0, 1] {
+        let sub = ClientCore::new(Rank(0), cid).request(
+            topic("cmb.sub"),
+            Value::from_pairs([("prefix", Value::from("bell"))]),
+            0,
+        );
+        let _ = b.handle(0, Input::FromClient { client: cid, msg: sub });
+    }
+    let outs = b.publish(0, topic("bell.rung"), Value::Int(7));
+    let delivered: Vec<ClientId> = outs
+        .iter()
+        .filter_map(|o| match o {
+            Output::ToClient { client, msg } if msg.header.topic.as_str() == "bell.rung" => {
+                Some(*client)
+            }
+            _ => None,
+        })
+        .collect();
+    assert_eq!(delivered, [0, 1, 2]);
 }
 
 #[test]

@@ -21,7 +21,7 @@
 //!   kvs stats                    local cache statistics
 //!   barrier <name> <nprocs>      enter a collective barrier
 //!   run <jobid> <cmd...>         wexec bulk-launch on all ranks
-//!   wait-job <jobid>             poll until a job's completion record lands
+//!   wait-job <jobid>             watch until a job's completion record lands
 //!   ps                           local wexec process table
 //!   log msg <level> <text...>    append to the session log
 //!   log query                    dump the root session log
@@ -91,6 +91,54 @@ impl Cli {
         self.tag += 1;
         self.conn.send(self.core.request_to(rank, topic, payload, self.tag));
         self.wait_reply()
+    }
+
+    /// Blocks until `key` holds a value, without polling: the KVS watch
+    /// protocol answers with an immediate snapshot (`Null` for a missing
+    /// key) and then streams one update per root change, so the client
+    /// parks in `recv_timeout` instead of a sleep/re-get loop.
+    fn wait_key(&mut self, key: &str) -> Result<Value, String> {
+        self.tag += 1;
+        let req = self.core.request(
+            KvsMethod::Watch.topic(),
+            Value::from_pairs([("k", Value::from(key))]),
+            self.tag,
+        );
+        let watch_id = req.header.id;
+        self.core.expect_stream(watch_id);
+        self.conn.send(req);
+        let deadline = std::time::Instant::now() + TIMEOUT;
+        let result = loop {
+            let left = deadline.saturating_duration_since(std::time::Instant::now());
+            if left.is_zero() {
+                break Err("timed out waiting for the key".into());
+            }
+            let Some(msg) = self.conn.recv_timeout(left) else { continue };
+            match self.core.deliver(msg) {
+                Delivery::Response { msg, .. } => {
+                    if msg.is_error() {
+                        break Err(format!(
+                            "{} ({})",
+                            flux_wire::errnum::strerror(msg.header.errnum),
+                            msg.header.errnum
+                        ));
+                    }
+                    let v = msg.payload.get("v").cloned().unwrap_or(Value::Null);
+                    if v != Value::Null {
+                        break Ok(v);
+                    }
+                    // Initial snapshot of a missing key — keep waiting.
+                }
+                Delivery::Event(_) | Delivery::Unmatched(_) => continue,
+            }
+        };
+        // Tear down the stream and the broker-side watcher either way.
+        self.core.cancel(watch_id);
+        let _ = self.rpc(
+            KvsMethod::Unwatch.topic(),
+            Value::from_pairs([("k", Value::from(key))]),
+        );
+        result
     }
 
     fn wait_reply(&mut self) -> Result<Message, String> {
@@ -233,21 +281,10 @@ fn run_command(cli: &mut Cli, cmd: &[String]) -> Result<String, String> {
         ["wait-job", jobid] => {
             let id: i64 = jobid.parse().map_err(|_| "bad jobid".to_string())?;
             let key = keys::lwj::complete_key(id as u64);
-            let deadline = std::time::Instant::now() + TIMEOUT;
-            loop {
-                match cli.rpc(KvsMethod::Get.topic(), Value::from_pairs([("k", Value::from(key.as_str()))])) {
-                    Ok(m) => {
-                        return Ok(format!(
-                            "job {id} complete: {}",
-                            m.payload.get("v").cloned().unwrap_or(Value::Null).to_json()
-                        ));
-                    }
-                    Err(_) if std::time::Instant::now() < deadline => {
-                        std::thread::sleep(Duration::from_millis(50));
-                    }
-                    Err(e) => return Err(format!("job {id} did not complete: {e}")),
-                }
-            }
+            let v = cli
+                .wait_key(&key)
+                .map_err(|e| format!("job {id} did not complete: {e}"))?;
+            Ok(format!("job {id} complete: {}", v.to_json()))
         }
         ["ps"] => {
             let m = cli.rpc(WexecMethod::Ps.topic(), Value::object())?;

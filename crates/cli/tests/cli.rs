@@ -60,6 +60,19 @@ fn wexec_run_and_read_output() {
 }
 
 #[test]
+fn wait_job_blocks_until_late_completion() {
+    // `sleep 200` finishes 200 ms after launch, so the completion record
+    // does not exist when `wait-job` starts: the initial watch snapshot
+    // is null and the wait must ride a later watch update (regression
+    // for the old sleep/re-get poll loop, which flux-lint's block pass
+    // now forbids in sans-io code).
+    let (stdout, stderr, ok) =
+        flux(&["--size", "3", "run", "9", "sleep", "200", ";", "wait-job", "9"]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("job 9 complete"), "{stdout}");
+}
+
+#[test]
 fn resvc_alloc_and_free() {
     let (stdout, _, ok) = flux(&[
         "--size", "6", "resvc", "alloc", "9", "2", ";", "resvc", "status", ";", "resvc",

@@ -53,14 +53,187 @@ pub(crate) fn crate_of(rel: &str) -> &str {
     }
 }
 
-/// `let g = ...` → `Some("g")`; `let _ = ...` and non-let heads → `None`.
-/// Blanked line comments keep their `//` marker, so leading comment
-/// lines are skipped before the `let` is looked for.
-pub(crate) fn binding_of(head: &str) -> Option<&str> {
+/// A file-scope table shared by the interprocedural passes: a set of
+/// crate `src/` prefixes plus individual files inside otherwise
+/// out-of-scope crates. The nondet pass's deterministic scope and the
+/// block pass's sans-io scope are both instances.
+pub(crate) struct Scope {
+    /// `crates/<name>/src/` prefixes whose whole tree is in scope.
+    pub prefixes: &'static [&'static str],
+    /// Individual in-scope files (workspace-relative).
+    pub files: &'static [&'static str],
+}
+
+impl Scope {
+    /// Is `rel` inside this scope?
+    pub fn contains(&self, rel: &str) -> bool {
+        self.prefixes.iter().any(|p| rel.starts_with(p)) || self.files.contains(&rel)
+    }
+}
+
+/// Waiver lookup on raw lines: `Some(justified?)` if a `// flux-lint:
+/// allow(<rule>)` annotation (the full `token`) covers `line` — on the
+/// line itself or up to `reach` lines above — `None` otherwise.
+/// Justified means real words follow the token: at least 8 alphanumeric
+/// characters of explanation, so `allow(x) — see above` cannot pass as
+/// a justification. Shared by every pass whose waivers are mandatory-
+/// justification (nondet, block, hotalloc).
+pub(crate) fn waiver_status(
+    raw_lines: &[&str],
+    line: usize,
+    token: &str,
+    reach: usize,
+) -> Option<bool> {
+    let lo = line.saturating_sub(reach + 1);
+    for k in (lo..line).rev() {
+        let Some(l) = raw_lines.get(k) else { continue };
+        if let Some(pos) = l.find(token) {
+            let after = l[pos + token.len()..]
+                .trim_start_matches([' ', '—', '-', ':', '–'])
+                .trim();
+            return Some(after.chars().filter(|c| c.is_alphanumeric()).count() >= 8);
+        }
+    }
+    None
+}
+
+/// `crate::fn` part of a definition key, for diagnostics.
+pub(crate) fn display_key(key: &str) -> &str {
+    key.split('@').next().unwrap_or(key)
+}
+
+/// Per-definition function index shared by the interprocedural passes
+/// (nondet, block, hotalloc). Functions are keyed per *definition*
+/// (`crate::name@file#i`) so trait impls sharing a name — `run_scripts`
+/// on the sim and live transports — never merge their classification. A
+/// call edge resolves to the unique same-file definition if there is
+/// one, else to the unique crate-wide definition; an ambiguous name
+/// resolves to nothing and is treated clean (false negatives over false
+/// positives, like every semantic lint here).
+pub(crate) struct DefIndex {
+    /// Function names per crate, for [`calls_in`].
+    crate_fns: std::collections::BTreeMap<String, std::collections::BTreeSet<String>>,
+    /// (crate, fn name) → [(defining file, definition key)].
+    by_name: std::collections::BTreeMap<(String, String), Vec<(String, String)>>,
+}
+
+impl DefIndex {
+    /// The definition key of function `i` named `name` in `rel`.
+    pub fn key(crate_name: &str, name: &str, rel: &str, i: usize) -> String {
+        format!("{crate_name}::{name}@{rel}#{i}")
+    }
+
+    /// Builds the index over the shared parsed-file cache.
+    pub fn build(files: &[ParsedFile]) -> DefIndex {
+        let mut crate_fns: std::collections::BTreeMap<_, std::collections::BTreeSet<String>> =
+            std::collections::BTreeMap::new();
+        let mut by_name: std::collections::BTreeMap<(String, String), Vec<(String, String)>> =
+            std::collections::BTreeMap::new();
+        for pf in files {
+            let crate_name = pf.crate_name().to_owned();
+            crate_fns
+                .entry(crate_name.clone())
+                .or_default()
+                .extend(pf.fns.iter().map(|f| f.name.clone()));
+            for (i, f) in pf.fns.iter().enumerate() {
+                let key = DefIndex::key(&crate_name, &f.name, &pf.rel, i);
+                by_name
+                    .entry((crate_name.clone(), f.name.clone()))
+                    .or_default()
+                    .push((pf.rel.clone(), key));
+            }
+        }
+        DefIndex { crate_fns, by_name }
+    }
+
+    /// Resolves a call to `name` in crate `krate` from `from_file` to a
+    /// definition key, or `None` if ambiguous or unknown.
+    pub fn resolve(&self, krate: &str, name: &str, from_file: &str) -> Option<String> {
+        let cands = self.by_name.get(&(krate.to_owned(), name.to_owned()))?;
+        let mut same_file = cands.iter().filter(|(rel, _)| rel == from_file);
+        match (same_file.next(), same_file.next()) {
+            (Some((_, key)), None) => Some(key.clone()),
+            (None, _) if cands.len() == 1 => Some(cands[0].1.clone()),
+            _ => None,
+        }
+    }
+
+    /// Call edges out of one function: same-crate bare/`self.` calls
+    /// plus cross-crate `flux_<crate>::…` qualified calls, resolved to
+    /// `(definition key, 1-based call-site line)` pairs.
+    pub fn edges(&self, pf: &ParsedFile, f: &FnDef) -> Vec<(String, usize)> {
+        let crate_name = pf.crate_name();
+        let body = &pf.stripped[f.body.0..f.body.1];
+        let mut edges = Vec::new();
+        if let Some(fn_names) = self.crate_fns.get(crate_name) {
+            for callee in calls_in(body, fn_names) {
+                let Some(callee_key) = self.resolve(crate_name, &callee, &pf.rel) else {
+                    continue;
+                };
+                let at = body.find(&format!("{callee}(")).unwrap_or(0);
+                edges.push((callee_key, line_of(&pf.stripped, f.body.0 + at)));
+            }
+        }
+        for (callee_crate, callee_name, at) in qualified_calls(body) {
+            let Some(callee_key) = self.resolve(&callee_crate, &callee_name, &pf.rel) else {
+                continue;
+            };
+            edges.push((callee_key, line_of(&pf.stripped, f.body.0 + at)));
+        }
+        edges
+    }
+}
+
+/// Cross-crate qualified calls: `flux_<crate>::…::name(` →
+/// `(crate, name, byte offset)` for resolution and call-site lines.
+pub(crate) fn qualified_calls(body: &str) -> Vec<(String, String, usize)> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(p) = body[from..].find("flux_") {
+        let abs = from + p;
+        from = abs + 5;
+        // Parse `flux_xyz::seg::…::name(`.
+        let rest = &body[abs..];
+        let Some(path_end) = rest.find(|c: char| {
+            !(c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        }) else {
+            continue;
+        };
+        if rest.as_bytes().get(path_end) != Some(&b'(') {
+            continue;
+        }
+        let path = &rest[..path_end];
+        let mut segs = path.split("::");
+        let Some(krate) = segs.next().and_then(|s| s.strip_prefix("flux_")) else { continue };
+        let Some(name) = path.rsplit("::").next() else { continue };
+        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+            continue; // type constructors / enum variants, not fn calls
+        }
+        // Crate dirs use `-` only for flux-mc / flux-lint; plain names
+        // (wire, kvs, …) round-trip unchanged.
+        let dir = if krate.contains('_') { krate.replace('_', "-") } else { krate.to_owned() };
+        out.push((dir, name.to_owned(), abs));
+    }
+    out
+}
+
+/// Skips the `//` markers that blanked line comments keep (the comment
+/// *text* is spaces, but the marker survives so raw/blanked offsets
+/// stay aligned). Statement heads that begin with comment lines must
+/// look past them before classifying.
+pub(crate) fn skip_comment_markers(head: &str) -> &str {
     let mut t = head.trim_start();
     while let Some(rest) = t.strip_prefix("//") {
         t = rest.trim_start();
     }
+    t
+}
+
+/// `let g = ...` → `Some("g")`; `let _ = ...` and non-let heads → `None`.
+/// Blanked line comments keep their `//` marker, so leading comment
+/// lines are skipped before the `let` is looked for.
+pub(crate) fn binding_of(head: &str) -> Option<&str> {
+    let t = skip_comment_markers(head);
     let rest = t.strip_prefix("let ")?;
     let name = rest.split(['=', ':']).next()?.trim().trim_start_matches("mut ").trim();
     (!name.is_empty() && name != "_" && !name.starts_with('_') && !name.contains('('))
@@ -242,6 +415,20 @@ impl Stmt {
     pub fn head(&self) -> &str {
         self.segs.first().map(|s| s.trim_start()).unwrap_or("")
     }
+
+    /// The statement's text with nested top-level block interiors
+    /// blanked out (offsets preserved): tokens inside a nested block
+    /// belong to the recursive walk, not to this statement, while
+    /// tokens inside parens (closure bodies in call arguments) stay.
+    pub fn own_text(&self, blanked: &str) -> String {
+        let mut bytes = blanked.as_bytes()[self.full.0..self.full.1].to_vec();
+        for &(a, b) in &self.blocks {
+            for byte in &mut bytes[a - self.full.0..b - self.full.0] {
+                *byte = b' ';
+            }
+        }
+        String::from_utf8(bytes).unwrap_or_default()
+    }
 }
 
 /// Keywords that make a brace block end a statement when it appears in
@@ -302,7 +489,7 @@ pub(crate) fn split_stmts(blanked: &str, span: (usize, usize)) -> Vec<Stmt> {
                 // position (head starts with a control keyword or the
                 // statement is a bare/label block) and when no `else`
                 // continues it.
-                let head = segs[0].trim_start();
+                let head = skip_comment_markers(&segs[0]);
                 let control = head.is_empty()
                     || CONTROL.iter().any(|k| {
                         head.starts_with(k)

@@ -34,7 +34,7 @@
 //! Waive a finding with `// flux-lint: allow(error-codes)` on or just
 //! above the arm.
 
-use crate::analysis::{calls_in, line_of, ParsedFile};
+use crate::analysis::{calls_in, line_of, waiver_status, ParsedFile};
 use crate::reply::{find_dispatch_matches, normalize, split_arms, Arm, DispatchMatch};
 use crate::{Rule, Violation};
 use flux_proto::MethodKind;
@@ -428,12 +428,11 @@ fn check_arm(
     }
 }
 
-/// Is there a waiver on `line` or the three lines above it?
+/// Is there a waiver on `line` or up to four lines above it? This pass
+/// does not demand a justification (a declaration mismatch is visible
+/// in the registry itself), so any annotation counts.
 fn waived(raw_lines: &[&str], line: usize) -> bool {
-    let lo = line.saturating_sub(4);
-    (lo..=line).any(|k| {
-        k >= 1 && raw_lines.get(k - 1).is_some_and(|l| l.contains(WAIVER))
-    })
+    waiver_status(raw_lines, line, WAIVER, 4).is_some()
 }
 
 /// Collapses runs of whitespace for single-line diagnostics.

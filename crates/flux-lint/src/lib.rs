@@ -35,10 +35,20 @@
 //! 10. **shard-safety** — rank-addressed sends must register a retry
 //!     join, handle the EINVAL wrong-master reply, and be reachable from
 //!     the heartbeat-driven retry pump. See [`shard_safety`].
+//! 11. **block** — blocking-call taint: sleeps, deadline-free channel
+//!     receives, thread joins, un-deadlined socket reads, and locks held
+//!     across I/O may not appear in (or be reached from) the sans-io
+//!     broker core without a justified `allow(block)` waiver. See
+//!     [`block`].
+//! 12. **hotalloc** — allocation accounting: per-message allocations
+//!     (`Vec::new`, `clone`, `format!`, fresh `collect`, …) may not
+//!     appear in the designated hot paths (framing chain, sim dispatch,
+//!     kvs batch apply, broker route) without a justified
+//!     `allow(hotalloc)` waiver. See [`hotalloc`].
 //!
 //! Rules 1–4 are line rules over *blanked* text (string/char/comment
 //! contents replaced with spaces by [`token::blank`], so a `panic!(`
-//! in an error message can't fire the panic rule). Rules 5–6 and 8–10
+//! in an error message can't fire the panic rule). Rules 5–6 and 8–12
 //! are semantic passes over an AST-lite statement model, sharing one
 //! [`analysis::ParsedFile`] cache per tree walk. The linter has no
 //! dependencies outside the workspace and never touches the network.
@@ -47,7 +57,9 @@
 #![deny(missing_docs)]
 
 mod analysis;
+mod block;
 mod errors;
+mod hotalloc;
 mod lockorder;
 mod reply;
 mod selfmutate;
@@ -85,6 +97,10 @@ pub enum Rule {
     ErrorCodes,
     /// A rank-addressed send outside the retry/EINVAL discipline.
     ShardSafety,
+    /// A blocking call or lock-held-across-I/O inside sans-io code.
+    Block,
+    /// A per-message allocation inside a designated hot path.
+    HotAlloc,
     /// Any entry at all in the (now permanently empty) allowlist.
     AllowlistEntry,
 }
@@ -103,7 +119,25 @@ impl Rule {
             Rule::Nondet => "nondet",
             Rule::ErrorCodes => "error-codes",
             Rule::ShardSafety => "shard-safety",
+            Rule::Block => "block",
+            Rule::HotAlloc => "hotalloc",
             Rule::AllowlistEntry => "allowlist",
+        }
+    }
+
+    /// The pass that produces this rule, for machine-readable output:
+    /// `line` for the token rules, the pass name for semantic passes.
+    pub fn pass(self) -> &'static str {
+        match self {
+            Rule::TopicLiteral | Rule::Panic | Rule::Wildcard | Rule::Header => "line",
+            Rule::StaleAllow | Rule::AllowlistEntry => "allowlist",
+            Rule::LockOrder => "lock-order",
+            Rule::ReplyObligation => "reply",
+            Rule::Nondet => "nondet",
+            Rule::ErrorCodes => "error-codes",
+            Rule::ShardSafety => "shard-safety",
+            Rule::Block => "block",
+            Rule::HotAlloc => "hotalloc",
         }
     }
 }
@@ -396,10 +430,72 @@ pub fn lint_sources(files: &[(String, String)], allowlist: &str) -> LintReport {
     violations.extend(shard_safety::check_shard_safety(&parsed));
     timings.push(("shard-safety", t.elapsed()));
 
+    let t = std::time::Instant::now();
+    violations.extend(block::check_block(&parsed));
+    timings.push(("block", t.elapsed()));
+
+    let t = std::time::Instant::now();
+    violations.extend(hotalloc::check_hotalloc(&parsed));
+    timings.push(("hotalloc", t.elapsed()));
+
     let mut kept = apply_allowlist(violations, allowlist);
     kept.extend(check_allowlist_empty(allowlist));
     kept.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     LintReport { violations: kept, timings }
+}
+
+/// Renders a report as the `flux-lint/v1` machine-readable document
+/// (the `--json` output). One object per violation carrying the pass,
+/// rule, file, line, waiver status, and message, plus per-pass wall
+/// times in milliseconds. Hand-rolled: the schema is flat scalars, so
+/// no JSON dependency is warranted.
+pub fn to_json(report: &LintReport) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::from("{\n  \"schema\": \"flux-lint/v1\",\n");
+    out.push_str(&format!("  \"clean\": {},\n", report.violations.is_empty()));
+    out.push_str("  \"violations\": [");
+    for (i, v) in report.violations.iter().enumerate() {
+        // A justified waiver never reaches the report, so the only
+        // waiver state a violation can carry is "unjustified" (a bare
+        // `allow(..)` demanding its reason).
+        let waiver =
+            if v.message.contains("without a justification") { "unjustified" } else { "none" };
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"pass\": \"{}\", \"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \
+             \"waiver\": \"{waiver}\", \"message\": \"{}\"}}",
+            v.rule.pass(),
+            v.rule.name(),
+            esc(&v.file),
+            v.line,
+            esc(&v.message),
+        ));
+    }
+    out.push_str(if report.violations.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"timings\": [");
+    for (i, (pass, took)) in report.timings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str(&format!(
+            "    {{\"pass\": \"{pass}\", \"ms\": {:.3}}}",
+            took.as_secs_f64() * 1e3
+        ));
+    }
+    out.push_str("\n  ]\n}\n");
+    out
 }
 
 /// Rule 7: the allowlist burn-down is complete; the empty list is the
@@ -611,6 +707,46 @@ mod tests {
         // Non-root files carry no header obligation.
         let v = lint_file("crates/fake/src/other.rs", HEADER_FIXTURE);
         assert_eq!(v.iter().filter(|x| x.rule == Rule::Header).count(), 0, "{v:?}");
+    }
+
+    #[test]
+    fn json_report_matches_the_v1_schema() {
+        let report = LintReport {
+            violations: vec![
+                Violation {
+                    file: "crates/sim/src/demo.rs".to_owned(),
+                    line: 7,
+                    rule: Rule::Block,
+                    message: "blocking sleep (`thread::sleep`) — \"bad\"\nsecond line".to_owned(),
+                },
+                Violation {
+                    file: "crates/wire/src/codec.rs".to_owned(),
+                    line: 12,
+                    rule: Rule::HotAlloc,
+                    message: "`allow(hotalloc)` without a justification".to_owned(),
+                },
+            ],
+            timings: vec![("parse", Duration::from_micros(1500)), ("block", Duration::ZERO)],
+        };
+        let doc = to_json(&report);
+        assert!(doc.contains("\"schema\": \"flux-lint/v1\""), "{doc}");
+        assert!(doc.contains("\"clean\": false"), "{doc}");
+        // Every violation carries pass, rule, file, line, waiver, message.
+        assert!(
+            doc.contains(
+                "\"pass\": \"block\", \"rule\": \"block\", \"file\": \"crates/sim/src/demo.rs\", \
+                 \"line\": 7, \"waiver\": \"none\""
+            ),
+            "{doc}"
+        );
+        assert!(doc.contains("\"waiver\": \"unjustified\""), "{doc}");
+        // Quotes and newlines in messages are escaped, not emitted raw.
+        assert!(doc.contains("\\\"bad\\\"\\nsecond line"), "{doc}");
+        assert!(doc.contains("{\"pass\": \"parse\", \"ms\": 1.500}"), "{doc}");
+        // An empty report is clean with an empty violations array.
+        let clean = to_json(&LintReport { violations: vec![], timings: vec![] });
+        assert!(clean.contains("\"clean\": true"), "{clean}");
+        assert!(clean.contains("\"violations\": []"), "{clean}");
     }
 
     #[test]

@@ -69,6 +69,33 @@ const MUTATIONS: &[Mutation] = &[
                 .then(|| src.replacen(pat, "msg.header.errnum == transient_code()", 1))
         },
     },
+    // Blocking calls: a wall-clock sleep dropped into the sim engine
+    // (sans-io scope, the future reactor's dispatch substrate).
+    Mutation {
+        name: "sleep-in-sans-io-scope",
+        rule: "block",
+        file: "crates/sim/src/engine.rs",
+        apply: |src| {
+            Some(format!(
+                "{src}\n/// Seeded by `flux-lint --self-mutate`: a wall-clock stall.\n\
+                 pub fn mutated_nap() {{\n\
+                 \x20   std::thread::sleep(std::time::Duration::from_millis(1));\n\
+                 }}\n"
+            ))
+        },
+    },
+    // Hot-path allocation: a per-frame buffer copy planted in the
+    // framing chain's registered hot root `read_frame_into`.
+    Mutation {
+        name: "per-frame-copy-in-hot-root",
+        rule: "hotalloc",
+        file: "crates/wire/src/frame.rs",
+        apply: |src| {
+            let pat = "body.clear();";
+            src.contains(pat)
+                .then(|| src.replacen(pat, "let staged = body.to_vec();\n    body.clear();", 1))
+        },
+    },
 ];
 
 /// Runs the smoke check against the workspace at `root`. Returns one

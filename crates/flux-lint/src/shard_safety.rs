@@ -35,7 +35,9 @@
 //! Waive with `// flux-lint: allow(shard-safety)` on or just above the
 //! flagged line.
 
-use crate::analysis::{binding_of, calls_in, line_of, receiver_name, split_stmts, ParsedFile};
+use crate::analysis::{
+    binding_of, calls_in, line_of, receiver_name, split_stmts, waiver_status, ParsedFile,
+};
 use crate::{Rule, Violation};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -100,10 +102,14 @@ fn check_crate(files: &[ParsedFile], idxs: &[usize], out: &mut Vec<Violation>) {
     for s in &sends {
         let pf = &files[s.file];
         let Some(binding) = &s.binding else {
-            push_unless_waived(out, pf, s.line, format!(
+            push_unless_waived(
+                out,
+                pf,
+                s.line,
                 "rank-addressed send discards its request id — bind it and register it \
                  in a retry join table"
-            ));
+                    .to_string(),
+            );
             continue;
         };
         let body = &pf.stripped[pf.fns[s.fn_idx].body.0..pf.fns[s.fn_idx].body.1];
@@ -296,12 +302,12 @@ fn head_removes(head: &str, pat: &str) -> bool {
     false
 }
 
+/// Reports `message` unless a waiver covers `line` (any annotation
+/// counts: the join-table obligations are structural, so this pass does
+/// not demand a justification text).
 fn push_unless_waived(out: &mut Vec<Violation>, pf: &ParsedFile, line: usize, message: String) {
     let raw_lines: Vec<&str> = pf.raw.lines().collect();
-    let lo = line.saturating_sub(4);
-    let waived = (lo..=line)
-        .any(|k| k >= 1 && raw_lines.get(k - 1).is_some_and(|l| l.contains(WAIVER)));
-    if !waived {
+    if waiver_status(&raw_lines, line, WAIVER, 4).is_none() {
         out.push(Violation { file: pf.rel.clone(), line, rule: Rule::ShardSafety, message });
     }
 }

@@ -58,44 +58,47 @@
 //! `ScriptReport::wall_ns`/`events_per_sec` and the bench harness's
 //! wall-clock budget checks.
 
-use crate::analysis::{binding_of, line_of, split_stmts, ParsedFile, Stmt};
+use crate::analysis::{
+    binding_of, display_key, line_of, split_stmts, waiver_status, DefIndex, ParsedFile, Scope, Stmt,
+};
 use crate::{Rule, Violation, ALLOW_REACH};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Waiver comment token (checked on raw lines).
 const WAIVER: &str = "flux-lint: allow(nondet)";
 
-/// Crates whose entire `src/` is deterministic scope: their behaviour
-/// must replay byte-identically from the message history and seed.
-const DET_SCOPES: &[&str] = &[
-    "crates/wire/src/",
-    "crates/value/src/",
-    "crates/hash/src/",
-    "crates/topo/src/",
-    "crates/proto/src/",
-    "crates/broker/src/",
-    "crates/kvs/src/",
-    "crates/modules/src/",
-    "crates/sim/src/",
-    "crates/flux-mc/src/",
-    "crates/kap/src/",
-    "crates/core/src/",
-    "crates/pmi/src/",
-];
-
-/// Deterministic files inside otherwise wall-clock crates: the sim
-/// transport, the script/replay plane, and the seeded fault/chaos
-/// machinery live in `rt` next to the live TCP/thread transports.
-const DET_FILES: &[&str] = &[
-    "crates/rt/src/sim.rs",
-    "crates/rt/src/script.rs",
-    "crates/rt/src/faults.rs",
-    "crates/rt/src/chaos.rs",
-];
+/// The deterministic scope: crates whose entire `src/` must replay
+/// byte-identically from the message history and seed, plus the
+/// deterministic files inside the otherwise wall-clock `rt` crate (the
+/// sim transport, the script/replay plane, and the seeded fault/chaos
+/// machinery live next to the live TCP/thread transports).
+const DET_SCOPE: Scope = Scope {
+    prefixes: &[
+        "crates/wire/src/",
+        "crates/value/src/",
+        "crates/hash/src/",
+        "crates/topo/src/",
+        "crates/proto/src/",
+        "crates/broker/src/",
+        "crates/kvs/src/",
+        "crates/modules/src/",
+        "crates/sim/src/",
+        "crates/flux-mc/src/",
+        "crates/kap/src/",
+        "crates/core/src/",
+        "crates/pmi/src/",
+    ],
+    files: &[
+        "crates/rt/src/sim.rs",
+        "crates/rt/src/script.rs",
+        "crates/rt/src/faults.rs",
+        "crates/rt/src/chaos.rs",
+    ],
+};
 
 /// Is this file part of the deterministic scope?
 pub(crate) fn det_scope(rel: &str) -> bool {
-    DET_SCOPES.iter().any(|p| rel.starts_with(p)) || DET_FILES.contains(&rel)
+    DET_SCOPE.contains(rel)
 }
 
 /// Iteration methods whose order follows the container's.
@@ -153,37 +156,9 @@ enum State {
 pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
     let mut out = Vec::new();
 
-    // Functions are keyed per *definition* (`crate::name@file#i`) so
-    // that trait impls sharing a name — `run_scripts` on the sim and
-    // live transports — never merge their taint. A call edge resolves
-    // to the unique same-file definition if there is one, else to the
-    // unique crate-wide definition; an ambiguous name resolves to
-    // nothing (treated clean, like every unresolvable call here).
-    let mut crate_fns: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
-    let mut by_name: BTreeMap<(String, String), Vec<(String, String)>> = BTreeMap::new(); // (crate, fn) → [(file, key)]
-    for pf in files {
-        let crate_name = pf.crate_name().to_owned();
-        crate_fns
-            .entry(crate_name.clone())
-            .or_default()
-            .extend(pf.fns.iter().map(|f| f.name.clone()));
-        for (i, f) in pf.fns.iter().enumerate() {
-            let key = format!("{crate_name}::{}@{}#{i}", f.name, pf.rel);
-            by_name
-                .entry((crate_name.clone(), f.name.clone()))
-                .or_default()
-                .push((pf.rel.clone(), key));
-        }
-    }
-    let resolve = |krate: &str, name: &str, from_file: &str| -> Option<String> {
-        let cands = by_name.get(&(krate.to_owned(), name.to_owned()))?;
-        let mut same_file = cands.iter().filter(|(rel, _)| rel == from_file);
-        match (same_file.next(), same_file.next()) {
-            (Some((_, key)), None) => Some(key.clone()),
-            (None, _) if cands.len() == 1 => Some(cands[0].1.clone()),
-            _ => None,
-        }
-    };
+    // Functions are keyed per *definition* (`crate::name@file#i`) via
+    // the shared [`DefIndex`]; resolution is unique-or-nothing.
+    let index = DefIndex::build(files);
 
     // Pass 1: classify every function in the workspace and flag direct
     // source sites inside the deterministic scope.
@@ -198,10 +173,9 @@ pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
         let crate_name = pf.crate_name().to_owned();
         let raw_lines: Vec<&str> = pf.raw.lines().collect();
         let fields = field_names(pf);
-        let fn_names = &crate_fns[&crate_name];
         let scoped = det_scope(&pf.rel);
         for (i, f) in pf.fns.iter().enumerate() {
-            let key = format!("{crate_name}::{}@{}#{i}", f.name, pf.rel);
+            let key = DefIndex::key(&crate_name, &f.name, &pf.rel, i);
             def_file.entry(key.clone()).or_insert_with(|| pf.rel.clone());
             if scoped {
                 in_scope.insert(key.clone());
@@ -219,7 +193,7 @@ pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
             let mut live: Vec<Source> = Vec::new();
             let mut any_waived = false;
             for s in sources {
-                match waiver(&raw_lines, s.line) {
+                match waiver_status(&raw_lines, s.line, WAIVER, ALLOW_REACH) {
                     Some(true) => any_waived = true,
                     Some(false) if scoped => out.push(Violation {
                         file: pf.rel.clone(),
@@ -260,20 +234,7 @@ pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
             };
             state.insert(key.clone(), st);
             // Call edges: same-crate bare calls + cross-crate qualified.
-            let body = &pf.stripped[f.body.0..f.body.1];
-            let mut edges: Vec<(String, usize)> = Vec::new();
-            for callee in crate::analysis::calls_in(body, fn_names) {
-                let Some(callee_key) = resolve(&crate_name, &callee, &pf.rel) else { continue };
-                let at = body.find(&format!("{callee}(")).unwrap_or(0);
-                edges.push((callee_key, line_of(&pf.stripped, f.body.0 + at)));
-            }
-            for (callee_crate, callee_name, at) in qualified_calls(body) {
-                let Some(callee_key) = resolve(&callee_crate, &callee_name, &pf.rel) else {
-                    continue;
-                };
-                edges.push((callee_key, line_of(&pf.stripped, f.body.0 + at)));
-            }
-            calls.insert(key, edges);
+            calls.insert(key, index.edges(pf, f));
         }
     }
 
@@ -341,8 +302,8 @@ pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
             rule: Rule::Nondet,
             message: format!(
                 "deterministic function `{}` reaches {what} via {} ({sfile}:{sline})",
-                display(key),
-                chain.iter().map(|k| display(k)).collect::<Vec<_>>().join(" -> "),
+                display_key(key),
+                chain.iter().map(|k| display_key(k)).collect::<Vec<_>>().join(" -> "),
             ),
         });
     }
@@ -350,11 +311,6 @@ pub(crate) fn check_taint(files: &[ParsedFile]) -> Vec<Violation> {
     out.sort_by(|a, b| (a.file.as_str(), a.line).cmp(&(b.file.as_str(), b.line)));
     out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.message == b.message);
     out
-}
-
-/// `crate::fn` part of a definition key, for diagnostics.
-fn display(key: &str) -> &str {
-    key.split('@').next().unwrap_or(key)
 }
 
 /// Hash-typed *field* declarations of a file: `hash_typed_names` over
@@ -579,56 +535,6 @@ fn sorted_later(rest: &[Stmt], head: &str, blanked: &str) -> bool {
         let text = &blanked[s.full.0..s.full.1];
         text.contains(&format!("{bound}.sort"))
     })
-}
-
-/// Cross-crate qualified calls: `flux_<crate>::…::name(` →
-/// `(crate, name, byte offset)` for resolution and call-site lines.
-fn qualified_calls(body: &str) -> Vec<(String, String, usize)> {
-    let mut out = Vec::new();
-    let mut from = 0;
-    while let Some(p) = body[from..].find("flux_") {
-        let abs = from + p;
-        from = abs + 5;
-        // Parse `flux_xyz::seg::…::name(`.
-        let rest = &body[abs..];
-        let Some(path_end) = rest.find(|c: char| {
-            !(c.is_ascii_alphanumeric() || c == '_' || c == ':')
-        }) else {
-            continue;
-        };
-        if rest.as_bytes().get(path_end) != Some(&b'(') {
-            continue;
-        }
-        let path = &rest[..path_end];
-        let mut segs = path.split("::");
-        let Some(krate) = segs.next().and_then(|s| s.strip_prefix("flux_")) else { continue };
-        let Some(name) = path.rsplit("::").next() else { continue };
-        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
-            continue; // type constructors / enum variants, not fn calls
-        }
-        // Crate dirs use `-` only for flux-mc / flux-lint; plain names
-        // (wire, kvs, …) round-trip unchanged.
-        let dir = if krate.contains('_') { krate.replace('_', "-") } else { krate.to_owned() };
-        out.push((dir, name.to_owned(), abs));
-    }
-    out
-}
-
-/// Waiver lookup on raw lines: `Some(justified?)` if a waiver covers
-/// `line`, `None` otherwise. Justified means real words follow the
-/// `allow(nondet)` token.
-fn waiver(raw_lines: &[&str], line: usize) -> Option<bool> {
-    let lo = line.saturating_sub(ALLOW_REACH + 1);
-    for k in (lo..line).rev() {
-        let Some(l) = raw_lines.get(k) else { continue };
-        if let Some(pos) = l.find(WAIVER) {
-            let after = l[pos + WAIVER.len()..]
-                .trim_start_matches([' ', '—', '-', ':', '–'])
-                .trim();
-            return Some(after.chars().filter(|c| c.is_alphanumeric()).count() >= 8);
-        }
-    }
-    None
 }
 
 #[cfg(test)]

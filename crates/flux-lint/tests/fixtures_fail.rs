@@ -90,6 +90,35 @@ fn shard_safety_bad_fixture_fails_the_tree() {
 }
 
 #[test]
+fn block_bad_fixture_fails_the_tree() {
+    // Sleep, bare recv, thread join, lock-across-write, bare waiver,
+    // and an un-deadlined socket read: six distinct blocking shapes.
+    let n = rule_count("block.rs.bad", "crates/sim/src/fake.rs", Rule::Block);
+    assert_eq!(n, 6, "expected all six seeded blocking shapes to fire");
+}
+
+#[test]
+fn block_good_fixture_is_clean() {
+    let n = rule_count("block.rs.good", "crates/sim/src/fake.rs", Rule::Block);
+    assert_eq!(n, 0, "deadline-driven/waived forms must stay silent");
+}
+
+#[test]
+fn hotalloc_bad_fixture_fails_the_tree() {
+    // Fresh Vec, format!, bare waiver, fresh collect, and a transitive
+    // to_vec in a helper: five distinct per-message allocations.
+    let n = rule_count("hotalloc.rs.bad", "crates/wire/src/codec.rs", Rule::HotAlloc);
+    assert_eq!(n, 5, "expected all five seeded hot-path allocations to fire");
+}
+
+#[test]
+fn hotalloc_good_fixture_is_clean() {
+    let n =
+        rule_count("hotalloc.rs.good", "crates/wire/src/codec.rs", Rule::HotAlloc);
+    assert_eq!(n, 0, "pre-reserved/amortized/waived shapes must stay silent");
+}
+
+#[test]
 fn shard_safety_good_fixture_is_clean() {
     let n = rule_count("shard_safety.rs.good", "crates/kvs/src/fake.rs", Rule::ShardSafety);
     assert_eq!(n, 0, "the full join-table discipline must stay silent");

@@ -84,6 +84,9 @@ pub fn validate_key(key: &str) -> Result<(), KeyError> {
 /// Splits a validated key into its path components.
 pub fn key_components(key: &str) -> Result<Vec<String>, KeyError> {
     validate_key(key)?;
+    // flux-lint: allow(hotalloc) — walk state parks these components
+    // across messages (multi-hop slave walks), so they must be owned;
+    // master-side same-message resolution pays one short Vec per key.
     Ok(key.split('.').map(str::to_owned).collect())
 }
 

@@ -99,6 +99,9 @@ pub fn connect_with_retry(addr: SocketAddr, config: &TcpConfig) -> io::Result<Tc
             if Instant::now() + sleep >= deadline {
                 break; // budget would be spent sleeping; give up now
             }
+            // flux-lint: allow(block) — connect retry/backoff runs on
+            // the connecting thread during session bring-up, before any
+            // reactor loop exists; the deadline above bounds it.
             std::thread::sleep(sleep);
             backoff = (backoff * 2).min(config.max_backoff);
         }
@@ -221,6 +224,9 @@ fn accept_loop(
                 let mut body = Vec::new();
                 // Clean EOF, a malformed frame, or a dead socket all end
                 // this link; the peer reconnects if it has more to say.
+                // flux-lint: allow(block) — dedicated reader thread per
+                // link, the thread-per-link edge ROADMAP item 3's poll
+                // reactor replaces; blocking here parks only this link.
                 while let Ok(Some(msg)) = frame::read_frame_into(&mut stream, max_frame, &mut body)
                 {
                     if tx.send(Event::FromBroker { from, msg }).is_err() {
@@ -310,6 +316,9 @@ impl TcpSession {
             let _ = tx.send(Event::Shutdown);
         }
         for h in self.broker_handles {
+            // flux-lint: allow(block) — ordered teardown: shutdown()
+            // consumes the session off the hot path and each joined
+            // thread has already been told to exit.
             let _ = h.join();
         }
         // 2. Wake each acceptor with a throwaway local connect.
@@ -318,11 +327,15 @@ impl TcpSession {
             let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
         }
         for h in self.acceptor_handles {
+            // flux-lint: allow(block) — ordered teardown, as above; the
+            // wake-up connect just before guarantees the acceptor exits.
             let _ = h.join();
         }
         // 3. Reader threads: already at EOF from step 1.
         let readers = std::mem::take(&mut *self.readers.lock());
         for h in readers {
+            // flux-lint: allow(block) — ordered teardown, as above;
+            // readers saw EOF when the brokers dropped their links.
             let _ = h.join();
         }
     }

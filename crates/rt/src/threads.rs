@@ -73,6 +73,9 @@ impl ThreadSession {
             let _ = tx.send(Event::Shutdown);
         }
         for h in self.handles {
+            // flux-lint: allow(block) — ordered teardown: every broker
+            // was just sent Shutdown, so each join only waits for its
+            // thread to drain and exit.
             let _ = h.join();
         }
     }
