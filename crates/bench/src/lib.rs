@@ -14,6 +14,9 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod rpc;
+pub mod threadlink;
+
 use flux_kap::{run_kap, KapParams};
 use std::time::Duration;
 

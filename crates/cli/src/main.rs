@@ -45,8 +45,10 @@
 //!
 //! `--transport` selects the wire hosting the ephemeral session:
 //! `threads` (in-process channels, the default) or `tcp` (brokers linked
-//! over loopback TCP sockets). `flux --transport tcp start` wires up a
-//! real-socket session and pings every rank.
+//! over loopback TCP sockets; `reactor` is an accepted alias — each
+//! broker runs one poll-based reactor thread driving all of its
+//! nonblocking sockets, see DESIGN.md §19). `flux --transport tcp
+//! start` wires up a real-socket session and pings every rank.
 //!
 //! `--faults SEED:SPEC` runs the session under a deterministic fault
 //! plan (see `flux_rt::FaultPlan::parse`): e.g.

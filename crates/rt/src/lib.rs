@@ -12,10 +12,12 @@
 //!   by integration tests and small live demos; it demonstrates that the
 //!   protocol stack is runtime-agnostic (nothing in broker/module/KVS
 //!   code knows which runtime it is on).
-//! * [`tcp::TcpSession`] — the brokers on OS threads wired over real
-//!   loopback TCP sockets carrying length-prefixed `flux-wire` frames,
-//!   with per-link connect retry and exponential backoff. The closest
-//!   analogue of the prototype's ØMQ TCP overlay.
+//! * [`tcp::TcpSession`] — the brokers wired over real loopback TCP
+//!   sockets carrying length-prefixed `flux-wire` frames. One poll-based
+//!   reactor thread per broker drives every socket nonblocking (the
+//!   `reactor` module behind [`tcp`]): pooled broker→broker links,
+//!   pipelined socket clients, jittered nonblocking connect retry. The
+//!   closest analogue of the prototype's ØMQ TCP overlay.
 //!
 //! The [`transport`] module abstracts over them: [`transport::Transport`]
 //! is the object-safe factory for live sessions (pick `threads` or `tcp`
@@ -36,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 pub mod chaos;
+pub mod conformance;
 pub mod faults;
 pub(crate) mod live;
+pub(crate) mod reactor;
 pub mod script;
 pub mod sim;
 pub mod tcp;

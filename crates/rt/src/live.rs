@@ -82,8 +82,19 @@ impl LiveClient {
 /// How a broker host delivers a message to a peer broker. The one point
 /// where live transports differ.
 pub(crate) trait PeerSender {
-    /// Delivers `msg` to the broker at `to`.
-    fn send_to(&mut self, to: Rank, msg: Message);
+    /// Delivers `msg` to the broker at `to`. `plane` is the plane the
+    /// message travels on: transports that pool several links per peer
+    /// (the reactor) pin the event plane to one link to preserve its
+    /// per-link FIFO contract.
+    fn send_to(&mut self, to: Rank, plane: Plane, msg: Message);
+
+    /// Delivers a broker→client message to a transport-owned client
+    /// connection (e.g. a reactor socket client). Returns `false` if the
+    /// transport does not own `client`; channel-attached clients are
+    /// handled by the host itself before this hook is consulted.
+    fn deliver_client(&mut self, _client: ClientId, _msg: Message) -> bool {
+        false
+    }
 
     /// Called once when the host's event loop exits, before the thread
     /// terminates (e.g. to flush or close links).
@@ -97,7 +108,7 @@ pub(crate) struct ChannelPeers {
 }
 
 impl PeerSender for ChannelPeers {
-    fn send_to(&mut self, to: Rank, msg: Message) {
+    fn send_to(&mut self, to: Rank, _plane: Plane, msg: Message) {
         let _ = self.peers[to.index()].send(Event::FromBroker { from: self.rank, msg });
     }
 }
@@ -109,6 +120,7 @@ pub(crate) struct Delayed {
     at: Instant,
     seq: u64,
     to: Rank,
+    plane: Plane,
     msg: Message,
 }
 
@@ -162,7 +174,7 @@ impl<P: PeerSender> BrokerHost<P> {
 
     fn send_to_broker(&mut self, now_ns: u64, plane: Plane, to: Rank, msg: Message) {
         let Some(f) = &mut self.faults else {
-            self.peers.send_to(to, msg);
+            self.peers.send_to(to, plane, msg);
             return;
         };
         // The event plane needs per-link FIFO (its seq dedup drops
@@ -174,13 +186,14 @@ impl<P: PeerSender> BrokerHost<P> {
         };
         for &extra in &fate.copies {
             if extra == 0 {
-                self.peers.send_to(to, msg.clone());
+                self.peers.send_to(to, plane, msg.clone());
             } else {
                 self.delay_seq += 1;
                 self.delayed.push(Delayed {
                     at: Instant::now() + Duration::from_nanos(extra),
                     seq: self.delay_seq,
                     to,
+                    plane,
                     msg: msg.clone(),
                 });
             }
@@ -201,6 +214,10 @@ impl<P: PeerSender> BrokerHost<P> {
                     }
                     if let Some(tx) = self.clients.get(client as usize) {
                         let _ = tx.send(msg);
+                    } else {
+                        // Not channel-attached: a transport-owned client
+                        // connection (reactor socket client).
+                        self.peers.deliver_client(client, msg);
                     }
                 }
                 Output::SetTimer { delay_ns, token } => {
@@ -211,59 +228,97 @@ impl<P: PeerSender> BrokerHost<P> {
         }
     }
 
-    pub(crate) fn run(mut self) {
+    /// Runs `Broker::start` and routes its outputs. Call exactly once,
+    /// before the first loop iteration.
+    pub(crate) fn start_broker(&mut self) {
         let outs = self.broker.start(self.now_ns());
         self.absorb(outs);
-        loop {
-            // Fire due timers. (They run even during a blackout — absorb
-            // suppresses their outputs — so periodic re-arm chains
-            // survive a simulated crash/restart.)
-            let now = Instant::now();
-            while let Some(&std::cmp::Reverse((at, token))) = self.timers.peek() {
-                if at > now {
-                    break;
-                }
-                self.timers.pop();
+    }
+
+    /// Fires every due timer. (Timers run even during a blackout —
+    /// `absorb` suppresses their outputs — so periodic re-arm chains
+    /// survive a simulated crash/restart.)
+    pub(crate) fn service_timers(&mut self) {
+        let now = Instant::now();
+        while let Some(&std::cmp::Reverse((at, token))) = self.timers.peek() {
+            if at > now {
+                break;
+            }
+            self.timers.pop();
+            let now_ns = self.now_ns();
+            let outs = self.broker.handle(now_ns, Input::Timer { token });
+            self.absorb(outs);
+        }
+    }
+
+    /// Releases fault-delayed messages that have come due.
+    pub(crate) fn release_delayed(&mut self) {
+        while let Some(d) = self.delayed.peek() {
+            if d.at > Instant::now() {
+                break;
+            }
+            let Some(d) = self.delayed.pop() else { break };
+            self.peers.send_to(d.to, d.plane, d.msg);
+        }
+    }
+
+    /// When the host next has scheduled work (timer fire or delayed
+    /// release), or `None` if it can sleep until traffic arrives.
+    pub(crate) fn next_deadline(&self) -> Option<Instant> {
+        let timer = self.timers.peek().map(|&std::cmp::Reverse((at, _))| at);
+        let release = self.delayed.peek().map(|d| d.at);
+        match (timer, release) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Feeds one event into the broker; returns `false` on `Shutdown`.
+    pub(crate) fn handle_event(&mut self, ev: Event) -> bool {
+        match ev {
+            Event::Shutdown => return false,
+            Event::FromBroker { from, msg } => {
                 let now_ns = self.now_ns();
-                let outs = self.broker.handle(now_ns, Input::Timer { token });
+                if self.silenced(now_ns) {
+                    return true; // crashed: inbound traffic is lost
+                }
+                let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
+                let outs = self.broker.handle(now_ns, input);
                 self.absorb(outs);
             }
-            // Release fault-delayed messages that have come due.
-            while let Some(d) = self.delayed.peek() {
-                if d.at > Instant::now() {
-                    break;
+            Event::FromClient { client, msg } => {
+                let now_ns = self.now_ns();
+                if self.silenced(now_ns) {
+                    return true; // crashed: local clients get no service
                 }
-                let Some(d) = self.delayed.pop() else { break };
-                self.peers.send_to(d.to, d.msg);
+                let outs = self.broker.handle(now_ns, Input::FromClient { client, msg });
+                self.absorb(outs);
             }
+        }
+        true
+    }
+
+    /// The channel-only event loop (threads transport): services due
+    /// timers and releases, otherwise sleeps in `recv_timeout` until
+    /// traffic arrives. The reactor drives the same steps from its own
+    /// loop (see [`crate::reactor`]), interleaving socket readiness.
+    pub(crate) fn run(mut self) {
+        self.start_broker();
+        loop {
+            self.service_timers();
+            self.release_delayed();
             // Sleep until traffic, the next timer, or the next release.
-            let mut timeout = self
-                .timers
-                .peek()
-                .map(|&std::cmp::Reverse((at, _))| at.saturating_duration_since(Instant::now()))
+            let timeout = self
+                .next_deadline()
+                .map(|at| at.saturating_duration_since(Instant::now()))
                 .unwrap_or(Duration::from_millis(250));
-            if let Some(d) = self.delayed.peek() {
-                timeout = timeout.min(d.at.saturating_duration_since(Instant::now()));
-            }
             match self.rx.recv_timeout(timeout) {
-                Ok(Event::Shutdown) | Err(RecvTimeoutError::Disconnected) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
                 Err(RecvTimeoutError::Timeout) => continue,
-                Ok(Event::FromBroker { from, msg }) => {
-                    let now_ns = self.now_ns();
-                    if self.silenced(now_ns) {
-                        continue; // crashed: inbound traffic is lost
+                Ok(ev) => {
+                    if !self.handle_event(ev) {
+                        break;
                     }
-                    let input = Input::FromBroker { plane: plane_of(&msg), from, msg };
-                    let outs = self.broker.handle(now_ns, input);
-                    self.absorb(outs);
-                }
-                Ok(Event::FromClient { client, msg }) => {
-                    let now_ns = self.now_ns();
-                    if self.silenced(now_ns) {
-                        continue; // crashed: local clients get no service
-                    }
-                    let outs = self.broker.handle(now_ns, Input::FromClient { client, msg });
-                    self.absorb(outs);
                 }
             }
         }

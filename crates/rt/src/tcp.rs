@@ -1,58 +1,92 @@
-//! Comms sessions over real loopback TCP sockets.
+//! Comms sessions over real loopback TCP sockets, driven by the
+//! poll-based reactor ([`crate::reactor`], ROADMAP item 3).
 //!
 //! The closest live analogue of the prototype's ØMQ TCP overlay: one
-//! broker thread per rank as in [`crate::threads`], but broker↔broker
-//! traffic rides genuine `TcpStream`s carrying length-prefixed
-//! [`flux_wire`] frames ([`flux_wire::frame`]). Clients remain
-//! in-process channel attachments (the prototype's local IPC sockets).
+//! *reactor thread* per rank hosting the sans-io [`flux_broker::Broker`]
+//! and every socket that rank owns. All sockets are nonblocking; the
+//! reactor discovers readiness by level-triggered scanning and parks in
+//! the broker's command channel when idle. There are no acceptor or
+//! reader threads — a 1024-broker session costs 1024 threads, not
+//! `O(links)`.
 //!
 //! Wire-up: every rank binds a listener on `127.0.0.1:0` *before* any
 //! broker starts, so the full address map is known up front — the moral
 //! equivalent of the paper's PMI exchange of broker endpoints. Outbound
-//! links are established lazily on first send, with bounded
-//! connect-retry and exponential backoff to ride out peers that are
-//! still starting. Each direction of a broker pair is its own
-//! connection; a link opens with a 4-byte little-endian rank handshake
-//! so the accepting side can attribute inbound frames.
+//! broker→broker traffic rides a small per-destination pool of
+//! connections ([`TcpConfig::pool_size`]) established lazily on first
+//! send; connects never block the reactor — a refused connect is
+//! rescheduled by [`RetrySchedule`] with jittered exponential backoff.
+//! Each direction of a broker pair is its own connection; a link opens
+//! with a 4-byte little-endian rank handshake so the accepting side can
+//! attribute inbound frames.
 //!
-//! Shutdown is ordered: brokers stop (dropping outbound links), peers'
-//! reader threads drain to EOF, acceptors are woken by a local connect
-//! and exit, and every thread is joined before `shutdown()` returns.
+//! Clients come in two flavors: in-process channel attachments
+//! ([`TcpSessionBuilder::attach_client`], the prototype's local IPC
+//! sockets), and *socket clients* — any process that connects to a
+//! broker's listener, sends the [`CLIENT_HELLO`] sentinel, reads back
+//! its assigned client id, and then speaks length-prefixed
+//! [`flux_wire::frame`]s. Socket clients may pipeline arbitrarily many
+//! requests on one stream; replies are matched by `MsgId` (see
+//! [`flux_broker::client::ClientCore`]).
+//!
+//! Shutdown is ordered: each broker drains its channel, gets `Shutdown`,
+//! flushes what it can without blocking, closes every socket, and its
+//! reactor thread is joined before `shutdown()` returns.
 
 use crate::faults::FaultPlan;
-use crate::live::{BrokerHost, Event, LiveClient, PeerSender};
+use crate::live::{BrokerHost, Event, LiveClient};
+use crate::reactor::{run_reactor, ReactorPeers};
 use flux_broker::{Broker, BrokerConfig, ClientId, CommsModule};
 use flux_core::rng::Rng;
 use flux_wire::{frame, Message, Rank};
 use std::collections::BinaryHeap;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use flux_core::OrderedMutex;
-use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Handshake sentinel a socket client sends instead of a broker rank
+/// (4 bytes, little-endian). The broker replies with the client's
+/// assigned broker-local id — also 4 raw little-endian bytes — before
+/// any frames. Real ranks are always below the session size, so the
+/// sentinel cannot collide.
+pub const CLIENT_HELLO: u32 = u32::MAX;
 
 /// Tuning for TCP links.
 #[derive(Clone, Debug)]
 pub struct TcpConfig {
     /// Per-attempt connect timeout.
     pub connect_timeout: Duration,
-    /// Connect attempts per link before giving up (≥ 1).
+    /// Connect attempts per link burst before giving up (≥ 1).
     pub max_connect_attempts: u32,
     /// Backoff before the second connect attempt; doubles per attempt.
     pub initial_backoff: Duration,
-    /// Ceiling on the per-attempt backoff.
+    /// Ceiling on the per-attempt backoff (also the cool-down after a
+    /// burst's budget is spent).
     pub max_backoff: Duration,
-    /// Total time budget across all connect attempts for one link: once
-    /// exceeded, [`connect_with_retry`] stops retrying and surfaces the
-    /// last error even if attempts remain.
+    /// Total time budget across one burst of connect attempts: once
+    /// exceeded the link gives up, drops its queue, and cools down.
     pub retry_deadline: Duration,
-    /// Read timeout for the rank handshake on accepted connections
-    /// (guards against a connector that never identifies itself).
+    /// Deadline for an accepted connection to complete its 4-byte
+    /// handshake (guards against a connector that never identifies
+    /// itself).
     pub handshake_timeout: Duration,
     /// Size cap on a single frame, bytes (see [`frame::MAX_FRAME`]).
     pub max_frame: usize,
+    /// Outbound connections per peer broker. The event plane is pinned
+    /// to slot 0 (it needs per-link FIFO); tree/ring traffic
+    /// round-robins the remaining slots.
+    pub pool_size: usize,
+    /// Floor on the reactor's idle park duration (the poll tick when
+    /// sockets were recently active).
+    pub poll_interval: Duration,
+    /// Ceiling the idle park duration backs off to when nothing is
+    /// happening.
+    pub max_poll_interval: Duration,
+    /// Per-connection outbound buffer cap, bytes. A peer this far
+    /// behind gets new frames dropped (frame-aligned) rather than
+    /// buffering without bound.
+    pub max_outbuf: usize,
 }
 
 impl Default for TcpConfig {
@@ -65,180 +99,96 @@ impl Default for TcpConfig {
             retry_deadline: Duration::from_secs(15),
             handshake_timeout: Duration::from_secs(5),
             max_frame: frame::MAX_FRAME,
+            pool_size: 2,
+            poll_interval: Duration::from_micros(500),
+            max_poll_interval: Duration::from_millis(10),
+            max_outbuf: 64 * 1024 * 1024,
         }
     }
 }
 
-/// Connects to `addr`, retrying with jittered exponential backoff per
-/// the config. Each sleep is uniform in `[backoff/2, backoff]` so a
-/// session's worth of brokers retrying the same slow peer don't
-/// synchronize into connect storms.
+/// Nonblocking connect-retry state for one outbound link: when the next
+/// attempt is allowed, how the backoff grows, and when a burst's budget
+/// (attempt count or wall-clock deadline) is spent. Pure state machine —
+/// it never sleeps; the reactor simply skips links whose next attempt
+/// isn't [`due`](RetrySchedule::due) yet. Backoff sleeps are jittered
+/// uniform in `[backoff/2, backoff]` so a session's worth of brokers
+/// retrying the same slow peer don't synchronize into connect storms.
+#[derive(Clone, Debug, Default)]
+pub struct RetrySchedule {
+    attempts: u32,
+    backoff: Duration,
+    window_start: Option<Instant>,
+    next_at: Option<Instant>,
+}
+
+impl RetrySchedule {
+    /// A fresh schedule: the first attempt is due immediately.
+    pub fn new() -> RetrySchedule {
+        RetrySchedule::default()
+    }
+
+    /// Whether an attempt is allowed at `now`.
+    pub fn due(&self, now: Instant) -> bool {
+        self.next_at.is_none_or(|at| now >= at)
+    }
+
+    /// Records a successful connect: the schedule resets fully.
+    pub fn succeeded(&mut self) {
+        *self = RetrySchedule::new();
+    }
+
+    /// Records a failed attempt at `now`. Returns `true` if the burst
+    /// may continue (a later attempt is scheduled), `false` when the
+    /// budget — `max_connect_attempts` or `retry_deadline`, whichever
+    /// trips first — is spent: the caller should drop queued traffic and
+    /// the schedule enters a `max_backoff` cool-down before the next
+    /// burst.
+    pub fn failed(&mut self, now: Instant, config: &TcpConfig, jitter: &mut Rng) -> bool {
+        self.attempts += 1;
+        let window = *self.window_start.get_or_insert(now);
+        let spent = self.attempts >= config.max_connect_attempts.max(1)
+            || now.duration_since(window) >= config.retry_deadline;
+        if spent {
+            self.attempts = 0;
+            self.backoff = Duration::ZERO;
+            self.window_start = None;
+            self.next_at = Some(now + config.max_backoff);
+            return false;
+        }
+        if self.backoff.is_zero() {
+            self.backoff = config.initial_backoff;
+        }
+        let base = self.backoff.as_nanos() as u64;
+        let wait = Duration::from_nanos(base / 2 + jitter.gen_range(0..=base.div_ceil(2)));
+        self.next_at = Some(now + wait);
+        self.backoff = (self.backoff * 2).min(config.max_backoff);
+        true
+    }
+}
+
+/// Connects a *socket client* to a broker listening at `addr`: performs
+/// the [`CLIENT_HELLO`] handshake and returns the stream plus the
+/// broker-assigned client id (feed it to
+/// [`flux_broker::client::ClientCore::new`] so request ids are
+/// collision-free). The stream is left in blocking mode with `timeout`
+/// as its read timeout; callers pipelining nonblocking I/O can flip it
+/// with `set_nonblocking`.
 ///
 /// # Errors
-/// Returns the last connect error once `max_connect_attempts` attempts
-/// have failed or the total `retry_deadline` budget is spent, whichever
-/// comes first.
-pub fn connect_with_retry(addr: SocketAddr, config: &TcpConfig) -> io::Result<TcpStream> {
-    let attempts = config.max_connect_attempts.max(1);
-    let started = Instant::now();
-    let deadline = started + config.retry_deadline;
-    // Jitter only needs to decorrelate concurrent retriers, not be
-    // reproducible, so seed from the clock and the target port.
-    let clock_seed = std::time::SystemTime::now()
-        .duration_since(std::time::UNIX_EPOCH)
-        .map(|d| d.subsec_nanos() as u64)
-        .unwrap_or(0);
-    let mut rng = Rng::seeded(clock_seed ^ (u64::from(addr.port()) << 32));
-    let mut backoff = config.initial_backoff;
-    let mut last_err = None;
-    let mut made = 0u32;
-    for attempt in 0..attempts {
-        if attempt > 0 {
-            let base = backoff.as_nanos() as u64;
-            let sleep = Duration::from_nanos(base / 2 + rng.gen_range(0..=base.div_ceil(2)));
-            if Instant::now() + sleep >= deadline {
-                break; // budget would be spent sleeping; give up now
-            }
-            // flux-lint: allow(block) — connect retry/backoff runs on
-            // the connecting thread during session bring-up, before any
-            // reactor loop exists; the deadline above bounds it.
-            std::thread::sleep(sleep);
-            backoff = (backoff * 2).min(config.max_backoff);
-        }
-        let per_attempt = config.connect_timeout.min(deadline.saturating_duration_since(Instant::now()));
-        if per_attempt.is_zero() {
-            break;
-        }
-        made += 1;
-        match TcpStream::connect_timeout(&addr, per_attempt) {
-            Ok(stream) => return Ok(stream),
-            Err(e) => last_err = Some(e),
-        }
-    }
-    Err(match last_err {
-        Some(e) => io::Error::new(
-            e.kind(),
-            format!(
-                "connect to {addr} failed after {made} attempt(s) over {:?}: {e}",
-                started.elapsed()
-            ),
-        ),
-        None => io::Error::new(
-            io::ErrorKind::TimedOut,
-            format!("connect to {addr}: retry budget {:?} spent before any attempt", config.retry_deadline),
-        ),
-    })
-}
-
-/// Outbound TCP links of one broker: lazily connected, retried once
-/// (with the full backoff schedule) on a mid-session write failure.
-struct TcpPeers {
-    rank: Rank,
-    addrs: Vec<SocketAddr>,
-    links: Vec<Option<TcpStream>>,
-    config: TcpConfig,
-    /// Encode scratch reused across every outbound frame on this
-    /// broker's links (allocation-lean framing).
-    scratch: Vec<u8>,
-}
-
-impl TcpPeers {
-    fn open_link(&self, to: Rank) -> io::Result<TcpStream> {
-        let mut stream = connect_with_retry(self.addrs[to.index()], &self.config)?;
-        stream.set_nodelay(true)?;
-        // Identify ourselves so the acceptor can attribute our frames.
-        stream.write_all(&self.rank.0.to_le_bytes())?;
-        Ok(stream)
-    }
-
-    fn try_send(&mut self, to: Rank, msg: &Message) -> io::Result<()> {
-        if self.links[to.index()].is_none() {
-            let link = self.open_link(to)?;
-            self.links[to.index()] = Some(link);
-        }
-        match self.links[to.index()].as_mut() {
-            Some(stream) => {
-                frame::write_frame_into(stream, msg, self.config.max_frame, &mut self.scratch)
-            }
-            None => Err(io::Error::new(io::ErrorKind::NotConnected, "peer link missing")),
-        }
-    }
-}
-
-impl PeerSender for TcpPeers {
-    fn send_to(&mut self, to: Rank, msg: Message) {
-        if self.try_send(to, &msg).is_err() {
-            // The link may have died mid-session; rebuild it once and
-            // retry. A second failure drops the message — overlay peers
-            // are expected to be repaired by the liveness layer, not the
-            // transport.
-            self.links[to.index()] = None;
-            let _ = self.try_send(to, &msg);
-        }
-    }
-
-    fn close(&mut self) {
-        for link in self.links.iter_mut().filter_map(Option::take) {
-            let _ = link.shutdown(std::net::Shutdown::Both);
-        }
-    }
-}
-
-/// Reads the 4-byte little-endian rank handshake.
-fn read_handshake(stream: &mut TcpStream, timeout: Duration) -> io::Result<Rank> {
+/// Propagates connect, write, and read failures; times out if the broker
+/// does not answer the hello within `timeout`.
+pub fn connect_socket_client(
+    addr: SocketAddr,
+    timeout: Duration,
+) -> io::Result<(TcpStream, ClientId)> {
+    let mut stream = TcpStream::connect_timeout(&addr, timeout)?;
+    stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(timeout))?;
+    stream.write_all(&CLIENT_HELLO.to_le_bytes())?;
     let mut raw = [0u8; 4];
     stream.read_exact(&mut raw)?;
-    stream.set_read_timeout(None)?;
-    Ok(Rank(u32::from_le_bytes(raw)))
-}
-
-/// Accept loop for one rank's listener: handshakes each inbound link and
-/// spawns a reader thread that feeds decoded frames into the broker.
-fn accept_loop(
-    listener: TcpListener,
-    size: u32,
-    tx: Sender<Event>,
-    config: TcpConfig,
-    stopping: Arc<AtomicBool>,
-    readers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
-) {
-    loop {
-        let Ok((mut stream, _)) = listener.accept() else { break };
-        if stopping.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(from) = read_handshake(&mut stream, config.handshake_timeout) else {
-            continue; // never identified itself; drop the connection
-        };
-        if from.0 >= size {
-            continue; // garbage handshake claiming an out-of-range rank
-        }
-        let tx = tx.clone();
-        let max_frame = config.max_frame;
-        let handle = std::thread::Builder::new()
-            .name(format!("flux-tcp-read-{}", from.0))
-            .spawn(move || {
-                let mut stream = stream;
-                // One body buffer serves every frame on this link.
-                let mut body = Vec::new();
-                // Clean EOF, a malformed frame, or a dead socket all end
-                // this link; the peer reconnects if it has more to say.
-                // flux-lint: allow(block) — dedicated reader thread per
-                // link, the thread-per-link edge ROADMAP item 3's poll
-                // reactor replaces; blocking here parks only this link.
-                while let Ok(Some(msg)) = frame::read_frame_into(&mut stream, max_frame, &mut body)
-                {
-                    if tx.send(Event::FromBroker { from, msg }).is_err() {
-                        break; // broker gone
-                    }
-                }
-            });
-        let Ok(handle) = handle else { continue }; // thread limit hit; drop the link
-        // OrderedMutex absorbs poisoning: another reader panicking
-        // while registering leaves the list itself usable.
-        readers.lock().push(handle);
-    }
+    Ok((stream, ClientId::from_le_bytes(raw)))
 }
 
 /// A client connection to a broker in a [`TcpSession`].
@@ -246,15 +196,13 @@ pub type TcpClient = LiveClient;
 
 /// A comms session whose brokers are wired over loopback TCP: call
 /// [`TcpSession::builder`], attach clients, then
-/// [`TcpSessionBuilder::start`].
+/// [`TcpSessionBuilder::start`]. One reactor thread per broker drives
+/// all of that broker's sockets (see [`crate::reactor`]).
 pub struct TcpSession {
     size: u32,
     addrs: Vec<SocketAddr>,
     senders: Vec<Sender<Event>>,
-    broker_handles: Vec<std::thread::JoinHandle<()>>,
-    acceptor_handles: Vec<std::thread::JoinHandle<()>>,
-    readers: Arc<OrderedMutex<Vec<std::thread::JoinHandle<()>>>>,
-    stopping: Arc<AtomicBool>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
 /// Builder collecting brokers and client attachments before the session
@@ -302,47 +250,30 @@ impl TcpSession {
         self.size
     }
 
-    /// The loopback address each rank's broker listens on.
+    /// The loopback address each rank's broker listens on. Socket
+    /// clients connect here (see [`connect_socket_client`]).
     pub fn addrs(&self) -> &[SocketAddr] {
         &self.addrs
     }
 
-    /// Stops broker threads, drains links, and joins every thread the
-    /// session spawned.
+    /// Stops every reactor thread and joins it. Each reactor flushes
+    /// what it can without blocking and closes its sockets on the way
+    /// out; socket clients observe EOF.
     pub fn shutdown(self) {
-        // 1. Brokers exit, dropping their outbound links; peers' reader
-        //    threads see EOF and drain.
         for tx in &self.senders {
             let _ = tx.send(Event::Shutdown);
         }
-        for h in self.broker_handles {
+        for h in self.handles {
             // flux-lint: allow(block) — ordered teardown: shutdown()
             // consumes the session off the hot path and each joined
-            // thread has already been told to exit.
-            let _ = h.join();
-        }
-        // 2. Wake each acceptor with a throwaway local connect.
-        self.stopping.store(true, Ordering::SeqCst);
-        for addr in &self.addrs {
-            let _ = TcpStream::connect_timeout(addr, Duration::from_secs(1));
-        }
-        for h in self.acceptor_handles {
-            // flux-lint: allow(block) — ordered teardown, as above; the
-            // wake-up connect just before guarantees the acceptor exits.
-            let _ = h.join();
-        }
-        // 3. Reader threads: already at EOF from step 1.
-        let readers = std::mem::take(&mut *self.readers.lock());
-        for h in readers {
-            // flux-lint: allow(block) — ordered teardown, as above;
-            // readers saw EOF when the brokers dropped their links.
+            // reactor has already been told to exit.
             let _ = h.join();
         }
     }
 }
 
 impl TcpSessionBuilder {
-    /// Overrides the link tuning (timeouts, retry, backoff, frame cap).
+    /// Overrides the link tuning (timeouts, retry, pooling, frame cap).
     pub fn with_config(mut self, config: TcpConfig) -> Self {
         self.config = config;
         self
@@ -360,7 +291,10 @@ impl TcpSessionBuilder {
         self
     }
 
-    /// Attaches a client to `rank`'s broker, returning its handle.
+    /// Attaches an in-process channel client to `rank`'s broker,
+    /// returning its handle. Socket clients instead connect to the
+    /// session's [`addrs`](TcpSession::addrs) after start and are
+    /// assigned ids above the channel-attached range.
     pub fn attach_client(&mut self, rank: Rank) -> TcpClient {
         let (tx, rx) = channel();
         let client_id = self.clients[rank.index()].len() as ClientId;
@@ -368,8 +302,8 @@ impl TcpSessionBuilder {
         LiveClient { rank, client_id, tx: self.senders[rank.index()].clone(), rx }
     }
 
-    /// Binds every rank's listener, then launches acceptor and broker
-    /// threads. The session epoch (t = 0) is shared.
+    /// Binds every rank's listener, then launches one reactor thread per
+    /// broker. The session epoch (t = 0) is shared.
     ///
     /// # Panics
     /// Panics if a loopback listener cannot be bound or a thread cannot
@@ -389,30 +323,21 @@ impl TcpSessionBuilder {
         let addrs: Vec<SocketAddr> =
             listeners.iter().map(|l| l.local_addr().expect("listener addr")).collect();
 
-        let stopping = Arc::new(AtomicBool::new(false));
-        // Level 100: the only lock in the transport layer today; the
-        // next subsystem lock should take 200 (see flux_core::ordered_lock).
-        let readers = Arc::new(OrderedMutex::new("tcp.readers", 100, Vec::new()));
-        let acceptor_handles: Vec<_> = listeners
-            .into_iter()
-            .enumerate()
-            .map(|(idx, listener)| {
-                let tx = self.senders[idx].clone();
-                let config = self.config.clone();
-                let stopping = Arc::clone(&stopping);
-                let readers = Arc::clone(&readers);
-                std::thread::Builder::new()
-                    .name(format!("flux-tcp-accept-{idx}"))
-                    .spawn(move || accept_loop(listener, size, tx, config, stopping, readers))
-                    // flux-lint: allow(panic) — setup-time thread spawn,
-                    // covered by the documented `# Panics` contract.
-                    .expect("spawn acceptor thread")
-            })
-            .collect();
-
         let epoch = Instant::now();
-        let mut broker_handles = Vec::new();
-        for (idx, rx) in self.receivers.iter_mut().enumerate() {
+        let mut handles = Vec::new();
+        for (idx, listener) in listeners.into_iter().enumerate() {
+            let rank = Rank::from(idx);
+            let first_socket_client = self.clients[idx].len() as ClientId;
+            let peers = ReactorPeers::new(
+                rank,
+                addrs.clone(),
+                listener,
+                self.config.clone(),
+                first_socket_client,
+            )
+            // flux-lint: allow(panic) — setup-time socket configuration,
+            // covered by the documented `# Panics` contract.
+            .expect("nonblocking listener");
             let host = BrokerHost {
                 broker: Broker::new(
                     self.configs[idx].clone(),
@@ -420,39 +345,25 @@ impl TcpSessionBuilder {
                 ),
                 // flux-lint: allow(panic) — each receiver is taken exactly
                 // once here; a second take is a builder bug.
-                rx: rx.take().expect("receiver present"),
-                peers: TcpPeers {
-                    rank: Rank::from(idx),
-                    addrs: addrs.clone(),
-                    links: (0..size).map(|_| None).collect(),
-                    config: self.config.clone(),
-                    scratch: Vec::with_capacity(256),
-                },
+                rx: self.receivers[idx].take().expect("receiver present"),
+                peers,
                 clients: std::mem::take(&mut self.clients[idx]),
                 epoch,
                 timers: BinaryHeap::new(),
-                faults: self.faults.as_ref().map(|p| p.for_sender(Rank::from(idx))),
+                faults: self.faults.as_ref().map(|p| p.for_sender(rank)),
                 delayed: BinaryHeap::new(),
                 delay_seq: 0,
             };
-            broker_handles.push(
+            handles.push(
                 std::thread::Builder::new()
-                    .name(format!("flux-broker-{idx}"))
-                    .spawn(move || host.run())
+                    .name(format!("flux-reactor-{idx}"))
+                    .spawn(move || run_reactor(host))
                     // flux-lint: allow(panic) — setup-time thread spawn,
                     // covered by the documented `# Panics` contract.
-                    .expect("spawn broker thread"),
+                    .expect("spawn reactor thread"),
             );
         }
-        TcpSession {
-            size,
-            addrs,
-            senders: self.senders,
-            broker_handles,
-            acceptor_handles,
-            readers,
-            stopping,
-        }
+        TcpSession { size, addrs, senders: self.senders, handles }
     }
 }
 
@@ -466,85 +377,102 @@ mod tests {
             max_connect_attempts: 3,
             initial_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_millis(50),
+            retry_deadline: Duration::from_millis(400),
             ..TcpConfig::default()
         }
     }
 
+    // RetrySchedule is a pure state machine, so every timing property is
+    // tested with synthetic instants — no sleeps, no flakes (the old
+    // connect_with_retry tests raced the wall clock).
+
     #[test]
-    fn connect_with_retry_succeeds_on_live_listener() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let stream = connect_with_retry(addr, &quick_config()).unwrap();
-        drop(stream);
+    fn fresh_schedule_is_due_immediately() {
+        let s = RetrySchedule::new();
+        assert!(s.due(Instant::now()));
     }
 
     #[test]
-    fn connect_with_retry_gives_up_after_attempts() {
-        // Bind-then-drop to obtain a loopback port that refuses connects.
-        let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
-        let t0 = Instant::now();
-        let err = connect_with_retry(addr, &quick_config()).unwrap_err();
-        // 3 attempts with jittered backoffs between them: at least
-        // 10/2 + 20/2 = 15ms of sleeping.
-        assert!(t0.elapsed() >= Duration::from_millis(14), "backoff was applied");
-        assert!(err.kind() == io::ErrorKind::ConnectionRefused || err.kind() == io::ErrorKind::TimedOut);
+    fn failure_schedules_a_jittered_backoff() {
+        let config = quick_config();
+        let mut jitter = Rng::seeded(7);
+        let mut s = RetrySchedule::new();
+        let now = Instant::now();
+        assert!(s.failed(now, &config, &mut jitter), "burst continues");
+        // The wait is uniform in [backoff/2, backoff].
+        assert!(!s.due(now), "not due at the instant of failure");
+        assert!(!s.due(now + config.initial_backoff / 2 - Duration::from_nanos(1)));
+        assert!(s.due(now + config.initial_backoff), "due once the full backoff has passed");
     }
 
     #[test]
-    fn connect_with_retry_respects_total_deadline() {
-        // With an effectively unbounded attempt count, the total retry
-        // budget must still stop a connect to a peer that never comes up.
-        let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
+    fn backoff_doubles_up_to_the_ceiling() {
+        let config = quick_config();
+        let mut jitter = Rng::seeded(7);
+        let mut s = RetrySchedule::new();
+        let mut now = Instant::now();
+        let mut waits = Vec::new();
+        // Wide budget so we observe growth, not give-up.
+        let mut wide = config.clone();
+        wide.max_connect_attempts = 100;
+        wide.retry_deadline = Duration::from_secs(3600);
+        for _ in 0..5 {
+            assert!(s.failed(now, &wide, &mut jitter));
+            let next = s.next_at.unwrap();
+            waits.push(next.duration_since(now));
+            now = next;
+        }
+        // Ceiling: never above max_backoff.
+        for w in &waits {
+            assert!(*w <= wide.max_backoff, "wait {w:?} under ceiling");
+        }
+        // Growth: the last waits sit at the ceiling's jitter band.
+        assert!(waits[4] >= wide.max_backoff / 2, "backoff reached the ceiling band");
+    }
+
+    #[test]
+    fn attempt_budget_spends_the_burst_and_cools_down() {
+        let config = quick_config(); // 3 attempts
+        let mut jitter = Rng::seeded(7);
+        let mut s = RetrySchedule::new();
+        let now = Instant::now();
+        assert!(s.failed(now, &config, &mut jitter));
+        assert!(s.failed(now, &config, &mut jitter));
+        assert!(!s.failed(now, &config, &mut jitter), "third failure spends the budget");
+        // Cool-down: not due until max_backoff has passed.
+        assert!(!s.due(now + config.max_backoff - Duration::from_nanos(1)));
+        assert!(s.due(now + config.max_backoff));
+    }
+
+    #[test]
+    fn deadline_budget_spends_the_burst_even_with_attempts_left() {
         let mut config = quick_config();
         config.max_connect_attempts = u32::MAX;
-        config.retry_deadline = Duration::from_millis(120);
+        let mut jitter = Rng::seeded(7);
+        let mut s = RetrySchedule::new();
         let t0 = Instant::now();
-        let err = connect_with_retry(addr, &config).unwrap_err();
-        let elapsed = t0.elapsed();
-        assert!(elapsed < Duration::from_secs(5), "gave up near the budget, took {elapsed:?}");
-        assert!(err.to_string().contains("attempt"), "error names the attempts: {err}");
+        assert!(s.failed(t0, &config, &mut jitter));
+        // Next failure lands after the retry deadline: burst over.
+        assert!(!s.failed(t0 + config.retry_deadline, &config, &mut jitter));
     }
 
     #[test]
-    fn connect_with_retry_rides_out_a_late_listener() {
-        // Reserve a port, free it, then re-bind it shortly after the
-        // first connect attempt has already failed.
-        let addr = {
-            let l = TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
-        let binder = std::thread::spawn(move || {
-            std::thread::sleep(Duration::from_millis(25));
-            let listener = TcpListener::bind(addr).expect("re-bind reserved port");
-            // Hold the listener long enough for the retry to land.
-            std::thread::sleep(Duration::from_millis(500));
-            drop(listener);
-        });
-        let mut config = quick_config();
-        config.max_connect_attempts = 8;
-        config.max_backoff = Duration::from_millis(100);
-        let result = connect_with_retry(addr, &config);
-        binder.join().unwrap();
-        assert!(result.is_ok(), "retry found the late listener: {result:?}");
+    fn success_resets_the_schedule() {
+        let config = quick_config();
+        let mut jitter = Rng::seeded(7);
+        let mut s = RetrySchedule::new();
+        let now = Instant::now();
+        assert!(s.failed(now, &config, &mut jitter));
+        s.succeeded();
+        assert!(s.due(now), "fresh after success");
+        assert_eq!(s.attempts, 0);
     }
 
     #[test]
-    fn handshake_timeout_drops_silent_connections() {
-        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
-        let addr = listener.local_addr().unwrap();
-        let silent = TcpStream::connect(addr).unwrap();
-        let (mut accepted, _) = listener.accept().unwrap();
-        let err = read_handshake(&mut accepted, Duration::from_millis(50)).unwrap_err();
-        assert!(
-            err.kind() == io::ErrorKind::WouldBlock || err.kind() == io::ErrorKind::TimedOut,
-            "timed out: {err:?}"
-        );
-        drop(silent);
+    fn client_hello_cannot_collide_with_a_rank() {
+        // Ranks are u32 indices below the session size; a session of
+        // u32::MAX brokers is unrepresentable (the tree parent math
+        // alone overflows), so the sentinel is safe.
+        assert_eq!(CLIENT_HELLO, u32::MAX);
     }
 }

@@ -202,7 +202,8 @@ pub enum TransportKind {
     Sim,
     /// OS threads with channel links.
     Threads,
-    /// OS threads with loopback TCP links.
+    /// One poll-based reactor thread per broker over loopback TCP links
+    /// (also parses as `"reactor"`).
     Tcp,
 }
 
@@ -225,8 +226,12 @@ impl FromStr for TransportKind {
         match s {
             "sim" => Ok(TransportKind::Sim),
             "threads" => Ok(TransportKind::Threads),
-            "tcp" => Ok(TransportKind::Tcp),
-            other => Err(format!("unknown transport {other:?} (want sim, threads, or tcp)")),
+            // "reactor" names the implementation, "tcp" the wire; the
+            // TCP transport *is* the reactor since ROADMAP item 3 landed.
+            "tcp" | "reactor" => Ok(TransportKind::Tcp),
+            other => {
+                Err(format!("unknown transport {other:?} (want sim, threads, tcp, or reactor)"))
+            }
         }
     }
 }

@@ -1,15 +1,15 @@
-//! The same protocol stack on both runtimes.
+//! Simulator-specific runtime tests (virtual time, determinism,
+//! kill-broker semantics). The behavioural battery shared by every
+//! transport lives in `flux_rt::conformance` and is instantiated per
+//! transport in `tests/conformance.rs`.
 
-use flux_broker::client::ClientCore;
 use flux_broker::CommsModule;
 use flux_modules::standard_modules;
 use flux_rt::script::{Op, ScriptClient};
 use flux_rt::sim::SimSession;
-use flux_rt::threads::ThreadSession;
 use flux_sim::{NetParams, PendingKind, SimTime};
 use flux_value::Value;
-use flux_wire::{Rank, Topic};
-use std::time::Duration;
+use flux_wire::Rank;
 
 fn kvs_only(_r: Rank) -> Vec<Box<dyn CommsModule>> {
     vec![
@@ -205,97 +205,4 @@ fn sim_kill_broker_forgets_victim_and_drops_its_ghost_traffic() {
         Some(0),
         "a commit from a dead broker must not advance the master"
     );
-}
-
-#[test]
-fn threads_put_commit_get_and_barrier() {
-    let size = 8u32;
-    let mut builder = ThreadSession::builder(size, 2, |_| {
-        vec![
-            Box::new(flux_kvs::KvsModule::new()) as Box<dyn CommsModule>,
-            Box::new(flux_modules::BarrierModule::new()),
-        ]
-    });
-    let writer = builder.attach_client(Rank(5));
-    let reader = builder.attach_client(Rank(2));
-    let b1 = builder.attach_client(Rank(0));
-    let b2 = builder.attach_client(Rank(7));
-    let session = builder.start();
-
-    let timeout = Duration::from_secs(5);
-
-    // Writer: put + commit.
-    let mut wc = ClientCore::new(Rank(5), writer.client_id);
-    writer.send(wc.request(
-        Topic::from_static("kvs.put"),
-        Value::from_pairs([("k", Value::from("t.x")), ("v", Value::Int(11))]),
-        1,
-    ));
-    let resp = writer.recv_timeout(timeout).expect("put ack");
-    assert!(!resp.is_error());
-    writer.send(wc.request(Topic::from_static("kvs.commit"), Value::object(), 2));
-    let resp = writer.recv_timeout(timeout).expect("commit reply");
-    assert!(!resp.is_error());
-    let version = resp.payload.get("version").and_then(Value::as_uint).unwrap();
-    assert!(version >= 1);
-
-    // Reader on another broker: wait for the version, then get.
-    let mut rc = ClientCore::new(Rank(2), reader.client_id);
-    reader.send(rc.request(
-        Topic::from_static("kvs.wait_version"),
-        Value::from_pairs([("version", Value::from(version as i64))]),
-        1,
-    ));
-    assert!(!reader.recv_timeout(timeout).expect("wait reply").is_error());
-    reader.send(rc.request(
-        Topic::from_static("kvs.get"),
-        Value::from_pairs([("k", Value::from("t.x"))]),
-        2,
-    ));
-    let resp = reader.recv_timeout(timeout).expect("get reply");
-    assert_eq!(resp.payload.get("v"), Some(&Value::Int(11)));
-
-    // Barrier across two threads.
-    let mut c1 = ClientCore::new(Rank(0), b1.client_id);
-    let mut c2 = ClientCore::new(Rank(7), b2.client_id);
-    let enter = |c: &mut ClientCore| {
-        c.request(
-            Topic::from_static("barrier.enter"),
-            Value::from_pairs([("name", Value::from("tb")), ("nprocs", Value::Int(2))]),
-            3,
-        )
-    };
-    b1.send(enter(&mut c1));
-    b2.send(enter(&mut c2));
-    assert!(!b1.recv_timeout(timeout).expect("b1 released").is_error());
-    assert!(!b2.recv_timeout(timeout).expect("b2 released").is_error());
-
-    session.shutdown();
-}
-
-#[test]
-fn threads_watch_streams_updates() {
-    let mut builder = ThreadSession::builder(4, 2, |_| {
-        vec![Box::new(flux_kvs::KvsModule::new()) as Box<dyn CommsModule>]
-    });
-    let watcher = builder.attach_client(Rank(3));
-    let writer = builder.attach_client(Rank(1));
-    let session = builder.start();
-    let timeout = Duration::from_secs(5);
-
-    let mut wcli = flux_kvs::client::KvsClient::new(Rank(3), watcher.client_id);
-    let (wreq, _) = wcli.watch("tw.key", 1);
-    watcher.send(wreq);
-    let snap = watcher.recv_timeout(timeout).expect("initial snapshot");
-    assert_eq!(snap.payload.get("v"), Some(&Value::Null));
-
-    let mut pcli = flux_kvs::client::KvsClient::new(Rank(1), writer.client_id);
-    writer.send(pcli.put("tw.key", Value::Int(5), 1));
-    assert!(writer.recv_timeout(timeout).is_some());
-    writer.send(pcli.commit(2));
-    assert!(writer.recv_timeout(timeout).is_some());
-
-    let update = watcher.recv_timeout(timeout).expect("watch update");
-    assert_eq!(update.payload.get("v"), Some(&Value::Int(5)));
-    session.shutdown();
 }

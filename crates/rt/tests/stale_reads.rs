@@ -1,17 +1,17 @@
-//! No stale reads after `wait_version`, on every transport.
+//! Simulator-side stale-read coverage.
 //!
-//! The slave-side lookup memo caches `(key, want_dir) → object` and must
-//! be invalidated when the broker switches roots — *before* any
-//! `wait_version` waiter is answered. A reader that waits for version N
-//! and then gets a key must therefore see at least the version-N value,
-//! never a memoized older object. The same script runs on the
-//! simulator, the threaded runtime, and loopback TCP.
+//! The no-stale-reads check itself lives in `flux_rt::conformance` and
+//! runs against every live transport from `tests/conformance.rs`; this
+//! file keeps the simulator instantiation plus the deterministic
+//! interleaving proof that the scenario really exercises the slave-side
+//! lookup memo (live schedules can't guarantee that).
 
 use flux_broker::CommsModule;
 use flux_kvs::{KvsConfig, KvsModule};
 use flux_modules::BarrierModule;
+use flux_rt::conformance::check_no_stale_reads;
 use flux_rt::script::Op;
-use flux_rt::transport::{ScriptTransport, SimTransport, TcpTransport, ThreadTransport};
+use flux_rt::transport::{ScriptTransport, SimTransport};
 use flux_value::Value;
 use flux_wire::Rank;
 
@@ -24,11 +24,16 @@ fn modules(_r: Rank) -> Vec<Box<dyn CommsModule>> {
     ]
 }
 
-/// Writer commits v1 and (after a pause) v2 of the same key; a reader on
-/// a different leaf waits for each version and reads. The read after
-/// `wait_version(2)` must see v2 — if the memo populated by the earlier
-/// read survived the root switch, it would serve v1.
-fn stale_read_script() -> Vec<(Rank, Vec<Op>)> {
+#[test]
+fn no_stale_reads_after_wait_version_on_sim() {
+    check_no_stale_reads(&SimTransport::default());
+}
+
+/// On the simulator the interleaving is fixed: the pause guarantees the
+/// reader's first two gets land between the commits, so the memo is
+/// populated with v1 and *must* be invalidated by the v2 root switch.
+#[test]
+fn sim_interleaving_actually_exercises_the_memo() {
     let writer = vec![
         Op::Put { key: "sr.k".into(), val: Value::Int(1) },
         Op::Commit,
@@ -38,59 +43,13 @@ fn stale_read_script() -> Vec<(Rank, Vec<Op>)> {
     ];
     let reader = vec![
         Op::WaitVersion(1),
-        Op::Get { key: "sr.k".into() }, // populates the lookup memo
-        Op::Get { key: "sr.k".into() }, // served from the memo
+        Op::Get { key: "sr.k".into() },
+        Op::Get { key: "sr.k".into() },
         Op::WaitVersion(2),
-        Op::Get { key: "sr.k".into() }, // must NOT be the memoized v1
+        Op::Get { key: "sr.k".into() },
     ];
-    vec![(Rank(1), writer), (Rank(3), reader)]
-}
-
-fn check_no_stale_reads(transport: &dyn ScriptTransport) {
-    let report = transport.run_scripts(4, 2, &modules, stale_read_script());
-    for (i, o) in report.outcomes.iter().enumerate() {
-        assert!(o.finished, "{}: script {i} unfinished", transport.name());
-        assert!(
-            o.op_err.iter().all(|&e| e == 0),
-            "{}: script {i} errors {:?}",
-            transport.name(),
-            o.op_err
-        );
-    }
-    let reader = &report.outcomes[1];
-    // The first read happens at version >= 1: value 1 or 2 are both
-    // legal (the second commit may already have landed).
-    let first = reader.replies[1].get("v").and_then(Value::as_int).unwrap();
-    assert!(first == 1 || first == 2, "{}: first read {first}", transport.name());
-    // The memoized re-read must agree with the first (monotonic reads).
-    let second = reader.replies[2].get("v").and_then(Value::as_int).unwrap();
-    assert!(second >= first, "{}: re-read went backwards", transport.name());
-    // After wait_version(2) only v2 is acceptable.
-    let last = reader.replies[4].get("v").and_then(Value::as_int).unwrap();
-    assert_eq!(last, 2, "{}: stale read after wait_version(2)", transport.name());
-}
-
-#[test]
-fn no_stale_reads_after_wait_version_on_sim() {
-    check_no_stale_reads(&SimTransport::default());
-}
-
-#[test]
-fn no_stale_reads_after_wait_version_on_threads() {
-    check_no_stale_reads(&ThreadTransport);
-}
-
-#[test]
-fn no_stale_reads_after_wait_version_on_tcp() {
-    check_no_stale_reads(&TcpTransport::default());
-}
-
-/// On the simulator the interleaving is fixed: the pause guarantees the
-/// reader's first two gets land between the commits, so the memo is
-/// populated with v1 and *must* be invalidated by the v2 root switch.
-#[test]
-fn sim_interleaving_actually_exercises_the_memo() {
-    let report = SimTransport::default().run_scripts(4, 2, &modules, stale_read_script());
+    let scripts = vec![(Rank(1), writer), (Rank(3), reader)];
+    let report = SimTransport::default().run_scripts(4, 2, &modules, scripts);
     let reader = &report.outcomes[1];
     assert_eq!(reader.replies[1].get("v"), Some(&Value::Int(1)), "first read sees v1");
     assert_eq!(reader.replies[2].get("v"), Some(&Value::Int(1)), "memo re-read sees v1");

@@ -113,6 +113,96 @@ pub fn read_frame_into<R: Read>(
     Ok(Some(msg))
 }
 
+/// Incremental frame decoder for nonblocking readers.
+///
+/// A reactor reads whatever bytes the kernel has ready — which may end
+/// mid-length-prefix, mid-body, or contain several frames at once — and
+/// cannot use the pull-style [`read_frame_into`] (it would block waiting
+/// for the rest of a frame). `FrameDecoder` inverts control: the caller
+/// [`feed`](FrameDecoder::feed)s raw bytes as they arrive and drains
+/// complete messages with [`next_message`](FrameDecoder::next_message).
+/// Partial frames stay buffered across calls, so frames torn at
+/// arbitrary byte boundaries (including one byte at a time) reassemble
+/// exactly.
+///
+/// One internal buffer serves the whole connection: consumed bytes are
+/// reclaimed by compaction (`copy_within`) once they pass a threshold,
+/// so steady-state decoding does not reallocate.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+/// Consumed-prefix size beyond which [`FrameDecoder`] compacts its
+/// buffer instead of letting dead bytes accumulate.
+const COMPACT_AT: usize = 64 * 1024;
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> FrameDecoder {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes to the internal buffer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        if self.start == self.buf.len() {
+            // Everything consumed: restart at the buffer's front for free.
+            self.buf.clear();
+            self.start = 0;
+        } else if self.start >= COMPACT_AT {
+            self.buf.copy_within(self.start.., 0);
+            self.buf.truncate(self.buf.len() - self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (partial frame tail).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Decodes and returns the next complete message, or `None` if the
+    /// buffered bytes end mid-frame (feed more and retry).
+    ///
+    /// # Errors
+    /// `InvalidData` on an oversized length prefix, an undecodable body,
+    /// or trailing bytes inside a frame — same contract as
+    /// [`read_frame`]. After an error the stream is unframeable and the
+    /// connection should be dropped.
+    pub fn next_message(&mut self, max_frame: usize) -> io::Result<Option<Message>> {
+        let avail = &self.buf[self.start..];
+        if avail.len() < 4 {
+            return Ok(None);
+        }
+        // flux-lint: allow(panic) — the length check above guarantees
+        // four bytes; a shorter slice is unreachable.
+        let len_raw: [u8; 4] = avail[..4].try_into().expect("four length bytes");
+        let len = u32::from_le_bytes(len_raw) as usize;
+        if len > max_frame {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("incoming frame of {len} bytes exceeds cap {max_frame}"),
+            ));
+        }
+        if avail.len() < 4 + len {
+            return Ok(None);
+        }
+        let body = &avail[4..4 + len];
+        let (msg, used) = Message::decode(body)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if used != len {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("frame had {} trailing bytes after one message", len - used),
+            ));
+        }
+        self.start += 4 + len;
+        Ok(Some(msg))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,5 +307,106 @@ mod tests {
         let err = write_frame(&mut buf, &m, 4).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         assert!(buf.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn decoder_reassembles_byte_at_a_time() {
+        let mut wire = Vec::new();
+        for seq in 0..6 {
+            write_frame(&mut wire, &sample(seq), MAX_FRAME).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in &wire {
+            dec.feed(std::slice::from_ref(b));
+            while let Some(m) = dec.next_message(MAX_FRAME).unwrap() {
+                got.push(m);
+            }
+        }
+        assert_eq!(got.len(), 6);
+        for (seq, m) in got.iter().enumerate() {
+            assert_eq!(*m, sample(seq as u64));
+        }
+        assert_eq!(dec.pending(), 0, "no tail bytes left over");
+    }
+
+    #[test]
+    fn decoder_drains_multiple_frames_from_one_feed() {
+        let mut wire = Vec::new();
+        for seq in 0..4 {
+            write_frame(&mut wire, &sample(seq), MAX_FRAME).unwrap();
+        }
+        // One extra partial frame at the tail.
+        let mut tail = Vec::new();
+        write_frame(&mut tail, &sample(4), MAX_FRAME).unwrap();
+        wire.extend_from_slice(&tail[..tail.len() - 2]);
+
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let mut got = 0;
+        while let Some(m) = dec.next_message(MAX_FRAME).unwrap() {
+            assert_eq!(m, sample(got));
+            got += 1;
+        }
+        assert_eq!(got, 4, "the torn fifth frame must not surface early");
+        assert!(dec.pending() > 0);
+        dec.feed(&tail[tail.len() - 2..]);
+        let m = dec.next_message(MAX_FRAME).unwrap().expect("completed tail frame");
+        assert_eq!(m, sample(4));
+    }
+
+    #[test]
+    fn decoder_rejects_oversized_prefix_before_body_arrives() {
+        let mut dec = FrameDecoder::new();
+        dec.feed(&u32::MAX.to_le_bytes());
+        let err = dec.next_message(MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_rejects_corrupt_body() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &sample(2), MAX_FRAME).unwrap();
+        wire[4] = 0x00; // stomp the magic byte
+        let mut dec = FrameDecoder::new();
+        dec.feed(&wire);
+        let err = dec.next_message(MAX_FRAME).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn decoder_reclaims_consumed_bytes() {
+        let mut one = Vec::new();
+        write_frame(&mut one, &sample(0), MAX_FRAME).unwrap();
+
+        // Fully-drained decoders restart at the buffer front: feeding the
+        // same frame forever keeps the buffer at one frame's size.
+        let mut dec = FrameDecoder::new();
+        for _ in 0..1000 {
+            dec.feed(&one);
+            assert!(dec.next_message(MAX_FRAME).unwrap().is_some());
+        }
+        assert!(
+            dec.buf.capacity() <= 2 * one.len().max(16),
+            "fully-drained decoder must not grow: {}",
+            dec.buf.capacity()
+        );
+
+        // A long consumed prefix ahead of a partial frame is compacted
+        // away on the next feed rather than accumulating forever.
+        let mut dec = FrameDecoder::new();
+        let frames = COMPACT_AT / one.len() + 2;
+        for _ in 0..frames {
+            dec.feed(&one);
+        }
+        dec.feed(&one[..3]); // torn tail
+        for _ in 0..frames {
+            assert!(dec.next_message(MAX_FRAME).unwrap().is_some());
+        }
+        assert!(dec.start >= COMPACT_AT, "test setup: consumed prefix passed the threshold");
+        dec.feed(&one[3..]);
+        assert_eq!(dec.start, 0, "feed must compact the consumed prefix");
+        assert_eq!(dec.next_message(MAX_FRAME).unwrap(), Some(sample(0)));
+        assert_eq!(dec.pending(), 0);
     }
 }

@@ -15,7 +15,7 @@
 
 use flux_modules::standard_modules;
 use flux_rt::chaos;
-use flux_rt::transport::{FaultyTransport, ScriptTransport, ThreadTransport};
+use flux_rt::transport::{FaultyTransport, ScriptTransport, TcpTransport, ThreadTransport};
 use std::time::Duration;
 
 fn seed_range() -> Vec<u64> {
@@ -92,24 +92,38 @@ fn sim_shard_master_blackout_during_fence() {
     }
 }
 
-/// The threads runtime under the same seeded fault plans: every client
+/// A live runtime under the same seeded fault plans: every client
 /// history must pass the consistency checker.
-#[test]
-fn threads_chaos_consistency_sweep() {
+fn live_chaos_consistency_sweep(make: &dyn Fn() -> Box<dyn flux_rt::transport::Transport>) {
     for seed in seed_range() {
         let w = chaos::workload(seed, 2_000_000, false);
-        let transport = FaultyTransport::new(Box::new(ThreadTransport), w.plan.clone())
+        let transport = FaultyTransport::new(make(), w.plan.clone())
             .with_op_timeout(Duration::from_millis(200));
+        let name = transport.name();
         let report =
             transport.run_scripts(w.size, w.arity, &|_| standard_modules(), w.scripts.clone());
         let violations = chaos::check_run(&w, &report);
         assert!(
             violations.is_empty(),
-            "seed {seed} violated consistency on threads; repro with \
+            "seed {seed} violated consistency on {name}; repro with \
              `FLUX_CHAOS_SEED={seed} cargo test -p flux-bench --test chaos_kvs`\n\
              plan: {}\nviolations:\n  {}",
             w.plan,
             violations.join("\n  ")
         );
     }
+}
+
+#[test]
+fn threads_chaos_consistency_sweep() {
+    live_chaos_consistency_sweep(&|| Box::new(ThreadTransport));
+}
+
+/// The poll-based reactor under the identical seeded fault plans: drops,
+/// dups, delays, and blackouts ride real loopback sockets through the
+/// nonblocking state machines, and every observed history must still
+/// satisfy the consistency oracle.
+#[test]
+fn reactor_tcp_chaos_consistency_sweep() {
+    live_chaos_consistency_sweep(&|| Box::new(TcpTransport::default()));
 }
